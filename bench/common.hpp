@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction harnesses: CLI options,
+ * cached baseline runs, and uniform table output.
+ *
+ * Every harness accepts:
+ *   --scale=ci|small|medium|paper   input/hardware profile
+ *   --apps=bfs,sssp,...             workload subset
+ *   --seed=N                        generator seed
+ *   --csv                           emit CSV instead of aligned text
+ *
+ * The default scale is `ci` so the whole suite regenerates in
+ * minutes; pass --scale=small or --scale=medium for records closer
+ * to the paper's ratios (see DESIGN.md on scale profiles).
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace pccsim::bench {
+
+struct BenchEnv
+{
+    workloads::Scale scale = workloads::Scale::Ci;
+    std::vector<std::string> apps;
+    u64 seed = 42;
+    bool csv = false;
+
+    static BenchEnv
+    parse(int argc, char **argv,
+          std::vector<std::string> default_apps =
+              workloads::allWorkloadNames())
+    {
+        Options opts(argc, argv);
+        BenchEnv env;
+        env.scale = workloads::scaleFromString(
+            opts.get("scale", "ci"));
+        env.seed = static_cast<u64>(opts.getInt("seed", 42));
+        env.csv = opts.getBool("csv");
+        if (opts.has("apps")) {
+            std::stringstream ss(opts.get("apps"));
+            std::string app;
+            while (std::getline(ss, app, ','))
+                env.apps.push_back(app);
+        } else {
+            env.apps = std::move(default_apps);
+        }
+        return env;
+    }
+
+    sim::ExperimentSpec
+    spec(const std::string &app, sim::PolicyKind policy) const
+    {
+        sim::ExperimentSpec s;
+        s.workload.name = app;
+        s.workload.scale = scale;
+        s.workload.seed = seed;
+        s.policy = policy;
+        return s;
+    }
+
+    void
+    emit(const Table &table, const std::string &title) const
+    {
+        std::printf("## %s (scale=%s)\n\n%s\n", title.c_str(),
+                    workloads::to_string(scale).c_str(),
+                    csv ? table.csv().c_str() : table.str().c_str());
+    }
+};
+
+/** Baseline (4KB-only) runs, cached per workload. */
+class BaselineCache
+{
+  public:
+    explicit BaselineCache(const BenchEnv &env) : env_(env) {}
+
+    const sim::RunResult &
+    get(const std::string &app)
+    {
+        auto it = cache_.find(app);
+        if (it != cache_.end())
+            return it->second;
+        sim::ExperimentSpec spec =
+            env_.spec(app, sim::PolicyKind::Base);
+        spec.cap_percent = 0.0;
+        return cache_.emplace(app, sim::runOne(spec)).first->second;
+    }
+
+  private:
+    const BenchEnv &env_;
+    std::map<std::string, sim::RunResult> cache_;
+};
+
+/** Render the utility-cap x-axis value the way the paper labels it. */
+inline std::string
+capLabel(double cap)
+{
+    if (cap < 0)
+        return "~100";
+    return Table::fmt(cap, 0);
+}
+
+} // namespace pccsim::bench

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Fig. 5: single-thread performance-utility curves (top)
+ * and page-table-walk rates (bottom) for all eight applications, with
+ * huge pages limited to 0,1,2,4,...,64,~100% of the footprint, under
+ * the PCC policy and HawkEye. Also prints the max-THP ideal and the
+ * Linux THP points at 50% and 90% fragmentation.
+ *
+ * Shape targets: PCC >= HawkEye everywhere; the PCC reaches ~70%+ of
+ * the ideal gain by the small-percentage caps; PTW% plateaus where
+ * speedup plateaus.
+ */
+
+#include "common.hpp"
+
+using namespace pccsim;
+using namespace pccsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchEnv env = BenchEnv::parse(argc, argv);
+    BaselineCache baselines(env);
+
+    for (const auto &app : env.apps) {
+        const auto &base = baselines.get(app);
+
+        const auto ideal =
+            sim::runOne(env.spec(app, sim::PolicyKind::AllHuge));
+        auto thp50 = env.spec(app, sim::PolicyKind::LinuxThp);
+        thp50.frag_fraction = 0.5;
+        const auto linux50 = sim::runOne(thp50);
+        auto thp90 = env.spec(app, sim::PolicyKind::LinuxThp);
+        thp90.frag_fraction = 0.9;
+        const auto linux90 = sim::runOne(thp90);
+
+        const auto pcc_curve =
+            sim::utilityCurve(env.spec(app, sim::PolicyKind::Pcc),
+                              base);
+        const auto hawk_curve =
+            sim::utilityCurve(env.spec(app, sim::PolicyKind::HawkEye),
+                              base);
+
+        Table table({"cap %", "PCC speedup", "HawkEye speedup",
+                     "PCC PTW %", "HawkEye PTW %"});
+        for (size_t i = 0; i < pcc_curve.size(); ++i) {
+            table.row({capLabel(pcc_curve[i].cap_percent),
+                       Table::fmt(pcc_curve[i].speedup, 3),
+                       Table::fmt(hawk_curve[i].speedup, 3),
+                       Table::fmt(pcc_curve[i].ptw_percent, 2),
+                       Table::fmt(hawk_curve[i].ptw_percent, 2)});
+        }
+        env.emit(table, "Fig. 5 utility curve: " + app);
+        std::printf(
+            "  reference lines: ideal=%.3f  linux-thp(50%% frag)=%.3f"
+            "  linux-thp(90%% frag)=%.3f  baseline PTW=%.2f%%\n\n",
+            sim::speedup(base, ideal), sim::speedup(base, linux50),
+            sim::speedup(base, linux90), base.job().ptwPercent());
+    }
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduces Fig. 6: sensitivity of graph-application speedup to the
+ * PCC size (4..1024 entries in powers of two) with the promotion
+ * budget fixed at 32% of the footprint.
+ *
+ * Shape target: speedup rises steadily while the PCC is smaller than
+ * the hot-region set and plateaus once it covers it (128 entries in
+ * the paper). Scaled-down graphs have proportionally smaller hot
+ * sets, so the harness also sweeps a controlled synthetic workload
+ * with exactly 256 hot 2MB regions, which pins the plateau at the
+ * paper's 128-256 region range.
+ */
+
+#include "common.hpp"
+#include "workloads/synthetic.hpp"
+
+using namespace pccsim;
+using namespace pccsim::bench;
+
+namespace {
+
+const std::vector<u32> kSizes = {4, 8, 16, 32, 64, 128, 256, 512, 1024};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchEnv env = BenchEnv::parse(
+        argc, argv, workloads::graphWorkloadNames());
+    BaselineCache baselines(env);
+
+    Table table({"app", "baseline", "4", "8", "16", "32", "64", "128",
+                 "256", "512", "1024", "ideal"});
+    for (const auto &app : env.apps) {
+        const auto &base = baselines.get(app);
+        std::vector<std::string> row = {app, "1.000"};
+        for (u32 size : kSizes) {
+            auto spec = env.spec(app, sim::PolicyKind::Pcc);
+            spec.cap_percent = 32.0;
+            spec.tweak = [size](sim::SystemConfig &cfg) {
+                cfg.pcc.pcc2m.entries = size;
+            };
+            row.push_back(
+                Table::fmt(sim::speedup(base, sim::runOne(spec)), 3));
+        }
+        const auto ideal =
+            sim::runOne(env.spec(app, sim::PolicyKind::AllHuge));
+        row.push_back(Table::fmt(sim::speedup(base, ideal), 3));
+        table.row(row);
+    }
+    env.emit(table, "Fig. 6: speedup vs PCC entries (cap 32%)");
+
+    // Controlled synthetic: 256 hot regions out of 512, so the
+    // plateau must land between 128 and 256 entries as in the paper.
+    {
+        workloads::SyntheticSpec sspec;
+        sspec.pattern = workloads::Pattern::HotRegions;
+        sspec.footprint_bytes = 1ull << 30;
+        sspec.hot_regions = 256;
+        sspec.ops = env.scale == workloads::Scale::Ci ? 2'000'000
+                                                      : 8'000'000;
+        sspec.seed = env.seed;
+
+        sim::SystemConfig cfg = sim::SystemConfig::forScale(env.scale);
+        cfg.policy = sim::PolicyKind::Base;
+        cfg.promotion_cap_percent = 0.0;
+        workloads::SyntheticWorkload base_w(sspec);
+        sim::System base_sys(cfg);
+        const auto base = base_sys.run(base_w);
+
+        Table syn({"PCC entries", "speedup", "promotions"});
+        for (u32 size : kSizes) {
+            sim::SystemConfig pcfg =
+                sim::SystemConfig::forScale(env.scale);
+            pcfg.policy = sim::PolicyKind::Pcc;
+            pcfg.promotion_cap_percent = 64.0;
+            pcfg.pcc.pcc2m.entries = size;
+            // Match the paper's interval count (a handful of promotion
+            // rounds per run) so the per-interval budget C — the PCC
+            // size — is what limits small configurations.
+            pcfg.interval_accesses = sspec.ops / 5;
+            workloads::SyntheticWorkload w(sspec);
+            sim::System sys(pcfg);
+            const auto run = sys.run(w);
+            syn.row({std::to_string(size),
+                     Table::fmt(sim::speedup(base, run), 3),
+                     std::to_string(run.job().promotions)});
+        }
+        env.emit(syn, "Fig. 6 (controlled): 256 hot regions");
+    }
+    return 0;
+}

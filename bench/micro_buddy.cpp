@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Microbenchmarks for the buddy allocator and the physical-memory
+ * compaction path — the OS-side costs of promotion under
+ * fragmentation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/phys_mem.hpp"
+#include "util/rng.hpp"
+
+using namespace pccsim;
+using namespace pccsim::mem;
+
+static void
+BM_BuddyAllocFreeBase(benchmark::State &state)
+{
+    BuddyAllocator buddy(1u << 18, kOrder2M);
+    for (auto _ : state) {
+        auto pfn = buddy.allocate(0);
+        benchmark::DoNotOptimize(pfn);
+        buddy.free(*pfn, 0);
+    }
+}
+BENCHMARK(BM_BuddyAllocFreeBase);
+
+static void
+BM_BuddyAllocFreeHuge(benchmark::State &state)
+{
+    BuddyAllocator buddy(1u << 18, kOrder2M);
+    for (auto _ : state) {
+        auto pfn = buddy.allocate(kOrder2M);
+        benchmark::DoNotOptimize(pfn);
+        buddy.free(*pfn, kOrder2M);
+    }
+}
+BENCHMARK(BM_BuddyAllocFreeHuge);
+
+static void
+BM_BuddyChurn(benchmark::State &state)
+{
+    BuddyAllocator buddy(1u << 16, kOrder2M);
+    Rng rng(7);
+    std::vector<std::pair<Pfn, unsigned>> live;
+    for (auto _ : state) {
+        if (live.size() < 4096 && rng.chance(0.6)) {
+            const unsigned order = static_cast<unsigned>(rng.below(4));
+            if (auto pfn = buddy.allocate(order))
+                live.push_back({*pfn, order});
+        } else if (!live.empty()) {
+            const u64 i = rng.below(live.size());
+            buddy.free(live[i].first, live[i].second);
+            live[i] = live.back();
+            live.pop_back();
+        }
+    }
+    for (auto &[pfn, order] : live)
+        buddy.free(pfn, order);
+}
+BENCHMARK(BM_BuddyChurn);
+
+static void
+BM_CompactOneBlock(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        PhysicalMemory pm(64 * kBytes2M);
+        Rng rng(3);
+        pm.fragment(0.5, rng);
+        pm.scramble(rng);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(pm.compactOneBlock());
+    }
+}
+BENCHMARK(BM_CompactOneBlock)->Unit(benchmark::kMicrosecond);

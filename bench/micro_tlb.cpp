@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Microbenchmarks for the TLB hierarchy model: the simulator's hot
+ * path is one hierarchy access per simulated memory reference, so its
+ * throughput bounds overall simulation speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "tlb/hierarchy.hpp"
+#include "util/rng.hpp"
+
+using namespace pccsim;
+using namespace pccsim::tlb;
+using pccsim::mem::PageSize;
+
+static void
+BM_TlbL1Hit(benchmark::State &state)
+{
+    TlbHierarchy tlb;
+    const Addr addr = 0x1000'0000'0000ull;
+    tlb.fill(addr, PageSize::Base4K);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.access(addr, PageSize::Base4K));
+}
+BENCHMARK(BM_TlbL1Hit);
+
+static void
+BM_TlbStreaming(benchmark::State &state)
+{
+    TlbHierarchy tlb;
+    Addr addr = 0x1000'0000'0000ull;
+    for (auto _ : state) {
+        if (tlb.access(addr, PageSize::Base4K) == HitLevel::Miss)
+            tlb.fill(addr, PageSize::Base4K);
+        addr += 64;
+    }
+}
+BENCHMARK(BM_TlbStreaming);
+
+static void
+BM_TlbRandomOverWorkingSet(benchmark::State &state)
+{
+    TlbHierarchy tlb(TlbGeometry::scaled(128));
+    Rng rng(1);
+    const u64 pages = static_cast<u64>(state.range(0));
+    for (auto _ : state) {
+        const Addr addr =
+            0x1000'0000'0000ull + rng.below(pages) * 4096;
+        if (tlb.access(addr, PageSize::Base4K) == HitLevel::Miss)
+            tlb.fill(addr, PageSize::Base4K);
+    }
+    state.counters["miss_rate"] = tlb.missRate();
+}
+BENCHMARK(BM_TlbRandomOverWorkingSet)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(65536);
+
+static void
+BM_TlbShootdownRegion(benchmark::State &state)
+{
+    TlbHierarchy tlb;
+    const Addr base = 0x1000'0000'0000ull;
+    for (u64 p = 0; p < 512; ++p)
+        tlb.fill(base + p * 4096, PageSize::Base4K);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.shootdown(base, mem::kBytes2M));
+}
+BENCHMARK(BM_TlbShootdownRegion);

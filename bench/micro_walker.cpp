@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Microbenchmarks for the radix page table and the hardware walker
+ * with split PWCs: walk cost, PWC effectiveness, and the promote /
+ * demote splicing operations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "pt/walker.hpp"
+#include "util/rng.hpp"
+
+using namespace pccsim;
+using namespace pccsim::pt;
+
+namespace {
+
+constexpr Addr kHeap = 0x1000'0000'0000ull;
+
+} // namespace
+
+static void
+BM_WalkSequential(benchmark::State &state)
+{
+    PageTable pt;
+    Walker walker;
+    for (u64 p = 0; p < 4096; ++p)
+        pt.mapBase(kHeap + p * 4096, p);
+    u64 p = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(walker.walk(pt, kHeap + p * 4096));
+        p = (p + 1) % 4096;
+    }
+    state.counters["refs_per_walk"] = walker.refsPerWalk();
+}
+BENCHMARK(BM_WalkSequential);
+
+static void
+BM_WalkRandom(benchmark::State &state)
+{
+    PageTable pt;
+    Walker walker;
+    const u64 pages = static_cast<u64>(state.range(0));
+    for (u64 p = 0; p < pages; ++p)
+        pt.mapBase(kHeap + p * 4096, p);
+    Rng rng(9);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            walker.walk(pt, kHeap + rng.below(pages) * 4096));
+    }
+    state.counters["refs_per_walk"] = walker.refsPerWalk();
+}
+BENCHMARK(BM_WalkRandom)->Arg(1024)->Arg(262144);
+
+static void
+BM_PageTableLookup(benchmark::State &state)
+{
+    PageTable pt;
+    for (u64 p = 0; p < 4096; ++p)
+        pt.mapBase(kHeap + p * 4096, p);
+    Rng rng(11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pt.lookup(kHeap + rng.below(4096) * 4096));
+    }
+}
+BENCHMARK(BM_PageTableLookup);
+
+static void
+BM_PromoteDemoteSplice(benchmark::State &state)
+{
+    PageTable pt;
+    for (u64 p = 0; p < 512; ++p)
+        pt.mapBase(kHeap + p * 4096, p);
+    for (auto _ : state) {
+        pt.mapHuge2M(kHeap, 0);
+        pt.demote2M(kHeap);
+    }
+}
+BENCHMARK(BM_PromoteDemoteSplice);
+
+static void
+BM_HawkEyeScanRegion(benchmark::State &state)
+{
+    PageTable pt;
+    Walker walker;
+    for (u64 p = 0; p < 512; ++p) {
+        pt.mapBase(kHeap + p * 4096, p);
+        walker.walk(pt, kHeap + p * 4096);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pt.countAccessed4K(kHeap));
+        pt.clearAccessed(kHeap);
+    }
+}
+BENCHMARK(BM_HawkEyeScanRegion);

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces the hardware-overhead arithmetic of Sec. 3.2.1 / Table 2:
+ * PCC storage cost, the TLB-entry equivalence argument, and the
+ * per-core coverage math. CACTI-derived area/energy/latency numbers
+ * cannot be recomputed here (no CACTI); the paper's figures are
+ * quoted alongside for the record.
+ */
+
+#include "common.hpp"
+#include "pcc/pcc.hpp"
+
+using namespace pccsim;
+using namespace pccsim::bench;
+using pccsim::pcc::PromotionCandidateCache;
+
+int
+main(int argc, char **argv)
+{
+    BenchEnv env = BenchEnv::parse(argc, argv, {});
+
+    const u64 pcc2m = PromotionCandidateCache::storageBytes(128, 40, 8);
+    const u64 pcc1g = PromotionCandidateCache::storageBytes(8, 31, 8);
+    const u64 total = pcc2m + pcc1g;
+    const u64 tlb_entry_bytes = 16; // 8B VA + 8B PA per the paper
+    const u64 equivalent_tlb_entries = total / tlb_entry_bytes;
+
+    Table table({"structure", "entries", "tag bits", "ctr bits",
+                 "bytes"});
+    table.row({"2MB PCC (per core)", "128", "40", "8",
+               std::to_string(pcc2m)});
+    table.row({"1GB PCC (per core)", "8", "31", "8",
+               std::to_string(pcc1g)});
+    table.row({"total", "-", "-", "-", std::to_string(total)});
+    env.emit(table, "Sec. 3.2.1: PCC storage overhead");
+
+    std::printf(
+        "equivalence: %llu B buys only ~%llu extra TLB entries (~%.0f%%\n"
+        "of a 1024-entry L2 TLB), but identifies up to 128 x 512 = %u\n"
+        "4KB pages as promotion candidates.\n\n",
+        static_cast<unsigned long long>(total),
+        static_cast<unsigned long long>(equivalent_tlb_entries),
+        100.0 * static_cast<double>(equivalent_tlb_entries) / 1024.0,
+        128u * 512u);
+
+    std::printf(
+        "per-core candidate coverage: 128 entries x 2MB = 256MB\n\n");
+
+    std::printf(
+        "CACTI 7.0 figures quoted from the paper (not recomputed):\n"
+        "  area               0.0019 mm^2  (<1%% of L1D area)\n"
+        "  dynamic energy     0.0105 nJ/access (13%% of L1D)\n"
+        "  access latency     0.5 ns (~2 cycles @3.2GHz, off the\n"
+        "                     critical path, after page-table walks)\n");
+    return 0;
+}

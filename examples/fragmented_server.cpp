@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Example: a "long-lived server" scenario. Two processes — a
+ * TLB-sensitive graph analytics job and a streaming batch job — share
+ * one machine whose memory is heavily fragmented. Shows how the OS
+ * arbitrates the scarce huge frames across per-core PCCs, and how
+ * process bias (Sec. 3.3.2's promotion_bias_process) changes the
+ * outcome.
+ *
+ * Usage: fragmented_server [--scale=ci] [--frag=0.9] [--bias=pr]
+ */
+
+#include <cstdio>
+
+#include "sim/system.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+using namespace pccsim;
+
+namespace {
+
+sim::RunResult
+runPair(workloads::Scale scale, double frag, sim::PolicyKind policy,
+        const std::vector<Pid> &bias, u64 seed)
+{
+    workloads::WorkloadSpec pr_spec{"pr", scale,
+                                    graph::NetworkKind::Kronecker,
+                                    false, seed};
+    workloads::WorkloadSpec dd_spec{"dedup", scale,
+                                    graph::NetworkKind::Kronecker,
+                                    false, seed};
+    auto pr = workloads::makeWorkload(pr_spec);
+    auto dedup = workloads::makeWorkload(dd_spec);
+
+    sim::SystemConfig cfg = sim::SystemConfig::forScale(scale);
+    cfg.num_cores = 2;
+    cfg.policy = policy;
+    cfg.frag_fraction = policy == sim::PolicyKind::Base ? 0.0 : frag;
+    cfg.pcc_policy.bias_pids = bias;
+    sim::System system(cfg);
+    return system.run(
+        {sim::System::Job{pr.get(), 1}, sim::System::Job{dedup.get(), 1}});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    const auto scale = workloads::scaleFromString(opts.get("scale", "ci"));
+    const double frag = opts.getDouble("frag", 0.9);
+    const u64 seed = static_cast<u64>(opts.getInt("seed", 42));
+
+    const auto base =
+        runPair(scale, frag, sim::PolicyKind::Base, {}, seed);
+
+    Table table({"configuration", "pr speedup", "dedup speedup",
+                 "pr THPs", "dedup THPs"});
+    auto report = [&](const char *label, const sim::RunResult &run) {
+        table.row({label, Table::fmt(sim::speedup(base, run, 0), 3),
+                   Table::fmt(sim::speedup(base, run, 1), 3),
+                   std::to_string(run.jobs[0].promotions),
+                   std::to_string(run.jobs[1].promotions)});
+    };
+
+    report("linux-thp",
+           runPair(scale, frag, sim::PolicyKind::LinuxThp, {}, seed));
+    report("pcc",
+           runPair(scale, frag, sim::PolicyKind::Pcc, {}, seed));
+    report("pcc, bias=pr",
+           runPair(scale, frag, sim::PolicyKind::Pcc, {0}, seed));
+    report("pcc, bias=dedup",
+           runPair(scale, frag, sim::PolicyKind::Pcc, {1}, seed));
+
+    std::printf("fragmented server: %.0f%% of memory fragmented, "
+                "scale=%s\n\n%s\n",
+                frag * 100, workloads::to_string(scale).c_str(),
+                table.str().c_str());
+    std::printf("Reading the table: the PCC finds the analytics job's\n"
+                "HUB regions despite fragmentation; biasing dedup\n"
+                "wastes huge frames on streaming data.\n");
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Example: offline HUB analysis of any workload (the Sec. 3.1
+ * methodology as a tool). Streams a workload's accesses through the
+ * reuse-distance tracker, prints the TLB-friendly / HUB / low-reuse
+ * census, and then checks how well a hardware PCC of a given size
+ * agrees with the oracle's top HUB regions — the core claim that
+ * page-table-walk frequency is a good HUB proxy.
+ *
+ * Usage: hub_classifier --workload=pr --scale=ci --pcc=128
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "analysis/reuse.hpp"
+#include "pcc/pcc_unit.hpp"
+#include "pt/walker.hpp"
+#include "sim/config.hpp"
+#include "tlb/hierarchy.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+using namespace pccsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    workloads::WorkloadSpec wspec;
+    wspec.name = opts.get("workload", "bfs");
+    wspec.scale = workloads::scaleFromString(opts.get("scale", "ci"));
+    wspec.seed = static_cast<u64>(opts.getInt("seed", 42));
+    const u32 pcc_entries =
+        static_cast<u32>(opts.getInt("pcc", 128));
+
+    auto workload = workloads::makeWorkload(wspec);
+    os::Process proc(0, 8ull << 30);
+    workload->setup(proc);
+
+    // Replay the stream through (a) the oracle reuse tracker and
+    // (b) a faithful TLB + walker + PCC pipeline.
+    const auto cfg = sim::SystemConfig::forScale(wspec.scale);
+    analysis::ReuseTracker oracle(cfg.tlb.l2.entries +
+                                  cfg.tlb.l1_4k.entries);
+    tlb::TlbHierarchy tlb(cfg.tlb);
+    pt::Walker walker(cfg.pwc);
+    pcc::PccUnitConfig ucfg = cfg.pcc;
+    ucfg.pcc2m.entries = pcc_entries;
+    pcc::PccUnit unit(ucfg);
+
+    auto lane = workload->lane(0, 1);
+    bool in_init = true;
+    while (lane.next()) {
+        const auto &op = lane.value();
+        if (op.kind == workloads::OpKind::Barrier) {
+            in_init = false;
+            continue;
+        }
+        if (!proc.faulted(op.addr)) {
+            // Minimal fault model: map a fake frame; frames are not
+            // used by this analysis.
+            proc.pageTable().mapBase(
+                mem::pageBase(op.addr, mem::PageSize::Base4K),
+                mem::vpnOf(op.addr, mem::PageSize::Base4K));
+            proc.markFaulted(op.addr);
+            tlb.fill(op.addr, mem::PageSize::Base4K);
+            continue;
+        }
+        if (!in_init)
+            oracle.touch(op.addr);
+        if (tlb.access(op.addr, mem::PageSize::Base4K) ==
+            tlb::HitLevel::Miss) {
+            const auto out = walker.walk(proc.pageTable(), op.addr);
+            tlb.fill(op.addr, mem::PageSize::Base4K);
+            unit.observeWalk(op.addr, out);
+        }
+    }
+
+    const auto summary = oracle.summarize();
+    Table census({"class", "4KB pages"});
+    census.row({"TLB-friendly", std::to_string(summary.tlb_friendly)});
+    census.row({"HUB", std::to_string(summary.hubs)});
+    census.row({"low-reuse", std::to_string(summary.low_reuse)});
+    std::printf("%s\n", census.str().c_str());
+
+    // Agreement between the oracle's hottest HUB regions and the PCC.
+    const auto oracle_regions = oracle.hubRegions();
+    const auto pcc_snapshot = unit.pcc2m().snapshot();
+    const size_t k =
+        std::min<size_t>({16, oracle_regions.size(),
+                          pcc_snapshot.size()});
+    std::set<Vpn> oracle_top(oracle_regions.begin(),
+                             oracle_regions.begin() + k);
+    size_t agree = 0;
+    for (size_t i = 0; i < k; ++i)
+        agree += oracle_top.count(pcc_snapshot[i].region);
+
+    std::printf("TLB miss rate: %.2f%%, walks: %llu, PCC size: %u\n",
+                100.0 * tlb.missRate(),
+                static_cast<unsigned long long>(tlb.walks()),
+                pcc_entries);
+    std::printf("oracle-vs-PCC top-%zu agreement: %zu/%zu (%.0f%%)\n",
+                k, agree, k, 100.0 * agree / std::max<size_t>(1, k));
+    std::printf("\nThe PCC's walk-frequency ranking should largely\n"
+                "recover the oracle's reuse-distance HUB ranking —\n"
+                "that correspondence is the paper's key insight.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: run BFS on a Kronecker graph under four huge-page
+ * policies — 4KB baseline, greedy Linux THP, the PCC proposal, and the
+ * all-huge ideal — and print the paper's headline metrics.
+ *
+ * Usage: quickstart [--scale=ci|small|medium] [--frag=0.5] [--cap=4]
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace pccsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    const auto scale =
+        workloads::scaleFromString(opts.get("scale", "ci"));
+    const double frag = opts.getDouble("frag", 0.5);
+    const double cap = opts.getDouble("cap", 4.0);
+
+    sim::ExperimentSpec spec;
+    spec.workload.name = opts.get("workload", "bfs");
+    spec.workload.scale = scale;
+
+    // 4KB baseline.
+    sim::ExperimentSpec base = spec;
+    base.policy = sim::PolicyKind::Base;
+    const auto base_run = sim::runOne(base);
+
+    Table table({"policy", "speedup", "tlb miss %", "ptw %",
+                 "promotions", "huge %"});
+    auto report = [&](const char *label, const sim::RunResult &run) {
+        table.row({label, Table::fmt(sim::speedup(base_run, run), 3),
+                   Table::fmt(run.job().tlbMissPercent(), 2),
+                   Table::fmt(run.job().ptwPercent(), 2),
+                   std::to_string(run.job().promotions),
+                   Table::fmt(run.job().hugeCoveragePercent(), 1)});
+    };
+    report("base-4k", base_run);
+
+    sim::ExperimentSpec thp = spec;
+    thp.policy = sim::PolicyKind::LinuxThp;
+    thp.frag_fraction = frag;
+    report("linux-thp(frag)", sim::runOne(thp));
+
+    sim::ExperimentSpec pcc = spec;
+    pcc.policy = sim::PolicyKind::Pcc;
+    pcc.frag_fraction = frag;
+    pcc.cap_percent = cap;
+    report("pcc(frag,cap)", sim::runOne(pcc));
+
+    sim::ExperimentSpec ideal = spec;
+    ideal.policy = sim::PolicyKind::AllHuge;
+    report("all-huge(ideal)", sim::runOne(ideal));
+
+    std::printf("workload=%s scale=%s frag=%.0f%% cap=%.0f%%\n\n%s",
+                spec.workload.name.c_str(),
+                workloads::to_string(scale).c_str(), frag * 100, cap,
+                table.str().c_str());
+    return 0;
+}

@@ -1,0 +1,80 @@
+#include "analysis/reuse.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace pccsim::analysis {
+
+ReuseClass
+ReuseTracker::classify(double mean4k, double mean2m) const
+{
+    const double threshold = static_cast<double>(threshold_);
+    if (mean4k < threshold)
+        return ReuseClass::TlbFriendly;
+    if (mean2m < threshold)
+        return ReuseClass::Hub;
+    return ReuseClass::LowReuse;
+}
+
+std::vector<PageReuse>
+ReuseTracker::results() const
+{
+    std::vector<PageReuse> out;
+    out.reserve(stats4k_.size());
+    for (const auto &[vpn, stat] : stats4k_) {
+        PageReuse page;
+        page.vpn4k = vpn;
+        page.mean_4k = meanOf(stat);
+        page.accesses = stat.accesses;
+        const auto it = stats2m_.find(mem::vpn4KTo2M(vpn));
+        page.mean_2m = it == stats2m_.end() ? 0.0 : meanOf(it->second);
+        // A page touched exactly once has no reuse at all: it is cold
+        // data, not TLB-friendly data — promotion cannot help it.
+        page.cls = stat.reuse_count == 0
+            ? ReuseClass::LowReuse
+            : classify(page.mean_4k, page.mean_2m);
+        out.push_back(page);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const PageReuse &a, const PageReuse &b) {
+                  return a.vpn4k < b.vpn4k;
+              });
+    return out;
+}
+
+ReuseTracker::Summary
+ReuseTracker::summarize() const
+{
+    Summary summary;
+    for (const auto &page : results()) {
+        switch (page.cls) {
+          case ReuseClass::TlbFriendly: ++summary.tlb_friendly; break;
+          case ReuseClass::Hub: ++summary.hubs; break;
+          case ReuseClass::LowReuse: ++summary.low_reuse; break;
+        }
+    }
+    return summary;
+}
+
+std::vector<Vpn>
+ReuseTracker::hubRegions() const
+{
+    std::map<Vpn, u64> hub_pages_per_region;
+    for (const auto &page : results())
+        if (page.cls == ReuseClass::Hub)
+            ++hub_pages_per_region[mem::vpn4KTo2M(page.vpn4k)];
+
+    std::vector<std::pair<Vpn, u64>> ranked(hub_pages_per_region.begin(),
+                                            hub_pages_per_region.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    std::vector<Vpn> out;
+    out.reserve(ranked.size());
+    for (const auto &[region, count] : ranked)
+        out.push_back(region);
+    return out;
+}
+
+} // namespace pccsim::analysis

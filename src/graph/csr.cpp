@@ -1,0 +1,32 @@
+#include "graph/csr.hpp"
+
+namespace pccsim::graph {
+
+CsrGraph
+buildCsr(NodeId num_nodes, std::vector<Edge> &edges, bool symmetrize)
+{
+    const u64 directed = edges.size() * (symmetrize ? 2ull : 1ull);
+    std::vector<u64> offsets(static_cast<u64>(num_nodes) + 1, 0);
+
+    for (const Edge &e : edges) {
+        PCCSIM_ASSERT(e.src < num_nodes && e.dst < num_nodes);
+        ++offsets[e.src + 1];
+        if (symmetrize)
+            ++offsets[e.dst + 1];
+    }
+    for (u64 v = 0; v < num_nodes; ++v)
+        offsets[v + 1] += offsets[v];
+
+    std::vector<NodeId> targets(directed);
+    std::vector<u64> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge &e : edges) {
+        targets[cursor[e.src]++] = e.dst;
+        if (symmetrize)
+            targets[cursor[e.dst]++] = e.src;
+    }
+    edges.clear();
+    edges.shrink_to_fit();
+    return CsrGraph(std::move(offsets), std::move(targets));
+}
+
+} // namespace pccsim::graph

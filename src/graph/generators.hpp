@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Synthetic graph generators standing in for the paper's inputs
+ * (Table 1): Kronecker/R-MAT power-law networks ("Kronecker 25"),
+ * a social-network surrogate ("Twitter"), and a web-crawl surrogate
+ * ("Sd1 Web"). All generators are deterministic given a seed.
+ */
+
+#pragma once
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace pccsim::graph {
+
+/** Which real-world dataset a generator imitates. */
+enum class NetworkKind
+{
+    Kronecker, //!< GAP-style R-MAT power law (synthetic)
+    Social,    //!< Twitter-like: heavier skew, random placement
+    Web,       //!< web-like: strong locality plus hub pages
+};
+
+/** Generation parameters. */
+struct GraphSpec
+{
+    unsigned scale = 18;    //!< num_nodes = 2^scale
+    unsigned avg_degree = 16;
+    NetworkKind kind = NetworkKind::Kronecker;
+    bool weighted = false;  //!< attach uniform random edge weights
+    u64 seed = 42;
+
+    NodeId numNodes() const { return NodeId(1) << scale; }
+    u64 numDirectedEdges() const
+    {
+        return static_cast<u64>(numNodes()) * avg_degree / 2;
+    }
+};
+
+/** Generate a graph per the spec; symmetrized CSR. */
+CsrGraph generate(const GraphSpec &spec);
+
+/** R-MAT edge sampler with GAP's (a,b,c,d) = (.57,.19,.19,.05). */
+Edge rmatEdge(unsigned scale, Rng &rng, double a = 0.57, double b = 0.19,
+              double c = 0.19);
+
+/** Attach uniform random weights in [1, max_weight] to a graph. */
+CsrGraph withUniformWeights(CsrGraph graph, u64 seed, u32 max_weight = 255);
+
+/**
+ * Degree-based grouping (DBG) reorder [Faldu et al., IISWC'19]: place
+ * vertices into log2-degree groups, hottest (highest degree) group
+ * first, preserving relative order within groups. The paper evaluates
+ * each graph workload on both sorted (DBG) and unsorted inputs.
+ */
+CsrGraph dbgReorder(const CsrGraph &graph);
+
+} // namespace pccsim::graph

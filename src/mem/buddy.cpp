@@ -1,0 +1,182 @@
+#include "mem/buddy.hpp"
+
+#include "util/log.hpp"
+
+namespace pccsim::mem {
+
+BuddyAllocator::BuddyAllocator(u64 num_frames, unsigned max_order)
+    : num_frames_(num_frames),
+      max_order_(max_order),
+      free_area_(max_order + 1),
+      state_(num_frames, FrameState::Allocated),
+      order_(num_frames, 0),
+      free_index_(num_frames, kNoFreeIndex)
+{
+    PCCSIM_ASSERT(num_frames > 0);
+    // Carve the frame range into maximal aligned free chunks.
+    Pfn pfn = 0;
+    while (pfn < num_frames_) {
+        unsigned order = max_order_;
+        while (order > 0 &&
+               ((pfn & ((1ull << order) - 1)) != 0 ||
+                pfn + (1ull << order) > num_frames_)) {
+            --order;
+        }
+        if (pfn + (1ull << order) > num_frames_)
+            break; // trailing frames smaller than one order-0 chunk: none
+        for (u64 i = 0; i < (1ull << order); ++i)
+            state_[pfn + i] = FrameState::FreeBody;
+        pushFree(pfn, order);
+        free_frames_ += 1ull << order;
+        pfn += 1ull << order;
+    }
+}
+
+Pfn
+BuddyAllocator::buddyOf(Pfn pfn, unsigned order) const
+{
+    return pfn ^ (1ull << order);
+}
+
+void
+BuddyAllocator::pushFree(Pfn pfn, unsigned order)
+{
+    state_[pfn] = FrameState::FreeHead;
+    order_[pfn] = static_cast<u8>(order);
+    free_index_[pfn] = static_cast<u32>(free_area_[order].chunks.size());
+    free_area_[order].chunks.push_back(pfn);
+}
+
+void
+BuddyAllocator::removeFree(Pfn pfn, unsigned order)
+{
+    auto &list = free_area_[order].chunks;
+    const u32 idx = free_index_[pfn];
+    PCCSIM_ASSERT(idx != kNoFreeIndex && idx < list.size() &&
+                  list[idx] == pfn);
+    const Pfn moved = list.back();
+    list[idx] = moved;
+    free_index_[moved] = idx;
+    list.pop_back();
+    free_index_[pfn] = kNoFreeIndex;
+    state_[pfn] = FrameState::FreeBody;
+}
+
+void
+BuddyAllocator::splitTo(Pfn head, unsigned from_order, unsigned to_order,
+                        Pfn keep_pfn)
+{
+    // Repeatedly halve [head, head + 2^from_order), keeping the half that
+    // contains keep_pfn and freeing the other half.
+    unsigned order = from_order;
+    while (order > to_order) {
+        --order;
+        const Pfn low = head;
+        const Pfn high = head + (1ull << order);
+        if (keep_pfn >= high) {
+            pushFree(low, order);
+            head = high;
+        } else {
+            pushFree(high, order);
+            head = low;
+        }
+    }
+    PCCSIM_ASSERT(head == (keep_pfn & ~((1ull << to_order) - 1)));
+}
+
+std::optional<Pfn>
+BuddyAllocator::allocate(unsigned order)
+{
+    PCCSIM_ASSERT(order <= max_order_);
+    unsigned avail = order;
+    while (avail <= max_order_ && free_area_[avail].chunks.empty())
+        ++avail;
+    if (avail > max_order_)
+        return std::nullopt;
+
+    const Pfn head = free_area_[avail].chunks.back();
+    removeFree(head, avail);
+    splitTo(head, avail, order, head);
+
+    for (u64 i = 0; i < (1ull << order); ++i)
+        state_[head + i] = FrameState::Allocated;
+    order_[head] = static_cast<u8>(order);
+    free_frames_ -= 1ull << order;
+    return head;
+}
+
+bool
+BuddyAllocator::allocateSpecific(Pfn pfn)
+{
+    if (pfn >= num_frames_)
+        return false;
+    // Find the free chunk containing pfn by probing candidate heads.
+    for (unsigned order = 0; order <= max_order_; ++order) {
+        const Pfn head = pfn & ~((1ull << order) - 1);
+        if (state_[head] == FrameState::FreeHead &&
+            order_[head] == order) {
+            removeFree(head, order);
+            splitTo(head, order, 0, pfn);
+            state_[pfn] = FrameState::Allocated;
+            order_[pfn] = 0;
+            free_frames_ -= 1;
+            return true;
+        }
+        if (state_[head] == FrameState::Allocated && head != pfn)
+            return false; // inside an allocated chunk
+    }
+    return false;
+}
+
+void
+BuddyAllocator::free(Pfn pfn, unsigned order)
+{
+    PCCSIM_ASSERT(order <= max_order_);
+    PCCSIM_ASSERT(state_[pfn] == FrameState::Allocated,
+                  "double free of pfn ", pfn);
+
+    for (u64 i = 0; i < (1ull << order); ++i)
+        state_[pfn + i] = FrameState::FreeBody;
+    free_frames_ += 1ull << order;
+
+    // Coalesce with the buddy as far up as possible.
+    Pfn head = pfn;
+    while (order < max_order_) {
+        const Pfn buddy = buddyOf(head, order);
+        if (buddy + (1ull << order) > num_frames_)
+            break;
+        if (state_[buddy] != FrameState::FreeHead ||
+            order_[buddy] != order) {
+            break;
+        }
+        removeFree(buddy, order);
+        head = std::min(head, buddy);
+        ++order;
+    }
+    pushFree(head, order);
+}
+
+u64
+BuddyAllocator::freeChunksAt(unsigned order) const
+{
+    PCCSIM_ASSERT(order <= max_order_);
+    return free_area_[order].chunks.size();
+}
+
+u64
+BuddyAllocator::allocatableChunks(unsigned order) const
+{
+    u64 total = 0;
+    for (unsigned o = order; o <= max_order_; ++o)
+        total += free_area_[o].chunks.size() << (o - order);
+    return total;
+}
+
+bool
+BuddyAllocator::isAllocated(Pfn pfn) const
+{
+    PCCSIM_ASSERT(pfn < num_frames_);
+    return state_[pfn] == FrameState::Allocated;
+}
+
+} // namespace pccsim::mem

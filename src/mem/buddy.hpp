@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Binary buddy allocator over physical frames.
+ *
+ * Orders follow the Linux convention: order-0 chunks are single 4KB
+ * frames, order-9 chunks are 2MB-aligned blocks of 512 frames, order-18
+ * chunks are 1GB blocks. The allocator supports normal power-of-two
+ * allocation, targeted allocation of one specific frame (used by the
+ * fragmentation injector to pin an unmovable page in a chosen block),
+ * and buddy coalescing on free.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pccsim::mem {
+
+/** Buddy order of a 2MB block (512 base frames). */
+inline constexpr unsigned kOrder2M = 9;
+
+/** Buddy order of a 1GB block. */
+inline constexpr unsigned kOrder1G = 18;
+
+class BuddyAllocator
+{
+  public:
+    /**
+     * @param num_frames Total 4KB frames managed. Rounded handling is the
+     *        caller's job: frames beyond the last full max-order block are
+     *        still usable, just never part of a max-order chunk.
+     * @param max_order Largest chunk order the allocator will form.
+     */
+    explicit BuddyAllocator(u64 num_frames, unsigned max_order = kOrder1G);
+
+    /** Allocate a 2^order-frame aligned chunk; nullopt when exhausted. */
+    std::optional<Pfn> allocate(unsigned order);
+
+    /**
+     * Allocate exactly the frame pfn (order 0), splitting whatever free
+     * chunk contains it. Fails if the frame is already allocated.
+     */
+    bool allocateSpecific(Pfn pfn);
+
+    /** Free a chunk previously returned by allocate()/allocateSpecific(). */
+    void free(Pfn pfn, unsigned order);
+
+    /** Frames currently free. */
+    u64 freeFrames() const { return free_frames_; }
+
+    /** Total managed frames. */
+    u64 totalFrames() const { return num_frames_; }
+
+    /** Number of free chunks at exactly the given order. */
+    u64 freeChunksAt(unsigned order) const;
+
+    /**
+     * Number of chunks of >= the given order that could be allocated right
+     * now (i.e. huge-page availability under current fragmentation).
+     */
+    u64 allocatableChunks(unsigned order) const;
+
+    /** True if the frame is currently part of any allocated chunk. */
+    bool isAllocated(Pfn pfn) const;
+
+    unsigned maxOrder() const { return max_order_; }
+
+  private:
+    struct FreeArea
+    {
+        // Free chunk heads at this order; index into frame metadata.
+        std::vector<Pfn> chunks;
+    };
+
+    /** Index of pfn inside free list of its order, or npos. */
+    static constexpr u32 kNoFreeIndex = ~0u;
+
+    Pfn buddyOf(Pfn pfn, unsigned order) const;
+    void pushFree(Pfn pfn, unsigned order);
+    void removeFree(Pfn pfn, unsigned order);
+    void splitTo(Pfn head, unsigned from_order, unsigned to_order,
+                 Pfn keep_pfn);
+
+    u64 num_frames_;
+    unsigned max_order_;
+    std::vector<FreeArea> free_area_;
+
+    // Per-frame metadata. For a free chunk head: its order and position
+    // in the free list. For other frames: state only.
+    enum class FrameState : u8 { FreeHead, FreeBody, Allocated };
+    std::vector<FrameState> state_;
+    std::vector<u8> order_;      // valid for FreeHead / allocated heads
+    std::vector<u32> free_index_; // valid for FreeHead
+
+    u64 free_frames_ = 0;
+};
+
+} // namespace pccsim::mem

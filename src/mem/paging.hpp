@@ -1,0 +1,123 @@
+/**
+ * @file
+ * x86-64 style page-size constants and virtual-address arithmetic.
+ *
+ * pccsim models the three page sizes of x86-64: 4KB base pages, 2MB huge
+ * pages (PMD leaves) and 1GB huge pages (PUD leaves). A 2MB region holds
+ * 512 base pages; a 1GB region holds 512 2MB regions.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace pccsim::mem {
+
+/** Page sizes supported by the simulated MMU. */
+enum class PageSize : u8
+{
+    Base4K = 0,
+    Huge2M = 1,
+    Huge1G = 2,
+};
+
+inline constexpr unsigned kShift4K = 12;
+inline constexpr unsigned kShift2M = 21;
+inline constexpr unsigned kShift1G = 30;
+
+inline constexpr u64 kBytes4K = 1ull << kShift4K;
+inline constexpr u64 kBytes2M = 1ull << kShift2M;
+inline constexpr u64 kBytes1G = 1ull << kShift1G;
+
+/** Base pages per 2MB huge page (the paper's "512x"). */
+inline constexpr u64 kPagesPer2M = kBytes2M / kBytes4K;
+
+/** 2MB regions per 1GB huge page. */
+inline constexpr u64 k2MPer1G = kBytes1G / kBytes2M;
+
+/** Address-bit shift for a page size. */
+constexpr unsigned
+shiftOf(PageSize size)
+{
+    switch (size) {
+      case PageSize::Base4K: return kShift4K;
+      case PageSize::Huge2M: return kShift2M;
+      case PageSize::Huge1G: return kShift1G;
+    }
+    return kShift4K;
+}
+
+/** Bytes covered by one page of the given size. */
+constexpr u64
+bytesOf(PageSize size)
+{
+    return 1ull << shiftOf(size);
+}
+
+/** Page number of an address at the given granularity. */
+constexpr Vpn
+vpnOf(Addr addr, PageSize size)
+{
+    return addr >> shiftOf(size);
+}
+
+/** First byte address of the page containing addr. */
+constexpr Addr
+pageBase(Addr addr, PageSize size)
+{
+    return addr & ~(bytesOf(size) - 1);
+}
+
+/** Round a byte count up to a whole number of pages of the given size. */
+constexpr u64
+roundUpPages(u64 bytes, PageSize size)
+{
+    const u64 page = bytesOf(size);
+    return (bytes + page - 1) / page;
+}
+
+/** Round an address up to the next page boundary. */
+constexpr Addr
+alignUp(Addr addr, PageSize size)
+{
+    const u64 page = bytesOf(size);
+    return (addr + page - 1) & ~(page - 1);
+}
+
+/** True if addr is aligned to the given page size. */
+constexpr bool
+isAligned(Addr addr, PageSize size)
+{
+    return (addr & (bytesOf(size) - 1)) == 0;
+}
+
+/** 2MB-region page number of a 4KB VPN (drop the low 9 bits). */
+constexpr Vpn
+vpn4KTo2M(Vpn vpn4k)
+{
+    return vpn4k >> (kShift2M - kShift4K);
+}
+
+/** 1GB-region page number of a 4KB VPN. */
+constexpr Vpn
+vpn4KTo1G(Vpn vpn4k)
+{
+    return vpn4k >> (kShift1G - kShift4K);
+}
+
+/** Human-readable page-size name. */
+inline std::string
+nameOf(PageSize size)
+{
+    switch (size) {
+      case PageSize::Base4K: return "4KB";
+      case PageSize::Huge2M: return "2MB";
+      case PageSize::Huge1G: return "1GB";
+    }
+    return "?";
+}
+
+} // namespace pccsim::mem

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Simulated physical memory: frame ownership, fragmentation injection,
+ * and memory compaction, layered over the buddy allocator.
+ *
+ * Fragmentation follows the paper's methodology (Sec. 5.1.1): one
+ * non-movable base page is allocated in a chosen fraction of 2MB-aligned
+ * blocks, which prevents those blocks from ever forming a huge frame.
+ * Compaction relocates movable application base pages out of a block so
+ * the block can coalesce back into an order-9 (2MB) chunk; the OS applies
+ * the returned relocations to its page tables and charges the cost.
+ */
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mem/buddy.hpp"
+#include "mem/paging.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace pccsim::mem {
+
+/** What a physical frame is currently used for. */
+enum class FrameUse : u8
+{
+    Free = 0,
+    AppBase,   //!< 4KB application page (movable)
+    AppHuge,   //!< part of a 2MB application huge page (head holds owner)
+    Unmovable, //!< fragmentation pin; can never move
+    Filler,    //!< movable non-application page (fragmented free memory)
+};
+
+/** Owner pid marking a Filler frame (no page table to update). */
+inline constexpr Pid kFillerPid = ~Pid(0);
+
+/** Reverse-map entry: which virtual page a frame backs. */
+struct FrameOwner
+{
+    Pid pid = 0;
+    Vpn vpn4k = 0; //!< 4KB VPN for AppBase; 2MB-aligned first VPN for huge
+};
+
+class PhysicalMemory
+{
+  public:
+    /** One relocation performed by compaction: old frame -> new frame. */
+    struct Move
+    {
+        Pfn from;
+        Pfn to;
+        FrameOwner owner;
+    };
+
+    /** Outcome of a successful block compaction. */
+    struct CompactionResult
+    {
+        Pfn block_head;          //!< first frame of the now-free 2MB block
+        std::vector<Move> moves; //!< relocations the OS must apply
+    };
+
+    explicit PhysicalMemory(u64 bytes);
+
+    /** Allocate one 4KB frame for (pid, vpn4k); nullopt when OOM. */
+    std::optional<Pfn> allocBase(Pid pid, Vpn vpn4k);
+
+    /** Allocate one 2MB-aligned huge frame; nullopt when unavailable. */
+    std::optional<Pfn> allocHuge(Pid pid, Vpn first_vpn4k);
+
+    /**
+     * Allocate one 1GB-aligned frame (order 18). Requires a pristine
+     * gigabyte of physical memory; there is no gigabyte-scale
+     * compaction (the paper's Sec. 3.2.3 is a design extension).
+     */
+    std::optional<Pfn> allocHuge1G(Pid pid, Vpn first_vpn4k);
+
+    void freeBase(Pfn pfn);
+    void freeHuge(Pfn pfn);
+    void freeHuge1G(Pfn pfn);
+
+    /**
+     * Split an application huge page in place (Linux-style demotion):
+     * the 512 frames stay allocated but become individually-owned base
+     * frames backing vpn first_vpn4k .. first_vpn4k+511.
+     */
+    void splitHuge(Pfn pfn, Pid pid, Vpn first_vpn4k);
+
+    /**
+     * Split an application 1GB page in place into 512 2MB huge-page
+     * frames, reassigning per-2MB ownership.
+     */
+    void split1GTo2M(Pfn pfn, Pid pid, Vpn first_vpn4k);
+
+    /**
+     * Pin one unmovable base page in `fraction` of all 2MB blocks,
+     * selected pseudo-randomly. Returns the number of blocks pinned.
+     */
+    u64 fragment(double fraction, Rng &rng);
+
+    /**
+     * Scatter one *movable* filler page into every remaining free 2MB
+     * block. Combined with fragment(), this reproduces the paper's
+     * fragmented-memory state: no order-9 block is readily free, so
+     * every huge-frame allocation needs compaction first, and only
+     * unpinned blocks can ever be compacted.
+     */
+    u64 scramble(Rng &rng);
+
+    /**
+     * Try to free up one 2MB block by relocating its movable pages.
+     * Chooses the cheapest compactable block (fewest resident frames).
+     * Returns nullopt when no block without pins/huge pages exists or
+     * there is not enough free memory elsewhere to absorb the moves.
+     */
+    std::optional<CompactionResult> compactOneBlock();
+
+    /** Order-9 chunks allocatable right now without compaction. */
+    u64 hugeFramesAvailable() const;
+
+    /** Blocks that compactOneBlock() could currently liberate. */
+    u64 compactableBlocks() const;
+
+    u64 totalFrames() const { return buddy_.totalFrames(); }
+    u64 freeFrames() const { return buddy_.freeFrames(); }
+    u64 totalBlocks() const { return num_blocks_; }
+    u64 pinnedBlocks() const { return pinned_blocks_; }
+
+    FrameUse useOf(Pfn pfn) const { return use_[pfn]; }
+    FrameOwner ownerOf(Pfn pfn) const { return owner_[pfn]; }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct BlockInfo
+    {
+        u32 unmovable = 0; //!< pinned frames in the block
+        u32 resident = 0;  //!< movable allocated frames in the block
+        bool huge = false; //!< block is an application huge page
+    };
+
+    u64 blockOf(Pfn pfn) const { return pfn >> kOrder2M; }
+
+    BuddyAllocator buddy_;
+    std::vector<FrameUse> use_;
+    std::vector<FrameOwner> owner_;
+    std::vector<BlockInfo> blocks_;
+    u64 num_blocks_;
+    u64 pinned_blocks_ = 0;
+    u64 compact_cursor_ = 0;
+    StatGroup stats_{"phys_mem"};
+};
+
+} // namespace pccsim::mem

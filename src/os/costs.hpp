@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Centralized OS event costs, in cycles.
+ *
+ * Every policy is charged through the same table so comparisons are
+ * fair. Only *synchronous* work is charged to application cores: page
+ * faults (including 2MB zeroing on huge faults — the cost that makes
+ * greedy THP expensive), TLB shootdowns, and brief promotion conflicts.
+ * Background kernel-thread work (khugepaged/HawkEye scanning, the copy
+ * performed by the promotion thread, compaction) runs off the critical
+ * path, exactly as in the paper's evaluation setup (Sec. 4), and is
+ * accounted separately as OS effort.
+ */
+
+#pragma once
+
+#include "util/types.hpp"
+
+namespace pccsim::os {
+
+struct OsCosts
+{
+    /** Minor fault servicing a 4KB page. */
+    Cycles base_fault = 2'500;
+
+    /**
+     * Extra latency of a fault-time 2MB allocation: 512x the zeroing
+     * plus longer allocation paths (Sec. 2.1: "512x data needs to be
+     * zeroed... page fault time can dramatically lengthen").
+     */
+    Cycles huge_fault_extra = 120'000;
+
+    /** One TLB shootdown observed by an application core. */
+    Cycles shootdown = 4'000;
+
+    /**
+     * Stall when an access conflicts with an in-flight promotion of the
+     * same region (Sec. 5.2: "can cause execution to stall for a very
+     * short period"). Charged once per promotion to the owning core.
+     */
+    Cycles promotion_conflict = 6'000;
+
+    /** Page-table-lock contention per scanned page (HawkEye/khugepaged),
+     *  charged to the application when scanning its address space. */
+    Cycles scan_per_page = 4;
+
+    // ---- background (OS-effort) costs, not charged to the app ----
+
+    /** Copying one 4KB page during promotion or compaction. */
+    Cycles copy_page = 700;
+
+    /** Fixed overhead per compaction attempt. */
+    Cycles compaction_attempt = 8'000;
+};
+
+} // namespace pccsim::os

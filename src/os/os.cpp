@@ -1,0 +1,314 @@
+#include "os/os.hpp"
+
+#include "util/log.hpp"
+
+namespace pccsim::os {
+
+Os::Os(Params params, mem::PhysicalMemory &phys)
+    : params_(params), phys_(phys)
+{
+}
+
+Process &
+Os::createProcess(u64 heap_capacity)
+{
+    const Pid pid = static_cast<Pid>(processes_.size());
+    processes_.push_back(std::make_unique<Process>(pid, heap_capacity));
+    return *processes_.back();
+}
+
+Cycles
+Os::handleFault(Process &proc, Addr vaddr, bool want_huge)
+{
+    PCCSIM_ASSERT(proc.contains(vaddr), "fault outside any VMA");
+    Cycles cost = params_.costs.base_fault;
+
+    const Addr region_base = mem::pageBase(vaddr, mem::PageSize::Huge2M);
+    const bool region_untouched = proc.faultedInRegion(vaddr) == 0 &&
+        proc.regionStateOf(vaddr) == RegionState::Unbacked;
+
+    if (want_huge && region_untouched &&
+        region_base + mem::kBytes2M <= proc.heapEnd() &&
+        promotedBytesTotal() + mem::kBytes2M <=
+            params_.promotion_cap_bytes) {
+        if (auto pfn = phys_.allocHuge(
+                proc.pid(), mem::vpnOf(region_base,
+                                       mem::PageSize::Base4K))) {
+            proc.pageTable().mapHuge2M(region_base, *pfn);
+            proc.markRegionHuge(region_base);
+            ++stats_.counter("huge_faults");
+            return cost + params_.costs.huge_fault_extra;
+        }
+        ++stats_.counter("huge_fault_fallbacks");
+    }
+
+    // Base-page fault.
+    auto pfn = phys_.allocBase(proc.pid(),
+                               mem::vpnOf(vaddr, mem::PageSize::Base4K));
+    if (!pfn)
+        fatal("simulated physical memory exhausted: enlarge phys size");
+    proc.pageTable().mapBase(vaddr, *pfn);
+    proc.markFaulted(vaddr);
+    ++stats_.counter("base_faults");
+    return cost;
+}
+
+std::optional<Pfn>
+Os::acquireHugeFrame(Process &proc, Addr region_base,
+                     bool allow_compaction, bool &compacted)
+{
+    const Vpn first_vpn = mem::vpnOf(region_base, mem::PageSize::Base4K);
+    if (auto pfn = phys_.allocHuge(proc.pid(), first_vpn))
+        return pfn;
+    if (!allow_compaction)
+        return std::nullopt;
+
+    for (u32 attempt = 0; attempt < params_.compaction_attempts;
+         ++attempt) {
+        auto result = phys_.compactOneBlock();
+        chargeBackground(params_.costs.compaction_attempt);
+        if (!result)
+            return std::nullopt;
+        compacted = true;
+        chargeBackground(result->moves.size() * params_.costs.copy_page);
+        applyMoves(result->moves);
+        if (auto pfn = phys_.allocHuge(proc.pid(), first_vpn))
+            return pfn;
+    }
+    return std::nullopt;
+}
+
+void
+Os::applyMoves(const std::vector<mem::PhysicalMemory::Move> &moves)
+{
+    for (const auto &move : moves) {
+        if (move.owner.pid == mem::kFillerPid)
+            continue; // filler pages have no page table to update
+        Process &owner = process(move.owner.pid);
+        const Addr vaddr = move.owner.vpn4k << mem::kShift4K;
+        const bool ok = owner.pageTable().remapBase(vaddr, move.to);
+        PCCSIM_ASSERT(ok, "compaction move for unmapped page");
+        // Migrated translations must leave the TLBs; the cost lands on
+        // whichever cores run the owner.
+        if (shootdown_)
+            shootdown_(owner.pid(), vaddr, mem::kBytes4K);
+        ++stats_.counter("migrated_pages");
+    }
+}
+
+PromoteResult
+Os::promoteRegion(Process &proc, Addr region_base, bool allow_compaction)
+{
+    PromoteResult result;
+    region_base = mem::pageBase(region_base, mem::PageSize::Huge2M);
+    if (!proc.contains(region_base) ||
+        region_base + mem::kBytes2M > proc.heapEnd()) {
+        result.status = PromoteStatus::NotEligible;
+        return result;
+    }
+    const RegionState state = proc.regionStateOf(region_base);
+    if (state == RegionState::Huge2M || state == RegionState::Huge1G) {
+        result.status = PromoteStatus::AlreadyHuge;
+        return result;
+    }
+    if (state == RegionState::Unbacked || proc.faultedInRegion(region_base) == 0) {
+        result.status = PromoteStatus::NotEligible;
+        return result;
+    }
+    if (promotedBytesTotal() + mem::kBytes2M > params_.promotion_cap_bytes) {
+        result.status = PromoteStatus::CapReached;
+        return result;
+    }
+
+    bool compacted = false;
+    auto huge_pfn = acquireHugeFrame(proc, region_base, allow_compaction,
+                                     compacted);
+    if (!huge_pfn) {
+        result.status = PromoteStatus::NoHugeFrame;
+        result.compacted = compacted;
+        ++stats_.counter("promotion_no_frame");
+        return result;
+    }
+
+    // Copy faulted pages into the huge frame (background thread work)
+    // and release their old frames.
+    const u32 copied = proc.faultedInRegion(region_base);
+    chargeBackground(static_cast<Cycles>(copied) * params_.costs.copy_page);
+    for (u64 p = 0; p < mem::kPagesPer2M; ++p) {
+        const Addr vaddr = region_base + p * mem::kBytes4K;
+        if (!proc.faulted(vaddr))
+            continue;
+        const auto mapping = proc.pageTable().lookup(vaddr);
+        if (mapping.present && mapping.size == mem::PageSize::Base4K)
+            phys_.freeBase(mapping.pfn);
+    }
+
+    proc.pageTable().mapHuge2M(region_base, *huge_pfn);
+    proc.markRegionHuge(region_base);
+
+    // The page-table rewrite requires a TLB shootdown, which also
+    // invalidates the region from the PCCs (Fig. 4 step C).
+    if (shootdown_)
+        result.app_cycles += shootdown_(proc.pid(), region_base,
+                                        mem::kBytes2M);
+    result.app_cycles += params_.costs.promotion_conflict;
+    result.status = PromoteStatus::Ok;
+    result.compacted = compacted;
+    ++stats_.counter("promotions");
+    if (compacted)
+        ++stats_.counter("promotions_after_compaction");
+    if (promoted_)
+        promoted_(proc.pid(), region_base, mem::PageSize::Huge2M);
+    return result;
+}
+
+PromoteResult
+Os::promoteRegion1G(Process &proc, Addr region_base)
+{
+    PromoteResult result;
+    region_base = mem::pageBase(region_base, mem::PageSize::Huge1G);
+    if (!proc.contains(region_base) ||
+        region_base + mem::kBytes1G > proc.heapEnd()) {
+        result.status = PromoteStatus::NotEligible;
+        return result;
+    }
+    // The range must be touched somewhere and not already 1GB.
+    bool touched = false;
+    for (u64 r = 0; r < mem::k2MPer1G; ++r) {
+        const Addr base = region_base + r * mem::kBytes2M;
+        if (proc.regionStateOf(base) == RegionState::Huge1G) {
+            result.status = PromoteStatus::AlreadyHuge;
+            return result;
+        }
+        touched |= proc.faultedInRegion(base) > 0;
+    }
+    if (!touched) {
+        result.status = PromoteStatus::NotEligible;
+        return result;
+    }
+    if (promotedBytesTotal() + mem::kBytes1G >
+        params_.promotion_cap_bytes) {
+        result.status = PromoteStatus::CapReached;
+        return result;
+    }
+
+    const Vpn first_vpn = mem::vpnOf(region_base, mem::PageSize::Base4K);
+    auto huge_pfn = phys_.allocHuge1G(proc.pid(), first_vpn);
+    if (!huge_pfn) {
+        result.status = PromoteStatus::NoHugeFrame;
+        ++stats_.counter("promotion1g_no_frame");
+        return result;
+    }
+
+    // Collapse every constituent mapping into the 1GB frame.
+    u64 copied = 0;
+    for (u64 r = 0; r < mem::k2MPer1G; ++r) {
+        const Addr base = region_base + r * mem::kBytes2M;
+        const auto mapping = proc.pageTable().lookup(base);
+        if (mapping.present && mapping.size == mem::PageSize::Huge2M) {
+            phys_.freeHuge(mapping.pfn);
+            copied += mem::kPagesPer2M;
+            continue;
+        }
+        for (u64 p = 0; p < mem::kPagesPer2M; ++p) {
+            const Addr vaddr = base + p * mem::kBytes4K;
+            if (!proc.faulted(vaddr))
+                continue;
+            const auto pte = proc.pageTable().lookup(vaddr);
+            if (pte.present && pte.size == mem::PageSize::Base4K) {
+                phys_.freeBase(pte.pfn);
+                ++copied;
+            }
+        }
+    }
+    chargeBackground(copied * params_.costs.copy_page);
+
+    proc.pageTable().mapHuge1G(region_base, *huge_pfn);
+    proc.markRegion1G(region_base);
+
+    if (shootdown_)
+        result.app_cycles += shootdown_(proc.pid(), region_base,
+                                        mem::kBytes1G);
+    result.app_cycles += params_.costs.promotion_conflict;
+    result.status = PromoteStatus::Ok;
+    ++stats_.counter("promotions_1g");
+    if (promoted_)
+        promoted_(proc.pid(), region_base, mem::PageSize::Huge1G);
+    return result;
+}
+
+Cycles
+Os::demoteRegion1G(Process &proc, Addr region_base)
+{
+    region_base = mem::pageBase(region_base, mem::PageSize::Huge1G);
+    const auto mapping = proc.pageTable().lookup(region_base);
+    PCCSIM_ASSERT(mapping.present &&
+                  mapping.size == mem::PageSize::Huge1G,
+                  "demoteRegion1G on non-1GB mapping");
+
+    // In-place split into 512 huge frames: physical ownership moves to
+    // per-2MB granularity.
+    for (u64 r = 0; r < mem::k2MPer1G; ++r) {
+        const Pfn pfn = mapping.pfn + r * mem::kPagesPer2M;
+        (void)pfn; // frames stay allocated; block marking is below
+    }
+    // Rebuild block-level ownership: reuse freeHuge1G+allocHuge would
+    // churn the buddy; instead adjust bookkeeping directly via split.
+    phys_.split1GTo2M(mapping.pfn, proc.pid(),
+                      mem::vpnOf(region_base, mem::PageSize::Base4K));
+    proc.pageTable().demote1G(region_base);
+    proc.markRegion1GDemoted(region_base);
+
+    Cycles app_cycles = 0;
+    if (shootdown_)
+        app_cycles += shootdown_(proc.pid(), region_base,
+                                 mem::kBytes1G);
+    ++stats_.counter("demotions_1g");
+    return app_cycles;
+}
+
+Cycles
+Os::demoteRegion(Process &proc, Addr region_base)
+{
+    region_base = mem::pageBase(region_base, mem::PageSize::Huge2M);
+    PCCSIM_ASSERT(proc.regionStateOf(region_base) == RegionState::Huge2M,
+                  "demoting a non-huge region");
+    const auto mapping = proc.pageTable().lookup(region_base);
+    PCCSIM_ASSERT(mapping.present &&
+                  mapping.size == mem::PageSize::Huge2M);
+
+    // In-place split, as Linux does: the 512 constituent frames become
+    // individually-owned base frames.
+    phys_.splitHuge(mapping.pfn, proc.pid(),
+                    mem::vpnOf(region_base, mem::PageSize::Base4K));
+    proc.pageTable().demote2M(region_base);
+    proc.markRegionDemoted(region_base);
+
+    Cycles app_cycles = 0;
+    if (shootdown_)
+        app_cycles += shootdown_(proc.pid(), region_base, mem::kBytes2M);
+    ++stats_.counter("demotions");
+    return app_cycles;
+}
+
+u64
+Os::promotedBytesTotal() const
+{
+    u64 total = 0;
+    for (const auto &proc : processes_)
+        total += proc->promotedBytes();
+    return total;
+}
+
+u64
+Os::promotionBudgetRegions() const
+{
+    if (params_.promotion_cap_bytes == ~0ull)
+        return ~0ull;
+    const u64 used = promotedBytesTotal();
+    if (used >= params_.promotion_cap_bytes)
+        return 0;
+    return (params_.promotion_cap_bytes - used) / mem::kBytes2M;
+}
+
+} // namespace pccsim::os

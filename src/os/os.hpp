@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The OS memory-management model: page-fault handling, huge-page
+ * promotion/demotion execution (with compaction), and TLB-shootdown
+ * plumbing. Promotion *policy* lives elsewhere (policy.hpp); this class
+ * is the mechanism every policy shares.
+ */
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mem/phys_mem.hpp"
+#include "os/costs.hpp"
+#include "os/process.hpp"
+#include "util/stats.hpp"
+
+namespace pccsim::os {
+
+/** Outcome of a promotion attempt. */
+enum class PromoteStatus : u8
+{
+    Ok = 0,
+    AlreadyHuge,
+    CapReached,       //!< promotion budget (utility-curve limit) hit
+    NoHugeFrame,      //!< no frame and compaction not allowed / failed
+    NotEligible,      //!< region outside a VMA or never touched
+};
+
+struct PromoteResult
+{
+    PromoteStatus status = PromoteStatus::NotEligible;
+    Cycles app_cycles = 0; //!< synchronous cost charged to the app core
+    bool compacted = false;
+};
+
+class Os
+{
+  public:
+    struct Params
+    {
+        OsCosts costs{};
+        /**
+         * Promotion budget in bytes across all processes; ~0 means
+         * unlimited. Drives the paper's utility curves (huge pages
+         * back N% of the footprint).
+         */
+        u64 promotion_cap_bytes = ~0ull;
+        /** Max compaction attempts per needed huge frame. */
+        u32 compaction_attempts = 8;
+    };
+
+    /**
+     * Shootdown hook installed by the System: invalidates TLBs, PWCs
+     * and PCC entries for [base, base+bytes) of process pid on every
+     * core, and returns the cycles charged to the faulting/owning core.
+     */
+    using ShootdownHook = std::function<Cycles(Pid, Addr, u64)>;
+
+    /** Observer invoked after every successful promotion (tracing). */
+    using PromotionHook =
+        std::function<void(Pid, Addr, mem::PageSize)>;
+
+    Os(Params params, mem::PhysicalMemory &phys);
+
+    /** Create a process with the given maximum heap size. */
+    Process &createProcess(u64 heap_capacity);
+
+    Process &process(Pid pid) { return *processes_.at(pid); }
+    const Process &process(Pid pid) const { return *processes_.at(pid); }
+    u32 numProcesses() const { return static_cast<u32>(processes_.size()); }
+
+    void setShootdownHook(ShootdownHook hook) { shootdown_ = std::move(hook); }
+    void setPromotionHook(PromotionHook hook) { promoted_ = std::move(hook); }
+
+    /**
+     * Handle a page fault at vaddr.
+     * @param want_huge The policy asks for a fault-time 2MB allocation
+     *        (greedy THP). Falls back to a base page on failure.
+     * @return Synchronous cycles charged to the faulting core.
+     */
+    Cycles handleFault(Process &proc, Addr vaddr, bool want_huge);
+
+    /**
+     * Promote the 2MB region at region_base (khugepaged-style collapse:
+     * allocate a huge frame, copy, splice the page table, shoot down).
+     * @param allow_compaction Run compaction when no huge frame is free.
+     */
+    PromoteResult promoteRegion(Process &proc, Addr region_base,
+                                bool allow_compaction);
+
+    /** Split a huge mapping back into base pages (in place). */
+    Cycles demoteRegion(Process &proc, Addr region_base);
+
+    /**
+     * Promote a 1GB-aligned range into one 1GB page (Sec. 3.2.3
+     * extension). Constituent 4KB and 2MB mappings are collectively
+     * collapsed, exactly as the paper describes for mixed regions.
+     * Requires a free order-18 frame (no gigabyte compaction).
+     */
+    PromoteResult promoteRegion1G(Process &proc, Addr region_base);
+
+    /** Split a 1GB page into 512 2MB pages (in place). */
+    Cycles demoteRegion1G(Process &proc, Addr region_base);
+
+    /** Remaining promotion budget in regions; ~0 when unlimited. */
+    u64 promotionBudgetRegions() const;
+
+    /** Bytes promoted across all processes. */
+    u64 promotedBytesTotal() const;
+
+    mem::PhysicalMemory &phys() { return phys_; }
+    const Params &params() const { return params_; }
+    StatGroup &stats() { return stats_; }
+
+    /** Background (kernel-thread) cycles spent so far, by source. */
+    u64 backgroundCycles() const { return background_cycles_; }
+    void chargeBackground(Cycles c) { background_cycles_ += c; }
+
+  private:
+    /** Obtain a huge frame, compacting if allowed. */
+    std::optional<Pfn> acquireHugeFrame(Process &proc, Addr region_base,
+                                        bool allow_compaction,
+                                        bool &compacted);
+
+    /** Apply compaction page moves to the owning page tables. */
+    void applyMoves(const std::vector<mem::PhysicalMemory::Move> &moves);
+
+    Params params_;
+    mem::PhysicalMemory &phys_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    ShootdownHook shootdown_;
+    PromotionHook promoted_;
+    StatGroup stats_{"os"};
+    u64 background_cycles_ = 0;
+};
+
+} // namespace pccsim::os

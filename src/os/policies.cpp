@@ -1,0 +1,374 @@
+#include "os/policies.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace pccsim::os {
+
+namespace {
+
+/**
+ * Footprint-scaled budgets. The paper's evaluation machine scans 4096
+ * base pages per interval against footprints of roughly 2.5M pages
+ * (~0.16% per interval), and lets the PCC promote 128 regions per
+ * interval against ~5000-region footprints (~2.5%). At reduced scale
+ * we preserve the *fractions*, not the absolute counts.
+ */
+
+u64
+totalFootprintPages(const Os &os)
+{
+    u64 pages = 0;
+    for (Pid pid = 0; pid < os.numProcesses(); ++pid)
+        pages += os.process(pid).footprintBytes() >> mem::kShift4K;
+    return pages;
+}
+
+u64
+autoScanPages(const Os &os, u32 configured)
+{
+    if (configured != 0)
+        return configured;
+    const u64 pages = totalFootprintPages(os);
+    return std::max<u64>(64, static_cast<u64>(0.01 * pages));
+}
+
+u32
+autoPromoteRegions(PolicyContext &ctx, u32 configured)
+{
+    if (configured != 0)
+        return configured;
+    // The paper's default: promote C regions per interval, where C is
+    // the PCC capacity (shared across all PCCs) — Sec. 3.3.1.
+    u64 total = 0;
+    for (CoreId c = 0; c < ctx.numCores(); ++c)
+        total += ctx.pccUnit(c).pcc2m().capacity();
+    return static_cast<u32>(std::max<u64>(1, total));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- Linux
+
+bool
+LinuxThpPolicy::eligible(const Process &proc, Addr region_base) const
+{
+    const HugeHint hint = proc.hintOf(region_base);
+    if (hint == HugeHint::NoHuge)
+        return false;
+    if (params_.respect_madvise && hint != HugeHint::Huge)
+        return false;
+    return true;
+}
+
+void
+LinuxThpPolicy::onInterval(PolicyContext &ctx)
+{
+    Os &os = ctx.os();
+    // khugepaged: walk regions in address order across all processes,
+    // collapsing eligible ones, within the page-scan budget.
+    u64 total_regions = 0;
+    for (Pid pid = 0; pid < os.numProcesses(); ++pid)
+        total_regions += os.process(pid).numRegions();
+    if (total_regions == 0)
+        return;
+
+    // Budgets below one region carry over between intervals so tiny
+    // footprints still see the paper's scan-rate-to-footprint ratio.
+    scan_credit_ += autoScanPages(os, params_.scan_pages_per_interval);
+    u64 steps = 0;
+    while (scan_credit_ >= mem::kPagesPer2M && steps < total_regions) {
+        // Map the global cursor onto (process, region).
+        u64 idx = cursor_ % total_regions;
+        Pid pid = 0;
+        while (idx >= os.process(pid).numRegions()) {
+            idx -= os.process(pid).numRegions();
+            ++pid;
+        }
+        Process &proc = os.process(pid);
+        const Addr base = proc.regionBase(idx);
+        ++cursor_;
+        ++steps;
+        scan_credit_ -= mem::kPagesPer2M;
+        os.chargeBackground(mem::kPagesPer2M *
+                            os.params().costs.scan_per_page);
+
+        if (proc.regionStateOf(base) != RegionState::Base4K)
+            continue;
+        if (!eligible(proc, base))
+            continue;
+        if (proc.faultedInRegion(base) < params_.min_faulted_pages)
+            continue;
+        auto result = os.promoteRegion(proc, base,
+                                       params_.khugepaged_compaction);
+        if (result.status == PromoteStatus::Ok) {
+            // Shootdown / conflict costs land on the cores running
+            // this process.
+            for (CoreId c = 0; c < ctx.numCores(); ++c)
+                if (ctx.processOnCore(c).pid() == pid)
+                    ctx.chargeCore(c, result.app_cycles);
+        }
+    }
+}
+
+// -------------------------------------------------------------- HawkEye
+
+void
+HawkEyePolicy::onInterval(PolicyContext &ctx)
+{
+    Os &os = ctx.os();
+    if (procs_.size() < os.numProcesses())
+        procs_.resize(os.numProcesses());
+
+    // Phase 1: scan access bits under the page budget, maintaining the
+    // access-coverage buckets. Sub-region budgets carry over.
+    scan_credit_ += autoScanPages(os, params_.scan_pages_per_interval);
+    for (Pid pid = 0; pid < os.numProcesses(); ++pid) {
+        Process &proc = os.process(pid);
+        ProcState &st = procs_[pid];
+        const u64 regions = proc.numRegions();
+        if (st.regions.size() < regions)
+            st.regions.resize(regions);
+        u64 scanned = 0;
+        while (scan_credit_ >= mem::kPagesPer2M && scanned < regions) {
+            const u64 idx = st.cursor % regions;
+            ++st.cursor;
+            ++scanned;
+            scan_credit_ -= mem::kPagesPer2M;
+            os.chargeBackground(mem::kPagesPer2M *
+                                os.params().costs.scan_per_page);
+            // Page-table-lock contention touches the app briefly.
+            for (CoreId c = 0; c < ctx.numCores(); ++c) {
+                if (ctx.processOnCore(c).pid() == pid) {
+                    ctx.chargeCore(c, mem::kPagesPer2M *
+                                          os.params().costs.scan_per_page);
+                }
+            }
+
+            const Addr base = proc.regionBase(idx);
+            if (proc.regionStateOf(base) != RegionState::Base4K)
+                continue;
+            const u32 coverage =
+                proc.pageTable().countAccessed4K(base);
+            proc.pageTable().clearAccessed(base);
+            const u8 bucket =
+                static_cast<u8>(std::min<u32>(9, coverage / 50));
+            RegionInfo &info = st.regions[idx];
+            if (!info.tracked || info.bucket != bucket) {
+                info.tracked = true;
+                info.bucket = bucket;
+                st.buckets[bucket].push_back(idx);
+            }
+        }
+    }
+
+    // Phase 2: promote from bucket 9 downwards (skip bucket 0: regions
+    // with essentially no observed coverage).
+    u32 promoted = 0;
+    for (int bucket = 9; bucket >= 1 &&
+                         promoted < params_.regions_per_interval;
+         --bucket) {
+        for (Pid pid = 0; pid < os.numProcesses() &&
+                          promoted < params_.regions_per_interval;
+             ++pid) {
+            Process &proc = os.process(pid);
+            ProcState &st = procs_[pid];
+            auto &queue = st.buckets[bucket];
+            while (!queue.empty() &&
+                   promoted < params_.regions_per_interval) {
+                const u64 idx = queue.front();
+                queue.pop_front();
+                // Entries can be stale (region moved buckets/promoted).
+                if (idx >= st.regions.size() ||
+                    st.regions[idx].bucket != bucket) {
+                    continue;
+                }
+                const Addr base = proc.regionBase(idx);
+                if (proc.regionStateOf(base) != RegionState::Base4K)
+                    continue;
+                auto result = os.promoteRegion(proc, base,
+                                               params_.compaction);
+                if (result.status == PromoteStatus::CapReached ||
+                    result.status == PromoteStatus::NoHugeFrame) {
+                    return; // out of budget or frames this interval
+                }
+                if (result.status == PromoteStatus::Ok) {
+                    ++promoted;
+                    st.regions[idx].tracked = false;
+                    for (CoreId c = 0; c < ctx.numCores(); ++c)
+                        if (ctx.processOnCore(c).pid() == pid)
+                            ctx.chargeCore(c, result.app_cycles);
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ PCC
+
+std::vector<PccPolicy::RankedCandidate>
+PccPolicy::rank(PolicyContext &ctx) const
+{
+    const u32 cores = ctx.numCores();
+    std::vector<std::vector<pcc::Candidate>> snaps(cores);
+    for (CoreId c = 0; c < cores; ++c)
+        snaps[c] = ctx.pccUnit(c).pcc2m().snapshot();
+
+    std::vector<RankedCandidate> out;
+    if (params_.order == PromotionOrder::HighestFrequency) {
+        for (CoreId c = 0; c < cores; ++c)
+            for (const auto &cand : snaps[c])
+                out.push_back({c, cand});
+        std::stable_sort(out.begin(), out.end(),
+                         [](const RankedCandidate &a,
+                            const RankedCandidate &b) {
+                             return a.candidate.frequency >
+                                    b.candidate.frequency;
+                         });
+    } else {
+        // Round robin: r-th best of each PCC, rotating the starting
+        // core every interval for fairness.
+        size_t max_len = 0;
+        for (const auto &s : snaps)
+            max_len = std::max(max_len, s.size());
+        for (size_t r = 0; r < max_len; ++r) {
+            for (u32 i = 0; i < cores; ++i) {
+                const CoreId c = static_cast<CoreId>(
+                    (i + rr_offset_) % cores);
+                if (r < snaps[c].size())
+                    out.push_back({c, snaps[c][r]});
+            }
+        }
+    }
+
+    // Process bias: candidates of biased pids come first, preserving
+    // the chosen order within each class (Sec. 3.3.2).
+    if (!params_.bias_pids.empty()) {
+        std::stable_partition(
+            out.begin(), out.end(), [&](const RankedCandidate &rc) {
+                const Pid pid = ctx.processOnCore(rc.core).pid();
+                return std::find(params_.bias_pids.begin(),
+                                 params_.bias_pids.end(),
+                                 pid) != params_.bias_pids.end();
+            });
+    }
+    return out;
+}
+
+bool
+PccPolicy::demoteOne(PolicyContext &ctx, Pid pid)
+{
+    if (promoted_fifo_.size() <= pid)
+        return false;
+    auto &fifo = promoted_fifo_[pid];
+    Os &os = ctx.os();
+    while (!fifo.empty()) {
+        const Addr base = fifo.front();
+        fifo.pop_front();
+        Process &proc = os.process(pid);
+        if (proc.regionStateOf(base) != RegionState::Huge2M)
+            continue;
+        const Cycles cost = os.demoteRegion(proc, base);
+        for (CoreId c = 0; c < ctx.numCores(); ++c)
+            if (ctx.processOnCore(c).pid() == pid)
+                ctx.chargeCore(c, cost);
+        return true;
+    }
+    return false;
+}
+
+void
+PccPolicy::onInterval(PolicyContext &ctx)
+{
+    Os &os = ctx.os();
+    if (promoted_fifo_.size() < os.numProcesses())
+        promoted_fifo_.resize(os.numProcesses());
+
+    // 1GB pass first: a successful gigabyte promotion supersedes any
+    // 2MB promotions inside its range (Sec. 3.2.3).
+    if (params_.promote_1g) {
+        for (CoreId c = 0; c < ctx.numCores(); ++c) {
+            pcc::PccUnit &unit = ctx.pccUnit(c);
+            Process &proc = ctx.processOnCore(c);
+            for (const auto &cand : unit.pcc1g().snapshot()) {
+                if (!unit.prefer1G(cand.region, params_.ratio_1g))
+                    continue;
+                const Addr base = cand.region << mem::kShift1G;
+                if (!proc.contains(base))
+                    continue;
+                const auto result = os.promoteRegion1G(proc, base);
+                if (result.status == PromoteStatus::Ok)
+                    ctx.chargeCore(c, result.app_cycles);
+            }
+        }
+    }
+
+    const auto ranked = rank(ctx);
+    ++rr_offset_;
+
+    const u32 budget = autoPromoteRegions(ctx, params_.regions_to_promote);
+    u32 promoted = 0;
+    for (const auto &rc : ranked) {
+        if (promoted >= budget)
+            break;
+        if (rc.candidate.frequency < params_.min_frequency)
+            continue;
+        Process &proc = ctx.processOnCore(rc.core);
+        const Addr base = rc.candidate.region << mem::kShift2M;
+        if (!proc.contains(base))
+            continue;
+        if (proc.regionStateOf(base) != RegionState::Base4K)
+            continue;
+
+        auto result = os.promoteRegion(proc, base,
+                                       params_.allow_compaction);
+        if (result.status == PromoteStatus::NoHugeFrame &&
+            params_.demote_on_pressure) {
+            // Free a frame by demoting the oldest huge page, then retry.
+            if (demoteOne(ctx, proc.pid())) {
+                result = os.promoteRegion(proc, base,
+                                          params_.allow_compaction);
+            }
+        }
+        if (result.status == PromoteStatus::Ok) {
+            ++promoted;
+            promoted_fifo_[proc.pid()].push_back(base);
+            ctx.chargeCore(rc.core, result.app_cycles);
+        } else if (result.status == PromoteStatus::CapReached ||
+                   result.status == PromoteStatus::NoHugeFrame) {
+            break; // no budget / no frames left this interval
+        }
+    }
+}
+
+// --------------------------------------------------------- TraceReplay
+
+void
+TraceReplayPolicy::onInterval(PolicyContext &ctx)
+{
+    Os &os = ctx.os();
+    const u64 now = ctx.accessesSoFar();
+    const auto &entries = trace_.entries();
+    while (cursor_ < entries.size() &&
+           entries[cursor_].at_accesses <= now) {
+        const TraceEntry &entry = entries[cursor_++];
+        if (entry.pid >= os.numProcesses())
+            continue;
+        Process &proc = os.process(entry.pid);
+        PromoteResult result;
+        if (entry.size == mem::PageSize::Huge1G) {
+            result = os.promoteRegion1G(proc, entry.region_base);
+        } else {
+            result = os.promoteRegion(proc, entry.region_base,
+                                      /*allow_compaction=*/true);
+        }
+        if (result.status == PromoteStatus::Ok) {
+            for (CoreId c = 0; c < ctx.numCores(); ++c)
+                if (ctx.processOnCore(c).pid() == entry.pid)
+                    ctx.chargeCore(c, result.app_cycles);
+        }
+    }
+}
+
+} // namespace pccsim::os

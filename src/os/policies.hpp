@@ -1,0 +1,247 @@
+/**
+ * @file
+ * The promotion policies evaluated in the paper:
+ *
+ *  - BasePagesPolicy: 4KB pages only (the baseline of every figure).
+ *  - AllHugePolicy: back everything with huge pages at fault time (the
+ *    "Max. Perf. with THPs" ideal, run on unfragmented memory).
+ *  - LinuxThpPolicy: Linux's greedy fault-time THP plus the khugepaged
+ *    background scanner (Sec. 2.1).
+ *  - HawkEyePolicy: access-coverage bucketing with a khugepaged-equal
+ *    scan budget (Sec. 2.2) — the software state of the art compared
+ *    against throughout Sec. 5.
+ *  - PccPolicy: the paper's proposal — periodically read the ranked
+ *    per-core PCC dumps and promote the top candidates (Sec. 3.3).
+ */
+
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "os/policy.hpp"
+#include "os/trace.hpp"
+
+namespace pccsim::os {
+
+/** Baseline: never promotes anything. */
+class BasePagesPolicy : public Policy
+{
+  public:
+    std::string name() const override { return "base-4k"; }
+};
+
+/** Ideal: every first touch allocates a 2MB page when possible. */
+class AllHugePolicy : public Policy
+{
+  public:
+    std::string name() const override { return "all-huge"; }
+
+    bool
+    wantHugeFault(const Process &, Addr) override
+    {
+        return true;
+    }
+};
+
+/**
+ * Linux THP: greedy synchronous huge allocation at fault time (no
+ * direct compaction, as with the v5.15 `defrag=madvise` default) and
+ * khugepaged asynchronously collapsing regions in address order at a
+ * bounded scan rate.
+ */
+class LinuxThpPolicy : public Policy
+{
+  public:
+    struct Params
+    {
+        /**
+         * khugepaged scan budget per interval. The paper's machine
+         * scans 4096 pages against multi-GB footprints; 0 selects the
+         * same *fraction* of the current footprint (min one region) so
+         * reduced-scale runs keep the paper's scan-rate-to-footprint
+         * ratio.
+         */
+        u32 scan_pages_per_interval = 0;
+        /** Collapse needs > this many faulted pages in the region
+         *  (Linux max_ptes_none=511 means 1 faulted page suffices). */
+        u32 min_faulted_pages = 1;
+        bool fault_time_huge = true;
+        bool khugepaged_compaction = true;
+        /**
+         * THP enabled=madvise mode: only regions hinted with
+         * MADV_HUGEPAGE are eligible for fault-time huge allocation or
+         * khugepaged collapse. With `false` (enabled=always, the
+         * kernel default the paper evaluates), MADV_NOHUGEPAGE is
+         * still honoured.
+         */
+        bool respect_madvise = false;
+    };
+
+    LinuxThpPolicy() = default;
+    explicit LinuxThpPolicy(Params params) : params_(params) {}
+
+    std::string name() const override { return "linux-thp"; }
+
+    bool
+    wantHugeFault(const Process &proc, Addr vaddr) override
+    {
+        if (!params_.fault_time_huge)
+            return false;
+        const HugeHint hint = proc.hintOf(vaddr);
+        if (hint == HugeHint::NoHuge)
+            return false;
+        if (params_.respect_madvise)
+            return hint == HugeHint::Huge;
+        return true;
+    }
+
+    void onInterval(PolicyContext &ctx) override;
+
+  private:
+    bool eligible(const Process &proc, Addr region_base) const;
+
+    Params params_;
+    u64 cursor_ = 0;      //!< global region cursor across processes
+    u64 scan_credit_ = 0; //!< carried-over sub-region scan budget
+};
+
+/**
+ * HawkEye-style promotion: regions are sorted into ten access-coverage
+ * buckets (0-49 touched base pages -> bucket 0, ..., 450-512 ->
+ * bucket 9) from page-table accessed bits gathered under the same
+ * 4096-pages-per-interval scan budget as khugepaged; promotion drains
+ * bucket 9 first and works backwards.
+ */
+class HawkEyePolicy : public Policy
+{
+  public:
+    struct Params
+    {
+        u32 scan_pages_per_interval = 0; //!< 0 = footprint-scaled auto
+        u32 regions_per_interval = 128;  //!< promotion attempts allowed
+        bool compaction = true;
+    };
+
+    HawkEyePolicy() = default;
+    explicit HawkEyePolicy(Params params) : params_(params) {}
+
+    std::string name() const override { return "hawkeye"; }
+
+    void onInterval(PolicyContext &ctx) override;
+
+  private:
+    struct RegionInfo
+    {
+        u8 bucket = 0;
+        bool tracked = false;
+    };
+
+    struct ProcState
+    {
+        u64 cursor = 0;
+        std::vector<RegionInfo> regions;
+        std::vector<std::deque<u64>> buckets =
+            std::vector<std::deque<u64>>(10);
+    };
+
+    Params params_;
+    std::vector<ProcState> procs_;
+    u64 scan_credit_ = 0; //!< carried-over sub-region scan budget
+};
+
+/** OS arbitration across multiple PCCs (Sec. 3.3.2). */
+enum class PromotionOrder : u8
+{
+    HighestFrequency = 0, //!< globally highest PCC frequency first
+    RoundRobin = 1,       //!< fair rotation across PCCs
+};
+
+/**
+ * The paper's proposal: read ranked candidates from every per-core
+ * PCC each interval and promote up to regions_to_promote of them,
+ * compacting memory as needed; optionally demote stale huge pages to
+ * free frames under memory pressure (Sec. 3.3.3).
+ */
+class PccPolicy : public Policy
+{
+  public:
+    struct Params
+    {
+        /**
+         * Promotions allowed per interval (the paper's
+         * regions_to_promote knob, default = one PCC capacity). 0
+         * selects the footprint-scaled equivalent, preserving the
+         * paper's 16x promotion-rate advantage over khugepaged /
+         * HawkEye scanning.
+         */
+        u32 regions_to_promote = 0;
+        PromotionOrder order = PromotionOrder::HighestFrequency;
+        std::vector<Pid> bias_pids;   //!< promotion_bias_process
+        bool allow_compaction = true;
+        bool demote_on_pressure = false;
+        /** Ignore candidates whose counter is below this (0 = take all). */
+        u64 min_frequency = 0;
+        /**
+         * Enable 1GB promotion from the 1GB PCC (Sec. 3.2.3): a 1GB
+         * candidate is promoted when its walk frequency exceeds
+         * ratio_1g times its hottest 2MB constituent. Requires the
+         * hardware PCC unit's 1GB cache to be enabled too.
+         */
+        bool promote_1g = false;
+        u64 ratio_1g = 512;
+    };
+
+    PccPolicy() = default;
+    explicit PccPolicy(Params params) : params_(params) {}
+
+    std::string name() const override { return "pcc"; }
+
+    void onInterval(PolicyContext &ctx) override;
+
+    const Params &params() const { return params_; }
+
+  private:
+    struct RankedCandidate
+    {
+        CoreId core;
+        pcc::Candidate candidate;
+    };
+
+    std::vector<RankedCandidate> rank(PolicyContext &ctx) const;
+
+    /** FIFO of promoted regions per pid, for pressure demotion. */
+    bool demoteOne(PolicyContext &ctx, Pid pid);
+
+    Params params_;
+    std::vector<std::deque<Addr>> promoted_fifo_;
+    u64 rr_offset_ = 0;
+};
+
+/**
+ * Replay a recorded promotion trace (the paper's step-two real-system
+ * methodology, Sec. 4): at each interval, promote every traced region
+ * whose timestamp has been reached. The address-space layout must
+ * match the recording run (deterministic seeds guarantee this).
+ */
+class TraceReplayPolicy : public Policy
+{
+  public:
+    explicit TraceReplayPolicy(PromotionTrace trace)
+        : trace_(std::move(trace))
+    {
+    }
+
+    std::string name() const override { return "trace-replay"; }
+
+    void onInterval(PolicyContext &ctx) override;
+
+    /** Entries applied so far. */
+    u64 replayed() const { return cursor_; }
+
+  private:
+    PromotionTrace trace_;
+    u64 cursor_ = 0;
+};
+
+} // namespace pccsim::os

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Huge-page promotion policy interface.
+ *
+ * The System invokes a policy at two points: synchronously on every
+ * page fault (fault-time THP decision) and periodically every
+ * `interval_accesses` simulated accesses (the paper's 30-second
+ * promotion interval, Sec. 3.3.1). Policies act through the Os
+ * mechanism layer and observe hardware through the PolicyContext.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "os/os.hpp"
+#include "pcc/pcc_unit.hpp"
+
+namespace pccsim::os {
+
+/** What a policy can see and charge during an interval. */
+class PolicyContext
+{
+  public:
+    virtual ~PolicyContext() = default;
+
+    virtual Os &os() = 0;
+    virtual u32 numCores() const = 0;
+
+    /** The process whose thread runs on this core. */
+    virtual Process &processOnCore(CoreId core) = 0;
+
+    /** The per-core PCC unit (hardware state; read-only use intended). */
+    virtual pcc::PccUnit &pccUnit(CoreId core) = 0;
+
+    /** Charge synchronous overhead cycles to an application core. */
+    virtual void chargeCore(CoreId core, Cycles cycles) = 0;
+
+    /** 0-based index of the current promotion interval. */
+    virtual u64 intervalIndex() const = 0;
+
+    /** Total simulated accesses so far (trace replay timing). */
+    virtual u64 accessesSoFar() const = 0;
+};
+
+class Policy
+{
+  public:
+    virtual ~Policy() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Should this fault be served with a fault-time 2MB allocation? */
+    virtual bool
+    wantHugeFault(const Process &proc, Addr vaddr)
+    {
+        (void)proc;
+        (void)vaddr;
+        return false;
+    }
+
+    /** Periodic promotion work (khugepaged / HawkEye / PCC reader). */
+    virtual void onInterval(PolicyContext &ctx) { (void)ctx; }
+};
+
+} // namespace pccsim::os

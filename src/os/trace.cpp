@@ -1,0 +1,72 @@
+#include "os/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace pccsim::os {
+
+std::string
+PromotionTrace::serialize() const
+{
+    std::ostringstream out;
+    out << "# pccsim promotion trace v1\n";
+    for (const auto &e : entries_) {
+        out << e.at_accesses << ' ' << e.pid << ' ' << std::hex
+            << "0x" << e.region_base << std::dec << ' '
+            << (e.size == mem::PageSize::Huge1G ? "1G" : "2M") << '\n';
+    }
+    return out.str();
+}
+
+PromotionTrace
+PromotionTrace::parse(const std::string &text)
+{
+    PromotionTrace trace;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        TraceEntry entry;
+        std::string size;
+        u64 pid = 0;
+        if (!(fields >> entry.at_accesses >> pid >> std::hex >>
+              entry.region_base >> std::dec >> size)) {
+            fatal("malformed promotion-trace line: '", line, "'");
+        }
+        entry.pid = static_cast<Pid>(pid);
+        if (size == "1G")
+            entry.size = mem::PageSize::Huge1G;
+        else if (size == "2M")
+            entry.size = mem::PageSize::Huge2M;
+        else
+            fatal("unknown page size '", size, "' in trace");
+        trace.entries_.push_back(entry);
+    }
+    return trace;
+}
+
+void
+PromotionTrace::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open ", path, " for writing");
+    out << serialize();
+}
+
+PromotionTrace
+PromotionTrace::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open ", path, " for reading");
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return parse(buffer.str());
+}
+
+} // namespace pccsim::os

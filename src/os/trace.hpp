@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Promotion traces: the paper's two-step methodology (Sec. 4).
+ *
+ * Step one runs TLB+PCC simulation and records *which* huge-page
+ * regions get promoted and *when* (in simulated accesses, the
+ * deterministic stand-in for the paper's 30-second wall-clock marks).
+ * Step two replays the trace into a run whose OS promotes exactly
+ * those regions at those times, "as if real hardware provided the
+ * data" — the paper's modified-kernel experiment. Records are
+ * virtual-address based, so replay requires the same deterministic
+ * address-space layout (the paper sets randomize_va_space=0 for the
+ * same reason).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mem/paging.hpp"
+#include "util/types.hpp"
+
+namespace pccsim::os {
+
+/** One recorded promotion event. */
+struct TraceEntry
+{
+    u64 at_accesses = 0; //!< simulated time of the promotion
+    Pid pid = 0;
+    Addr region_base = 0;
+    mem::PageSize size = mem::PageSize::Huge2M;
+};
+
+class PromotionTrace
+{
+  public:
+    void
+    record(u64 at_accesses, Pid pid, Addr region_base,
+           mem::PageSize size)
+    {
+        entries_.push_back({at_accesses, pid, region_base, size});
+    }
+
+    const std::vector<TraceEntry> &entries() const { return entries_; }
+    size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    void clear() { entries_.clear(); }
+
+    /** Serialize as one "accesses pid base size" line per entry. */
+    std::string serialize() const;
+
+    /** Parse the serialize() format; fatal on malformed input. */
+    static PromotionTrace parse(const std::string &text);
+
+    /** Write to / read from a file. */
+    void save(const std::string &path) const;
+    static PromotionTrace load(const std::string &path);
+
+  private:
+    std::vector<TraceEntry> entries_;
+};
+
+} // namespace pccsim::os

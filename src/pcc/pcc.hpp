@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The Promotion Candidate Cache (PCC) — the paper's core contribution
+ * (Sec. 3.2, Fig. 3 right).
+ *
+ * A small, fully-associative hardware structure placed after the
+ * last-level TLB. Each entry pairs a huge-page-aligned virtual address
+ * prefix (2MB or 1GB VPN tag) with an N-bit saturating page-table-walk
+ * frequency counter. On a qualifying page-table walk (the region's
+ * accessed bit was already set, filtering cold misses):
+ *
+ *   - hit:  the entry's frequency increments; when any counter
+ *           saturates, ALL counters are halved (decay), preserving
+ *           relative order;
+ *   - miss: the LFU entry (LRU on ties) is evicted if the PCC is full
+ *           and the new tag is inserted with frequency 0.
+ *
+ * The OS periodically reads a ranked snapshot (the paper's "dump to a
+ *  designated memory region") and promotes the top candidates; TLB
+ * shootdowns triggered by those promotions invalidate the corresponding
+ * PCC entries, so no stale candidate survives (Sec. 3.3).
+ */
+
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pccsim::pcc {
+
+/** Replacement policies evaluated in Sec. 3.2.1. */
+enum class Replacement : u8
+{
+    LfuLruTie = 0, //!< default: least-frequent, least-recent tiebreak
+    PureLru = 1,   //!< ablation: simpler pure-LRU victim selection
+};
+
+/** Configuration of one PCC instance. */
+struct PccConfig
+{
+    u32 entries = 128;      //!< Table 2 default: 128 entries per core
+    u32 counter_bits = 8;   //!< 8-bit saturating frequency counters
+    Replacement replacement = Replacement::LfuLruTie;
+
+    /** Saturation value of the frequency counters. */
+    u64 counterMax() const { return (1ull << counter_bits) - 1; }
+};
+
+/** One ranked candidate as exposed to the OS. */
+struct Candidate
+{
+    Vpn region;    //!< huge-page-aligned VPN (2MB or 1GB granularity)
+    u64 frequency; //!< saturating-counter value at snapshot time
+};
+
+class PromotionCandidateCache
+{
+  public:
+    explicit PromotionCandidateCache(PccConfig config = PccConfig{});
+
+    /**
+     * Record one qualifying page-table walk to `region`.
+     * The caller (the Core) has already applied the accessed-bit cold
+     * filter; every call here is a bona-fide candidate observation.
+     */
+    void touch(Vpn region);
+
+    /** Invalidate `region` (TLB shootdown side effect). */
+    bool invalidate(Vpn region);
+
+    /** Current frequency of a region, if tracked. */
+    std::optional<u64> frequencyOf(Vpn region) const;
+
+    /**
+     * Ranked, non-destructive snapshot: highest frequency first, most
+     * recently touched first among equals — the order the hardware
+     * dumps to memory for the OS (Fig. 4).
+     */
+    std::vector<Candidate> snapshot() const;
+
+    /** Peek the single best candidate without copying the whole list. */
+    std::optional<Candidate> top() const;
+
+    /** Drop all entries (process exit / explicit reset). */
+    void clear();
+
+    u32 size() const { return static_cast<u32>(index_.size()); }
+    u32 capacity() const { return config_.entries; }
+    bool full() const { return size() == capacity(); }
+    const PccConfig &config() const { return config_; }
+
+    /**
+     * Storage cost in bytes for the given tag width, reproducing the
+     * paper's overhead arithmetic (Sec. 3.2.1): tag bits + counter bits
+     * per entry, rounded up to whole bytes per entry.
+     */
+    static u64
+    storageBytes(u32 entries, u32 tag_bits, u32 counter_bits)
+    {
+        const u64 bits_per_entry = tag_bits + counter_bits;
+        return entries * ((bits_per_entry + 7) / 8);
+    }
+
+    // --- statistics ---
+    u64 hits() const { return hits_; }
+    u64 misses() const { return misses_; }
+    u64 evictions() const { return evictions_; }
+    u64 decays() const { return decays_; }
+    u64 invalidations() const { return invalidations_; }
+    void resetStats();
+
+  private:
+    struct Entry
+    {
+        Vpn region = 0;
+        u64 frequency = 0;
+        u64 stamp = 0; //!< recency clock for LRU / tiebreak
+    };
+
+    u32 victimIndex() const;
+
+    PccConfig config_;
+    std::vector<Entry> entries_;
+    std::unordered_map<Vpn, u32> index_; //!< region -> entries_ slot
+    u64 clock_ = 0;
+
+    u64 hits_ = 0;
+    u64 misses_ = 0;
+    u64 evictions_ = 0;
+    u64 decays_ = 0;
+    u64 invalidations_ = 0;
+};
+
+} // namespace pccsim::pcc

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Per-core PCC unit: the 2MB PCC plus the optional smaller 1GB PCC, and
+ * the walk-outcome insertion protocol of the paper's Fig. 3 (left).
+ *
+ * On every hardware page-table walk the unit applies the cold-miss
+ * filter: a region is only inserted/updated if the walker observed its
+ * level's accessed bit already set before this walk. 4KB-mapped walks
+ * feed the 2MB PCC; both 4KB- and 2MB-mapped walks feed the 1GB PCC
+ * (Sec. 3.2.3: frequent walks from 2MB pages indicate that even the 2MB
+ * size is insufficient).
+ */
+
+#pragma once
+
+#include "mem/paging.hpp"
+#include "pcc/pcc.hpp"
+#include "pt/walker.hpp"
+#include "util/types.hpp"
+
+namespace pccsim::pcc {
+
+/** Where promotion candidates are observed (Sec. 5.4.1). */
+enum class CandidateSource : u8
+{
+    /** The paper's design: accessed-bit-filtered page-table walks. */
+    PtwFiltered = 0,
+    /**
+     * Design alternative: feed the candidate structure from L2 TLB
+     * evictions instead (a victim buffer). Cannot filter cold or
+     * sparse data, which is the paper's argument against it.
+     */
+    L2Victims = 1,
+};
+
+/** Configuration for a full per-core unit. */
+struct PccUnitConfig
+{
+    PccConfig pcc2m{128, 8, Replacement::LfuLruTie};
+    PccConfig pcc1g{8, 8, Replacement::LfuLruTie};
+    bool enable_1g = false;
+    /**
+     * Cold-miss filter (Sec. 3.2): only track regions whose accessed bit
+     * was already set when the walk reached their level. Disabling this
+     * is the `abl_coldfilter` ablation.
+     */
+    bool access_bit_filter = true;
+    CandidateSource source = CandidateSource::PtwFiltered;
+};
+
+class PccUnit
+{
+  public:
+    explicit PccUnit(PccUnitConfig config = PccUnitConfig{})
+        : config_(config), pcc2m_(config.pcc2m), pcc1g_(config.pcc1g)
+    {
+    }
+
+    /**
+     * Feed one completed page-table walk into the PCC(s).
+     * @param vaddr The faulting virtual address.
+     * @param walk The walker's observation for this address.
+     */
+    void
+    observeWalk(Addr vaddr, const pt::WalkOutcome &walk)
+    {
+        if (!walk.present)
+            return;
+        if (config_.source != CandidateSource::PtwFiltered) {
+            // Victim-buffer mode still feeds the 1GB PCC from walks
+            // (it has no other source), but 2MB candidates come from
+            // observeL2Victim().
+            if (config_.enable_1g &&
+                walk.size != mem::PageSize::Huge1G &&
+                walk.pud_was_accessed) {
+                pcc1g_.touch(mem::vpnOf(vaddr, mem::PageSize::Huge1G));
+            }
+            return;
+        }
+        // Cold-miss filter: this walk qualifies only if the *leaf*
+        // accessed bit was already set — i.e. the page itself has been
+        // walked before. The region-level (PMD) bit alone would admit
+        // the compulsory first walk of every page in a warm region,
+        // letting single-pass streaming data pollute the PCC.
+        if (walk.size == mem::PageSize::Base4K &&
+            (walk.pte_was_accessed || !config_.access_bit_filter)) {
+            pcc2m_.touch(mem::vpnOf(vaddr, mem::PageSize::Huge2M));
+        }
+        if (config_.enable_1g && walk.size != mem::PageSize::Huge1G &&
+            (walk.pud_was_accessed || !config_.access_bit_filter)) {
+            pcc1g_.touch(mem::vpnOf(vaddr, mem::PageSize::Huge1G));
+        }
+    }
+
+    /**
+     * Victim-buffer feed (CandidateSource::L2Victims): one 4KB
+     * translation was evicted from the last-level TLB.
+     */
+    void
+    observeL2Victim(Vpn vpn, mem::PageSize size)
+    {
+        if (config_.source != CandidateSource::L2Victims)
+            return;
+        if (size == mem::PageSize::Base4K)
+            pcc2m_.touch(mem::vpn4KTo2M(vpn));
+    }
+
+    /**
+     * TLB-shootdown hook: invalidate any candidate overlapping the
+     * range, in both PCCs (Sec. 3.3, Fig. 4 step C).
+     */
+    void
+    shootdown(Addr base, u64 bytes)
+    {
+        const Vpn lo2m = mem::vpnOf(base, mem::PageSize::Huge2M);
+        const Vpn hi2m =
+            mem::vpnOf(base + bytes - 1, mem::PageSize::Huge2M);
+        for (Vpn v = lo2m; v <= hi2m; ++v)
+            pcc2m_.invalidate(v);
+        const Vpn lo1g = mem::vpnOf(base, mem::PageSize::Huge1G);
+        const Vpn hi1g =
+            mem::vpnOf(base + bytes - 1, mem::PageSize::Huge1G);
+        for (Vpn v = lo1g; v <= hi1g; ++v)
+            pcc1g_.invalidate(v);
+    }
+
+    /**
+     * 1GB promotion rule (Sec. 3.2.3): promote a 1GB region when its
+     * collective walk frequency is at least `ratio` (512 by default)
+     * times the frequency of the constituent 2MB candidate — i.e. the
+     * 2MB granularity is not capturing the region's reuse.
+     */
+    bool
+    prefer1G(Vpn region1g, u64 ratio = 512) const
+    {
+        const auto f1g = pcc1g_.frequencyOf(region1g);
+        if (!f1g || *f1g == 0)
+            return false;
+        // Compare against the hottest 2MB constituent tracked.
+        u64 best2m = 0;
+        const Vpn first2m = region1g * mem::k2MPer1G;
+        for (Vpn v = first2m; v < first2m + mem::k2MPer1G; ++v) {
+            if (auto f = pcc2m_.frequencyOf(v))
+                best2m = std::max(best2m, *f);
+        }
+        if (best2m == 0)
+            return true; // walks at 1GB granularity only: 1GB suits
+        return *f1g >= ratio * best2m;
+    }
+
+    PromotionCandidateCache &pcc2m() { return pcc2m_; }
+    PromotionCandidateCache &pcc1g() { return pcc1g_; }
+    const PromotionCandidateCache &pcc2m() const { return pcc2m_; }
+    const PromotionCandidateCache &pcc1g() const { return pcc1g_; }
+    const PccUnitConfig &config() const { return config_; }
+
+  private:
+    PccUnitConfig config_;
+    PromotionCandidateCache pcc2m_;
+    PromotionCandidateCache pcc1g_;
+};
+
+} // namespace pccsim::pcc

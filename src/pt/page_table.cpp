@@ -1,0 +1,310 @@
+#include "pt/page_table.hpp"
+
+#include "util/log.hpp"
+
+namespace pccsim::pt {
+
+PageTable::PageTable()
+{
+    root_ = new Node();
+    node_count_ = 1;
+}
+
+PageTable::~PageTable()
+{
+    freeSubtree(root_, 4);
+}
+
+void
+PageTable::freeSubtree(Node *node, int depth)
+{
+    if (depth > 1) {
+        for (auto &entry : node->entries)
+            if (entry.child)
+                freeSubtree(entry.child, depth - 1);
+    }
+    delete node;
+    --node_count_;
+}
+
+unsigned
+PageTable::indexAt(Addr vaddr, Level level)
+{
+    switch (level) {
+      case Level::PGD: return (vaddr >> 39) & 0x1ff;
+      case Level::PUD: return (vaddr >> 30) & 0x1ff;
+      case Level::PMD: return (vaddr >> 21) & 0x1ff;
+      case Level::PTE: return (vaddr >> 12) & 0x1ff;
+    }
+    return 0;
+}
+
+PageTable::Node *
+PageTable::childOf(Entry &entry)
+{
+    if (!entry.child) {
+        entry.child = new Node();
+        entry.present = true;
+        ++node_count_;
+    }
+    return entry.child;
+}
+
+void
+PageTable::mapBase(Addr vaddr, Pfn pfn)
+{
+    Entry &pgd = root_->entries[indexAt(vaddr, Level::PGD)];
+    Entry &pud = childOf(pgd)->entries[indexAt(vaddr, Level::PUD)];
+    PCCSIM_ASSERT(!pud.leaf, "mapBase under a 1GB leaf");
+    Entry &pmd = childOf(pud)->entries[indexAt(vaddr, Level::PMD)];
+    PCCSIM_ASSERT(!pmd.leaf, "mapBase under a 2MB leaf");
+    Entry &pte = childOf(pmd)->entries[indexAt(vaddr, Level::PTE)];
+    pte.present = true;
+    pte.leaf = true;
+    pte.pfn = pfn;
+    pte.accessed = false;
+}
+
+void
+PageTable::mapHuge2M(Addr vaddr, Pfn pfn)
+{
+    PCCSIM_ASSERT(mem::isAligned(vaddr, mem::PageSize::Huge2M),
+                  "mapHuge2M on unaligned vaddr");
+    Entry &pgd = root_->entries[indexAt(vaddr, Level::PGD)];
+    Entry &pud = childOf(pgd)->entries[indexAt(vaddr, Level::PUD)];
+    PCCSIM_ASSERT(!pud.leaf, "mapHuge2M under a 1GB leaf");
+    Entry &pmd = childOf(pud)->entries[indexAt(vaddr, Level::PMD)];
+    if (pmd.child) {
+        freeSubtree(pmd.child, 1);
+        pmd.child = nullptr;
+    }
+    pmd.present = true;
+    pmd.leaf = true;
+    pmd.pfn = pfn;
+    pmd.accessed = false;
+}
+
+void
+PageTable::mapHuge1G(Addr vaddr, Pfn pfn)
+{
+    PCCSIM_ASSERT(mem::isAligned(vaddr, mem::PageSize::Huge1G),
+                  "mapHuge1G on unaligned vaddr");
+    Entry &pgd = root_->entries[indexAt(vaddr, Level::PGD)];
+    Entry &pud = childOf(pgd)->entries[indexAt(vaddr, Level::PUD)];
+    if (pud.child) {
+        freeSubtree(pud.child, 2);
+        pud.child = nullptr;
+    }
+    pud.present = true;
+    pud.leaf = true;
+    pud.pfn = pfn;
+    pud.accessed = false;
+}
+
+void
+PageTable::demote2M(Addr vaddr)
+{
+    PCCSIM_ASSERT(mem::isAligned(vaddr, mem::PageSize::Huge2M));
+    Entry &pgd = root_->entries[indexAt(vaddr, Level::PGD)];
+    PCCSIM_ASSERT(pgd.child);
+    Entry &pud = pgd.child->entries[indexAt(vaddr, Level::PUD)];
+    PCCSIM_ASSERT(pud.child && !pud.leaf);
+    Entry &pmd = pud.child->entries[indexAt(vaddr, Level::PMD)];
+    PCCSIM_ASSERT(pmd.present && pmd.leaf, "demote2M on non-huge mapping");
+
+    const Pfn base_pfn = pmd.pfn;
+    pmd.leaf = false;
+    pmd.pfn = 0;
+    Node *ptes = childOf(pmd);
+    for (unsigned i = 0; i < 512; ++i) {
+        Entry &pte = ptes->entries[i];
+        pte.present = true;
+        pte.leaf = true;
+        pte.pfn = base_pfn + i;
+        pte.accessed = true;
+    }
+}
+
+void
+PageTable::demote1G(Addr vaddr)
+{
+    PCCSIM_ASSERT(mem::isAligned(vaddr, mem::PageSize::Huge1G));
+    Entry &pgd = root_->entries[indexAt(vaddr, Level::PGD)];
+    PCCSIM_ASSERT(pgd.child);
+    Entry &pud = pgd.child->entries[indexAt(vaddr, Level::PUD)];
+    PCCSIM_ASSERT(pud.present && pud.leaf, "demote1G on non-1GB mapping");
+
+    const Pfn base_pfn = pud.pfn;
+    pud.leaf = false;
+    pud.pfn = 0;
+    Node *pmds = childOf(pud);
+    for (unsigned i = 0; i < 512; ++i) {
+        Entry &pmd = pmds->entries[i];
+        pmd.present = true;
+        pmd.leaf = true;
+        pmd.pfn = base_pfn + i * mem::kPagesPer2M;
+        pmd.accessed = true;
+    }
+}
+
+void
+PageTable::unmap(Addr vaddr)
+{
+    Entry &pgd = root_->entries[indexAt(vaddr, Level::PGD)];
+    if (!pgd.child)
+        return;
+    Entry &pud = pgd.child->entries[indexAt(vaddr, Level::PUD)];
+    if (pud.leaf) {
+        pud.present = false;
+        pud.leaf = false;
+        return;
+    }
+    if (!pud.child)
+        return;
+    Entry &pmd = pud.child->entries[indexAt(vaddr, Level::PMD)];
+    if (pmd.leaf) {
+        pmd.present = false;
+        pmd.leaf = false;
+        return;
+    }
+    if (!pmd.child)
+        return;
+    Entry &pte = pmd.child->entries[indexAt(vaddr, Level::PTE)];
+    pte.present = false;
+    pte.leaf = false;
+}
+
+Mapping
+PageTable::lookup(Addr vaddr) const
+{
+    const Entry &pgd = root_->entries[indexAt(vaddr, Level::PGD)];
+    if (!pgd.child)
+        return {};
+    const Entry &pud = pgd.child->entries[indexAt(vaddr, Level::PUD)];
+    if (pud.leaf && pud.present)
+        return {true, mem::PageSize::Huge1G, pud.pfn};
+    if (!pud.child)
+        return {};
+    const Entry &pmd = pud.child->entries[indexAt(vaddr, Level::PMD)];
+    if (pmd.leaf && pmd.present)
+        return {true, mem::PageSize::Huge2M, pmd.pfn};
+    if (!pmd.child)
+        return {};
+    const Entry &pte = pmd.child->entries[indexAt(vaddr, Level::PTE)];
+    if (pte.present)
+        return {true, mem::PageSize::Base4K, pte.pfn};
+    return {};
+}
+
+PageTable::WalkInfo
+PageTable::walk(Addr vaddr)
+{
+    WalkInfo info;
+    Entry &pgd = root_->entries[indexAt(vaddr, Level::PGD)];
+    if (!pgd.child)
+        return info;
+    pgd.accessed = true;
+    info.levels = 1;
+
+    Entry &pud = pgd.child->entries[indexAt(vaddr, Level::PUD)];
+    info.pud_was_accessed = pud.accessed;
+    ++info.levels;
+    if (pud.leaf && pud.present) {
+        pud.accessed = true;
+        info.present = true;
+        info.size = mem::PageSize::Huge1G;
+        info.pfn = pud.pfn;
+        return info;
+    }
+    if (!pud.child)
+        return info;
+    pud.accessed = true;
+
+    Entry &pmd = pud.child->entries[indexAt(vaddr, Level::PMD)];
+    info.pmd_was_accessed = pmd.accessed;
+    ++info.levels;
+    if (pmd.leaf && pmd.present) {
+        pmd.accessed = true;
+        info.present = true;
+        info.size = mem::PageSize::Huge2M;
+        info.pfn = pmd.pfn;
+        return info;
+    }
+    if (!pmd.child)
+        return info;
+    pmd.accessed = true;
+
+    Entry &pte = pmd.child->entries[indexAt(vaddr, Level::PTE)];
+    info.pte_was_accessed = pte.accessed;
+    ++info.levels;
+    if (pte.present) {
+        pte.accessed = true;
+        info.present = true;
+        info.size = mem::PageSize::Base4K;
+        info.pfn = pte.pfn;
+    }
+    return info;
+}
+
+u32
+PageTable::countAccessed4K(Addr region_base) const
+{
+    const Entry &pgd = root_->entries[indexAt(region_base, Level::PGD)];
+    if (!pgd.child)
+        return 0;
+    const Entry &pud = pgd.child->entries[indexAt(region_base, Level::PUD)];
+    if (pud.leaf)
+        return pud.accessed ? 512 : 0;
+    if (!pud.child)
+        return 0;
+    const Entry &pmd =
+        pud.child->entries[indexAt(region_base, Level::PMD)];
+    if (pmd.leaf)
+        return pmd.accessed ? 512 : 0;
+    if (!pmd.child)
+        return 0;
+    u32 count = 0;
+    for (const auto &pte : pmd.child->entries)
+        count += (pte.present && pte.accessed) ? 1 : 0;
+    return count;
+}
+
+void
+PageTable::clearAccessed(Addr region_base)
+{
+    Entry &pgd = root_->entries[indexAt(region_base, Level::PGD)];
+    if (!pgd.child)
+        return;
+    Entry &pud = pgd.child->entries[indexAt(region_base, Level::PUD)];
+    if (pud.leaf || !pud.child) {
+        pud.accessed = false;
+        return;
+    }
+    Entry &pmd = pud.child->entries[indexAt(region_base, Level::PMD)];
+    pmd.accessed = false;
+    if (pmd.leaf || !pmd.child)
+        return;
+    for (auto &pte : pmd.child->entries)
+        pte.accessed = false;
+}
+
+bool
+PageTable::remapBase(Addr vaddr, Pfn new_pfn)
+{
+    Entry &pgd = root_->entries[indexAt(vaddr, Level::PGD)];
+    if (!pgd.child)
+        return false;
+    Entry &pud = pgd.child->entries[indexAt(vaddr, Level::PUD)];
+    if (pud.leaf || !pud.child)
+        return false;
+    Entry &pmd = pud.child->entries[indexAt(vaddr, Level::PMD)];
+    if (pmd.leaf || !pmd.child)
+        return false;
+    Entry &pte = pmd.child->entries[indexAt(vaddr, Level::PTE)];
+    if (!pte.present)
+        return false;
+    pte.pfn = new_pfn;
+    return true;
+}
+
+} // namespace pccsim::pt

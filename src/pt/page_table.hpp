@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Four-level x86-64-style radix page table with per-entry accessed bits.
+ *
+ * Levels follow the Linux naming the paper uses: PGD (L4), PUD (L3, 1GB
+ * leaves), PMD (L2, 2MB leaves), PTE (L1, 4KB leaves). Intermediate
+ * entries carry accessed bits that the hardware walker sets as it
+ * descends — the bit the PCC uses to filter cold misses (Sec. 3.2).
+ *
+ * The page table is OS-owned state: the OS maps/unmaps/promotes/demotes;
+ * the hardware Walker (walker.hpp) only reads it and sets accessed bits.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mem/paging.hpp"
+#include "util/types.hpp"
+
+namespace pccsim::pt {
+
+/** Levels of the radix tree, numbered as in the paper's Fig. 3. */
+enum class Level : u8
+{
+    PGD = 4,
+    PUD = 3,
+    PMD = 2,
+    PTE = 1,
+};
+
+/** Result of a software lookup (no accessed-bit side effects). */
+struct Mapping
+{
+    bool present = false;
+    mem::PageSize size = mem::PageSize::Base4K;
+    Pfn pfn = 0;
+};
+
+class PageTable
+{
+  public:
+    PageTable();
+    ~PageTable();
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /** Map one 4KB page. The PMD slot must not hold a huge leaf. */
+    void mapBase(Addr vaddr, Pfn pfn);
+
+    /**
+     * Replace the 4KB subtree of a 2MB-aligned region with a huge leaf
+     * (promotion / huge fault). Any existing PTE page is discarded.
+     */
+    void mapHuge2M(Addr vaddr, Pfn pfn);
+
+    /** Map a 1GB leaf at the PUD level. */
+    void mapHuge1G(Addr vaddr, Pfn pfn);
+
+    /**
+     * Split a 2MB leaf back into 512 base PTEs (demotion). The base
+     * frames are pfn..pfn+511 of the old huge frame, matching Linux's
+     * in-place split. Accessed bits of the new PTEs start set (the data
+     * was clearly in use).
+     */
+    void demote2M(Addr vaddr);
+
+    /** Split a 1GB leaf into 512 2MB leaves (in place). */
+    void demote1G(Addr vaddr);
+
+    /** Remove the mapping (any size) covering vaddr, if present. */
+    void unmap(Addr vaddr);
+
+    /** Side-effect-free lookup. */
+    Mapping lookup(Addr vaddr) const;
+
+    /**
+     * Hardware walk bookkeeping: descend to the leaf, setting accessed
+     * bits at every visited level, and report what the walker saw.
+     */
+    struct WalkInfo
+    {
+        bool present = false;
+        mem::PageSize size = mem::PageSize::Base4K;
+        Pfn pfn = 0;
+        bool pud_was_accessed = false; //!< A-bit state *before* this walk
+        bool pmd_was_accessed = false; //!< (undefined for 1GB leaves)
+        bool pte_was_accessed = false;
+        unsigned levels = 0;           //!< entries read by a full walk
+    };
+
+    WalkInfo walk(Addr vaddr);
+
+    /**
+     * HawkEye-style scan: count PTEs with the accessed bit set within a
+     * 2MB region. Returns 512 for a (accessed) huge leaf.
+     */
+    u32 countAccessed4K(Addr region_base) const;
+
+    /** Clear accessed bits across a 2MB region (scanner reset). */
+    void clearAccessed(Addr region_base);
+
+    /** Re-point the PTE of vaddr at a new frame (page migration). */
+    bool remapBase(Addr vaddr, Pfn new_pfn);
+
+    /** Number of radix nodes allocated (tests/introspection). */
+    u64 nodeCount() const { return node_count_; }
+
+  private:
+    struct Node;
+
+    struct Entry
+    {
+        Node *child = nullptr; //!< non-leaf: next level table
+        Pfn pfn = 0;
+        bool present = false;
+        bool leaf = false;     //!< huge leaf at PUD/PMD, or any PTE
+        bool accessed = false;
+    };
+
+    struct Node
+    {
+        Entry entries[512];
+    };
+
+    static unsigned indexAt(Addr vaddr, Level level);
+
+    Node *childOf(Entry &entry);
+    void freeSubtree(Node *node, int depth);
+
+    Node *root_;
+    u64 node_count_ = 0;
+};
+
+} // namespace pccsim::pt

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Top-level system configuration: hardware geometries, timing, OS
+ * parameters, and the policy selector, grouped into the scale profiles
+ * described in DESIGN.md.
+ */
+
+#pragma once
+
+#include <functional>
+
+#include "cache/cache.hpp"
+#include "os/os.hpp"
+#include "os/policies.hpp"
+#include "pcc/pcc_unit.hpp"
+#include "pt/walker.hpp"
+#include "tlb/geometry.hpp"
+#include "workloads/registry.hpp"
+
+namespace pccsim::sim {
+
+/** Which promotion policy drives the run. */
+enum class PolicyKind : u8
+{
+    Base = 0,    //!< 4KB pages only (baseline)
+    AllHuge,     //!< everything huge at fault time (ideal)
+    LinuxThp,    //!< greedy fault-time THP + khugepaged
+    HawkEye,     //!< software access-coverage scanning
+    Pcc,         //!< the paper's hardware-assisted policy
+    TraceReplay, //!< replay a recorded promotion trace (Sec. 4)
+};
+
+std::string to_string(PolicyKind kind);
+
+/** Cycle costs the System charges beyond the OS event costs. */
+struct TimingParams
+{
+    Cycles op_cost = 1;      //!< non-memory work per simulated access
+    Cycles l2_tlb_hit = 7;   //!< extra latency of an L2 TLB hit
+    Cycles walk_base = 30;   //!< walker state-machine overhead per walk
+
+    /**
+     * Latency of one page-table memory reference. For the irregular,
+     * large-footprint workloads the paper targets, leaf PTE fetches
+     * overwhelmingly miss the cache hierarchy (the page table of a
+     * multi-GB footprint rivals the LLC), so the default approximates
+     * a DRAM-bound fetch. With a PWC hit rate of ~80-90% a walk costs
+     * walk_base + (1.1-1.4) x walk_ref cycles — the "hundreds of
+     * cycles" of Sec. 3.2.1.
+     */
+    Cycles walk_ref = 150;
+
+    /**
+     * Route page-table fetches through the simulated data caches at
+     * synthetic PT addresses instead of charging walk_ref. Only
+     * meaningful at the `paper` scale, where PT size : LLC size
+     * matches reality; at reduced scale the shrunken page table would
+     * be unrealistically cache-resident.
+     */
+    bool pt_through_dcache = false;
+};
+
+struct SystemConfig
+{
+    u32 num_cores = 1;
+    tlb::TlbGeometry tlb = tlb::TlbGeometry::scaled(128);
+    pcc::PccUnitConfig pcc{};
+    pt::PwcParams pwc{};
+    cache::CacheHierarchy::Config cache{};
+    TimingParams timing{};
+    os::OsCosts costs{};
+
+    /** Simulated physical memory; 0 = auto (headroom x footprint). */
+    u64 phys_bytes = 0;
+    double phys_headroom = 1.25;
+
+    /** Fraction of 2MB blocks pinned by the fragmentation injector. */
+    double frag_fraction = 0.0;
+
+    /** Promotion budget as % of total footprint; < 0 = unlimited. */
+    double promotion_cap_percent = -1.0;
+
+    /** Promotion interval in per-core simulated accesses (the paper's
+     *  30-second cadence, calibrated by access rate — Sec. 4). */
+    u64 interval_accesses = 1'000'000;
+
+    PolicyKind policy = PolicyKind::Base;
+    os::PccPolicy::Params pcc_policy{};
+    os::HawkEyePolicy::Params hawkeye{};
+    os::LinuxThpPolicy::Params linux_thp{};
+
+    /** Input trace for PolicyKind::TraceReplay. */
+    os::PromotionTrace replay_trace{};
+
+    /** Record every promotion into System::recordedTrace(). */
+    bool record_trace = false;
+
+    /**
+     * Invoked for each process right after its workload's setup():
+     * the place to apply madvise() hints (Sec. 5.4.2 static HUB
+     * identification) before execution begins.
+     */
+    std::function<void(os::Process &, u32 /*job*/)> process_setup;
+
+    /** Per-process heap capacity (bookkeeping arrays only). */
+    u64 heap_capacity = 8ull << 30;
+
+    u64 seed = 1;
+
+    /** Hardware profile matched to a workload scale. */
+    static SystemConfig
+    forScale(workloads::Scale scale)
+    {
+        SystemConfig cfg;
+        // The data caches shrink with the TLB so the paper's ratios
+        // survive at reduced scale. The governing ratio is
+        // LLC : footprint (~1:500 on the evaluation machine — 20MB LLC
+        // vs 10-38GB inputs): random accesses and leaf-PTE fetches
+        // must miss the LLC for translation overheads to matter.
+        switch (scale) {
+          case workloads::Scale::Ci:
+            cfg.tlb = tlb::TlbGeometry::scaled(16);
+            cfg.cache.l1 = {4 * 1024, 8, 64};
+            cfg.cache.l2 = {8 * 1024, 8, 64};
+            cfg.cache.llc = {16 * 1024, 16, 64};
+            cfg.interval_accesses = 100'000;
+            break;
+          case workloads::Scale::Small:
+            cfg.tlb = tlb::TlbGeometry::scaled(128);
+            cfg.cache.l1 = {8 * 1024, 8, 64};
+            cfg.cache.l2 = {16 * 1024, 8, 64};
+            cfg.cache.llc = {64 * 1024, 16, 64};
+            cfg.interval_accesses = 2'000'000;
+            break;
+          case workloads::Scale::Medium:
+            cfg.tlb = tlb::TlbGeometry::scaled(256);
+            cfg.cache.l1 = {16 * 1024, 8, 64};
+            cfg.cache.l2 = {32 * 1024, 8, 64};
+            cfg.cache.llc = {256 * 1024, 16, 64};
+            cfg.interval_accesses = 8'000'000;
+            break;
+          case workloads::Scale::Paper:
+            cfg.tlb = tlb::TlbGeometry::haswell();
+            cfg.timing.pt_through_dcache = true;
+            cfg.cache.l1 = {32 * 1024, 8, 64};
+            cfg.cache.l2 = {256 * 1024, 8, 64};
+            cfg.cache.llc = {20 * 1024 * 1024, 16, 64};
+            cfg.interval_accesses = 32'000'000;
+            break;
+        }
+        return cfg;
+    }
+};
+
+} // namespace pccsim::sim

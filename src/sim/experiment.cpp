@@ -1,0 +1,88 @@
+#include "sim/experiment.hpp"
+
+#include "util/stats.hpp"
+
+namespace pccsim::sim {
+
+SystemConfig
+configFor(const ExperimentSpec &spec)
+{
+    SystemConfig cfg = SystemConfig::forScale(spec.workload.scale);
+    cfg.num_cores = std::max<u32>(1, spec.lanes);
+    cfg.policy = spec.policy;
+    cfg.promotion_cap_percent = spec.cap_percent;
+    cfg.frag_fraction = spec.frag_fraction;
+    cfg.pcc_policy = spec.pcc_policy;
+    cfg.seed = spec.workload.seed;
+    if (spec.policy == PolicyKind::AllHuge) {
+        // The "Max. Perf. with THPs" configuration: unfragmented,
+        // ample memory, no budget.
+        cfg.frag_fraction = 0.0;
+        cfg.phys_headroom = 2.0;
+        cfg.promotion_cap_percent = -1.0;
+    }
+    if (spec.tweak)
+        spec.tweak(cfg);
+    return cfg;
+}
+
+RunResult
+runOne(const ExperimentSpec &spec)
+{
+    auto workload = workloads::makeWorkload(spec.workload);
+    System system(configFor(spec));
+    return system.run(*workload, spec.lanes);
+}
+
+const std::vector<double> &
+utilityCaps()
+{
+    static const std::vector<double> caps = {0,  1,  2,  4, 8,
+                                             16, 32, 64, -1};
+    return caps;
+}
+
+std::vector<CurvePoint>
+utilityCurve(const ExperimentSpec &spec, const RunResult &baseline)
+{
+    std::vector<CurvePoint> curve;
+    for (double cap : utilityCaps()) {
+        ExperimentSpec point = spec;
+        point.cap_percent = cap;
+        if (cap == 0.0) {
+            // 0% promoted is by definition the 4KB baseline.
+            curve.push_back({cap, 1.0, baseline.job().ptwPercent(), 0});
+            continue;
+        }
+        const RunResult result = runOne(point);
+        curve.push_back({cap, speedup(baseline, result),
+                         result.job().ptwPercent(),
+                         result.job().promotions});
+    }
+    return curve;
+}
+
+double
+geomeanSpeedup(const ExperimentSpec &spec, const DatasetSweep &sweep)
+{
+    std::vector<double> values;
+    for (graph::NetworkKind kind : sweep.networks) {
+        for (int sorted = 0; sorted <= (sweep.include_sorted ? 1 : 0);
+             ++sorted) {
+            ExperimentSpec variant = spec;
+            variant.workload.network = kind;
+            variant.workload.dbg_sorted = sorted != 0;
+
+            ExperimentSpec base = variant;
+            base.policy = PolicyKind::Base;
+            base.cap_percent = 0.0;
+
+            const RunResult base_run = runOne(base);
+            const RunResult run = runOne(variant);
+            values.push_back(speedup(base_run, run));
+        }
+    }
+    return geomean(values);
+}
+
+} // namespace pccsim::sim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * High-level experiment drivers shared by the benchmark harnesses:
+ * single runs, baseline/ideal pairs, and the paper's utility-curve
+ * sweep (huge pages limited to N% of the application footprint).
+ */
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/system.hpp"
+#include "workloads/registry.hpp"
+
+namespace pccsim::sim {
+
+/** Everything needed to reproduce one run. */
+struct ExperimentSpec
+{
+    workloads::WorkloadSpec workload{};
+    u32 lanes = 1;
+    PolicyKind policy = PolicyKind::Base;
+    double cap_percent = -1.0; //!< promotion budget; < 0 = unlimited
+    double frag_fraction = 0.0;
+    os::PccPolicy::Params pcc_policy{};
+    /** Final hook to adjust the SystemConfig (PCC size sweeps etc.). */
+    std::function<void(SystemConfig &)> tweak;
+};
+
+/** Build the SystemConfig an ExperimentSpec implies. */
+SystemConfig configFor(const ExperimentSpec &spec);
+
+/** Run one experiment to completion. */
+RunResult runOne(const ExperimentSpec &spec);
+
+/** The paper's utility-curve x-axis: 0,1,2,4,...,64 and ~100 (%). */
+const std::vector<double> &utilityCaps();
+
+/** One point of a utility curve. */
+struct CurvePoint
+{
+    double cap_percent; //!< -1 encodes the ~100% (unlimited) point
+    double speedup;
+    double ptw_percent;
+    u64 promotions;
+};
+
+/**
+ * Sweep the promotion cap for a policy and report speedups relative
+ * to the supplied 4KB baseline run.
+ */
+std::vector<CurvePoint> utilityCurve(const ExperimentSpec &spec,
+                                     const RunResult &baseline);
+
+/**
+ * Run a graph workload over the requested datasets (network kinds x
+ * sorted/unsorted) and return the geomean speedup vs. per-dataset
+ * baselines — the aggregation of Sec. 4.
+ */
+struct DatasetSweep
+{
+    std::vector<graph::NetworkKind> networks = {
+        graph::NetworkKind::Kronecker};
+    bool include_sorted = false;
+};
+
+double geomeanSpeedup(const ExperimentSpec &spec,
+                      const DatasetSweep &sweep);
+
+} // namespace pccsim::sim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Run results: per-job (process) metrics and system-wide accounting,
+ * matching the quantities the paper's figures report (speedup, PTW%,
+ * TLB miss rate, THP counts).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace pccsim::sim {
+
+/** Metrics of one job (one workload instance / process). */
+struct JobResult
+{
+    std::string workload;
+    Pid pid = 0;
+    Cycles wall_cycles = 0;      //!< completion time of the job
+    u64 accesses = 0;            //!< simulated memory accesses
+    u64 tlb_accesses = 0;
+    u64 l1_hits = 0;
+    u64 l2_hits = 0;
+    u64 walks = 0;               //!< full TLB-hierarchy misses
+    double refs_per_walk = 0.0;  //!< page-table fetches per walk
+    u64 faults = 0;
+    u64 promotions = 0;          //!< 2MB THPs created for this process
+    u64 promotions_1g = 0;       //!< 1GB pages created (Sec. 3.2.3)
+    u64 demotions = 0;
+    u64 footprint_bytes = 0;
+    u64 promoted_bytes = 0;      //!< footprint currently huge-backed
+    u64 bloat_pages = 0;
+
+    /** TLB miss rate: walks / TLB accesses, in percent (Fig. 1). */
+    double
+    tlbMissPercent() const
+    {
+        return percent(walks, tlb_accesses);
+    }
+
+    /** Share of accesses causing page-table walks (Fig. 5 bottom). */
+    double
+    ptwPercent() const
+    {
+        return percent(walks, accesses);
+    }
+
+    double
+    hugeCoveragePercent() const
+    {
+        return percent(promoted_bytes, footprint_bytes);
+    }
+};
+
+/** Complete result of one System::run(). */
+struct RunResult
+{
+    std::vector<JobResult> jobs;
+    Cycles wall_cycles = 0;        //!< max over jobs
+    u64 total_accesses = 0;
+    u64 os_background_cycles = 0;  //!< kernel-thread effort
+    u64 compactions = 0;
+    u64 shootdowns = 0;
+    u64 intervals = 0;
+
+    const JobResult &
+    job(size_t i = 0) const
+    {
+        return jobs.at(i);
+    }
+};
+
+/** Speedup of `run` relative to `baseline` for job i. */
+inline double
+speedup(const RunResult &baseline, const RunResult &run, size_t i = 0)
+{
+    return ratio(baseline.job(i).wall_cycles, run.job(i).wall_cycles);
+}
+
+} // namespace pccsim::sim

@@ -1,0 +1,419 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace pccsim::sim {
+
+std::string
+to_string(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Base: return "base-4k";
+      case PolicyKind::AllHuge: return "all-huge";
+      case PolicyKind::LinuxThp: return "linux-thp";
+      case PolicyKind::HawkEye: return "hawkeye";
+      case PolicyKind::Pcc: return "pcc";
+      case PolicyKind::TraceReplay: return "trace-replay";
+    }
+    return "?";
+}
+
+System::System(SystemConfig config) : config_(std::move(config))
+{
+    PCCSIM_ASSERT(config_.num_cores >= 1);
+    cores_.reserve(config_.num_cores);
+    for (u32 c = 0; c < config_.num_cores; ++c)
+        cores_.emplace_back(config_);
+    core_process_.assign(config_.num_cores, nullptr);
+    // Victim-buffer candidate source (Sec. 5.4.1 alternative).
+    for (auto &core : cores_) {
+        core.tlb.setL2VictimHook(
+            [&core](Vpn vpn, mem::PageSize size) {
+                core.pcc.observeL2Victim(vpn, size);
+            });
+    }
+}
+
+System::~System() = default;
+
+std::unique_ptr<os::Policy>
+System::makePolicy()
+{
+    switch (config_.policy) {
+      case PolicyKind::Base:
+        return std::make_unique<os::BasePagesPolicy>();
+      case PolicyKind::AllHuge:
+        return std::make_unique<os::AllHugePolicy>();
+      case PolicyKind::LinuxThp:
+        return std::make_unique<os::LinuxThpPolicy>(config_.linux_thp);
+      case PolicyKind::HawkEye:
+        return std::make_unique<os::HawkEyePolicy>(config_.hawkeye);
+      case PolicyKind::Pcc:
+        return std::make_unique<os::PccPolicy>(config_.pcc_policy);
+      case PolicyKind::TraceReplay:
+        return std::make_unique<os::TraceReplayPolicy>(
+            config_.replay_trace);
+    }
+    panic("unhandled policy kind");
+}
+
+os::Process &
+System::processOnCore(CoreId core)
+{
+    PCCSIM_ASSERT(core < core_process_.size() && core_process_[core]);
+    return *core_process_[core];
+}
+
+pcc::PccUnit &
+System::pccUnit(CoreId core)
+{
+    return cores_.at(core).pcc;
+}
+
+void
+System::chargeCore(CoreId core, Cycles cycles)
+{
+    cores_.at(core).cycles += cycles;
+}
+
+void
+System::installShootdownHook()
+{
+    os_->setShootdownHook([this](Pid pid, Addr base, u64 bytes) -> Cycles {
+        ++shootdowns_;
+        for (auto &core : cores_) {
+            core.tlb.shootdown(base, bytes);
+            core.walker.shootdown(base, bytes);
+            core.pcc.shootdown(base, bytes);
+        }
+        // The IPI cost lands on every core running the owning process.
+        // Per-4KB invalidations (migration) are batched by the kernel
+        // and charged once per compaction, so only charge full
+        // shootdowns (>= one region) here.
+        if (bytes >= mem::kBytes2M) {
+            for (u32 c = 0; c < config_.num_cores; ++c) {
+                if (core_process_[c] && core_process_[c]->pid() == pid)
+                    cores_[c].cycles += config_.costs.shootdown;
+            }
+        }
+        return 0;
+    });
+}
+
+Cycles
+System::chargeWalkRefs(CoreState &core, const os::Process &proc,
+                       Addr vaddr, unsigned refs, mem::PageSize size)
+{
+    if (!config_.timing.pt_through_dcache) {
+        return config_.timing.walk_base +
+               static_cast<Cycles>(refs) * config_.timing.walk_ref;
+    }
+    // Synthetic, per-process page-table entry addresses: walks fetch
+    // real cache lines, so PTE locality (8 entries/line) and PT cache
+    // pressure emerge naturally instead of being a constant.
+    const Addr pt_base = 0xFA00'0000'0000ull +
+                         (static_cast<Addr>(proc.pid()) << 44);
+    const Addr pte_addr =
+        pt_base + mem::vpnOf(vaddr, mem::PageSize::Base4K) * 8;
+    const Addr pmd_addr = pt_base + 0x0080'0000'0000ull +
+                          mem::vpnOf(vaddr, mem::PageSize::Huge2M) * 8;
+    const Addr pud_addr = pt_base + 0x00C0'0000'0000ull +
+                          mem::vpnOf(vaddr, mem::PageSize::Huge1G) * 8;
+    const Addr pgd_addr =
+        pt_base + 0x00E0'0000'0000ull + (vaddr >> 39) * 8;
+
+    // Deepest level first; a walk with P refs touches the P deepest
+    // levels of its leaf depth.
+    Addr levels[4];
+    unsigned depth = 0;
+    switch (size) {
+      case mem::PageSize::Base4K:
+        levels[depth++] = pte_addr;
+        [[fallthrough]];
+      case mem::PageSize::Huge2M:
+        levels[depth++] = pmd_addr;
+        [[fallthrough]];
+      case mem::PageSize::Huge1G:
+        levels[depth++] = pud_addr;
+        levels[depth++] = pgd_addr;
+        break;
+    }
+
+    Cycles cost = 0;
+    const unsigned n = std::min(refs, depth);
+    for (unsigned i = 0; i < n; ++i)
+        cost += core.dcache.access(levels[i]);
+    return cost;
+}
+
+Cycles
+System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
+                 bool write)
+{
+    (void)write;
+    Cycles cost = config_.timing.op_cost;
+    ++core.accesses;
+
+    if (!proc.faulted(vaddr)) {
+        const bool want_huge = policy_->wantHugeFault(proc, vaddr);
+        cost += os_->handleFault(proc, vaddr, want_huge);
+        ++core.faults;
+        // The fault handler's walk loaded the translation.
+        core.tlb.fill(vaddr, proc.mappingSizeOf(vaddr));
+        cost += core.dcache.access(vaddr);
+        return cost;
+    }
+
+    const mem::PageSize size = proc.mappingSizeOf(vaddr);
+    const tlb::HitLevel level = core.tlb.access(vaddr, size);
+    if (level == tlb::HitLevel::L2) {
+        cost += config_.timing.l2_tlb_hit;
+    } else if (level == tlb::HitLevel::Miss) {
+        const auto walk = core.walker.walk(proc.pageTable(), vaddr);
+        PCCSIM_ASSERT(walk.present, "walk missed a faulted page");
+        cost += chargeWalkRefs(core, proc, vaddr, walk.memory_refs,
+                               walk.size);
+        core.tlb.fill(vaddr, size);
+        core.pcc.observeWalk(vaddr, walk);
+    }
+    cost += core.dcache.access(vaddr);
+    return cost;
+}
+
+void
+System::maybeReleaseBarrier(u32 job)
+{
+    bool all_parked = true;
+    for (const auto &lane : lanes_) {
+        if (lane.job == job && !lane.done && !lane.at_barrier) {
+            all_parked = false;
+            break;
+        }
+    }
+    if (!all_parked)
+        return;
+
+    // Barrier wait: every core of the job advances to the job maximum.
+    Cycles max_cycles = 0;
+    for (const auto &lane : lanes_)
+        if (lane.job == job)
+            max_cycles = std::max(max_cycles, cores_[lane.core].cycles);
+    for (auto &lane : lanes_) {
+        if (lane.job == job) {
+            cores_[lane.core].cycles = max_cycles;
+            lane.at_barrier = false;
+        }
+    }
+}
+
+RunResult
+System::run(std::vector<Job> jobs)
+{
+    PCCSIM_ASSERT(!jobs.empty());
+    u32 total_lanes = 0;
+    for (const auto &job : jobs)
+        total_lanes += job.lanes;
+    PCCSIM_ASSERT(total_lanes <= config_.num_cores,
+                  "more lanes than cores");
+
+    // ---- set up processes and workloads ----
+    u64 total_footprint = 0;
+    std::vector<os::Process *> procs;
+    {
+        // Physical memory is sized from the declared footprints, so
+        // allocate processes first, then the memory + OS.
+        std::vector<std::unique_ptr<os::Process>> staged;
+        (void)staged;
+    }
+    // Create the OS late: we need footprints for auto-sizing physical
+    // memory, but processes live inside the OS. Solve by creating the
+    // OS with a deferred-size physical memory: do a dry setup pass on
+    // scratch processes first.
+    u64 declared = 0;
+    {
+        for (auto &job : jobs) {
+            os::Process scratch(999, config_.heap_capacity);
+            job.workload->setup(scratch);
+            // Use the VMA-rounded footprint: promotion budgets and
+            // coverage percentages are defined over whole regions.
+            declared += scratch.footprintBytes();
+        }
+    }
+    u64 phys_bytes = config_.phys_bytes;
+    if (phys_bytes == 0) {
+        phys_bytes = static_cast<u64>(
+            static_cast<double>(declared) * config_.phys_headroom);
+        phys_bytes += 64ull << 20;
+        phys_bytes = mem::alignUp(phys_bytes, mem::PageSize::Huge1G);
+    }
+    phys_ = std::make_unique<mem::PhysicalMemory>(phys_bytes);
+
+    os::Os::Params os_params;
+    os_params.costs = config_.costs;
+    if (config_.promotion_cap_percent == 0.0) {
+        os_params.promotion_cap_bytes = 0;
+    } else if (config_.promotion_cap_percent > 0.0) {
+        // Round the budget up to whole 2MB regions so small-footprint
+        // runs can still express the paper's 1-4% utility points.
+        os_params.promotion_cap_bytes = mem::alignUp(
+            static_cast<u64>(config_.promotion_cap_percent / 100.0 *
+                             static_cast<double>(declared)),
+            mem::PageSize::Huge2M);
+    }
+    os_ = std::make_unique<os::Os>(os_params, *phys_);
+    policy_ = makePolicy();
+    installShootdownHook();
+    if (config_.record_trace) {
+        os_->setPromotionHook(
+            [this](Pid pid, Addr base, mem::PageSize size) {
+                recorded_.record(total_accesses_, pid, base, size);
+            });
+    }
+
+    if (config_.frag_fraction > 0.0) {
+        Rng rng(config_.seed ^ 0xf7a6);
+        phys_->fragment(config_.frag_fraction, rng);
+        // Fragmented memory has no readily-free 2MB blocks: huge
+        // frames must be produced by compaction (Sec. 5.1.1).
+        phys_->scramble(rng);
+    }
+
+    // Real setup on the real processes.
+    total_footprint = 0;
+    for (u32 j = 0; j < jobs.size(); ++j) {
+        os::Process &proc = os_->createProcess(config_.heap_capacity);
+        jobs[j].workload->setup(proc);
+        if (config_.process_setup)
+            config_.process_setup(proc, j);
+        total_footprint += jobs[j].workload->footprintBytes();
+        procs.push_back(&proc);
+    }
+
+    // ---- lanes and core assignment ----
+    lanes_.clear();
+    u32 core_cursor = 0;
+    for (u32 j = 0; j < jobs.size(); ++j) {
+        for (u32 l = 0; l < jobs[j].lanes; ++l) {
+            LaneState lane;
+            lane.gen = jobs[j].workload->lane(l, jobs[j].lanes);
+            lane.core = core_cursor;
+            lane.job = j;
+            lanes_.push_back(std::move(lane));
+            cores_[core_cursor].pid = procs[j]->pid();
+            cores_[core_cursor].job = j;
+            cores_[core_cursor].lane = l;
+            core_process_[core_cursor] = procs[j];
+            ++core_cursor;
+        }
+    }
+    for (u32 c = core_cursor; c < config_.num_cores; ++c)
+        core_process_[c] = procs.empty() ? nullptr : procs[0];
+
+    total_accesses_ = 0;
+    next_interval_at_ =
+        config_.interval_accesses * std::max<u32>(1, total_lanes);
+    intervals_ = 0;
+    shootdowns_ = 0;
+
+    std::vector<Cycles> job_wall(jobs.size(), 0);
+    std::vector<u32> job_live(jobs.size(), 0);
+    for (const auto &lane : lanes_)
+        ++job_live[lane.job];
+
+    // ---- main scheduling loop ----
+    constexpr u32 kBatch = 64;
+    u32 live = static_cast<u32>(lanes_.size());
+    while (live > 0) {
+        bool progressed = false;
+        for (auto &lane : lanes_) {
+            if (lane.done || lane.at_barrier)
+                continue;
+            progressed = true;
+            CoreState &core = cores_[lane.core];
+            os::Process &proc = *core_process_[lane.core];
+            for (u32 b = 0; b < kBatch; ++b) {
+                if (!lane.gen.next()) {
+                    lane.done = true;
+                    --live;
+                    --job_live[lane.job];
+                    if (job_live[lane.job] == 0) {
+                        Cycles wall = 0;
+                        for (const auto &l2 : lanes_)
+                            if (l2.job == lane.job)
+                                wall = std::max(wall,
+                                                cores_[l2.core].cycles);
+                        job_wall[lane.job] = wall;
+                    }
+                    maybeReleaseBarrier(lane.job);
+                    break;
+                }
+                const auto &op = lane.gen.value();
+                if (op.kind == workloads::OpKind::Barrier) {
+                    lane.at_barrier = true;
+                    maybeReleaseBarrier(lane.job);
+                    break;
+                }
+                core.cycles += doAccess(
+                    core, proc, op.addr,
+                    op.kind == workloads::OpKind::Store);
+                ++total_accesses_;
+                if (total_accesses_ >= next_interval_at_) {
+                    ++intervals_;
+                    next_interval_at_ +=
+                        config_.interval_accesses *
+                        std::max<u32>(1, total_lanes);
+                    policy_->onInterval(*this);
+                }
+            }
+        }
+        PCCSIM_ASSERT(progressed || live == 0,
+                      "scheduler deadlock: all live lanes parked");
+    }
+
+    // ---- collect results ----
+    RunResult result;
+    result.total_accesses = total_accesses_;
+    result.os_background_cycles = os_->backgroundCycles();
+    result.compactions = phys_->stats().get("compactions");
+    result.shootdowns = shootdowns_;
+    result.intervals = intervals_;
+
+    for (u32 j = 0; j < jobs.size(); ++j) {
+        JobResult job_result;
+        job_result.workload = jobs[j].workload->name();
+        job_result.pid = procs[j]->pid();
+        job_result.wall_cycles = job_wall[j];
+        u64 refs = 0;
+        for (const auto &lane : lanes_) {
+            if (lane.job != j)
+                continue;
+            const CoreState &core = cores_[lane.core];
+            job_result.accesses += core.accesses;
+            job_result.tlb_accesses += core.tlb.accesses();
+            job_result.l1_hits += core.tlb.l1Hits();
+            job_result.l2_hits += core.tlb.l2Hits();
+            job_result.walks += core.tlb.walks();
+            job_result.faults += core.faults;
+            refs += core.walker.totalRefs();
+        }
+        job_result.refs_per_walk =
+            job_result.walks == 0
+                ? 0.0
+                : static_cast<double>(refs) /
+                      static_cast<double>(job_result.walks);
+        job_result.promotions = procs[j]->promotions();
+        job_result.promotions_1g = procs[j]->promotions1G();
+        job_result.demotions = procs[j]->demotions();
+        job_result.footprint_bytes = procs[j]->footprintBytes();
+        job_result.promoted_bytes = procs[j]->promotedBytes();
+        job_result.bloat_pages = procs[j]->bloatPages();
+        result.jobs.push_back(std::move(job_result));
+        result.wall_cycles =
+            std::max(result.wall_cycles, job_wall[j]);
+    }
+    return result;
+}
+
+} // namespace pccsim::sim

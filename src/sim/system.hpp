@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The full-system simulator: per-core hardware (TLB hierarchy, page
+ * walker + PWC, PCC unit, data caches), the OS model, and the lane
+ * scheduler that interleaves workload access streams deterministically.
+ *
+ * Scheduling model: each job's lanes run on consecutive cores. Lanes
+ * are pulled round-robin in small batches; a lane that yields a
+ * Barrier parks until all live lanes of its job reach the barrier, at
+ * which point every parked core's clock advances to the job-wide
+ * maximum (modelling barrier wait) and lanes resume starting from the
+ * job's first lane (so lane-0 post-barrier bookkeeping runs before any
+ * other lane observes shared state).
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "mem/phys_mem.hpp"
+#include "os/os.hpp"
+#include "os/policy.hpp"
+#include "pcc/pcc_unit.hpp"
+#include "pt/walker.hpp"
+#include "sim/config.hpp"
+#include "sim/results.hpp"
+#include "tlb/hierarchy.hpp"
+#include "workloads/workload.hpp"
+
+namespace pccsim::sim {
+
+class System : public os::PolicyContext
+{
+  public:
+    /** One workload instance to run (its own process). */
+    struct Job
+    {
+        workloads::Workload *workload = nullptr;
+        u32 lanes = 1;
+    };
+
+    explicit System(SystemConfig config);
+    ~System() override;
+
+    /** Run the jobs to completion and report metrics. */
+    RunResult run(std::vector<Job> jobs);
+
+    /** Convenience: run one workload on `lanes` cores. */
+    RunResult
+    run(workloads::Workload &workload, u32 lanes = 1)
+    {
+        return run(std::vector<Job>{{&workload, lanes}});
+    }
+
+    // ---- os::PolicyContext ----
+    os::Os &os() override { return *os_; }
+    u32 numCores() const override { return config_.num_cores; }
+    os::Process &processOnCore(CoreId core) override;
+    pcc::PccUnit &pccUnit(CoreId core) override;
+    void chargeCore(CoreId core, Cycles cycles) override;
+    u64 intervalIndex() const override { return intervals_; }
+    u64 accessesSoFar() const override { return total_accesses_; }
+
+    const SystemConfig &config() const { return config_; }
+    mem::PhysicalMemory *phys() { return phys_.get(); }
+
+    /** Promotions recorded during run() when record_trace is set. */
+    const os::PromotionTrace &recordedTrace() const { return recorded_; }
+
+  private:
+    struct CoreState
+    {
+        CoreState(const SystemConfig &cfg)
+            : tlb(cfg.tlb), walker(cfg.pwc), pcc(cfg.pcc),
+              dcache(cfg.cache)
+        {
+        }
+
+        tlb::TlbHierarchy tlb;
+        pt::Walker walker;
+        pcc::PccUnit pcc;
+        cache::CacheHierarchy dcache;
+        Cycles cycles = 0;
+        u64 accesses = 0;
+        u64 faults = 0;
+        Pid pid = 0;
+        u32 job = 0;
+        u32 lane = 0;
+    };
+
+    struct LaneState
+    {
+        Generator<workloads::AccessOp> gen;
+        CoreId core = 0;
+        u32 job = 0;
+        bool at_barrier = false;
+        bool done = false;
+    };
+
+    /** Simulate one access on a core; returns its cycle cost. */
+    Cycles doAccess(CoreState &core, os::Process &proc, Addr vaddr,
+                    bool write);
+
+    /** Charge page-table fetches of a walk through the data cache. */
+    Cycles chargeWalkRefs(CoreState &core, const os::Process &proc,
+                          Addr vaddr, unsigned refs, mem::PageSize size);
+
+    /** Release a job's barrier if every live lane reached it. */
+    void maybeReleaseBarrier(u32 job);
+
+    void installShootdownHook();
+    std::unique_ptr<os::Policy> makePolicy();
+
+    SystemConfig config_;
+    std::unique_ptr<mem::PhysicalMemory> phys_;
+    std::unique_ptr<os::Os> os_;
+    std::unique_ptr<os::Policy> policy_;
+    std::vector<CoreState> cores_;
+    std::vector<LaneState> lanes_;
+    std::vector<os::Process *> core_process_;
+    u64 total_accesses_ = 0;
+    u64 next_interval_at_ = 0;
+    u64 intervals_ = 0;
+    u64 shootdowns_ = 0;
+    os::PromotionTrace recorded_;
+};
+
+std::string to_string(PolicyKind kind);
+
+} // namespace pccsim::sim

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Two-level data-TLB hierarchy model.
+ *
+ * Per Table 2 of the paper: split L1 D-TLBs per page size and a unified
+ * second-level TLB holding 4KB and 2MB translations. A memory access whose
+ * translation misses everywhere triggers a hardware page-table walk — the
+ * event stream the promotion candidate cache consumes.
+ */
+
+#pragma once
+
+#include <functional>
+
+#include "mem/paging.hpp"
+#include "tlb/set_assoc_tlb.hpp"
+#include "util/stats.hpp"
+
+namespace pccsim::tlb {
+
+/** Where an address translation was satisfied. */
+enum class HitLevel : u8
+{
+    L1 = 0,
+    L2 = 1,
+    Miss = 2, //!< full miss: page-table walk required
+};
+
+class TlbHierarchy
+{
+  public:
+    explicit TlbHierarchy(const TlbGeometry &geometry = TlbGeometry{})
+        : geometry_(geometry),
+          l1_4k_(geometry.l1_4k),
+          l1_2m_(geometry.l1_2m),
+          l1_1g_(geometry.l1_1g),
+          l2_(geometry.l2)
+    {
+    }
+
+    /**
+     * Translate one access to a page mapped at `size`.
+     *
+     * @param vaddr Virtual byte address being accessed.
+     * @param size Page size of the mapping currently backing vaddr
+     *        (known from the page table; the hardware discovers it from
+     *        whichever structure hits or from the walk).
+     * @return The level that supplied the translation. On Miss the caller
+     *         must walk the page table and then call fill().
+     */
+    HitLevel
+    access(Addr vaddr, mem::PageSize size)
+    {
+        const Vpn vpn = mem::vpnOf(vaddr, size);
+        ++accesses_;
+        if (l1Of(size).lookup(vpn)) {
+            ++l1_hits_;
+            return HitLevel::L1;
+        }
+        if (l2Holds(size) && l2_.lookup(l2Key(vpn, size))) {
+            ++l2_hits_;
+            // A victim-style refill: the translation moves (also) into L1.
+            l1Of(size).insert(vpn);
+            return HitLevel::L2;
+        }
+        ++walks_;
+        return HitLevel::Miss;
+    }
+
+    /** Observer of L2 TLB evictions (victim-buffer alternative). */
+    using L2VictimHook = std::function<void(Vpn, mem::PageSize)>;
+
+    void setL2VictimHook(L2VictimHook hook) { l2_victim_ = std::move(hook); }
+
+    /** Install a translation after a page-table walk. */
+    void
+    fill(Addr vaddr, mem::PageSize size)
+    {
+        const Vpn vpn = mem::vpnOf(vaddr, size);
+        l1Of(size).insert(vpn);
+        if (l2Holds(size)) {
+            if (auto victim = l2_.insert(l2Key(vpn, size));
+                victim && l2_victim_) {
+                l2_victim_(*victim >> 2,
+                           static_cast<mem::PageSize>(*victim & 3));
+            }
+        }
+    }
+
+    /**
+     * TLB shootdown for [base, base + bytes): drop all cached
+     * translations of every page size overlapping the range.
+     */
+    u64
+    shootdown(Addr base, u64 bytes)
+    {
+        u64 dropped = 0;
+        dropped += dropRange(l1_4k_, base, bytes, mem::PageSize::Base4K,
+                             false);
+        dropped += dropRange(l1_2m_, base, bytes, mem::PageSize::Huge2M,
+                             false);
+        dropped += dropRange(l1_1g_, base, bytes, mem::PageSize::Huge1G,
+                             false);
+        dropped += dropRange(l2_, base, bytes, mem::PageSize::Base4K, true);
+        dropped += dropRange(l2_, base, bytes, mem::PageSize::Huge2M, true);
+        ++shootdowns_;
+        return dropped;
+    }
+
+    /** Flush every structure (context switch / CR3 write). */
+    void
+    flushAll()
+    {
+        l1_4k_.flushAll();
+        l1_2m_.flushAll();
+        l1_1g_.flushAll();
+        l2_.flushAll();
+    }
+
+    u64 accesses() const { return accesses_; }
+    u64 l1Hits() const { return l1_hits_; }
+    u64 l2Hits() const { return l2_hits_; }
+    u64 walks() const { return walks_; }
+    u64 shootdowns() const { return shootdowns_; }
+
+    /** Fraction of accesses that missed the whole hierarchy. */
+    double missRate() const { return ratio(walks_, accesses_); }
+
+    void
+    resetStats()
+    {
+        accesses_ = l1_hits_ = l2_hits_ = walks_ = shootdowns_ = 0;
+    }
+
+    const TlbGeometry &geometry() const { return geometry_; }
+    SetAssocTlb &l1Of(mem::PageSize size)
+    {
+        switch (size) {
+          case mem::PageSize::Base4K: return l1_4k_;
+          case mem::PageSize::Huge2M: return l1_2m_;
+          case mem::PageSize::Huge1G: return l1_1g_;
+        }
+        return l1_4k_;
+    }
+    SetAssocTlb &l2() { return l2_; }
+
+  private:
+    bool
+    l2Holds(mem::PageSize size) const
+    {
+        if (size == mem::PageSize::Huge1G)
+            return geometry_.l2_holds_1g;
+        return true;
+    }
+
+    /** Unified-L2 key: size code in the low bits keeps classes distinct. */
+    static Vpn
+    l2Key(Vpn vpn, mem::PageSize size)
+    {
+        return (vpn << 2) | static_cast<Vpn>(size);
+    }
+
+    u64
+    dropRange(SetAssocTlb &structure, Addr base, u64 bytes,
+              mem::PageSize size, bool keyed)
+    {
+        const Vpn lo = mem::vpnOf(base, size);
+        const Vpn hi = mem::vpnOf(base + bytes - 1, size) + 1;
+        if (keyed)
+            return structure.invalidateVpnRange(l2Key(lo, size),
+                                                l2Key(hi, size));
+        return structure.invalidateVpnRange(lo, hi);
+    }
+
+    TlbGeometry geometry_;
+    SetAssocTlb l1_4k_;
+    SetAssocTlb l1_2m_;
+    SetAssocTlb l1_1g_;
+    SetAssocTlb l2_;
+    L2VictimHook l2_victim_;
+
+    u64 accesses_ = 0;
+    u64 l1_hits_ = 0;
+    u64 l2_hits_ = 0;
+    u64 walks_ = 0;
+    u64 shootdowns_ = 0;
+};
+
+} // namespace pccsim::tlb

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * A single set-associative TLB structure with true-LRU replacement.
+ *
+ * One instance caches translations of exactly one page size, keyed by the
+ * virtual page number at that size. Timing is modelled by the hierarchy;
+ * this class only answers hit/miss and maintains replacement state.
+ */
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tlb/geometry.hpp"
+#include "util/log.hpp"
+#include "util/types.hpp"
+
+namespace pccsim::tlb {
+
+class SetAssocTlb
+{
+  public:
+    explicit SetAssocTlb(TlbParams params)
+        : params_(params),
+          sets_(params.sets() == 0 ? 1 : params.sets()),
+          ways_(params.ways == 0 ? 1 : params.ways),
+          entries_(static_cast<size_t>(sets_) * ways_)
+    {
+        PCCSIM_ASSERT(params.entries % params.ways == 0,
+                      "TLB entries not divisible by ways");
+    }
+
+    /** Probe for vpn; refreshes LRU state on hit. */
+    bool
+    lookup(Vpn vpn)
+    {
+        Entry *set = setOf(vpn);
+        for (u32 w = 0; w < ways_; ++w) {
+            if (set[w].valid && set[w].vpn == vpn) {
+                set[w].stamp = ++clock_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Probe without touching replacement state. */
+    bool
+    contains(Vpn vpn) const
+    {
+        const Entry *set = setOf(vpn);
+        for (u32 w = 0; w < ways_; ++w)
+            if (set[w].valid && set[w].vpn == vpn)
+                return true;
+        return false;
+    }
+
+    /**
+     * Insert vpn, evicting the set's LRU entry if needed.
+     * @return The VPN displaced by this insertion, if any — the feed
+     *         of the Sec. 5.4.1 victim-buffer design alternative.
+     */
+    std::optional<Vpn>
+    insert(Vpn vpn)
+    {
+        Entry *set = setOf(vpn);
+        u32 victim = 0;
+        u64 oldest = ~0ull;
+        bool evicting = true;
+        for (u32 w = 0; w < ways_; ++w) {
+            if (!set[w].valid) {
+                victim = w;
+                evicting = false;
+                break;
+            }
+            if (set[w].vpn == vpn) {
+                set[w].stamp = ++clock_;
+                return std::nullopt;
+            }
+            if (set[w].stamp < oldest) {
+                oldest = set[w].stamp;
+                victim = w;
+            }
+        }
+        const std::optional<Vpn> displaced =
+            evicting ? std::optional<Vpn>(set[victim].vpn)
+                     : std::nullopt;
+        set[victim] = {vpn, ++clock_, true};
+        return displaced;
+    }
+
+    /** Drop vpn if present; true when an entry was removed. */
+    bool
+    invalidate(Vpn vpn)
+    {
+        Entry *set = setOf(vpn);
+        for (u32 w = 0; w < ways_; ++w) {
+            if (set[w].valid && set[w].vpn == vpn) {
+                set[w].valid = false;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Drop every entry whose vpn lies in [lo, hi). Returns count. */
+    u64
+    invalidateVpnRange(Vpn lo, Vpn hi)
+    {
+        u64 dropped = 0;
+        for (auto &e : entries_) {
+            if (e.valid && e.vpn >= lo && e.vpn < hi) {
+                e.valid = false;
+                ++dropped;
+            }
+        }
+        return dropped;
+    }
+
+    /** Invalidate everything. */
+    void
+    flushAll()
+    {
+        for (auto &e : entries_)
+            e.valid = false;
+    }
+
+    /** Currently valid entries (for tests/introspection). */
+    u64
+    validCount() const
+    {
+        u64 n = 0;
+        for (const auto &e : entries_)
+            n += e.valid ? 1 : 0;
+        return n;
+    }
+
+    u32 numEntries() const { return params_.entries; }
+    u32 numWays() const { return ways_; }
+    u32 numSets() const { return sets_; }
+
+  private:
+    struct Entry
+    {
+        Vpn vpn = 0;
+        u64 stamp = 0;
+        bool valid = false;
+    };
+
+    Entry *setOf(Vpn vpn) { return &entries_[(vpn % sets_) * ways_]; }
+    const Entry *
+    setOf(Vpn vpn) const
+    {
+        return &entries_[(vpn % sets_) * ways_];
+    }
+
+    TlbParams params_;
+    u32 sets_;
+    u32 ways_;
+    std::vector<Entry> entries_;
+    u64 clock_ = 0;
+};
+
+} // namespace pccsim::tlb

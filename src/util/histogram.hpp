@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Power-of-two bucketed histogram for reuse distances and latencies.
+ */
+
+#pragma once
+
+#include <array>
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pccsim {
+
+/**
+ * Histogram whose bucket i counts samples in [2^i, 2^(i+1)), with bucket 0
+ * also holding the value 0. Covers the full 64-bit range in 65 buckets,
+ * which is exactly what page reuse-distance distributions need.
+ */
+class Log2Histogram
+{
+  public:
+    void
+    add(u64 value, u64 count = 1)
+    {
+        buckets_[bucketOf(value)] += count;
+        total_ += count;
+        sum_ += value * count;
+    }
+
+    /** Bucket index for a value: floor(log2(v)) + 1, 0 maps to bucket 0. */
+    static unsigned
+    bucketOf(u64 value)
+    {
+        return value == 0 ? 0 : 64 - std::countl_zero(value);
+    }
+
+    /** Lower bound of bucket i. */
+    static u64
+    bucketLow(unsigned i)
+    {
+        return i == 0 ? 0 : (1ull << (i - 1));
+    }
+
+    u64 count(unsigned bucket) const { return buckets_.at(bucket); }
+    u64 total() const { return total_; }
+
+    /** Arithmetic mean of all samples (0 when empty). */
+    double
+    mean() const
+    {
+        return total_ == 0
+            ? 0.0
+            : static_cast<double>(sum_) / static_cast<double>(total_);
+    }
+
+    /** Smallest value v such that >= frac of samples are <= bucket of v. */
+    u64
+    quantile(double frac) const
+    {
+        u64 running = 0;
+        const auto threshold =
+            static_cast<u64>(frac * static_cast<double>(total_));
+        for (unsigned i = 0; i < buckets_.size(); ++i) {
+            running += buckets_[i];
+            if (running >= threshold)
+                return bucketLow(i);
+        }
+        return bucketLow(static_cast<unsigned>(buckets_.size() - 1));
+    }
+
+    void
+    reset()
+    {
+        buckets_.fill(0);
+        total_ = 0;
+        sum_ = 0;
+    }
+
+    /** Non-empty buckets as (bucket_low, count) pairs. */
+    std::vector<std::pair<u64, u64>>
+    nonEmpty() const
+    {
+        std::vector<std::pair<u64, u64>> out;
+        for (unsigned i = 0; i < buckets_.size(); ++i)
+            if (buckets_[i] != 0)
+                out.emplace_back(bucketLow(i), buckets_[i]);
+        return out;
+    }
+
+  private:
+    std::array<u64, 65> buckets_{};
+    u64 total_ = 0;
+    u64 sum_ = 0;
+};
+
+} // namespace pccsim

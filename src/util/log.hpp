@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 tradition.
+ *
+ * fatal() aborts the run for user-caused conditions (bad configuration),
+ * panic() aborts for internal invariant violations (simulator bugs),
+ * warn()/inform() print to stderr without stopping the run.
+ */
+
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace pccsim {
+
+namespace detail {
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void fatalImpl(const std::string &msg);
+[[noreturn]] void panicImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort with exit(1): the user asked for something impossible. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort with std::abort(): an internal invariant was violated. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Non-fatal warning about questionable behaviour. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless the given condition holds. */
+#define PCCSIM_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::pccsim::panic("assertion failed: " #cond " ", ##__VA_ARGS__); \
+    } while (0)
+
+} // namespace pccsim

@@ -1,0 +1,71 @@
+#include "util/options.hpp"
+
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace pccsim {
+
+Options::Options(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)
+                   != 0) {
+            values_[arg] = argv[++i];
+        } else {
+            values_[arg] = "";
+        }
+    }
+}
+
+bool
+Options::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+std::string
+Options::get(const std::string &name, const std::string &fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+i64
+Options::getInt(const std::string &name, i64 fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end() || it->second.empty())
+        return fallback;
+    return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double
+Options::getDouble(const std::string &name, double fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end() || it->second.empty())
+        return fallback;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+Options::getBool(const std::string &name, bool fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    const std::string &v = it->second;
+    return v.empty() || v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+} // namespace pccsim

@@ -1,0 +1,48 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+namespace pccsim {
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+u64
+StatGroup::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::vector<std::pair<std::string, u64>>
+StatGroup::all() const
+{
+    std::vector<std::pair<std::string, u64>> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, ctr] : counters_)
+        out.emplace_back(name, ctr.value());
+    return out;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, ctr] : counters_)
+        ctr.reset();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace pccsim

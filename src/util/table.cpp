@@ -1,0 +1,91 @@
+#include "util/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace pccsim {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    PCCSIM_ASSERT(cells.size() == header_.size(),
+                  "table row width ", cells.size(), " != header width ",
+                  header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &r : rows_)
+        for (size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << cells[c];
+            os << (c + 1 == cells.size() ? "\n" : "  ");
+        }
+    };
+    emit(header_);
+    for (size_t c = 0; c < header_.size(); ++c) {
+        os << std::string(widths[c], '-')
+           << (c + 1 == header_.size() ? "\n" : "  ");
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+std::string
+Table::csv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c)
+            os << cells[c] << (c + 1 == cells.size() ? "\n" : ",");
+    };
+    emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+std::string
+Table::fmt(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+Table::pct(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value << "%";
+    return os.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open ", path, " for writing");
+    out << contents;
+}
+
+} // namespace pccsim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the benchmark harnesses to print
+ * paper-style rows/series.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pccsim {
+
+/**
+ * Column-aligned ASCII table builder.
+ *
+ * Usage:
+ *   Table t({"app", "speedup"});
+ *   t.row({"BFS", Table::fmt(1.31)});
+ *   std::cout << t.str();
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with padded columns and a separator under the header. */
+    std::string str() const;
+
+    /** Render as CSV (no padding). */
+    std::string csv() const;
+
+    /** Format a double with the given precision. */
+    static std::string fmt(double value, int precision = 3);
+
+    /** Format a percentage (value expected already in percent units). */
+    static std::string pct(double value, int precision = 1);
+
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Write a string to a file, creating parent-less paths as-is. */
+void writeFile(const std::string &path, const std::string &contents);
+
+} // namespace pccsim

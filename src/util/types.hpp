@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every pccsim module.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace pccsim {
+
+/** Simulated virtual or physical byte address. */
+using Addr = std::uint64_t;
+
+/** Virtual page number (address >> page shift, for some page size). */
+using Vpn = std::uint64_t;
+
+/** Physical frame number. */
+using Pfn = std::uint64_t;
+
+/** Simulated time expressed in CPU cycles. */
+using Cycles = std::uint64_t;
+
+/** Simulated process identifier. */
+using Pid = std::uint32_t;
+
+/** Core (hardware thread) identifier. */
+using CoreId = std::uint32_t;
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+} // namespace pccsim

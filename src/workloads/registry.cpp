@@ -1,0 +1,163 @@
+#include "workloads/registry.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "util/log.hpp"
+#include "workloads/graph_workloads.hpp"
+#include "workloads/suite_workloads.hpp"
+
+namespace pccsim::workloads {
+
+ScaleParams
+scaleParams(Scale scale)
+{
+    switch (scale) {
+      case Scale::Ci:
+        return {16, 8, 8ull << 20, 1'000'000, 2};
+      case Scale::Small:
+        return {18, 16, 48ull << 20, 4'000'000, 2};
+      case Scale::Medium:
+        return {20, 16, 192ull << 20, 16'000'000, 2};
+      case Scale::Paper:
+        return {23, 24, 800ull << 20, 64'000'000, 3};
+    }
+    return {16, 16, 32ull << 20, 2'000'000, 2};
+}
+
+Scale
+scaleFromString(const std::string &name)
+{
+    if (name == "ci")
+        return Scale::Ci;
+    if (name == "small")
+        return Scale::Small;
+    if (name == "medium")
+        return Scale::Medium;
+    if (name == "paper")
+        return Scale::Paper;
+    fatal("unknown scale '", name, "' (ci|small|medium|paper)");
+}
+
+std::string
+to_string(Scale scale)
+{
+    switch (scale) {
+      case Scale::Ci: return "ci";
+      case Scale::Small: return "small";
+      case Scale::Medium: return "medium";
+      case Scale::Paper: return "paper";
+    }
+    return "?";
+}
+
+const std::vector<std::string> &
+allWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "bfs", "sssp", "pr", "canneal", "omnetpp",
+        "xalancbmk", "dedup", "mcf"};
+    return names;
+}
+
+const std::vector<std::string> &
+graphWorkloadNames()
+{
+    static const std::vector<std::string> names = {"bfs", "sssp", "pr"};
+    return names;
+}
+
+bool
+isGraphWorkload(const std::string &name)
+{
+    return name == "bfs" || name == "sssp" || name == "pr";
+}
+
+namespace {
+
+struct GraphKey
+{
+    unsigned scale;
+    unsigned degree;
+    graph::NetworkKind kind;
+    bool weighted;
+    bool sorted;
+    u64 seed;
+
+    bool
+    operator<(const GraphKey &other) const
+    {
+        return std::tie(scale, degree, kind, weighted, sorted, seed) <
+               std::tie(other.scale, other.degree, other.kind,
+                        other.weighted, other.sorted, other.seed);
+    }
+};
+
+std::shared_ptr<const graph::CsrGraph>
+cachedGraph(const WorkloadSpec &spec, bool weighted)
+{
+    static std::map<GraphKey, std::weak_ptr<const graph::CsrGraph>> cache;
+    static std::mutex mutex;
+
+    const ScaleParams params = scaleParams(spec.scale);
+    const GraphKey key{params.graph_scale, params.avg_degree,
+                       spec.network,      weighted,
+                       spec.dbg_sorted,   spec.seed};
+
+    std::lock_guard<std::mutex> lock(mutex);
+    if (auto hit = cache[key].lock())
+        return hit;
+
+    graph::GraphSpec gspec;
+    gspec.scale = params.graph_scale;
+    gspec.avg_degree = params.avg_degree;
+    gspec.kind = spec.network;
+    gspec.weighted = weighted;
+    gspec.seed = spec.seed;
+    auto built = graph::generate(gspec);
+    if (spec.dbg_sorted)
+        built = graph::dbgReorder(built);
+    auto shared =
+        std::make_shared<const graph::CsrGraph>(std::move(built));
+    cache[key] = shared;
+    return shared;
+}
+
+} // namespace
+
+WorkloadPtr
+makeWorkload(const WorkloadSpec &spec)
+{
+    const ScaleParams params = scaleParams(spec.scale);
+    if (spec.name == "bfs")
+        return std::make_unique<BfsWorkload>(cachedGraph(spec, false));
+    if (spec.name == "sssp")
+        return std::make_unique<SsspWorkload>(cachedGraph(spec, true));
+    if (spec.name == "pr") {
+        return std::make_unique<PageRankWorkload>(
+            cachedGraph(spec, false), params.pr_iterations);
+    }
+    if (spec.name == "canneal") {
+        return std::make_unique<CannealWorkload>(
+            params.suite_footprint, params.suite_ops / 4, spec.seed);
+    }
+    if (spec.name == "omnetpp") {
+        return std::make_unique<OmnetppWorkload>(
+            params.suite_footprint / 2, params.suite_ops, spec.seed);
+    }
+    if (spec.name == "xalancbmk") {
+        return std::make_unique<XalancWorkload>(
+            params.suite_footprint / 2, params.suite_ops, spec.seed);
+    }
+    if (spec.name == "dedup") {
+        return std::make_unique<DedupWorkload>(
+            params.suite_footprint, params.suite_ops * 2, spec.seed);
+    }
+    if (spec.name == "mcf") {
+        return std::make_unique<McfWorkload>(
+            params.suite_footprint, params.suite_ops * 2, spec.seed);
+    }
+    fatal("unknown workload '", spec.name, "'");
+}
+
+} // namespace pccsim::workloads

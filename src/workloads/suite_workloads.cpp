@@ -1,0 +1,219 @@
+#include "workloads/suite_workloads.hpp"
+
+#include "util/log.hpp"
+
+namespace pccsim::workloads {
+
+Generator<AccessOp>
+SuiteWorkloadBase::touchRange(Addr base, u64 bytes, u64 stride)
+{
+    for (u64 off = 0; off < bytes; off += stride)
+        co_yield store(base + off);
+}
+
+// -------------------------------------------------------------- canneal
+
+void
+CannealWorkload::setup(os::Process &proc)
+{
+    num_elements_ = target_footprint_ / kElementBytes;
+    a_elements_ = proc.mmap(num_elements_ * kElementBytes,
+                            "canneal.elements");
+    footprint_ = num_elements_ * kElementBytes;
+}
+
+Generator<AccessOp>
+CannealWorkload::lane(u32 lane, u32 num_lanes)
+{
+    PCCSIM_ASSERT(lane == 0 && num_lanes == 1,
+                  "canneal model is single-threaded");
+    auto init = touchRange(a_elements_, num_elements_ * kElementBytes);
+    while (init.next())
+        co_yield init.value();
+    co_yield barrier();
+
+    Rng rng(seed_);
+    for (u64 op = 0; op < ops_; ++op) {
+        // One annealing move: pick two random elements, read both and
+        // each one's neighbor elements, then swap (two stores).
+        const u64 a = rng.below(num_elements_);
+        const u64 b = rng.below(num_elements_);
+        co_yield load(a_elements_ + a * kElementBytes);
+        co_yield load(a_elements_ + b * kElementBytes);
+        for (unsigned i = 0; i < kNeighbors; ++i) {
+            const u64 na = mix64(a * kNeighbors + i) % num_elements_;
+            const u64 nb = mix64(b * kNeighbors + i + 0x9e37ull) %
+                           num_elements_;
+            co_yield load(a_elements_ + na * kElementBytes);
+            co_yield load(a_elements_ + nb * kElementBytes);
+        }
+        co_yield store(a_elements_ + a * kElementBytes);
+        co_yield store(a_elements_ + b * kElementBytes);
+    }
+}
+
+// -------------------------------------------------------------- omnetpp
+
+void
+OmnetppWorkload::setup(os::Process &proc)
+{
+    // ~7/8 of the footprint is module state, 1/8 the event ring.
+    num_modules_ = (target_footprint_ * 7 / 8) / kModuleBytes;
+    event_ring_bytes_ = target_footprint_ / 8;
+    a_modules_ = proc.mmap(num_modules_ * kModuleBytes,
+                           "omnetpp.modules");
+    a_events_ = proc.mmap(event_ring_bytes_, "omnetpp.events");
+    footprint_ = num_modules_ * kModuleBytes + event_ring_bytes_;
+}
+
+Generator<AccessOp>
+OmnetppWorkload::lane(u32 lane, u32 num_lanes)
+{
+    PCCSIM_ASSERT(lane == 0 && num_lanes == 1);
+    auto init1 = touchRange(a_modules_, num_modules_ * kModuleBytes);
+    while (init1.next())
+        co_yield init1.value();
+    auto init2 = touchRange(a_events_, event_ring_bytes_);
+    while (init2.next())
+        co_yield init2.value();
+    co_yield barrier();
+
+    Rng rng(seed_);
+    ZipfSampler zipf(num_modules_, 0.7);
+    u64 ring_pos = 0;
+    for (u64 op = 0; op < ops_; ++op) {
+        // Pop an event (sequential ring), dispatch to a Zipf-popular
+        // module (3 accesses to its state), push a follow-up event.
+        co_yield load(a_events_ + ring_pos);
+        const u64 m = zipf.sample(rng);
+        const Addr mod = a_modules_ + m * kModuleBytes;
+        co_yield load(mod);
+        co_yield load(mod + 64);
+        co_yield store(mod + 128);
+        ring_pos = (ring_pos + 64) % event_ring_bytes_;
+        co_yield store(a_events_ + ring_pos);
+    }
+}
+
+// ------------------------------------------------------------ xalancbmk
+
+void
+XalancWorkload::setup(os::Process &proc)
+{
+    num_nodes_ = target_footprint_ / kNodeBytes;
+    a_nodes_ = proc.mmap(num_nodes_ * kNodeBytes, "xalan.nodes");
+    footprint_ = num_nodes_ * kNodeBytes;
+}
+
+Generator<AccessOp>
+XalancWorkload::lane(u32 lane, u32 num_lanes)
+{
+    PCCSIM_ASSERT(lane == 0 && num_lanes == 1);
+    auto init = touchRange(a_nodes_, num_nodes_ * kNodeBytes);
+    while (init.next())
+        co_yield init.value();
+    co_yield barrier();
+
+    Rng rng(seed_);
+    ZipfSampler zipf(num_nodes_, 0.6);
+    const u64 chases = ops_ / kChaseDepth;
+    for (u64 t = 0; t < chases; ++t) {
+        // Descend from a Zipf-popular subtree root; each hop's target
+        // is a deterministic hash of the current node (a fixed tree).
+        u64 node = zipf.sample(rng);
+        for (unsigned d = 0; d < kChaseDepth; ++d) {
+            co_yield load(a_nodes_ + node * kNodeBytes);
+            node = mix64(node * kChaseDepth + d) % num_nodes_;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- dedup
+
+void
+DedupWorkload::setup(os::Process &proc)
+{
+    input_bytes_ = target_footprint_ * 15 / 16;
+    hash_bytes_ = target_footprint_ / 16;
+    a_input_ = proc.mmap(input_bytes_, "dedup.input");
+    a_hash_ = proc.mmap(hash_bytes_, "dedup.hash");
+    footprint_ = input_bytes_ + hash_bytes_;
+}
+
+Generator<AccessOp>
+DedupWorkload::lane(u32 lane, u32 num_lanes)
+{
+    PCCSIM_ASSERT(lane == 0 && num_lanes == 1);
+    auto init1 = touchRange(a_input_, input_bytes_);
+    while (init1.next())
+        co_yield init1.value();
+    auto init2 = touchRange(a_hash_, hash_bytes_);
+    while (init2.next())
+        co_yield init2.value();
+    co_yield barrier();
+
+    Rng rng(seed_);
+    u64 pos = 0;
+    const u64 buckets = hash_bytes_ / 64;
+    // Duplicate-heavy inputs hit the same few buckets over and over:
+    // the hot part of the table stays cache- and TLB-resident, which
+    // is what makes dedup TLB-insensitive in the paper's Fig. 1.
+    ZipfSampler zipf(buckets, 1.05);
+    for (u64 op = 0; op < ops_; ++op) {
+        // Chunking: stream the input; every 8th chunk consults the
+        // hash table.
+        co_yield load(a_input_ + pos);
+        pos = (pos + 64) % input_bytes_;
+        if ((op & 7) == 0) {
+            const u64 bucket = zipf.sample(rng);
+            co_yield load(a_hash_ + bucket * 64);
+            co_yield store(a_hash_ + bucket * 64);
+        }
+    }
+}
+
+// ------------------------------------------------------------------ mcf
+
+void
+McfWorkload::setup(os::Process &proc)
+{
+    arc_bytes_ = target_footprint_ * 7 / 8;
+    node_bytes_ = target_footprint_ / 8;
+    a_arcs_ = proc.mmap(arc_bytes_, "mcf.arcs");
+    a_nodes_ = proc.mmap(node_bytes_, "mcf.nodes");
+    footprint_ = arc_bytes_ + node_bytes_;
+}
+
+Generator<AccessOp>
+McfWorkload::lane(u32 lane, u32 num_lanes)
+{
+    PCCSIM_ASSERT(lane == 0 && num_lanes == 1);
+    auto init1 = touchRange(a_arcs_, arc_bytes_);
+    while (init1.next())
+        co_yield init1.value();
+    auto init2 = touchRange(a_nodes_, node_bytes_);
+    while (init2.next())
+        co_yield init2.value();
+    co_yield barrier();
+
+    Rng rng(seed_);
+    const u64 arcs = arc_bytes_ / kArcBytes;
+    const u64 nodes = node_bytes_ / 64;
+    // The simplex basis tree concentrates node-record activity near
+    // the root: skewed, compact hot set (mcf is cache-optimized and
+    // shows little TLB sensitivity in Fig. 1).
+    ZipfSampler zipf(nodes, 1.0);
+    u64 arc = 0;
+    for (u64 op = 0; op < ops_; ++op) {
+        // Pricing sweep: sequential arc scan; ~1 in 16 arcs touches
+        // the endpoints' node records.
+        co_yield load(a_arcs_ + arc * kArcBytes);
+        if ((op & 15) == 0) {
+            co_yield load(a_nodes_ + zipf.sample(rng) * 64);
+            co_yield store(a_nodes_ + zipf.sample(rng) * 64);
+        }
+        arc = (arc + 1) % arcs;
+    }
+}
+
+} // namespace pccsim::workloads

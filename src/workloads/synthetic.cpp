@@ -1,0 +1,87 @@
+#include "workloads/synthetic.hpp"
+
+#include "mem/paging.hpp"
+#include "util/log.hpp"
+
+namespace pccsim::workloads {
+
+std::string
+SyntheticWorkload::name() const
+{
+    switch (spec_.pattern) {
+      case Pattern::Uniform: return "syn-uniform";
+      case Pattern::Zipf: return "syn-zipf";
+      case Pattern::Sequential: return "syn-seq";
+      case Pattern::HotRegions: return "syn-hot";
+    }
+    return "syn";
+}
+
+void
+SyntheticWorkload::setup(os::Process &proc)
+{
+    base_ = proc.mmap(spec_.footprint_bytes, name());
+}
+
+Generator<AccessOp>
+SyntheticWorkload::lane(u32 lane, u32 num_lanes)
+{
+    PCCSIM_ASSERT(base_ != 0, "setup() must run before lane()");
+    const u64 slice = spec_.footprint_bytes / num_lanes;
+    const Addr lo = base_ + lane * slice;
+
+    // Init: first-touch this lane's slice.
+    for (u64 off = 0; off < slice; off += mem::kBytes4K)
+        co_yield store(lo + off);
+    co_yield barrier();
+
+    Rng rng(spec_.seed + lane * 0x9e3779b9ull);
+    const u64 ops = spec_.ops / num_lanes;
+
+    switch (spec_.pattern) {
+      case Pattern::Uniform: {
+        for (u64 i = 0; i < ops; ++i)
+            co_yield load(lo + (rng.below(slice) & ~7ull));
+        break;
+      }
+      case Pattern::Zipf: {
+        const u64 lines = slice / 64;
+        ZipfSampler zipf(lines, 0.8);
+        for (u64 i = 0; i < ops; ++i) {
+            // Popularity is scattered across the slice so hot lines do
+            // not cluster into a few pages.
+            const u64 line = mix64(zipf.sample(rng)) % lines;
+            co_yield load(lo + line * 64);
+        }
+        break;
+      }
+      case Pattern::Sequential: {
+        u64 pos = 0;
+        for (u64 i = 0; i < ops; ++i) {
+            co_yield load(lo + pos);
+            pos = (pos + 64) % slice;
+        }
+        break;
+      }
+      case Pattern::HotRegions: {
+        const u64 regions = slice >> mem::kShift2M;
+        const u64 hot = std::min<u64>(spec_.hot_regions, regions);
+        PCCSIM_ASSERT(hot > 0, "hot-region pattern needs >= 1 region");
+        u64 cold_pos = 0;
+        for (u64 i = 0; i < ops; ++i) {
+            if (rng.uniform() < spec_.hot_fraction) {
+                // Uniform random within a uniformly chosen hot region.
+                const u64 r = rng.below(hot);
+                const u64 off = rng.below(mem::kBytes2M) & ~7ull;
+                co_yield load(lo + (r << mem::kShift2M) + off);
+            } else {
+                co_yield load(lo + cold_pos);
+                cold_pos = (cold_pos + 64) % slice;
+            }
+        }
+        break;
+      }
+    }
+}
+
+} // namespace pccsim::workloads

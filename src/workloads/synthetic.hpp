@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Controlled synthetic access patterns for sensitivity studies and
+ * unit/ablation tests: uniform random, Zipf, sequential stride, and a
+ * hot-set pattern with an exact number of hot 2MB regions (used by the
+ * Fig. 6 PCC-size sweep to pin the plateau at a known region count).
+ */
+
+#pragma once
+
+#include "util/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pccsim::workloads {
+
+enum class Pattern : u8
+{
+    Uniform = 0,   //!< uniform random over the whole footprint
+    Zipf,          //!< skewed random (s = 0.8)
+    Sequential,    //!< streaming at 64B stride
+    HotRegions,    //!< uniform random over `hot_regions` 2MB regions,
+                   //!< streaming over the rest
+};
+
+struct SyntheticSpec
+{
+    Pattern pattern = Pattern::Uniform;
+    u64 footprint_bytes = 64ull << 20;
+    u64 ops = 4'000'000;
+    u64 hot_regions = 128;  //!< HotRegions only
+    double hot_fraction = 0.9; //!< accesses hitting the hot set
+    u64 seed = 1;
+};
+
+class SyntheticWorkload : public Workload
+{
+  public:
+    explicit SyntheticWorkload(SyntheticSpec spec) : spec_(spec) {}
+
+    std::string name() const override;
+    void setup(os::Process &proc) override;
+    u64 footprintBytes() const override { return spec_.footprint_bytes; }
+    Generator<AccessOp> lane(u32 lane, u32 num_lanes) override;
+    u32 maxLanes() const override { return 16; }
+
+    const SyntheticSpec &spec() const { return spec_; }
+
+  private:
+    SyntheticSpec spec_;
+    Addr base_ = 0;
+};
+
+} // namespace pccsim::workloads

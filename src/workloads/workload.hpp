@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Workload interface: programs that allocate simulated memory and emit
+ * a deterministic stream of memory accesses per lane (thread).
+ *
+ * A workload keeps its real data host-side; only the *addresses* of a
+ * run are simulated, mirrored into the process heap allocated during
+ * setup(). Every lane begins with an initialization phase that touches
+ * its slice of the arrays sequentially — modelling program load/init
+ * and establishing first-touch order (which greedy THP keys off).
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "os/process.hpp"
+#include "util/generator.hpp"
+#include "util/types.hpp"
+
+namespace pccsim::workloads {
+
+/** One simulated operation yielded by a workload lane. */
+enum class OpKind : u8
+{
+    Load = 0,
+    Store = 1,
+    /** Synchronization point: the lane must wait for all lanes. */
+    Barrier = 2,
+};
+
+struct AccessOp
+{
+    Addr addr = 0;
+    OpKind kind = OpKind::Load;
+};
+
+inline AccessOp
+load(Addr addr)
+{
+    return {addr, OpKind::Load};
+}
+
+inline AccessOp
+store(Addr addr)
+{
+    return {addr, OpKind::Store};
+}
+
+inline AccessOp
+barrier()
+{
+    return {0, OpKind::Barrier};
+}
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Allocate simulated arrays in the process heap. Called once. */
+    virtual void setup(os::Process &proc) = 0;
+
+    /** Total simulated bytes allocated by setup(). */
+    virtual u64 footprintBytes() const = 0;
+
+    /**
+     * The access stream of one lane. Lanes partition the work; lane
+     * ids are [0, num_lanes). Single-threaded workloads support only
+     * num_lanes == 1.
+     */
+    virtual Generator<AccessOp> lane(u32 lane, u32 num_lanes) = 0;
+
+    /** Largest lane count the workload can be split into. */
+    virtual u32 maxLanes() const { return 1; }
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+} // namespace pccsim::workloads

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "analysis/reuse.hpp"
+#include "util/rng.hpp"
+
+using namespace pccsim;
+using namespace pccsim::analysis;
+
+namespace {
+
+constexpr Addr kBase = 0x1000'0000'0000ull;
+
+} // namespace
+
+TEST(Reuse, SequentialAccessesAreTlbFriendly)
+{
+    ReuseTracker tracker(1024);
+    // 64B-stride streaming: 64 consecutive touches per page.
+    for (Addr a = 0; a < 256 * mem::kBytes4K; a += 64)
+        tracker.touch(kBase + a);
+    const auto summary = tracker.summarize();
+    EXPECT_EQ(summary.hubs, 0u);
+    EXPECT_EQ(summary.low_reuse, 0u);
+    EXPECT_EQ(summary.tlb_friendly, 256u);
+}
+
+TEST(Reuse, HubPatternDetected)
+{
+    // Random access confined to ONE 2MB region across many pages:
+    // per-4KB reuse distance is high (512 pages in flight) relative
+    // to a small threshold, but the 2MB region is touched every
+    // access (distance 0).
+    ReuseTracker tracker(64);
+    Rng rng(3);
+    for (int i = 0; i < 200'000; ++i) {
+        const u64 page = rng.below(512);
+        tracker.touch(kBase + page * mem::kBytes4K);
+    }
+    const auto summary = tracker.summarize();
+    EXPECT_GT(summary.hubs, 500u);
+    EXPECT_EQ(summary.low_reuse, 0u);
+}
+
+TEST(Reuse, LowReusePatternDetected)
+{
+    // Random access over a huge span: high distance at both sizes.
+    ReuseTracker tracker(64);
+    Rng rng(5);
+    for (int i = 0; i < 200'000; ++i) {
+        const u64 region = rng.below(4096);
+        const u64 page = rng.below(512);
+        tracker.touch(kBase + region * mem::kBytes2M +
+                      page * mem::kBytes4K);
+    }
+    const auto summary = tracker.summarize();
+    EXPECT_GT(summary.low_reuse, summary.hubs);
+    EXPECT_GT(summary.low_reuse, summary.tlb_friendly);
+}
+
+TEST(Reuse, MixedStreamSeparatesClasses)
+{
+    ReuseTracker tracker(256);
+    Rng rng(7);
+    Addr seq = 0;
+    for (int i = 0; i < 300'000; ++i) {
+        switch (i % 3) {
+          case 0: // streaming region
+            tracker.touch(kBase + (seq % (64 * mem::kBytes4K)));
+            seq += 64;
+            break;
+          case 1: // hot 2MB region, random page
+            tracker.touch(kBase + (1ull << 32) +
+                          rng.below(512) * mem::kBytes4K);
+            break;
+          case 2: // cold sprawl
+            tracker.touch(kBase + (1ull << 33) +
+                          rng.below(1ull << 31));
+            break;
+        }
+    }
+    const auto summary = tracker.summarize();
+    EXPECT_GT(summary.tlb_friendly, 0u);
+    EXPECT_GT(summary.hubs, 0u);
+    EXPECT_GT(summary.low_reuse, 0u);
+}
+
+TEST(Reuse, ResultsCarryBothGranularities)
+{
+    ReuseTracker tracker(16);
+    tracker.touch(kBase);
+    tracker.touch(kBase + mem::kBytes4K);
+    tracker.touch(kBase);
+    const auto results = tracker.results();
+    ASSERT_EQ(results.size(), 2u);
+    const auto &page0 = results[0];
+    // Page 0 was re-touched after 1 intervening access; its 2MB
+    // region was touched every access.
+    EXPECT_DOUBLE_EQ(page0.mean_4k, 1.0);
+    EXPECT_DOUBLE_EQ(page0.mean_2m, 0.0);
+}
+
+TEST(Reuse, HubRegionsRankedByHubPageCount)
+{
+    ReuseTracker tracker(32);
+    Rng rng(9);
+    // Region A: 256 hub pages; region B: 64 hub pages; interleaved so
+    // both stay hot at 2MB granularity.
+    for (int i = 0; i < 400'000; ++i) {
+        if (i % 2 == 0)
+            tracker.touch(kBase + rng.below(256) * mem::kBytes4K);
+        else
+            tracker.touch(kBase + mem::kBytes2M +
+                          rng.below(64) * mem::kBytes4K);
+    }
+    const auto regions = tracker.hubRegions();
+    ASSERT_GE(regions.size(), 2u);
+    EXPECT_EQ(regions[0], mem::vpnOf(kBase, mem::PageSize::Huge2M));
+}
+
+TEST(Reuse, AccessCountTracked)
+{
+    ReuseTracker tracker;
+    for (int i = 0; i < 10; ++i)
+        tracker.touch(kBase);
+    EXPECT_EQ(tracker.accesses(), 10u);
+    EXPECT_EQ(tracker.threshold(), 1024u);
+}

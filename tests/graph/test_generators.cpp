@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+
+using namespace pccsim;
+using namespace pccsim::graph;
+
+namespace {
+
+GraphSpec
+smallSpec(NetworkKind kind)
+{
+    GraphSpec spec;
+    spec.scale = 10;
+    spec.avg_degree = 8;
+    spec.kind = kind;
+    spec.seed = 99;
+    return spec;
+}
+
+u32
+maxDegree(const CsrGraph &g)
+{
+    u32 best = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        best = std::max(best, g.degree(v));
+    return best;
+}
+
+} // namespace
+
+TEST(Generators, SpecArithmetic)
+{
+    GraphSpec spec;
+    spec.scale = 10;
+    spec.avg_degree = 8;
+    EXPECT_EQ(spec.numNodes(), 1024u);
+    EXPECT_EQ(spec.numDirectedEdges(), 1024u * 8 / 2);
+}
+
+TEST(Generators, DeterministicForSameSeed)
+{
+    const CsrGraph a = generate(smallSpec(NetworkKind::Kronecker));
+    const CsrGraph b = generate(smallSpec(NetworkKind::Kronecker));
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    EXPECT_EQ(a.targets(), b.targets());
+}
+
+TEST(Generators, SeedChangesGraph)
+{
+    GraphSpec spec = smallSpec(NetworkKind::Kronecker);
+    const CsrGraph a = generate(spec);
+    spec.seed = 100;
+    const CsrGraph b = generate(spec);
+    EXPECT_NE(a.targets(), b.targets());
+}
+
+class AllKinds : public ::testing::TestWithParam<NetworkKind>
+{
+};
+
+TEST_P(AllKinds, SymmetrizedSizeAndValidity)
+{
+    const GraphSpec spec = smallSpec(GetParam());
+    const CsrGraph g = generate(spec);
+    EXPECT_EQ(g.numNodes(), spec.numNodes());
+    EXPECT_EQ(g.numEdges(), 2 * spec.numDirectedEdges());
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        for (NodeId u : g.neighbors(v))
+            ASSERT_LT(u, g.numNodes());
+}
+
+TEST_P(AllKinds, PowerLawSkewPresent)
+{
+    const CsrGraph g = generate(smallSpec(GetParam()));
+    const u32 avg = static_cast<u32>(g.numEdges() / g.numNodes());
+    // Hubs far above the mean degree are the signature of all three
+    // network classes the paper evaluates.
+    EXPECT_GT(maxDegree(g), avg * 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllKinds,
+                         ::testing::Values(NetworkKind::Kronecker,
+                                           NetworkKind::Social,
+                                           NetworkKind::Web));
+
+TEST(Generators, RmatEdgeInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const Edge e = rmatEdge(12, rng);
+        EXPECT_LT(e.src, 1u << 12);
+        EXPECT_LT(e.dst, 1u << 12);
+    }
+}
+
+TEST(Generators, WeightsInDeclaredRange)
+{
+    GraphSpec spec = smallSpec(NetworkKind::Kronecker);
+    spec.weighted = true;
+    const CsrGraph g = generate(spec);
+    ASSERT_TRUE(g.hasWeights());
+    for (u32 w : g.weights()) {
+        EXPECT_GE(w, 1u);
+        EXPECT_LE(w, 255u);
+    }
+}
+
+TEST(Dbg, ReorderPreservesStructure)
+{
+    const CsrGraph g = generate(smallSpec(NetworkKind::Kronecker));
+    const CsrGraph sorted = dbgReorder(g);
+    EXPECT_EQ(sorted.numNodes(), g.numNodes());
+    EXPECT_EQ(sorted.numEdges(), g.numEdges());
+
+    // Degree multiset is preserved.
+    std::vector<u32> before, after;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        before.push_back(g.degree(v));
+        after.push_back(sorted.degree(v));
+    }
+    std::sort(before.begin(), before.end());
+    std::sort(after.begin(), after.end());
+    EXPECT_EQ(before, after);
+}
+
+TEST(Dbg, HotVerticesMoveToFront)
+{
+    const CsrGraph g = generate(smallSpec(NetworkKind::Kronecker));
+    const CsrGraph sorted = dbgReorder(g);
+    // Average degree of the first 10% of vertices must exceed the
+    // last 10% after degree-based grouping.
+    const NodeId n = sorted.numNodes();
+    u64 head = 0, tail = 0;
+    for (NodeId v = 0; v < n / 10; ++v)
+        head += sorted.degree(v);
+    for (NodeId v = n - n / 10; v < n; ++v)
+        tail += sorted.degree(v);
+    EXPECT_GT(head, tail);
+}
+
+TEST(Dbg, ReorderKeepsWeightsAttached)
+{
+    GraphSpec spec = smallSpec(NetworkKind::Kronecker);
+    spec.weighted = true;
+    const CsrGraph g = generate(spec);
+    const CsrGraph sorted = dbgReorder(g);
+    ASSERT_TRUE(sorted.hasWeights());
+    // Total weight is invariant under reordering.
+    u64 sum_before = 0, sum_after = 0;
+    for (u32 w : g.weights())
+        sum_before += w;
+    for (u32 w : sorted.weights())
+        sum_after += w;
+    EXPECT_EQ(sum_before, sum_after);
+}

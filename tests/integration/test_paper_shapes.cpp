@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Qualitative acceptance tests for the paper's headline results
+ * (DESIGN.md "Result-shape acceptance criteria"). These run at CI
+ * scale, so thresholds are deliberately loose: they assert orderings
+ * and directions, not absolute numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+using namespace pccsim;
+using namespace pccsim::sim;
+
+namespace {
+
+ExperimentSpec
+ciSpec(const std::string &workload, PolicyKind policy)
+{
+    ExperimentSpec spec;
+    spec.workload.name = workload;
+    spec.workload.scale = workloads::Scale::Ci;
+    spec.policy = policy;
+    return spec;
+}
+
+RunResult
+baselineFor(const std::string &workload)
+{
+    ExperimentSpec spec = ciSpec(workload, PolicyKind::Base);
+    spec.cap_percent = 0.0;
+    return runOne(spec);
+}
+
+} // namespace
+
+TEST(PaperShapes, Fig1GraphAppsAreTlbBound)
+{
+    // Graph workloads show double-digit miss rates at 4KB.
+    for (const auto &name : workloads::graphWorkloadNames()) {
+        const auto base = baselineFor(name);
+        EXPECT_GT(base.job().tlbMissPercent(), 8.0) << name;
+    }
+}
+
+TEST(PaperShapes, Fig1DedupAndMcfAreInsensitive)
+{
+    for (const std::string name : {"dedup", "mcf"}) {
+        const auto base = baselineFor(name);
+        EXPECT_LT(base.job().tlbMissPercent(), 6.0) << name;
+        const auto huge = runOne(ciSpec(name, PolicyKind::AllHuge));
+        EXPECT_LT(speedup(base, huge), 1.15) << name;
+    }
+}
+
+TEST(PaperShapes, Fig1HugePagesHelpTlbBoundApps)
+{
+    for (const std::string name : {"bfs", "canneal"}) {
+        const auto base = baselineFor(name);
+        const auto huge = runOne(ciSpec(name, PolicyKind::AllHuge));
+        EXPECT_GT(speedup(base, huge), 1.15) << name;
+        EXPECT_LT(huge.job().tlbMissPercent(),
+                  base.job().tlbMissPercent() / 2) << name;
+    }
+}
+
+TEST(PaperShapes, Fig1GreedyThpDisappointsUnderFragmentation)
+{
+    const auto base = baselineFor("bfs");
+    ExperimentSpec thp = ciSpec("bfs", PolicyKind::LinuxThp);
+    thp.frag_fraction = 0.5;
+    // Pin khugepaged to the paper's scan-to-footprint ratio explicitly:
+    // CI footprints are so small that the auto floor (64 pages) would
+    // otherwise let it cover the whole heap within one run.
+    thp.tweak = [](SystemConfig &cfg) {
+        cfg.linux_thp.scan_pages_per_interval = 16;
+    };
+    const auto greedy = runOne(thp);
+    const auto ideal = runOne(ciSpec("bfs", PolicyKind::AllHuge));
+    // Greedy under fragmentation lands well below the ideal.
+    EXPECT_LT(speedup(base, greedy), speedup(base, ideal) * 0.8);
+}
+
+TEST(PaperShapes, Fig5PccBeatsHawkEyeAtSmallBudgets)
+{
+    const auto base = baselineFor("pr");
+    for (double cap : {4.0, 16.0}) {
+        ExperimentSpec pcc = ciSpec("pr", PolicyKind::Pcc);
+        pcc.cap_percent = cap;
+        ExperimentSpec hawk = ciSpec("pr", PolicyKind::HawkEye);
+        hawk.cap_percent = cap;
+        const double s_pcc = speedup(base, runOne(pcc));
+        const double s_hawk = speedup(base, runOne(hawk));
+        EXPECT_GE(s_pcc, s_hawk * 0.98) << "cap " << cap;
+    }
+}
+
+TEST(PaperShapes, Fig5SmallBudgetCapturesMostOfIdeal)
+{
+    const auto base = baselineFor("bfs");
+    const auto ideal = runOne(ciSpec("bfs", PolicyKind::AllHuge));
+    ExperimentSpec pcc = ciSpec("bfs", PolicyKind::Pcc);
+    pcc.cap_percent = 16.0;
+    const auto capped = runOne(pcc);
+    const double ideal_gain = speedup(base, ideal) - 1.0;
+    const double capped_gain = speedup(base, capped) - 1.0;
+    ASSERT_GT(ideal_gain, 0.0);
+    EXPECT_GT(capped_gain, 0.5 * ideal_gain)
+        << "a small promotion budget should capture most of the peak";
+}
+
+TEST(PaperShapes, Fig6LargerPccHelpsUntilPlateau)
+{
+    const auto base = baselineFor("bfs");
+    auto run_with_pcc_size = [&](u32 entries) {
+        ExperimentSpec spec = ciSpec("bfs", PolicyKind::Pcc);
+        spec.cap_percent = 32.0;
+        spec.tweak = [entries](SystemConfig &cfg) {
+            cfg.pcc.pcc2m.entries = entries;
+        };
+        return speedup(base, runOne(spec));
+    };
+    const double tiny = run_with_pcc_size(1);
+    const double small = run_with_pcc_size(8);
+    const double large = run_with_pcc_size(128);
+    EXPECT_GE(small, tiny * 0.99);
+    EXPECT_GE(large, small * 0.98);
+    EXPECT_GT(large, 1.0);
+}
+
+TEST(PaperShapes, Fig7PccBeatsLinuxUnderHeavyFragmentation)
+{
+    const auto base = baselineFor("bfs");
+    ExperimentSpec pcc = ciSpec("bfs", PolicyKind::Pcc);
+    pcc.frag_fraction = 0.9;
+    ExperimentSpec linux_thp = ciSpec("bfs", PolicyKind::LinuxThp);
+    linux_thp.frag_fraction = 0.9;
+    const double s_pcc = speedup(base, runOne(pcc));
+    const double s_linux = speedup(base, runOne(linux_thp));
+    EXPECT_GT(s_pcc, s_linux);
+    EXPECT_GT(s_pcc, 1.02);
+}
+
+TEST(PaperShapes, Fig9FrequencyPolicyBiasesTlbSensitiveProcess)
+{
+    // PR (TLB-sensitive) next to dedup (insensitive): the frequency
+    // policy must hand essentially all THPs to PR.
+    workloads::WorkloadSpec pr_spec;
+    pr_spec.name = "pr";
+    pr_spec.scale = workloads::Scale::Ci;
+    auto pr = workloads::makeWorkload(pr_spec);
+    workloads::WorkloadSpec dd_spec;
+    dd_spec.name = "dedup";
+    dd_spec.scale = workloads::Scale::Ci;
+    auto dedup = workloads::makeWorkload(dd_spec);
+
+    SystemConfig cfg = SystemConfig::forScale(workloads::Scale::Ci);
+    cfg.num_cores = 2;
+    cfg.policy = PolicyKind::Pcc;
+    cfg.promotion_cap_percent = 8.0;
+    cfg.pcc_policy.order = os::PromotionOrder::HighestFrequency;
+    System system(cfg);
+    const auto result =
+        system.run({System::Job{pr.get(), 1}, System::Job{dedup.get(), 1}});
+    ASSERT_EQ(result.jobs.size(), 2u);
+    EXPECT_GE(result.jobs[0].promotions, result.jobs[1].promotions);
+}

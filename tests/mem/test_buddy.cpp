@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "mem/buddy.hpp"
+#include "util/rng.hpp"
+
+using namespace pccsim;
+using namespace pccsim::mem;
+
+TEST(Buddy, FreshAllocatorIsFullyFree)
+{
+    BuddyAllocator buddy(1024, kOrder2M);
+    EXPECT_EQ(buddy.freeFrames(), 1024u);
+    EXPECT_EQ(buddy.allocatableChunks(kOrder2M), 2u);
+    EXPECT_EQ(buddy.freeChunksAt(kOrder2M), 2u);
+}
+
+TEST(Buddy, AllocateReturnsAlignedChunks)
+{
+    BuddyAllocator buddy(4096, kOrder2M);
+    for (unsigned order = 0; order <= kOrder2M; ++order) {
+        auto pfn = buddy.allocate(order);
+        ASSERT_TRUE(pfn.has_value());
+        EXPECT_EQ(*pfn & ((1ull << order) - 1), 0u)
+            << "order " << order;
+        buddy.free(*pfn, order);
+    }
+    EXPECT_EQ(buddy.freeFrames(), 4096u);
+}
+
+TEST(Buddy, ExhaustionReturnsNullopt)
+{
+    BuddyAllocator buddy(8, 3);
+    auto a = buddy.allocate(3);
+    ASSERT_TRUE(a);
+    EXPECT_FALSE(buddy.allocate(0).has_value());
+    buddy.free(*a, 3);
+    EXPECT_TRUE(buddy.allocate(0).has_value());
+}
+
+TEST(Buddy, SplitAndCoalesce)
+{
+    BuddyAllocator buddy(512, kOrder2M);
+    auto a = buddy.allocate(0);
+    ASSERT_TRUE(a);
+    EXPECT_EQ(buddy.allocatableChunks(kOrder2M), 0u);
+    buddy.free(*a, 0);
+    // Freeing the lone allocation must coalesce back to order 9.
+    EXPECT_EQ(buddy.freeChunksAt(kOrder2M), 1u);
+}
+
+TEST(Buddy, DistinctAllocationsDoNotOverlap)
+{
+    BuddyAllocator buddy(1024, kOrder2M);
+    std::set<Pfn> seen;
+    for (int i = 0; i < 1024; ++i) {
+        auto pfn = buddy.allocate(0);
+        ASSERT_TRUE(pfn);
+        EXPECT_TRUE(seen.insert(*pfn).second) << "duplicate frame";
+    }
+    EXPECT_FALSE(buddy.allocate(0));
+}
+
+TEST(Buddy, AllocateSpecificSplitsContainingChunk)
+{
+    BuddyAllocator buddy(1024, kOrder2M);
+    EXPECT_TRUE(buddy.allocateSpecific(700));
+    EXPECT_TRUE(buddy.isAllocated(700));
+    EXPECT_FALSE(buddy.isAllocated(699));
+    EXPECT_EQ(buddy.freeFrames(), 1023u);
+    // The 2MB block containing frame 700 can no longer form order 9.
+    EXPECT_EQ(buddy.allocatableChunks(kOrder2M), 1u);
+}
+
+TEST(Buddy, AllocateSpecificFailsOnAllocatedFrame)
+{
+    BuddyAllocator buddy(512, kOrder2M);
+    ASSERT_TRUE(buddy.allocateSpecific(10));
+    EXPECT_FALSE(buddy.allocateSpecific(10));
+}
+
+TEST(Buddy, AllocateSpecificOutOfRangeFails)
+{
+    BuddyAllocator buddy(512, kOrder2M);
+    EXPECT_FALSE(buddy.allocateSpecific(512));
+}
+
+TEST(Buddy, FreeSpecificCoalesces)
+{
+    BuddyAllocator buddy(512, kOrder2M);
+    ASSERT_TRUE(buddy.allocateSpecific(100));
+    buddy.free(100, 0);
+    EXPECT_EQ(buddy.freeChunksAt(kOrder2M), 1u);
+    EXPECT_EQ(buddy.freeFrames(), 512u);
+}
+
+TEST(Buddy, NonPowerOfTwoFrameCount)
+{
+    BuddyAllocator buddy(1000, kOrder2M);
+    EXPECT_EQ(buddy.freeFrames(), 1000u);
+    // 1000 frames: one order-9 chunk + change, no full second chunk.
+    EXPECT_EQ(buddy.allocatableChunks(kOrder2M), 1u);
+    u64 total = 0;
+    while (buddy.allocate(0))
+        ++total;
+    EXPECT_EQ(total, 1000u);
+}
+
+TEST(Buddy, PieceWiseFreeOfLargeChunk)
+{
+    // An order-9 chunk may be released frame-by-frame (huge page
+    // split followed by individual reclaim).
+    BuddyAllocator buddy(1024, kOrder2M);
+    auto head = buddy.allocate(kOrder2M);
+    ASSERT_TRUE(head);
+    for (u64 i = 0; i < 512; ++i)
+        buddy.free(*head + i, 0);
+    EXPECT_EQ(buddy.freeFrames(), 1024u);
+    EXPECT_EQ(buddy.freeChunksAt(kOrder2M), 2u);
+}
+
+TEST(Buddy, RandomStressPreservesInvariants)
+{
+    BuddyAllocator buddy(4096, kOrder2M);
+    Rng rng(42);
+    std::vector<std::pair<Pfn, unsigned>> live;
+    u64 live_frames = 0;
+    for (int step = 0; step < 5000; ++step) {
+        if (live.empty() || rng.chance(0.55)) {
+            const unsigned order = static_cast<unsigned>(rng.below(6));
+            auto pfn = buddy.allocate(order);
+            if (pfn) {
+                live.push_back({*pfn, order});
+                live_frames += 1ull << order;
+            }
+        } else {
+            const u64 i = rng.below(live.size());
+            buddy.free(live[i].first, live[i].second);
+            live_frames -= 1ull << live[i].second;
+            live[i] = live.back();
+            live.pop_back();
+        }
+        ASSERT_EQ(buddy.freeFrames(), 4096u - live_frames);
+    }
+    for (auto &[pfn, order] : live)
+        buddy.free(pfn, order);
+    EXPECT_EQ(buddy.freeFrames(), 4096u);
+    EXPECT_EQ(buddy.allocatableChunks(kOrder2M), 8u);
+}
+
+TEST(BuddyDeathTest, DoubleFreePanics)
+{
+    BuddyAllocator buddy(512, kOrder2M);
+    auto pfn = buddy.allocate(0);
+    ASSERT_TRUE(pfn);
+    buddy.free(*pfn, 0);
+    EXPECT_DEATH(buddy.free(*pfn, 0), "double free");
+}
+
+TEST(Buddy, MaxOrder1GSupported)
+{
+    BuddyAllocator buddy(1ull << 18, kOrder1G);
+    auto pfn = buddy.allocate(kOrder1G);
+    ASSERT_TRUE(pfn);
+    EXPECT_EQ(*pfn, 0u);
+    EXPECT_FALSE(buddy.allocate(0));
+    buddy.free(*pfn, kOrder1G);
+    EXPECT_EQ(buddy.freeChunksAt(kOrder1G), 1u);
+}

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "mem/paging.hpp"
+
+using namespace pccsim;
+using namespace pccsim::mem;
+
+TEST(Paging, Constants)
+{
+    EXPECT_EQ(kBytes4K, 4096u);
+    EXPECT_EQ(kBytes2M, 2u * 1024 * 1024);
+    EXPECT_EQ(kBytes1G, 1024ull * 1024 * 1024);
+    EXPECT_EQ(kPagesPer2M, 512u);
+    EXPECT_EQ(k2MPer1G, 512u);
+}
+
+TEST(Paging, ShiftAndBytes)
+{
+    EXPECT_EQ(shiftOf(PageSize::Base4K), 12u);
+    EXPECT_EQ(shiftOf(PageSize::Huge2M), 21u);
+    EXPECT_EQ(shiftOf(PageSize::Huge1G), 30u);
+    EXPECT_EQ(bytesOf(PageSize::Base4K), kBytes4K);
+    EXPECT_EQ(bytesOf(PageSize::Huge2M), kBytes2M);
+}
+
+TEST(Paging, VpnOfAndPageBase)
+{
+    const Addr a = 0x10000'0000ull + 5 * kBytes2M + 1234;
+    EXPECT_EQ(vpnOf(a, PageSize::Base4K), a >> 12);
+    EXPECT_EQ(vpnOf(a, PageSize::Huge2M), a >> 21);
+    EXPECT_EQ(pageBase(a, PageSize::Huge2M),
+              0x10000'0000ull + 5 * kBytes2M);
+    EXPECT_EQ(pageBase(a, PageSize::Base4K), a & ~0xfffull);
+}
+
+TEST(Paging, AlignmentHelpers)
+{
+    EXPECT_TRUE(isAligned(0, PageSize::Huge2M));
+    EXPECT_TRUE(isAligned(kBytes2M, PageSize::Huge2M));
+    EXPECT_FALSE(isAligned(kBytes2M + 1, PageSize::Huge2M));
+    EXPECT_EQ(alignUp(1, PageSize::Base4K), kBytes4K);
+    EXPECT_EQ(alignUp(kBytes2M, PageSize::Huge2M), kBytes2M);
+    EXPECT_EQ(alignUp(kBytes2M + 1, PageSize::Huge2M), 2 * kBytes2M);
+}
+
+TEST(Paging, RoundUpPages)
+{
+    EXPECT_EQ(roundUpPages(0, PageSize::Base4K), 0u);
+    EXPECT_EQ(roundUpPages(1, PageSize::Base4K), 1u);
+    EXPECT_EQ(roundUpPages(kBytes4K + 1, PageSize::Base4K), 2u);
+    EXPECT_EQ(roundUpPages(kBytes2M, PageSize::Huge2M), 1u);
+}
+
+TEST(Paging, CrossGranularityVpnConversion)
+{
+    const Vpn vpn4k = (7ull << 18) + 123; // inside 1GB region 7
+    EXPECT_EQ(vpn4KTo1G(vpn4k), 7u);
+    EXPECT_EQ(vpn4KTo2M(vpn4k), vpn4k >> 9);
+}
+
+TEST(Paging, Names)
+{
+    EXPECT_EQ(nameOf(PageSize::Base4K), "4KB");
+    EXPECT_EQ(nameOf(PageSize::Huge2M), "2MB");
+    EXPECT_EQ(nameOf(PageSize::Huge1G), "1GB");
+}

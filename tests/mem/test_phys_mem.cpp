@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "mem/phys_mem.hpp"
+
+using namespace pccsim;
+using namespace pccsim::mem;
+
+namespace {
+
+constexpr u64 kMem = 64 * kBytes2M; // 64 blocks
+
+} // namespace
+
+TEST(PhysMem, BaseAllocationRecordsOwner)
+{
+    PhysicalMemory pm(kMem);
+    auto pfn = pm.allocBase(3, 0x1234);
+    ASSERT_TRUE(pfn);
+    EXPECT_EQ(pm.useOf(*pfn), FrameUse::AppBase);
+    EXPECT_EQ(pm.ownerOf(*pfn).pid, 3u);
+    EXPECT_EQ(pm.ownerOf(*pfn).vpn4k, 0x1234u);
+    pm.freeBase(*pfn);
+    EXPECT_EQ(pm.useOf(*pfn), FrameUse::Free);
+}
+
+TEST(PhysMem, HugeAllocationMarksWholeBlock)
+{
+    PhysicalMemory pm(kMem);
+    auto pfn = pm.allocHuge(1, 0);
+    ASSERT_TRUE(pfn);
+    EXPECT_EQ(*pfn % kPagesPer2M, 0u);
+    for (u64 i = 0; i < kPagesPer2M; ++i)
+        EXPECT_EQ(pm.useOf(*pfn + i), FrameUse::AppHuge);
+    pm.freeHuge(*pfn);
+    EXPECT_EQ(pm.useOf(*pfn), FrameUse::Free);
+}
+
+TEST(PhysMem, FragmentPinsRequestedShare)
+{
+    PhysicalMemory pm(kMem);
+    Rng rng(7);
+    const u64 pinned = pm.fragment(0.5, rng);
+    EXPECT_EQ(pinned, 32u);
+    EXPECT_EQ(pm.pinnedBlocks(), 32u);
+    // Pinned blocks cannot form huge frames.
+    EXPECT_EQ(pm.hugeFramesAvailable(), 32u);
+}
+
+TEST(PhysMem, ScrambleRemovesReadyHugeFrames)
+{
+    PhysicalMemory pm(kMem);
+    Rng rng(7);
+    pm.fragment(0.5, rng);
+    pm.scramble(rng);
+    EXPECT_EQ(pm.hugeFramesAvailable(), 0u);
+    // But unpinned blocks remain compactable.
+    EXPECT_EQ(pm.compactableBlocks(), 32u);
+}
+
+TEST(PhysMem, CompactionLiberatesScrambledBlock)
+{
+    PhysicalMemory pm(kMem);
+    Rng rng(9);
+    pm.fragment(0.5, rng);
+    pm.scramble(rng);
+    ASSERT_EQ(pm.hugeFramesAvailable(), 0u);
+
+    auto result = pm.compactOneBlock();
+    ASSERT_TRUE(result);
+    EXPECT_EQ(pm.hugeFramesAvailable(), 1u);
+    // Filler moves carry the filler pid so the OS can skip them.
+    for (const auto &move : result->moves)
+        EXPECT_EQ(move.owner.pid, kFillerPid);
+    EXPECT_TRUE(pm.allocHuge(0, 0).has_value());
+}
+
+TEST(PhysMem, CompactionMovesAppPagesWithOwners)
+{
+    PhysicalMemory pm(8 * kBytes2M);
+    // Fill one whole block with app pages, then compact it away.
+    std::vector<Pfn> frames;
+    for (u64 i = 0; i < kPagesPer2M; ++i) {
+        auto pfn = pm.allocBase(1, 1000 + i);
+        ASSERT_TRUE(pfn);
+        frames.push_back(*pfn);
+    }
+    const u64 before = pm.freeFrames();
+    auto result = pm.compactOneBlock();
+    ASSERT_TRUE(result);
+    EXPECT_EQ(result->moves.size(), kPagesPer2M);
+    EXPECT_EQ(pm.freeFrames(), before); // moves conserve usage
+    for (const auto &move : result->moves) {
+        EXPECT_EQ(pm.useOf(move.from), FrameUse::Free);
+        EXPECT_EQ(pm.useOf(move.to), FrameUse::AppBase);
+        EXPECT_EQ(pm.ownerOf(move.to).pid, 1u);
+        EXPECT_EQ(move.owner.vpn4k, pm.ownerOf(move.to).vpn4k);
+    }
+}
+
+TEST(PhysMem, CompactionSkipsPinnedAndHugeBlocks)
+{
+    PhysicalMemory pm(2 * kBytes2M); // 2 blocks only
+    Rng rng(3);
+    // Pin a page in every block: nothing is compactable.
+    pm.fragment(1.0, rng);
+    EXPECT_EQ(pm.compactableBlocks(), 0u);
+    EXPECT_FALSE(pm.compactOneBlock().has_value());
+}
+
+TEST(PhysMem, SplitHugeReassignsOwnership)
+{
+    PhysicalMemory pm(kMem);
+    auto pfn = pm.allocHuge(2, 4096);
+    ASSERT_TRUE(pfn);
+    pm.splitHuge(*pfn, 2, 4096);
+    for (u64 i = 0; i < kPagesPer2M; ++i) {
+        EXPECT_EQ(pm.useOf(*pfn + i), FrameUse::AppBase);
+        EXPECT_EQ(pm.ownerOf(*pfn + i).vpn4k, 4096 + i);
+    }
+    // Split frames can be individually freed and re-coalesce.
+    for (u64 i = 0; i < kPagesPer2M; ++i)
+        pm.freeBase(*pfn + i);
+    EXPECT_TRUE(pm.allocHuge(0, 0).has_value());
+}
+
+TEST(PhysMem, HugeAllocationFailsWhenFragmented)
+{
+    PhysicalMemory pm(4 * kBytes2M);
+    Rng rng(5);
+    pm.fragment(1.0, rng);
+    EXPECT_FALSE(pm.allocHuge(0, 0).has_value());
+    EXPECT_GT(pm.stats().get("alloc_huge_fail"), 0u);
+}
+
+TEST(PhysMem, FragmentZeroIsNoop)
+{
+    PhysicalMemory pm(kMem);
+    Rng rng(1);
+    EXPECT_EQ(pm.fragment(0.0, rng), 0u);
+    EXPECT_EQ(pm.hugeFramesAvailable(), 64u);
+}
+
+TEST(PhysMem, AccountingCounters)
+{
+    PhysicalMemory pm(kMem);
+    EXPECT_EQ(pm.totalBlocks(), 64u);
+    EXPECT_EQ(pm.totalFrames(), 64u * 512);
+    auto a = pm.allocBase(0, 1);
+    auto b = pm.allocHuge(0, 512);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(pm.freeFrames(), 64u * 512 - 1 - 512);
+    EXPECT_EQ(pm.stats().get("alloc_base"), 1u);
+    EXPECT_EQ(pm.stats().get("alloc_huge"), 1u);
+}

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "mem/phys_mem.hpp"
+#include "os/os.hpp"
+
+using namespace pccsim;
+using namespace pccsim::os;
+using pccsim::mem::PageSize;
+
+namespace {
+
+struct Fixture1G : public ::testing::Test
+{
+    Fixture1G()
+        : phys(4 * mem::kBytes1G), os_model(Os::Params{}, phys),
+          proc(os_model.createProcess(4 * mem::kBytes1G))
+    {
+        heap = proc.mmap(mem::kBytes1G, "heap");
+        EXPECT_TRUE(mem::isAligned(heap, PageSize::Huge1G));
+    }
+
+    void
+    faultOnePagePerRegion(u64 regions)
+    {
+        for (u64 r = 0; r < regions; ++r)
+            os_model.handleFault(proc, heap + r * mem::kBytes2M, false);
+    }
+
+    mem::PhysicalMemory phys;
+    Os os_model;
+    Process &proc;
+    Addr heap = 0;
+};
+
+} // namespace
+
+TEST_F(Fixture1G, PromoteFromBasePages)
+{
+    faultOnePagePerRegion(mem::k2MPer1G);
+    const auto result = os_model.promoteRegion1G(proc, heap);
+    ASSERT_EQ(result.status, PromoteStatus::Ok);
+    EXPECT_EQ(proc.regionStateOf(heap), RegionState::Huge1G);
+    EXPECT_EQ(proc.regionStateOf(heap + 300 * mem::kBytes2M),
+              RegionState::Huge1G);
+    const auto m = proc.pageTable().lookup(heap + 123456789);
+    EXPECT_TRUE(m.present);
+    EXPECT_EQ(m.size, PageSize::Huge1G);
+    EXPECT_EQ(proc.promotions1G(), 1u);
+    EXPECT_EQ(proc.promotedBytes(), mem::kBytes1G);
+}
+
+TEST_F(Fixture1G, PromoteMixed4KAnd2M)
+{
+    faultOnePagePerRegion(mem::k2MPer1G);
+    // Promote a couple of constituents to 2MB first.
+    ASSERT_EQ(os_model.promoteRegion(proc, heap, false).status,
+              PromoteStatus::Ok);
+    ASSERT_EQ(
+        os_model.promoteRegion(proc, heap + mem::kBytes2M, false).status,
+        PromoteStatus::Ok);
+    // Collective promotion of the whole gigabyte (Sec. 3.2.3).
+    const auto result = os_model.promoteRegion1G(proc, heap);
+    ASSERT_EQ(result.status, PromoteStatus::Ok);
+    EXPECT_EQ(proc.pageTable().lookup(heap).size, PageSize::Huge1G);
+    // 2MB-promoted bytes were re-counted into the 1GB total.
+    EXPECT_EQ(proc.promotedBytes(), mem::kBytes1G);
+}
+
+TEST_F(Fixture1G, SecondPromotionReportsAlreadyHuge)
+{
+    faultOnePagePerRegion(4);
+    ASSERT_EQ(os_model.promoteRegion1G(proc, heap).status,
+              PromoteStatus::Ok);
+    EXPECT_EQ(os_model.promoteRegion1G(proc, heap).status,
+              PromoteStatus::AlreadyHuge);
+}
+
+TEST_F(Fixture1G, UntouchedRangeRejected)
+{
+    EXPECT_EQ(os_model.promoteRegion1G(proc, heap).status,
+              PromoteStatus::NotEligible);
+}
+
+TEST_F(Fixture1G, FailsWithoutGigabyteFrame)
+{
+    faultOnePagePerRegion(4);
+    // Consume the remaining 2MB chunks so no order-18 chunk remains.
+    std::vector<Pfn> taken;
+    while (auto pfn = phys.allocHuge(0, 0))
+        taken.push_back(*pfn);
+    EXPECT_EQ(os_model.promoteRegion1G(proc, heap).status,
+              PromoteStatus::NoHugeFrame);
+    for (Pfn pfn : taken)
+        phys.freeHuge(pfn);
+}
+
+TEST_F(Fixture1G, DemoteSplitsInto2M)
+{
+    faultOnePagePerRegion(mem::k2MPer1G);
+    ASSERT_EQ(os_model.promoteRegion1G(proc, heap).status,
+              PromoteStatus::Ok);
+    os_model.demoteRegion1G(proc, heap);
+    EXPECT_EQ(proc.regionStateOf(heap), RegionState::Huge2M);
+    const auto m = proc.pageTable().lookup(heap + 5 * mem::kBytes2M);
+    EXPECT_TRUE(m.present);
+    EXPECT_EQ(m.size, PageSize::Huge2M);
+    // Per-2MB demotion back to base pages still works afterwards.
+    os_model.demoteRegion(proc, heap + 5 * mem::kBytes2M);
+    EXPECT_EQ(proc.regionStateOf(heap + 5 * mem::kBytes2M),
+              RegionState::Base4K);
+}
+
+TEST_F(Fixture1G, ShootdownCoversWholeGigabyte)
+{
+    faultOnePagePerRegion(4);
+    Addr seen_base = 0;
+    u64 seen_bytes = 0;
+    os_model.setShootdownHook(
+        [&](Pid, Addr base, u64 bytes) -> Cycles {
+            seen_base = base;
+            seen_bytes = bytes;
+            return 0;
+        });
+    ASSERT_EQ(os_model.promoteRegion1G(proc, heap).status,
+              PromoteStatus::Ok);
+    EXPECT_EQ(seen_base, heap);
+    EXPECT_EQ(seen_bytes, mem::kBytes1G);
+}
+
+TEST(Os1GCap, GigabytePromotionRespectsBudget)
+{
+    mem::PhysicalMemory phys(4 * mem::kBytes1G);
+    Os::Params params;
+    params.promotion_cap_bytes = mem::kBytes2M * 4; // << 1GB
+    Os os_model(params, phys);
+    Process &proc = os_model.createProcess(4 * mem::kBytes1G);
+    const Addr heap = proc.mmap(mem::kBytes1G, "heap");
+    os_model.handleFault(proc, heap, false);
+    EXPECT_EQ(os_model.promoteRegion1G(proc, heap).status,
+              PromoteStatus::CapReached);
+}

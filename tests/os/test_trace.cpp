@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "os/trace.hpp"
+#include "sim/system.hpp"
+#include "workloads/synthetic.hpp"
+
+using namespace pccsim;
+using namespace pccsim::os;
+
+TEST(Trace, SerializeParseRoundTrip)
+{
+    PromotionTrace trace;
+    trace.record(1000, 0, 0x1000'0000'0000ull, mem::PageSize::Huge2M);
+    trace.record(2000, 1, 0x1100'0020'0000ull, mem::PageSize::Huge1G);
+
+    const PromotionTrace parsed =
+        PromotionTrace::parse(trace.serialize());
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed.entries()[0].at_accesses, 1000u);
+    EXPECT_EQ(parsed.entries()[0].pid, 0u);
+    EXPECT_EQ(parsed.entries()[0].region_base, 0x1000'0000'0000ull);
+    EXPECT_EQ(parsed.entries()[0].size, mem::PageSize::Huge2M);
+    EXPECT_EQ(parsed.entries()[1].size, mem::PageSize::Huge1G);
+    EXPECT_EQ(parsed.entries()[1].pid, 1u);
+}
+
+TEST(Trace, ParseSkipsCommentsAndBlankLines)
+{
+    const auto trace = PromotionTrace::parse(
+        "# header\n\n100 0 0x200000 2M\n# trailing\n");
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace.entries()[0].region_base, 0x200000u);
+}
+
+TEST(TraceDeathTest, MalformedLineIsFatal)
+{
+    EXPECT_DEATH(PromotionTrace::parse("not a trace line\n"),
+                 "malformed");
+    EXPECT_DEATH(PromotionTrace::parse("1 0 0x0 16K\n"),
+                 "unknown page size");
+}
+
+TEST(Trace, SaveLoadFile)
+{
+    PromotionTrace trace;
+    trace.record(7, 0, 0x400000, mem::PageSize::Huge2M);
+    const std::string path = "/tmp/pccsim_trace_test.txt";
+    trace.save(path);
+    const PromotionTrace loaded = PromotionTrace::load(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded.entries()[0].at_accesses, 7u);
+    std::remove(path.c_str());
+}
+
+namespace {
+
+workloads::SyntheticSpec
+hotSpec()
+{
+    workloads::SyntheticSpec spec;
+    spec.pattern = workloads::Pattern::HotRegions;
+    spec.footprint_bytes = 64ull << 20;
+    spec.hot_regions = 8;
+    spec.ops = 1'200'000;
+    return spec;
+}
+
+} // namespace
+
+TEST(TraceReplay, ReproducesRecordedPromotions)
+{
+    // Step 1 (the paper's offline TLB+PCC simulation): run under the
+    // PCC policy and record the promotion trace.
+    sim::SystemConfig record_cfg =
+        sim::SystemConfig::forScale(workloads::Scale::Ci);
+    record_cfg.policy = sim::PolicyKind::Pcc;
+    record_cfg.record_trace = true;
+    workloads::SyntheticWorkload w1(hotSpec());
+    sim::System recorder(record_cfg);
+    const auto recorded_run = recorder.run(w1);
+    ASSERT_GT(recorded_run.job().promotions, 0u);
+    const os::PromotionTrace trace = recorder.recordedTrace();
+    ASSERT_EQ(trace.size(), recorded_run.job().promotions);
+
+    // Step 2 (the paper's real-system replay): a fresh run whose OS
+    // promotes from the trace instead of reading PCC hardware.
+    sim::SystemConfig replay_cfg =
+        sim::SystemConfig::forScale(workloads::Scale::Ci);
+    replay_cfg.policy = sim::PolicyKind::TraceReplay;
+    replay_cfg.replay_trace = trace;
+    workloads::SyntheticWorkload w2(hotSpec());
+    sim::System replayer(replay_cfg);
+    const auto replayed_run = replayer.run(w2);
+
+    EXPECT_EQ(replayed_run.job().promotions,
+              recorded_run.job().promotions);
+    EXPECT_EQ(replayed_run.job().promoted_bytes,
+              recorded_run.job().promoted_bytes);
+    // Same promotions at the same times: near-identical performance.
+    const double ratio =
+        static_cast<double>(replayed_run.job().wall_cycles) /
+        static_cast<double>(recorded_run.job().wall_cycles);
+    EXPECT_NEAR(ratio, 1.0, 0.05);
+}
+
+TEST(TraceReplay, EmptyTraceEqualsBaseline)
+{
+    sim::SystemConfig base_cfg =
+        sim::SystemConfig::forScale(workloads::Scale::Ci);
+    base_cfg.policy = sim::PolicyKind::Base;
+    workloads::SyntheticWorkload w1(hotSpec());
+    sim::System base_sys(base_cfg);
+    const auto base = base_sys.run(w1);
+
+    sim::SystemConfig replay_cfg =
+        sim::SystemConfig::forScale(workloads::Scale::Ci);
+    replay_cfg.policy = sim::PolicyKind::TraceReplay;
+    workloads::SyntheticWorkload w2(hotSpec());
+    sim::System replay_sys(replay_cfg);
+    const auto replayed = replay_sys.run(w2);
+    EXPECT_EQ(replayed.job().promotions, 0u);
+    EXPECT_EQ(replayed.job().wall_cycles, base.job().wall_cycles);
+}

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "pcc/pcc.hpp"
+#include "util/rng.hpp"
+
+using namespace pccsim;
+using namespace pccsim::pcc;
+
+TEST(Pcc, InsertOnMissWithFrequencyZero)
+{
+    PromotionCandidateCache pcc({4, 8});
+    pcc.touch(100);
+    EXPECT_EQ(pcc.size(), 1u);
+    EXPECT_EQ(pcc.frequencyOf(100), 0u);
+    EXPECT_EQ(pcc.misses(), 1u);
+}
+
+TEST(Pcc, HitIncrementsFrequency)
+{
+    PromotionCandidateCache pcc({4, 8});
+    for (int i = 0; i < 5; ++i)
+        pcc.touch(100);
+    EXPECT_EQ(pcc.frequencyOf(100), 4u);
+    EXPECT_EQ(pcc.hits(), 4u);
+}
+
+TEST(Pcc, LfuEvictionKeepsHotEntries)
+{
+    PromotionCandidateCache pcc({2, 8});
+    pcc.touch(1);
+    pcc.touch(1); // freq 1
+    pcc.touch(2); // freq 0
+    pcc.touch(3); // evicts 2 (LFU), not 1
+    EXPECT_TRUE(pcc.frequencyOf(1).has_value());
+    EXPECT_FALSE(pcc.frequencyOf(2).has_value());
+    EXPECT_TRUE(pcc.frequencyOf(3).has_value());
+    EXPECT_EQ(pcc.evictions(), 1u);
+}
+
+TEST(Pcc, LruBreaksFrequencyTies)
+{
+    PromotionCandidateCache pcc({2, 8});
+    pcc.touch(1); // freq 0, older
+    pcc.touch(2); // freq 0, newer
+    pcc.touch(3); // tie on freq: evict 1 (least recent)
+    EXPECT_FALSE(pcc.frequencyOf(1).has_value());
+    EXPECT_TRUE(pcc.frequencyOf(2).has_value());
+}
+
+TEST(Pcc, PureLruPolicyIgnoresFrequency)
+{
+    PromotionCandidateCache pcc({2, 8, Replacement::PureLru});
+    pcc.touch(1);
+    pcc.touch(1);
+    pcc.touch(1); // hot but old
+    pcc.touch(2);
+    pcc.touch(1); // refresh 1; now 2 is LRU
+    pcc.touch(3); // evicts 2
+    EXPECT_TRUE(pcc.frequencyOf(1).has_value());
+    EXPECT_FALSE(pcc.frequencyOf(2).has_value());
+}
+
+TEST(Pcc, SaturationHalvesAllCounters)
+{
+    PromotionCandidateCache pcc({4, 4}); // counters saturate at 15
+    pcc.touch(7);
+    for (int i = 0; i < 6; ++i)
+        pcc.touch(8); // freq 6
+    for (int i = 0; i < 16; ++i)
+        pcc.touch(9); // will saturate
+    EXPECT_EQ(pcc.decays(), 1u);
+    // Relative order preserved, absolute values halved.
+    EXPECT_GT(*pcc.frequencyOf(9), *pcc.frequencyOf(8));
+    EXPECT_GT(*pcc.frequencyOf(8), *pcc.frequencyOf(7));
+    EXPECT_LT(*pcc.frequencyOf(9), 15u);
+}
+
+TEST(Pcc, CounterNeverExceedsMax)
+{
+    PromotionCandidateCache pcc({2, 4});
+    for (int i = 0; i < 1000; ++i)
+        pcc.touch(1);
+    EXPECT_LT(*pcc.frequencyOf(1), 16u);
+    EXPECT_GT(pcc.decays(), 0u);
+}
+
+TEST(Pcc, SnapshotRankedByFrequencyThenRecency)
+{
+    PromotionCandidateCache pcc({8, 8});
+    for (int i = 0; i < 4; ++i)
+        pcc.touch(10);
+    for (int i = 0; i < 2; ++i)
+        pcc.touch(20);
+    pcc.touch(30);
+    pcc.touch(40); // same freq (0) as 30 but more recent
+    const auto snap = pcc.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    EXPECT_EQ(snap[0].region, 10u);
+    EXPECT_EQ(snap[1].region, 20u);
+    EXPECT_EQ(snap[2].region, 40u); // recency breaks the tie
+    EXPECT_EQ(snap[3].region, 30u);
+}
+
+TEST(Pcc, SnapshotIsNonDestructive)
+{
+    PromotionCandidateCache pcc({4, 8});
+    pcc.touch(5);
+    pcc.snapshot();
+    EXPECT_EQ(pcc.size(), 1u);
+}
+
+TEST(Pcc, TopMatchesSnapshotHead)
+{
+    PromotionCandidateCache pcc({8, 8});
+    EXPECT_FALSE(pcc.top().has_value());
+    for (int i = 0; i < 3; ++i)
+        pcc.touch(11);
+    pcc.touch(22);
+    ASSERT_TRUE(pcc.top().has_value());
+    EXPECT_EQ(pcc.top()->region, pcc.snapshot()[0].region);
+}
+
+TEST(Pcc, InvalidateRemovesEntry)
+{
+    PromotionCandidateCache pcc({4, 8});
+    pcc.touch(1);
+    pcc.touch(2);
+    EXPECT_TRUE(pcc.invalidate(1));
+    EXPECT_FALSE(pcc.invalidate(1));
+    EXPECT_EQ(pcc.size(), 1u);
+    EXPECT_EQ(pcc.invalidations(), 1u);
+    // Index stays consistent after the swap-remove.
+    EXPECT_EQ(pcc.frequencyOf(2), 0u);
+    pcc.touch(2);
+    EXPECT_EQ(pcc.frequencyOf(2), 1u);
+}
+
+TEST(Pcc, ClearEmptiesCache)
+{
+    PromotionCandidateCache pcc({4, 8});
+    pcc.touch(1);
+    pcc.touch(2);
+    pcc.clear();
+    EXPECT_EQ(pcc.size(), 0u);
+    EXPECT_FALSE(pcc.frequencyOf(1).has_value());
+}
+
+TEST(Pcc, StorageArithmeticMatchesPaper)
+{
+    // Sec. 3.2.1: 128-entry 2MB PCC with 40-bit tags + 8-bit counters
+    // = 6B/entry = 768B; 8-entry 1GB PCC with 31-bit tags = 40B.
+    EXPECT_EQ(PromotionCandidateCache::storageBytes(128, 40, 8), 768u);
+    EXPECT_EQ(PromotionCandidateCache::storageBytes(8, 31, 8), 40u);
+}
+
+TEST(Pcc, HotSetSurvivesScanPollution)
+{
+    // A small hot set plus a stream of cold single-touch regions: the
+    // hot regions must remain resident (the LFU property the OS relies
+    // on for ranking quality).
+    PromotionCandidateCache pcc({16, 8});
+    Rng rng(3);
+    for (int round = 0; round < 2000; ++round) {
+        pcc.touch(rng.below(8));          // hot: regions 0..7
+        pcc.touch(1000 + (round % 512));  // cold scan
+    }
+    for (Vpn hot = 0; hot < 8; ++hot)
+        EXPECT_TRUE(pcc.frequencyOf(hot).has_value()) << hot;
+}
+
+class PccSizeSweep : public ::testing::TestWithParam<u32>
+{
+};
+
+TEST_P(PccSizeSweep, CapacityBounded)
+{
+    PromotionCandidateCache pcc({GetParam(), 8});
+    for (Vpn v = 0; v < GetParam() * 4ull; ++v)
+        pcc.touch(v);
+    EXPECT_EQ(pcc.size(), GetParam());
+    EXPECT_TRUE(pcc.full());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PccSizeSweep,
+                         ::testing::Values(1, 4, 8, 32, 128, 1024));
+
+class PccCounterSweep : public ::testing::TestWithParam<u32>
+{
+};
+
+TEST_P(PccCounterSweep, DecayTriggersAtCounterMax)
+{
+    const u32 bits = GetParam();
+    PromotionCandidateCache pcc({4, bits});
+    const u64 max = (1ull << bits) - 1;
+    for (u64 i = 0; i <= max; ++i)
+        pcc.touch(1);
+    EXPECT_EQ(pcc.decays(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PccCounterSweep,
+                         ::testing::Values(2, 4, 8, 12, 16));

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "pcc/pcc_unit.hpp"
+
+using namespace pccsim;
+using namespace pccsim::pcc;
+using pccsim::mem::PageSize;
+
+namespace {
+
+constexpr Addr kHeap = 0x1000'0000'0000ull;
+
+pt::WalkOutcome
+walk4k(bool warm, bool pud_accessed = true)
+{
+    pt::WalkOutcome out;
+    out.present = true;
+    out.size = PageSize::Base4K;
+    out.memory_refs = 2;
+    out.pmd_was_accessed = warm;
+    out.pte_was_accessed = warm;
+    out.pud_was_accessed = pud_accessed;
+    return out;
+}
+
+pt::WalkOutcome
+walk2m(bool pud_accessed)
+{
+    pt::WalkOutcome out;
+    out.present = true;
+    out.size = PageSize::Huge2M;
+    out.pud_was_accessed = pud_accessed;
+    return out;
+}
+
+} // namespace
+
+TEST(PccUnit, ColdWalkFilteredOut)
+{
+    PccUnit unit;
+    unit.observeWalk(kHeap, walk4k(/*pmd_accessed=*/false));
+    EXPECT_EQ(unit.pcc2m().size(), 0u);
+}
+
+TEST(PccUnit, WarmWalkInserted)
+{
+    PccUnit unit;
+    unit.observeWalk(kHeap, walk4k(true));
+    EXPECT_EQ(unit.pcc2m().size(), 1u);
+    EXPECT_TRUE(unit.pcc2m()
+                    .frequencyOf(mem::vpnOf(kHeap, PageSize::Huge2M))
+                    .has_value());
+}
+
+TEST(PccUnit, FilterDisabledTracksColdWalks)
+{
+    PccUnitConfig cfg;
+    cfg.access_bit_filter = false;
+    PccUnit unit(cfg);
+    unit.observeWalk(kHeap, walk4k(false));
+    EXPECT_EQ(unit.pcc2m().size(), 1u);
+}
+
+TEST(PccUnit, NonPresentWalkIgnored)
+{
+    PccUnit unit;
+    pt::WalkOutcome out;
+    out.present = false;
+    unit.observeWalk(kHeap, out);
+    EXPECT_EQ(unit.pcc2m().size(), 0u);
+}
+
+TEST(PccUnit, HugeWalksFeed1GPccOnly)
+{
+    PccUnitConfig cfg;
+    cfg.enable_1g = true;
+    PccUnit unit(cfg);
+    unit.observeWalk(kHeap, walk2m(/*pud_accessed=*/true));
+    EXPECT_EQ(unit.pcc2m().size(), 0u) << "2MB walks must not enter "
+                                          "the 2MB PCC";
+    EXPECT_EQ(unit.pcc1g().size(), 1u);
+}
+
+TEST(PccUnit, OneGigDisabledByDefault)
+{
+    PccUnit unit;
+    unit.observeWalk(kHeap, walk2m(true));
+    EXPECT_EQ(unit.pcc1g().size(), 0u);
+}
+
+TEST(PccUnit, ShootdownInvalidatesCoveredRegions)
+{
+    PccUnit unit;
+    unit.observeWalk(kHeap, walk4k(true));
+    unit.observeWalk(kHeap + mem::kBytes2M, walk4k(true));
+    unit.shootdown(kHeap, mem::kBytes2M);
+    EXPECT_EQ(unit.pcc2m().size(), 1u);
+    EXPECT_FALSE(
+        unit.pcc2m()
+            .frequencyOf(mem::vpnOf(kHeap, PageSize::Huge2M))
+            .has_value());
+}
+
+TEST(PccUnit, Prefer1GWhenRatioExceeded)
+{
+    PccUnitConfig cfg;
+    cfg.enable_1g = true;
+    cfg.pcc1g = {8, 16};
+    cfg.pcc2m = {128, 16};
+    PccUnit unit(cfg);
+    const Vpn region1g = mem::vpnOf(kHeap, PageSize::Huge1G);
+
+    // 4KB walks scattered across the 1GB region: each 2MB candidate
+    // stays cool while the 1GB counter accumulates everything.
+    for (u64 r = 0; r < 64; ++r) {
+        const Addr addr = kHeap + r * mem::kBytes2M;
+        for (int i = 0; i < 32; ++i)
+            unit.observeWalk(addr, walk4k(true));
+    }
+    // best 2MB frequency ~31, 1GB frequency ~2047: ratio ~66 < 512.
+    EXPECT_FALSE(unit.prefer1G(region1g, 512));
+    EXPECT_TRUE(unit.prefer1G(region1g, 32));
+}
+
+TEST(PccUnit, Prefer1GWhenOnly2MWalksObserved)
+{
+    PccUnitConfig cfg;
+    cfg.enable_1g = true;
+    PccUnit unit(cfg);
+    // Walks from data already mapped at 2MB: no 2MB candidates, only
+    // 1GB pressure -> 1GB promotion is the only upgrade available.
+    for (int i = 0; i < 4; ++i)
+        unit.observeWalk(kHeap, walk2m(true));
+    EXPECT_TRUE(unit.prefer1G(mem::vpnOf(kHeap, PageSize::Huge1G)));
+}
+
+TEST(PccUnit, VictimSourceIgnoresWalks)
+{
+    PccUnitConfig cfg;
+    cfg.source = CandidateSource::L2Victims;
+    PccUnit unit(cfg);
+    unit.observeWalk(kHeap, walk4k(true));
+    EXPECT_EQ(unit.pcc2m().size(), 0u);
+    unit.observeL2Victim(mem::vpnOf(kHeap, PageSize::Base4K),
+                         PageSize::Base4K);
+    EXPECT_EQ(unit.pcc2m().size(), 1u);
+}
+
+TEST(PccUnit, WalkSourceIgnoresVictims)
+{
+    PccUnit unit; // default: PtwFiltered
+    unit.observeL2Victim(mem::vpnOf(kHeap, PageSize::Base4K),
+                         PageSize::Base4K);
+    EXPECT_EQ(unit.pcc2m().size(), 0u);
+}
+
+TEST(PccUnit, VictimSourceStillFeeds1GFromWalks)
+{
+    PccUnitConfig cfg;
+    cfg.source = CandidateSource::L2Victims;
+    cfg.enable_1g = true;
+    PccUnit unit(cfg);
+    unit.observeWalk(kHeap, walk4k(true));
+    EXPECT_EQ(unit.pcc1g().size(), 1u);
+    EXPECT_EQ(unit.pcc2m().size(), 0u);
+}
+
+TEST(PccUnit, Prefer1GFalseWhenUntracked)
+{
+    PccUnitConfig cfg;
+    cfg.enable_1g = true;
+    PccUnit unit(cfg);
+    EXPECT_FALSE(unit.prefer1G(123));
+}

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "pt/page_table.hpp"
+
+using namespace pccsim;
+using namespace pccsim::pt;
+using pccsim::mem::PageSize;
+
+namespace {
+
+constexpr Addr kHeap = 0x1000'0000'0000ull;
+
+} // namespace
+
+TEST(PageTable, EmptyLookupIsAbsent)
+{
+    PageTable pt;
+    EXPECT_FALSE(pt.lookup(kHeap).present);
+}
+
+TEST(PageTable, MapBaseThenLookup)
+{
+    PageTable pt;
+    pt.mapBase(kHeap + 0x3000, 77);
+    const auto m = pt.lookup(kHeap + 0x3abc);
+    EXPECT_TRUE(m.present);
+    EXPECT_EQ(m.size, PageSize::Base4K);
+    EXPECT_EQ(m.pfn, 77u);
+    // Neighboring page remains unmapped.
+    EXPECT_FALSE(pt.lookup(kHeap + 0x4000).present);
+}
+
+TEST(PageTable, MapHuge2MCoversRegion)
+{
+    PageTable pt;
+    pt.mapHuge2M(kHeap, 512);
+    for (u64 off : {u64(0), u64(0x1000), mem::kBytes2M - 1}) {
+        const auto m = pt.lookup(kHeap + off);
+        EXPECT_TRUE(m.present);
+        EXPECT_EQ(m.size, PageSize::Huge2M);
+        EXPECT_EQ(m.pfn, 512u);
+    }
+}
+
+TEST(PageTable, PromotionReplacesBaseSubtree)
+{
+    PageTable pt;
+    for (u64 p = 0; p < 8; ++p)
+        pt.mapBase(kHeap + p * 4096, 100 + p);
+    const u64 nodes_before = pt.nodeCount();
+    pt.mapHuge2M(kHeap, 2048);
+    EXPECT_LT(pt.nodeCount(), nodes_before); // PTE page freed
+    EXPECT_EQ(pt.lookup(kHeap).size, PageSize::Huge2M);
+}
+
+TEST(PageTable, DemoteSplitsInPlace)
+{
+    PageTable pt;
+    pt.mapHuge2M(kHeap, 1024);
+    pt.demote2M(kHeap);
+    for (u64 p = 0; p < 512; p += 37) {
+        const auto m = pt.lookup(kHeap + p * 4096);
+        ASSERT_TRUE(m.present);
+        EXPECT_EQ(m.size, PageSize::Base4K);
+        EXPECT_EQ(m.pfn, 1024 + p);
+    }
+    // Split PTEs start with accessed bits set.
+    EXPECT_EQ(pt.countAccessed4K(kHeap), 512u);
+}
+
+TEST(PageTable, MapHuge1G)
+{
+    PageTable pt;
+    const Addr base = kHeap & ~(mem::kBytes1G - 1);
+    pt.mapHuge1G(base, 1u << 18);
+    const auto m = pt.lookup(base + 12345678);
+    EXPECT_TRUE(m.present);
+    EXPECT_EQ(m.size, PageSize::Huge1G);
+}
+
+TEST(PageTable, UnmapEachSize)
+{
+    PageTable pt;
+    pt.mapBase(kHeap, 1);
+    pt.unmap(kHeap);
+    EXPECT_FALSE(pt.lookup(kHeap).present);
+
+    pt.mapHuge2M(kHeap, 512);
+    pt.unmap(kHeap + 4096);
+    EXPECT_FALSE(pt.lookup(kHeap).present);
+}
+
+TEST(PageTable, WalkSetsAccessedBitsBottomUp)
+{
+    PageTable pt;
+    pt.mapBase(kHeap, 5);
+    const auto first = pt.walk(kHeap);
+    EXPECT_TRUE(first.present);
+    EXPECT_FALSE(first.pmd_was_accessed) << "cold walk";
+    EXPECT_FALSE(first.pte_was_accessed);
+    const auto second = pt.walk(kHeap);
+    EXPECT_TRUE(second.pmd_was_accessed) << "warm walk";
+    EXPECT_TRUE(second.pud_was_accessed);
+    EXPECT_TRUE(second.pte_was_accessed);
+}
+
+TEST(PageTable, WalkLevelsByLeafDepth)
+{
+    PageTable pt;
+    pt.mapBase(kHeap, 5);
+    EXPECT_EQ(pt.walk(kHeap).levels, 4u);
+    pt.mapHuge2M(kHeap + mem::kBytes2M, 512);
+    EXPECT_EQ(pt.walk(kHeap + mem::kBytes2M).levels, 3u);
+}
+
+TEST(PageTable, WalkUnmappedReportsAbsent)
+{
+    PageTable pt;
+    const auto info = pt.walk(kHeap);
+    EXPECT_FALSE(info.present);
+}
+
+TEST(PageTable, AccessedScanAndClear)
+{
+    PageTable pt;
+    for (u64 p = 0; p < 512; ++p)
+        pt.mapBase(kHeap + p * 4096, p);
+    EXPECT_EQ(pt.countAccessed4K(kHeap), 0u);
+    pt.walk(kHeap);
+    pt.walk(kHeap + 7 * 4096);
+    EXPECT_EQ(pt.countAccessed4K(kHeap), 2u);
+    pt.clearAccessed(kHeap);
+    EXPECT_EQ(pt.countAccessed4K(kHeap), 0u);
+    // Clearing also rearms the PMD-level cold filter.
+    EXPECT_FALSE(pt.walk(kHeap).pmd_was_accessed);
+}
+
+TEST(PageTable, RemapBaseChangesFrame)
+{
+    PageTable pt;
+    pt.mapBase(kHeap, 10);
+    EXPECT_TRUE(pt.remapBase(kHeap, 20));
+    EXPECT_EQ(pt.lookup(kHeap).pfn, 20u);
+    EXPECT_FALSE(pt.remapBase(kHeap + 4096, 30));
+}
+
+TEST(PageTable, DistantAddressesShareNothing)
+{
+    PageTable pt;
+    pt.mapBase(kHeap, 1);
+    pt.mapBase(kHeap + (1ull << 39), 2); // different PGD entry
+    EXPECT_EQ(pt.lookup(kHeap).pfn, 1u);
+    EXPECT_EQ(pt.lookup(kHeap + (1ull << 39)).pfn, 2u);
+}
+
+TEST(PageTableDeathTest, MapBaseUnderHugeLeafPanics)
+{
+    PageTable pt;
+    pt.mapHuge2M(kHeap, 512);
+    EXPECT_DEATH(pt.mapBase(kHeap + 4096, 9), "under a 2MB leaf");
+}
+
+TEST(PageTableDeathTest, DemoteNonHugePanics)
+{
+    PageTable pt;
+    pt.mapBase(kHeap, 1);
+    EXPECT_DEATH(pt.demote2M(kHeap), "non-huge");
+}

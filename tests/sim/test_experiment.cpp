@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+using namespace pccsim;
+using namespace pccsim::sim;
+
+namespace {
+
+ExperimentSpec
+ciSpec(const std::string &workload, PolicyKind policy)
+{
+    ExperimentSpec spec;
+    spec.workload.name = workload;
+    spec.workload.scale = workloads::Scale::Ci;
+    spec.policy = policy;
+    return spec;
+}
+
+} // namespace
+
+TEST(Experiment, ConfigForMapsPolicyAndCap)
+{
+    ExperimentSpec spec = ciSpec("bfs", PolicyKind::Pcc);
+    spec.cap_percent = 8.0;
+    spec.frag_fraction = 0.9;
+    const SystemConfig cfg = configFor(spec);
+    EXPECT_EQ(cfg.policy, PolicyKind::Pcc);
+    EXPECT_DOUBLE_EQ(cfg.promotion_cap_percent, 8.0);
+    EXPECT_DOUBLE_EQ(cfg.frag_fraction, 0.9);
+}
+
+TEST(Experiment, AllHugeIgnoresFragmentation)
+{
+    ExperimentSpec spec = ciSpec("bfs", PolicyKind::AllHuge);
+    spec.frag_fraction = 0.9;
+    spec.cap_percent = 1.0;
+    const SystemConfig cfg = configFor(spec);
+    EXPECT_DOUBLE_EQ(cfg.frag_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(cfg.promotion_cap_percent, -1.0);
+}
+
+TEST(Experiment, TweakHookApplied)
+{
+    ExperimentSpec spec = ciSpec("bfs", PolicyKind::Base);
+    spec.tweak = [](SystemConfig &cfg) { cfg.pcc.pcc2m.entries = 7; };
+    EXPECT_EQ(configFor(spec).pcc.pcc2m.entries, 7u);
+}
+
+TEST(Experiment, UtilityCapsMatchPaperAxis)
+{
+    const auto &caps = utilityCaps();
+    ASSERT_EQ(caps.size(), 9u);
+    EXPECT_EQ(caps.front(), 0);
+    EXPECT_EQ(caps[4], 8);
+    EXPECT_EQ(caps.back(), -1); // the ~100% point
+}
+
+TEST(Experiment, UtilityCurveIsAnchoredAndOrdered)
+{
+    ExperimentSpec base = ciSpec("bfs", PolicyKind::Base);
+    base.cap_percent = 0.0;
+    const RunResult baseline = runOne(base);
+
+    ExperimentSpec pcc = ciSpec("bfs", PolicyKind::Pcc);
+    const auto curve = utilityCurve(pcc, baseline);
+    ASSERT_EQ(curve.size(), utilityCaps().size());
+    EXPECT_DOUBLE_EQ(curve.front().speedup, 1.0);
+    // The unlimited point must be at least as fast as the 1% point.
+    EXPECT_GE(curve.back().speedup, curve[1].speedup * 0.98);
+    // PTW rate falls from left to right (allowing small noise).
+    EXPECT_LE(curve.back().ptw_percent,
+              curve.front().ptw_percent + 0.5);
+}
+
+TEST(Experiment, GeomeanSpeedupRunsAcrossDatasets)
+{
+    ExperimentSpec spec = ciSpec("bfs", PolicyKind::AllHuge);
+    DatasetSweep sweep;
+    sweep.networks = {graph::NetworkKind::Kronecker};
+    sweep.include_sorted = false;
+    const double s = geomeanSpeedup(spec, sweep);
+    EXPECT_GT(s, 1.0);
+    EXPECT_LT(s, 5.0);
+}

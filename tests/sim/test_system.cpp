@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "sim/system.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/synthetic.hpp"
+
+using namespace pccsim;
+using namespace pccsim::sim;
+
+namespace {
+
+SystemConfig
+ciConfig(PolicyKind policy)
+{
+    SystemConfig cfg = SystemConfig::forScale(workloads::Scale::Ci);
+    cfg.policy = policy;
+    return cfg;
+}
+
+workloads::SyntheticSpec
+hotSpec()
+{
+    workloads::SyntheticSpec spec;
+    spec.pattern = workloads::Pattern::HotRegions;
+    spec.footprint_bytes = 64ull << 20;
+    spec.hot_regions = 8;
+    spec.ops = 1'500'000;
+    return spec;
+}
+
+} // namespace
+
+TEST(System, BaselineRunProducesSaneMetrics)
+{
+    workloads::SyntheticWorkload w(hotSpec());
+    System system(ciConfig(PolicyKind::Base));
+    const auto result = system.run(w);
+    ASSERT_EQ(result.jobs.size(), 1u);
+    const auto &job = result.job();
+    EXPECT_GT(job.wall_cycles, 0u);
+    EXPECT_GT(job.accesses, hotSpec().ops);
+    EXPECT_GT(job.walks, 0u);
+    EXPECT_EQ(job.promotions, 0u);
+    EXPECT_GT(job.faults, (64ull << 20) / mem::kBytes4K / 2);
+    EXPECT_GT(job.tlbMissPercent(), 10.0) << "hot set >> TLB coverage";
+    EXPECT_GE(job.refs_per_walk, 1.0);
+    EXPECT_LE(job.refs_per_walk, 4.0);
+}
+
+TEST(System, RunsAreDeterministic)
+{
+    workloads::SyntheticWorkload w1(hotSpec());
+    workloads::SyntheticWorkload w2(hotSpec());
+    System s1(ciConfig(PolicyKind::Pcc));
+    System s2(ciConfig(PolicyKind::Pcc));
+    const auto r1 = s1.run(w1);
+    const auto r2 = s2.run(w2);
+    EXPECT_EQ(r1.job().wall_cycles, r2.job().wall_cycles);
+    EXPECT_EQ(r1.job().walks, r2.job().walks);
+    EXPECT_EQ(r1.job().promotions, r2.job().promotions);
+}
+
+TEST(System, AllHugeEliminatesWalksAndSpeedsUp)
+{
+    workloads::SyntheticWorkload base_w(hotSpec());
+    workloads::SyntheticWorkload huge_w(hotSpec());
+    System base_sys(ciConfig(PolicyKind::Base));
+    System huge_sys(ciConfig(PolicyKind::AllHuge));
+    const auto base = base_sys.run(base_w);
+    const auto huge = huge_sys.run(huge_w);
+    EXPECT_LT(huge.job().tlbMissPercent(), 1.0);
+    EXPECT_GT(speedup(base, huge), 1.1);
+    EXPECT_GT(huge.job().promotions, 0u); // fault-time THPs counted
+}
+
+TEST(System, PccPolicyPromotesHotRegions)
+{
+    workloads::SyntheticWorkload base_w(hotSpec());
+    workloads::SyntheticWorkload pcc_w(hotSpec());
+    System base_sys(ciConfig(PolicyKind::Base));
+    SystemConfig cfg = ciConfig(PolicyKind::Pcc);
+    cfg.promotion_cap_percent = 50.0;
+    System pcc_sys(cfg);
+    const auto base = base_sys.run(base_w);
+    const auto pcc = pcc_sys.run(pcc_w);
+    EXPECT_GT(pcc.job().promotions, 0u);
+    EXPECT_LT(pcc.job().ptwPercent(), base.job().ptwPercent());
+    EXPECT_GT(speedup(base, pcc), 1.05);
+    EXPECT_GT(pcc.intervals, 0u);
+    EXPECT_GT(pcc.shootdowns, 0u);
+}
+
+TEST(System, PromotionCapZeroForbidsPromotion)
+{
+    workloads::SyntheticWorkload w(hotSpec());
+    SystemConfig cfg = ciConfig(PolicyKind::Pcc);
+    cfg.promotion_cap_percent = 0.0;
+    System system(cfg);
+    const auto result = system.run(w);
+    EXPECT_EQ(result.job().promotions, 0u);
+}
+
+TEST(System, FragmentationForcesCompaction)
+{
+    workloads::SyntheticWorkload w(hotSpec());
+    SystemConfig cfg = ciConfig(PolicyKind::Pcc);
+    cfg.frag_fraction = 0.5;
+    cfg.promotion_cap_percent = 25.0;
+    System system(cfg);
+    const auto result = system.run(w);
+    EXPECT_GT(result.job().promotions, 0u);
+    EXPECT_GT(result.compactions, 0u);
+}
+
+TEST(System, MultiLaneRunCompletes)
+{
+    workloads::WorkloadSpec spec;
+    spec.name = "pr";
+    spec.scale = workloads::Scale::Ci;
+    auto w = workloads::makeWorkload(spec);
+    SystemConfig cfg = ciConfig(PolicyKind::Pcc);
+    cfg.num_cores = 4;
+    System system(cfg);
+    const auto result = system.run(*w, 4);
+    EXPECT_GT(result.job().accesses, 0u);
+    EXPECT_GT(result.job().wall_cycles, 0u);
+    // Wall time of the job is the max over its lanes' cores, so it is
+    // bounded by total work but must reflect parallel division.
+    EXPECT_LT(result.job().wall_cycles,
+              result.job().accesses * 400ull);
+}
+
+TEST(System, MultiProcessRunsIsolateAddressSpaces)
+{
+    workloads::SyntheticWorkload wa(hotSpec());
+    workloads::SyntheticSpec sb = hotSpec();
+    sb.pattern = workloads::Pattern::Sequential;
+    workloads::SyntheticWorkload wb(sb);
+
+    // Base policy: promotions would otherwise erase the contrast this
+    // test uses to check that the jobs' address spaces are isolated.
+    SystemConfig cfg = ciConfig(PolicyKind::Base);
+    cfg.num_cores = 2;
+    System system(cfg);
+    const auto result =
+        system.run({System::Job{&wa, 1}, System::Job{&wb, 1}});
+    ASSERT_EQ(result.jobs.size(), 2u);
+    EXPECT_NE(result.jobs[0].pid, result.jobs[1].pid);
+    // The random job misses; the streaming job barely does.
+    EXPECT_GT(result.jobs[0].tlbMissPercent(),
+              result.jobs[1].tlbMissPercent() * 5);
+}
+
+TEST(SystemDeathTest, MoreLanesThanCoresPanics)
+{
+    workloads::SyntheticWorkload w(hotSpec());
+    System system(ciConfig(PolicyKind::Base));
+    EXPECT_DEATH(system.run(w, 2), "more lanes than cores");
+}

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "tlb/set_assoc_tlb.hpp"
+
+using namespace pccsim;
+using namespace pccsim::tlb;
+
+TEST(SetAssocTlb, MissThenHitAfterInsert)
+{
+    SetAssocTlb tlb({16, 4});
+    EXPECT_FALSE(tlb.lookup(0x100));
+    tlb.insert(0x100);
+    EXPECT_TRUE(tlb.lookup(0x100));
+}
+
+TEST(SetAssocTlb, LruEvictionWithinSet)
+{
+    SetAssocTlb tlb({8, 2}); // 4 sets, 2 ways
+    // VPNs 0, 4, 8 all map to set 0 (vpn % 4).
+    tlb.insert(0);
+    tlb.insert(4);
+    EXPECT_TRUE(tlb.lookup(0)); // 0 becomes MRU
+    tlb.insert(8);              // evicts 4 (the LRU)
+    EXPECT_TRUE(tlb.contains(0));
+    EXPECT_TRUE(tlb.contains(8));
+    EXPECT_FALSE(tlb.contains(4));
+}
+
+TEST(SetAssocTlb, ContainsDoesNotPromote)
+{
+    SetAssocTlb tlb({8, 2});
+    tlb.insert(0);
+    tlb.insert(4);
+    // Probe 0 without promoting, then insert: 0 should be evicted.
+    EXPECT_TRUE(tlb.contains(0));
+    tlb.insert(8);
+    EXPECT_FALSE(tlb.contains(0));
+    EXPECT_TRUE(tlb.contains(4));
+}
+
+TEST(SetAssocTlb, ReinsertExistingRefreshes)
+{
+    SetAssocTlb tlb({8, 2});
+    tlb.insert(0);
+    tlb.insert(4);
+    tlb.insert(0); // refresh, no duplicate
+    tlb.insert(8); // evicts 4
+    EXPECT_TRUE(tlb.contains(0));
+    EXPECT_FALSE(tlb.contains(4));
+    EXPECT_EQ(tlb.validCount(), 2u);
+}
+
+TEST(SetAssocTlb, InvalidateSingleEntry)
+{
+    SetAssocTlb tlb({16, 4});
+    tlb.insert(7);
+    EXPECT_TRUE(tlb.invalidate(7));
+    EXPECT_FALSE(tlb.invalidate(7));
+    EXPECT_FALSE(tlb.contains(7));
+}
+
+TEST(SetAssocTlb, InvalidateRange)
+{
+    SetAssocTlb tlb({64, 4});
+    for (Vpn v = 0; v < 32; ++v)
+        tlb.insert(v);
+    const u64 dropped = tlb.invalidateVpnRange(10, 20);
+    EXPECT_EQ(dropped, 10u);
+    for (Vpn v = 0; v < 32; ++v)
+        EXPECT_EQ(tlb.contains(v), v < 10 || v >= 20) << v;
+}
+
+TEST(SetAssocTlb, FlushAllEmpties)
+{
+    SetAssocTlb tlb({16, 4});
+    for (Vpn v = 0; v < 16; ++v)
+        tlb.insert(v);
+    tlb.flushAll();
+    EXPECT_EQ(tlb.validCount(), 0u);
+}
+
+TEST(SetAssocTlb, FullAssociativityActsAsOneSet)
+{
+    SetAssocTlb tlb({4, 4}); // fully associative
+    for (Vpn v = 100; v < 104; ++v)
+        tlb.insert(v);
+    EXPECT_EQ(tlb.validCount(), 4u);
+    tlb.insert(200); // evicts LRU = 100
+    EXPECT_FALSE(tlb.contains(100));
+    EXPECT_TRUE(tlb.contains(103));
+}
+
+class TlbGeometrySweep
+    : public ::testing::TestWithParam<std::pair<u32, u32>>
+{
+};
+
+TEST_P(TlbGeometrySweep, CapacityIsRespected)
+{
+    const auto [entries, ways] = GetParam();
+    SetAssocTlb tlb({entries, ways});
+    // Insert 4x capacity; valid count never exceeds capacity and a
+    // freshly inserted entry is always resident.
+    for (Vpn v = 0; v < entries * 4; ++v) {
+        tlb.insert(v);
+        ASSERT_LE(tlb.validCount(), entries);
+        ASSERT_TRUE(tlb.contains(v));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TlbGeometrySweep,
+    ::testing::Values(std::pair<u32, u32>{64, 4},
+                      std::pair<u32, u32>{32, 4},
+                      std::pair<u32, u32>{1024, 8},
+                      std::pair<u32, u32>{4, 4},
+                      std::pair<u32, u32>{8, 8}));

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/generator.hpp"
+
+using namespace pccsim;
+
+namespace {
+
+Generator<int>
+countTo(int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_yield i;
+}
+
+Generator<int>
+empty()
+{
+    co_return;
+}
+
+} // namespace
+
+TEST(Generator, YieldsAllValuesInOrder)
+{
+    auto gen = countTo(5);
+    std::vector<int> seen;
+    while (gen.next())
+        seen.push_back(gen.value());
+    EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Generator, EmptyGeneratorNeverYields)
+{
+    auto gen = empty();
+    EXPECT_FALSE(gen.next());
+    EXPECT_FALSE(gen.next());
+}
+
+TEST(Generator, NextAfterExhaustionIsFalse)
+{
+    auto gen = countTo(1);
+    EXPECT_TRUE(gen.next());
+    EXPECT_FALSE(gen.next());
+    EXPECT_FALSE(gen.next());
+}
+
+TEST(Generator, MoveTransfersOwnership)
+{
+    auto gen = countTo(3);
+    EXPECT_TRUE(gen.next());
+    Generator<int> other = std::move(gen);
+    EXPECT_FALSE(gen.valid());
+    EXPECT_TRUE(other.next());
+    EXPECT_EQ(other.value(), 1);
+}
+
+TEST(Generator, DefaultConstructedIsInvalid)
+{
+    Generator<int> gen;
+    EXPECT_FALSE(gen.valid());
+    EXPECT_FALSE(gen.next());
+}
+
+TEST(Generator, InterleavedGeneratorsAreIndependent)
+{
+    auto a = countTo(3);
+    auto b = countTo(3);
+    EXPECT_TRUE(a.next());
+    EXPECT_TRUE(b.next());
+    EXPECT_TRUE(a.next());
+    EXPECT_EQ(a.value(), 1);
+    EXPECT_EQ(b.value(), 0);
+}
+
+TEST(Generator, LazyBodyRunsOnFirstNext)
+{
+    bool started = false;
+    auto make = [&]() -> Generator<int> {
+        started = true;
+        co_yield 1;
+    };
+    auto gen = make();
+    EXPECT_FALSE(started);
+    gen.next();
+    EXPECT_TRUE(started);
+}

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "util/histogram.hpp"
+
+using namespace pccsim;
+
+TEST(Log2Histogram, BucketBoundaries)
+{
+    EXPECT_EQ(Log2Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Log2Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Log2Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Log2Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Log2Histogram::bucketOf(1024), 11u);
+}
+
+TEST(Log2Histogram, BucketLowInvertsBucketOf)
+{
+    for (unsigned i = 0; i < 64; ++i) {
+        const u64 low = Log2Histogram::bucketLow(i);
+        EXPECT_EQ(Log2Histogram::bucketOf(low), i);
+    }
+}
+
+TEST(Log2Histogram, CountsAndMean)
+{
+    Log2Histogram h;
+    h.add(0);
+    h.add(4);
+    h.add(4);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(3), 2u);
+    EXPECT_NEAR(h.mean(), 8.0 / 3.0, 1e-12);
+}
+
+TEST(Log2Histogram, WeightedAdd)
+{
+    Log2Histogram h;
+    h.add(8, 5);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.count(4), 5u);
+}
+
+TEST(Log2Histogram, QuantileRoughlyCorrect)
+{
+    Log2Histogram h;
+    for (u64 v = 0; v < 100; ++v)
+        h.add(v);
+    // The median of 0..99 lives in the bucket containing ~50.
+    const u64 median_low = h.quantile(0.5);
+    EXPECT_GE(median_low, 16u);
+    EXPECT_LE(median_low, 64u);
+}
+
+TEST(Log2Histogram, ResetClears)
+{
+    Log2Histogram h;
+    h.add(5);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Log2Histogram, NonEmptyListsBuckets)
+{
+    Log2Histogram h;
+    h.add(1);
+    h.add(1000);
+    const auto buckets = h.nonEmpty();
+    ASSERT_EQ(buckets.size(), 2u);
+    EXPECT_EQ(buckets[0].first, 1u);
+    EXPECT_EQ(buckets[1].first, 512u);
+}

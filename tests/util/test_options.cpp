@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/options.hpp"
+
+using namespace pccsim;
+
+namespace {
+
+Options
+parse(std::vector<const char *> args)
+{
+    args.insert(args.begin(), "prog");
+    return Options(static_cast<int>(args.size()),
+                   const_cast<char **>(args.data()));
+}
+
+} // namespace
+
+TEST(Options, KeyEqualsValue)
+{
+    auto opts = parse({"--scale=small", "--cap=4.5"});
+    EXPECT_EQ(opts.get("scale"), "small");
+    EXPECT_DOUBLE_EQ(opts.getDouble("cap", 0), 4.5);
+}
+
+TEST(Options, KeySpaceValue)
+{
+    auto opts = parse({"--scale", "medium"});
+    EXPECT_EQ(opts.get("scale"), "medium");
+}
+
+TEST(Options, BareFlag)
+{
+    auto opts = parse({"--verbose"});
+    EXPECT_TRUE(opts.has("verbose"));
+    EXPECT_TRUE(opts.getBool("verbose"));
+    EXPECT_FALSE(opts.getBool("quiet"));
+}
+
+TEST(Options, BoolValues)
+{
+    EXPECT_TRUE(parse({"--x=true"}).getBool("x"));
+    EXPECT_TRUE(parse({"--x=1"}).getBool("x"));
+    EXPECT_TRUE(parse({"--x=on"}).getBool("x"));
+    EXPECT_FALSE(parse({"--x=0"}).getBool("x"));
+}
+
+TEST(Options, IntFallbackAndParsing)
+{
+    auto opts = parse({"--n=42"});
+    EXPECT_EQ(opts.getInt("n", 0), 42);
+    EXPECT_EQ(opts.getInt("m", 7), 7);
+}
+
+TEST(Options, HexIntegers)
+{
+    auto opts = parse({"--addr=0x10"});
+    EXPECT_EQ(opts.getInt("addr", 0), 16);
+}
+
+TEST(Options, PositionalCollected)
+{
+    auto opts = parse({"one", "--k=v", "two"});
+    ASSERT_EQ(opts.positional().size(), 2u);
+    EXPECT_EQ(opts.positional()[0], "one");
+    EXPECT_EQ(opts.positional()[1], "two");
+}
+
+TEST(Options, FallbackWhenMissing)
+{
+    auto opts = parse({});
+    EXPECT_EQ(opts.get("nothing", "dflt"), "dflt");
+    EXPECT_DOUBLE_EQ(opts.getDouble("nothing", 1.5), 1.5);
+}

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/rng.hpp"
+
+using namespace pccsim;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (u64 bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const u64 v = rng.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    constexpr u64 buckets = 16;
+    u64 counts[buckets] = {};
+    const int n = 160000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.below(buckets)];
+    for (u64 c : counts) {
+        EXPECT_GT(c, n / buckets * 0.9);
+        EXPECT_LT(c, n / buckets * 1.1);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(SplitMix, KnownSequenceIsStable)
+{
+    u64 state = 0;
+    const u64 first = splitmix64(state);
+    u64 state2 = 0;
+    EXPECT_EQ(first, splitmix64(state2));
+    EXPECT_NE(splitmix64(state), first);
+}
+
+TEST(Zipf, SamplesInRange)
+{
+    Rng rng(17);
+    ZipfSampler zipf(1000, 0.8);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(zipf.sample(rng), 1000u);
+}
+
+TEST(Zipf, SkewFavorsSmallValues)
+{
+    Rng rng(19);
+    ZipfSampler zipf(100000, 0.9);
+    u64 low = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        low += zipf.sample(rng) < 1000 ? 1 : 0;
+    // Under a 0.9-skew Zipf over 100k items, the first 1% of items
+    // should draw far more than 1% of samples.
+    EXPECT_GT(low, n / 10);
+}
+
+TEST(Zipf, ExponentOneSupported)
+{
+    Rng rng(21);
+    ZipfSampler zipf(1000, 1.0);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(zipf.sample(rng), 1000u);
+}
+
+class ZipfSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfSweep, MonotoneRankPopularity)
+{
+    Rng rng(23);
+    ZipfSampler zipf(10000, GetParam());
+    std::map<u64, u64> counts;
+    for (int i = 0; i < 100000; ++i)
+        ++counts[zipf.sample(rng) / 2500];
+    // Quartile popularity decreases with rank.
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[1], counts[3]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfSweep,
+                         ::testing::Values(0.6, 0.8, 0.99, 1.2));

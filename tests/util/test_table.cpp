@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "util/table.hpp"
+
+using namespace pccsim;
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer", "2"});
+    const std::string out = t.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(Table, CsvHasNoPadding)
+{
+    Table t({"a", "b"});
+    t.row({"1", "2"});
+    EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, FmtPrecision)
+{
+    EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(12.345, 1), "12.3%");
+}
+
+TEST(Table, RowCountTracked)
+{
+    Table t({"x"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.row({"1"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TableDeathTest, MismatchedRowWidthPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.row({"only-one"}), "table row width");
+}
