@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_coldfilter.dir/bench/abl_coldfilter.cpp.o"
+  "CMakeFiles/abl_coldfilter.dir/bench/abl_coldfilter.cpp.o.d"
+  "bench/abl_coldfilter"
+  "bench/abl_coldfilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_coldfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

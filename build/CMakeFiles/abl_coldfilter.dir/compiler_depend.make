@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_coldfilter.
+# This may be replaced when dependencies are built.

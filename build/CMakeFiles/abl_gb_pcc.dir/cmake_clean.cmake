@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gb_pcc.dir/bench/abl_gb_pcc.cpp.o"
+  "CMakeFiles/abl_gb_pcc.dir/bench/abl_gb_pcc.cpp.o.d"
+  "bench/abl_gb_pcc"
+  "bench/abl_gb_pcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gb_pcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

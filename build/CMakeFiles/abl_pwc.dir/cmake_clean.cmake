@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pwc.dir/bench/abl_pwc.cpp.o"
+  "CMakeFiles/abl_pwc.dir/bench/abl_pwc.cpp.o.d"
+  "bench/abl_pwc"
+  "bench/abl_pwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_replacement.dir/bench/abl_replacement.cpp.o"
+  "CMakeFiles/abl_replacement.dir/bench/abl_replacement.cpp.o.d"
+  "bench/abl_replacement"
+  "bench/abl_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

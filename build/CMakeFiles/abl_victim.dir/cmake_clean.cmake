@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_victim.dir/bench/abl_victim.cpp.o"
+  "CMakeFiles/abl_victim.dir/bench/abl_victim.cpp.o.d"
+  "bench/abl_victim"
+  "bench/abl_victim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

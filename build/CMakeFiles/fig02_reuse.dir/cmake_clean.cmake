@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_reuse.dir/bench/fig02_reuse.cpp.o"
+  "CMakeFiles/fig02_reuse.dir/bench/fig02_reuse.cpp.o.d"
+  "bench/fig02_reuse"
+  "bench/fig02_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

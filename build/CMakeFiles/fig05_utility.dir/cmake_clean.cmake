@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_utility.dir/bench/fig05_utility.cpp.o"
+  "CMakeFiles/fig05_utility.dir/bench/fig05_utility.cpp.o.d"
+  "bench/fig05_utility"
+  "bench/fig05_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

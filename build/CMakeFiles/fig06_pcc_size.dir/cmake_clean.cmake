@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_pcc_size.dir/bench/fig06_pcc_size.cpp.o"
+  "CMakeFiles/fig06_pcc_size.dir/bench/fig06_pcc_size.cpp.o.d"
+  "bench/fig06_pcc_size"
+  "bench/fig06_pcc_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_pcc_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_fragmentation.dir/bench/fig07_fragmentation.cpp.o"
+  "CMakeFiles/fig07_fragmentation.dir/bench/fig07_fragmentation.cpp.o.d"
+  "bench/fig07_fragmentation"
+  "bench/fig07_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_multithread.dir/bench/fig08_multithread.cpp.o"
+  "CMakeFiles/fig08_multithread.dir/bench/fig08_multithread.cpp.o.d"
+  "bench/fig08_multithread"
+  "bench/fig08_multithread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_multithread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_multiprocess.dir/bench/fig09_multiprocess.cpp.o"
+  "CMakeFiles/fig09_multiprocess.dir/bench/fig09_multiprocess.cpp.o.d"
+  "bench/fig09_multiprocess"
+  "bench/fig09_multiprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_multiprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

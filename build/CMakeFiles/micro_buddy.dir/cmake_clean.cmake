@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_buddy.dir/bench/micro_buddy.cpp.o"
+  "CMakeFiles/micro_buddy.dir/bench/micro_buddy.cpp.o.d"
+  "bench/micro_buddy"
+  "bench/micro_buddy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_buddy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

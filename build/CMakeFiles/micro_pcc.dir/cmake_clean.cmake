@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pcc.dir/bench/micro_pcc.cpp.o"
+  "CMakeFiles/micro_pcc.dir/bench/micro_pcc.cpp.o.d"
+  "bench/micro_pcc"
+  "bench/micro_pcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

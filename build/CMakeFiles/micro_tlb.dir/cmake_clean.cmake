@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tlb.dir/bench/micro_tlb.cpp.o"
+  "CMakeFiles/micro_tlb.dir/bench/micro_tlb.cpp.o.d"
+  "bench/micro_tlb"
+  "bench/micro_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

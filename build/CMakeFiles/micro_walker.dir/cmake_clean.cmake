@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_walker.dir/bench/micro_walker.cpp.o"
+  "CMakeFiles/micro_walker.dir/bench/micro_walker.cpp.o.d"
+  "bench/micro_walker"
+  "bench/micro_walker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_walker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

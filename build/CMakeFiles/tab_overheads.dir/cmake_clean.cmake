@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_overheads.dir/bench/tab_overheads.cpp.o"
+  "CMakeFiles/tab_overheads.dir/bench/tab_overheads.cpp.o.d"
+  "bench/tab_overheads"
+  "bench/tab_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

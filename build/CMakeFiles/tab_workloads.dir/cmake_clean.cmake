@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_workloads.dir/bench/tab_workloads.cpp.o"
+  "CMakeFiles/tab_workloads.dir/bench/tab_workloads.cpp.o.d"
+  "bench/tab_workloads"
+  "bench/tab_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragmented_server.dir/fragmented_server.cpp.o"
+  "CMakeFiles/fragmented_server.dir/fragmented_server.cpp.o.d"
+  "fragmented_server"
+  "fragmented_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragmented_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

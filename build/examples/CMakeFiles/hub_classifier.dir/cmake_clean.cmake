@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hub_classifier.dir/hub_classifier.cpp.o"
+  "CMakeFiles/hub_classifier.dir/hub_classifier.cpp.o.d"
+  "hub_classifier"
+  "hub_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hub_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madvise_hints.dir/madvise_hints.cpp.o"
+  "CMakeFiles/madvise_hints.dir/madvise_hints.cpp.o.d"
+  "madvise_hints"
+  "madvise_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madvise_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

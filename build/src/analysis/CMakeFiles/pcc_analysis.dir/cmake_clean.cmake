@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_analysis.dir/reuse.cpp.o"
+  "CMakeFiles/pcc_analysis.dir/reuse.cpp.o.d"
+  "libpcc_analysis.a"
+  "libpcc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_graph.dir/csr.cpp.o"
+  "CMakeFiles/pcc_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/pcc_graph.dir/generators.cpp.o"
+  "CMakeFiles/pcc_graph.dir/generators.cpp.o.d"
+  "libpcc_graph.a"
+  "libpcc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

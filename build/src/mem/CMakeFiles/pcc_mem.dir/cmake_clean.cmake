@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_mem.dir/buddy.cpp.o"
+  "CMakeFiles/pcc_mem.dir/buddy.cpp.o.d"
+  "CMakeFiles/pcc_mem.dir/phys_mem.cpp.o"
+  "CMakeFiles/pcc_mem.dir/phys_mem.cpp.o.d"
+  "libpcc_mem.a"
+  "libpcc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

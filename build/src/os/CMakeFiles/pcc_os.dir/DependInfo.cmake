@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/os.cpp" "src/os/CMakeFiles/pcc_os.dir/os.cpp.o" "gcc" "src/os/CMakeFiles/pcc_os.dir/os.cpp.o.d"
+  "/root/repo/src/os/policies.cpp" "src/os/CMakeFiles/pcc_os.dir/policies.cpp.o" "gcc" "src/os/CMakeFiles/pcc_os.dir/policies.cpp.o.d"
+  "/root/repo/src/os/process.cpp" "src/os/CMakeFiles/pcc_os.dir/process.cpp.o" "gcc" "src/os/CMakeFiles/pcc_os.dir/process.cpp.o.d"
+  "/root/repo/src/os/trace.cpp" "src/os/CMakeFiles/pcc_os.dir/trace.cpp.o" "gcc" "src/os/CMakeFiles/pcc_os.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pcc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/pcc_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcc/CMakeFiles/pcc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_os.dir/os.cpp.o"
+  "CMakeFiles/pcc_os.dir/os.cpp.o.d"
+  "CMakeFiles/pcc_os.dir/policies.cpp.o"
+  "CMakeFiles/pcc_os.dir/policies.cpp.o.d"
+  "CMakeFiles/pcc_os.dir/process.cpp.o"
+  "CMakeFiles/pcc_os.dir/process.cpp.o.d"
+  "CMakeFiles/pcc_os.dir/trace.cpp.o"
+  "CMakeFiles/pcc_os.dir/trace.cpp.o.d"
+  "libpcc_os.a"
+  "libpcc_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

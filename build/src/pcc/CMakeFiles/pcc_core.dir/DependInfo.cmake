@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcc/pcc.cpp" "src/pcc/CMakeFiles/pcc_core.dir/pcc.cpp.o" "gcc" "src/pcc/CMakeFiles/pcc_core.dir/pcc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pcc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/pcc_pt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

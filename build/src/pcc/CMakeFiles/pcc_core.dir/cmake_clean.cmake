@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_core.dir/pcc.cpp.o"
+  "CMakeFiles/pcc_core.dir/pcc.cpp.o.d"
+  "libpcc_core.a"
+  "libpcc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

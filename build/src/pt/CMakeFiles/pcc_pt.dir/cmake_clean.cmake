@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_pt.dir/page_table.cpp.o"
+  "CMakeFiles/pcc_pt.dir/page_table.cpp.o.d"
+  "libpcc_pt.a"
+  "libpcc_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

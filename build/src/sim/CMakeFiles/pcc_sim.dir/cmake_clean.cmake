@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_sim.dir/experiment.cpp.o"
+  "CMakeFiles/pcc_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/pcc_sim.dir/system.cpp.o"
+  "CMakeFiles/pcc_sim.dir/system.cpp.o.d"
+  "libpcc_sim.a"
+  "libpcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_util.dir/log.cpp.o"
+  "CMakeFiles/pcc_util.dir/log.cpp.o.d"
+  "CMakeFiles/pcc_util.dir/options.cpp.o"
+  "CMakeFiles/pcc_util.dir/options.cpp.o.d"
+  "CMakeFiles/pcc_util.dir/stats.cpp.o"
+  "CMakeFiles/pcc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pcc_util.dir/table.cpp.o"
+  "CMakeFiles/pcc_util.dir/table.cpp.o.d"
+  "libpcc_util.a"
+  "libpcc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

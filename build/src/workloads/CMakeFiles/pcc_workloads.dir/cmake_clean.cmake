@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_workloads.dir/graph_workloads.cpp.o"
+  "CMakeFiles/pcc_workloads.dir/graph_workloads.cpp.o.d"
+  "CMakeFiles/pcc_workloads.dir/registry.cpp.o"
+  "CMakeFiles/pcc_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/pcc_workloads.dir/suite_workloads.cpp.o"
+  "CMakeFiles/pcc_workloads.dir/suite_workloads.cpp.o.d"
+  "CMakeFiles/pcc_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/pcc_workloads.dir/synthetic.cpp.o.d"
+  "libpcc_workloads.a"
+  "libpcc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os.dir/os/test_os.cpp.o"
+  "CMakeFiles/test_os.dir/os/test_os.cpp.o.d"
+  "CMakeFiles/test_os.dir/os/test_os_1g.cpp.o"
+  "CMakeFiles/test_os.dir/os/test_os_1g.cpp.o.d"
+  "CMakeFiles/test_os.dir/os/test_policies.cpp.o"
+  "CMakeFiles/test_os.dir/os/test_policies.cpp.o.d"
+  "CMakeFiles/test_os.dir/os/test_process.cpp.o"
+  "CMakeFiles/test_os.dir/os/test_process.cpp.o.d"
+  "CMakeFiles/test_os.dir/os/test_trace.cpp.o"
+  "CMakeFiles/test_os.dir/os/test_trace.cpp.o.d"
+  "test_os"
+  "test_os.pdb"
+  "test_os[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pt.dir/pt/test_page_table.cpp.o"
+  "CMakeFiles/test_pt.dir/pt/test_page_table.cpp.o.d"
+  "CMakeFiles/test_pt.dir/pt/test_walker.cpp.o"
+  "CMakeFiles/test_pt.dir/pt/test_walker.cpp.o.d"
+  "test_pt"
+  "test_pt.pdb"
+  "test_pt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_generator.cpp" "tests/CMakeFiles/test_util.dir/util/test_generator.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_generator.cpp.o.d"
+  "/root/repo/tests/util/test_histogram.cpp" "tests/CMakeFiles/test_util.dir/util/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_histogram.cpp.o.d"
+  "/root/repo/tests/util/test_options.cpp" "tests/CMakeFiles/test_util.dir/util/test_options.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_options.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pcc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pcc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/pcc_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcc/CMakeFiles/pcc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/pcc_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pcc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pcc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
