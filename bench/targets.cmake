@@ -29,6 +29,7 @@ pcc_fig(abl_coldfilter)
 pcc_fig(abl_pwc)
 pcc_fig(abl_gb_pcc)
 pcc_fig(abl_victim)
+pcc_fig(abl_pressure)
 
 # Microbenchmarks: google-benchmark.
 function(pcc_micro name)

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Robustness gate: build and run the test suite under sanitizers.
+#
+# Usage:
+#   scripts/check.sh                 # address + undefined (the default gate)
+#   scripts/check.sh address         # one specific sanitizer
+#   scripts/check.sh undefined thread
+#
+# Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
+# build-tsan/) so switching never poisons the regular build/ directory.
+# The script fails on the first sanitizer whose build or tests fail.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitizers=("$@")
+if [ ${#sanitizers[@]} -eq 0 ]; then
+    sanitizers=(address undefined)
+fi
+
+for san in "${sanitizers[@]}"; do
+    case "$san" in
+      address)   dir=build-asan ;;
+      undefined) dir=build-ubsan ;;
+      thread)    dir=build-tsan ;;
+      *) echo "unknown sanitizer '$san' (use address|undefined|thread)" >&2
+         exit 2 ;;
+    esac
+
+    echo "==> [$san] configuring $dir"
+    cmake -B "$dir" -S . -DPCCSIM_SANITIZE="$san" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+
+    echo "==> [$san] building"
+    cmake --build "$dir" -j "$(nproc)" >/dev/null
+
+    echo "==> [$san] testing"
+    # halt_on_error makes UBSan failures fail the test run instead of
+    # merely printing; detect_leaks catches frames the simulator drops.
+    UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+    ASAN_OPTIONS="detect_leaks=1" \
+        ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+    echo "==> [$san] clean"
+done
+
+echo "All sanitizer gates passed."

@@ -16,9 +16,22 @@ PhysicalMemory::PhysicalMemory(u64 bytes)
     PCCSIM_ASSERT(num_blocks_ > 0, "physical memory smaller than 2MB");
 }
 
-std::optional<Pfn>
-PhysicalMemory::allocBase(Pid pid, Vpn vpn4k)
+bool
+PhysicalMemory::gateDenies(unsigned order)
 {
+    if (!alloc_gate_ || alloc_gate_(order))
+        return false;
+    ++stats_.counter("injected_alloc_fail");
+    return true;
+}
+
+std::optional<Pfn>
+PhysicalMemory::allocBase(Pid pid, Vpn vpn4k, bool bypass_gate)
+{
+    if (!bypass_gate && gateDenies(0)) {
+        ++stats_.counter("alloc_base_fail");
+        return std::nullopt;
+    }
     auto pfn = buddy_.allocate(0);
     if (!pfn) {
         ++stats_.counter("alloc_base_fail");
@@ -34,6 +47,10 @@ PhysicalMemory::allocBase(Pid pid, Vpn vpn4k)
 std::optional<Pfn>
 PhysicalMemory::allocHuge(Pid pid, Vpn first_vpn4k)
 {
+    if (gateDenies(kOrder2M)) {
+        ++stats_.counter("alloc_huge_fail");
+        return std::nullopt;
+    }
     auto pfn = buddy_.allocate(kOrder2M);
     if (!pfn) {
         ++stats_.counter("alloc_huge_fail");
@@ -50,6 +67,10 @@ PhysicalMemory::allocHuge(Pid pid, Vpn first_vpn4k)
 std::optional<Pfn>
 PhysicalMemory::allocHuge1G(Pid pid, Vpn first_vpn4k)
 {
+    if (gateDenies(kOrder1G)) {
+        ++stats_.counter("alloc_huge1g_fail");
+        return std::nullopt;
+    }
     auto pfn = buddy_.allocate(kOrder1G);
     if (!pfn) {
         ++stats_.counter("alloc_huge1g_fail");
@@ -203,6 +224,17 @@ PhysicalMemory::compactableBlocks() const
 std::optional<PhysicalMemory::CompactionResult>
 PhysicalMemory::compactOneBlock()
 {
+    u32 moves_allowed = kUnlimitedMoves;
+    if (compaction_gate_) {
+        moves_allowed = compaction_gate_();
+        if (moves_allowed == 0) {
+            // Injected hard failure: the attempt aborts before
+            // touching anything (lock contention / isolation failure).
+            ++stats_.counter("injected_compaction_fail");
+            return std::nullopt;
+        }
+    }
+
     // Round-robin scan from the cursor for a movable, occupied block.
     // Preferring low-resident blocks keeps each compaction cheap; a full
     // argmin scan would be O(blocks) per call anyway, so scan once and
@@ -245,7 +277,32 @@ PhysicalMemory::compactOneBlock()
     CompactionResult result;
     result.block_head = head;
     std::vector<Pfn> parked;
+
+    // Roll back: undo the moves made so far. `from` frames are never
+    // released until the attempt commits, so only the destination side
+    // needs restoring.
+    const auto rollback = [&] {
+        for (const auto &m : result.moves) {
+            use_[m.from] = use_[m.to];
+            owner_[m.from] = m.owner;
+            ++blocks_[blockOf(m.from)].resident;
+            use_[m.to] = FrameUse::Free;
+            owner_[m.to] = {};
+            --blocks_[blockOf(m.to)].resident;
+            buddy_.free(m.to, 0);
+        }
+        for (Pfn p : parked)
+            buddy_.free(p, 0);
+    };
+
     for (Pfn from : residents) {
+        if (result.moves.size() >= moves_allowed) {
+            // Injected partial failure: the attempt loses its isolation
+            // mid-migration and must undo everything it moved.
+            ++stats_.counter("injected_compaction_abort");
+            rollback();
+            return std::nullopt;
+        }
         std::optional<Pfn> to;
         while (true) {
             to = buddy_.allocate(0);
@@ -254,20 +311,7 @@ PhysicalMemory::compactOneBlock()
             parked.push_back(*to);
         }
         if (!to) {
-            // Roll back: undo the moves made so far.
-            for (const auto &m : result.moves) {
-                use_[m.from] = use_[m.to];
-                owner_[m.from] = m.owner;
-                ++blocks_[blockOf(m.from)].resident;
-                use_[m.to] = FrameUse::Free;
-                owner_[m.to] = {};
-                --blocks_[blockOf(m.to)].resident;
-                buddy_.free(m.to, 0);
-                // `from` frames were never released below on this path,
-                // so nothing else to restore.
-            }
-            for (Pfn p : parked)
-                buddy_.free(p, 0);
+            rollback();
             return std::nullopt;
         }
         const FrameOwner owner = owner_[from];

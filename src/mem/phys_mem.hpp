@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -64,8 +65,49 @@ class PhysicalMemory
 
     explicit PhysicalMemory(u64 bytes);
 
-    /** Allocate one 4KB frame for (pid, vpn4k); nullopt when OOM. */
-    std::optional<Pfn> allocBase(Pid pid, Vpn vpn4k);
+    // ---- fault-injection gates (sim/fault_injector) ----
+
+    /**
+     * Allocation gate: consulted before every ordinary allocation with
+     * the requested buddy order; returning false makes the allocation
+     * fail artificially (a deterministic injected fault). Targeted
+     * allocations (fragmentation pins) are never gated.
+     */
+    using AllocGate = std::function<bool(unsigned order)>;
+
+    /**
+     * Compaction gate: consulted at the start of every compaction
+     * attempt; returns the number of page moves the attempt may
+     * perform. kUnlimitedMoves = no injection, 0 = the attempt fails
+     * outright, a small k = the attempt aborts (and rolls back) after
+     * k moves — the injected partial-compaction fault.
+     */
+    static constexpr u32 kUnlimitedMoves = ~0u;
+    using CompactionGate = std::function<u32()>;
+
+    void setAllocGate(AllocGate gate) { alloc_gate_ = std::move(gate); }
+    void
+    setCompactionGate(CompactionGate gate)
+    {
+        compaction_gate_ = std::move(gate);
+    }
+
+    /** True when a fault-injection gate is installed: allocation
+     *  failures may be transient, so retrying can be worthwhile. */
+    bool
+    transientFailuresPossible() const
+    {
+        return static_cast<bool>(alloc_gate_) ||
+               static_cast<bool>(compaction_gate_);
+    }
+
+    /**
+     * Allocate one 4KB frame for (pid, vpn4k); nullopt when OOM.
+     * @param bypass_gate Skip the injection gate — the OS's last-resort
+     *        retry after reclaim, which must see real availability.
+     */
+    std::optional<Pfn> allocBase(Pid pid, Vpn vpn4k,
+                                 bool bypass_gate = false);
 
     /** Allocate one 2MB-aligned huge frame; nullopt when unavailable. */
     std::optional<Pfn> allocHuge(Pid pid, Vpn first_vpn4k);
@@ -143,7 +185,12 @@ class PhysicalMemory
 
     u64 blockOf(Pfn pfn) const { return pfn >> kOrder2M; }
 
+    /** True when the gate vetoes an allocation of the given order. */
+    bool gateDenies(unsigned order);
+
     BuddyAllocator buddy_;
+    AllocGate alloc_gate_;
+    CompactionGate compaction_gate_;
     std::vector<FrameUse> use_;
     std::vector<FrameOwner> owner_;
     std::vector<BlockInfo> blocks_;

@@ -44,6 +44,13 @@ struct OsCosts
      *  charged to the application when scanning its address space. */
     Cycles scan_per_page = 4;
 
+    /**
+     * Direct-reclaim entry on a failed base-page allocation: scanning
+     * for cold huge pages and demoting them runs synchronously in the
+     * faulting task, as Linux's direct reclaim does.
+     */
+    Cycles reclaim_event = 30'000;
+
     // ---- background (OS-effort) costs, not charged to the app ----
 
     /** Copying one 4KB page during promotion or compaction. */

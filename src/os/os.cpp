@@ -1,5 +1,7 @@
 #include "os/os.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 
 namespace pccsim::os {
@@ -29,8 +31,7 @@ Os::handleFault(Process &proc, Addr vaddr, bool want_huge)
 
     if (want_huge && region_untouched &&
         region_base + mem::kBytes2M <= proc.heapEnd() &&
-        promotedBytesTotal() + mem::kBytes2M <=
-            params_.promotion_cap_bytes) {
+        capAllows(mem::kBytes2M)) {
         if (auto pfn = phys_.allocHuge(
                 proc.pid(), mem::vpnOf(region_base,
                                        mem::PageSize::Base4K))) {
@@ -43,10 +44,23 @@ Os::handleFault(Process &proc, Addr vaddr, bool want_huge)
     }
 
     // Base-page fault.
-    auto pfn = phys_.allocBase(proc.pid(),
-                               mem::vpnOf(vaddr, mem::PageSize::Base4K));
-    if (!pfn)
-        fatal("simulated physical memory exhausted: enlarge phys size");
+    const Vpn vpn = mem::vpnOf(vaddr, mem::PageSize::Base4K);
+    auto pfn = phys_.allocBase(proc.pid(), vpn);
+    if (!pfn) {
+        // Memory pressure, real or injected. Degrade gracefully the
+        // way direct reclaim does: demote the coldest huge pages, drop
+        // their never-touched (bloat) frames, and retry with the
+        // injection gate bypassed so only genuine exhaustion is fatal.
+        ++stats_.counter("base_alloc_pressure");
+        if (params_.reclaim_on_pressure) {
+            const auto reclaimed =
+                reclaimColdHugePages(params_.reclaim_batch_regions);
+            cost += reclaimed.app_cycles + params_.costs.reclaim_event;
+        }
+        pfn = phys_.allocBase(proc.pid(), vpn, /*bypass_gate=*/true);
+        if (!pfn)
+            fatal("simulated physical memory exhausted: enlarge phys size");
+    }
     proc.pageTable().mapBase(vaddr, *pfn);
     proc.markFaulted(vaddr);
     ++stats_.counter("base_faults");
@@ -55,25 +69,50 @@ Os::handleFault(Process &proc, Addr vaddr, bool want_huge)
 
 std::optional<Pfn>
 Os::acquireHugeFrame(Process &proc, Addr region_base,
-                     bool allow_compaction, bool &compacted)
+                     bool allow_compaction, PromoteResult &result)
 {
     const Vpn first_vpn = mem::vpnOf(region_base, mem::PageSize::Base4K);
-    if (auto pfn = phys_.allocHuge(proc.pid(), first_vpn))
-        return pfn;
-    if (!allow_compaction)
-        return std::nullopt;
 
-    for (u32 attempt = 0; attempt < params_.compaction_attempts;
-         ++attempt) {
-        auto result = phys_.compactOneBlock();
-        chargeBackground(params_.costs.compaction_attempt);
-        if (!result)
-            return std::nullopt;
-        compacted = true;
-        chargeBackground(result->moves.size() * params_.costs.copy_page);
-        applyMoves(result->moves);
+    // One acquisition pass: direct allocation, then compaction rounds.
+    const auto attempt_once = [&]() -> std::optional<Pfn> {
         if (auto pfn = phys_.allocHuge(proc.pid(), first_vpn))
             return pfn;
+        if (!allow_compaction)
+            return std::nullopt;
+        for (u32 attempt = 0; attempt < params_.compaction_attempts;
+             ++attempt) {
+            auto compaction = phys_.compactOneBlock();
+            chargeBackground(params_.costs.compaction_attempt);
+            ++result.compaction_runs;
+            if (!compaction)
+                return std::nullopt;
+            result.compacted = true;
+            chargeBackground(compaction->moves.size() *
+                             params_.costs.copy_page);
+            applyMoves(compaction->moves);
+            if (auto pfn = phys_.allocHuge(proc.pid(), first_vpn))
+                return pfn;
+        }
+        return std::nullopt;
+    };
+
+    if (auto pfn = attempt_once())
+        return pfn;
+
+    // Retry with exponential backoff — but only when failures can be
+    // transient (a fault-injection gate is installed). A genuine
+    // out-of-frames condition cannot resolve between back-to-back
+    // attempts, and retrying then would skew clean-run accounting.
+    if (!phys_.transientFailuresPossible())
+        return std::nullopt;
+    for (u32 retry = 1; retry <= params_.promote_retries; ++retry) {
+        chargeBackground(params_.retry_backoff << (retry - 1));
+        ++result.retries;
+        ++stats_.counter("promote_retries");
+        if (auto pfn = attempt_once()) {
+            ++stats_.counter("promote_retry_successes");
+            return pfn;
+        }
     }
     return std::nullopt;
 }
@@ -115,17 +154,15 @@ Os::promoteRegion(Process &proc, Addr region_base, bool allow_compaction)
         result.status = PromoteStatus::NotEligible;
         return result;
     }
-    if (promotedBytesTotal() + mem::kBytes2M > params_.promotion_cap_bytes) {
+    if (!capAllows(mem::kBytes2M)) {
         result.status = PromoteStatus::CapReached;
         return result;
     }
 
-    bool compacted = false;
     auto huge_pfn = acquireHugeFrame(proc, region_base, allow_compaction,
-                                     compacted);
+                                     result);
     if (!huge_pfn) {
         result.status = PromoteStatus::NoHugeFrame;
-        result.compacted = compacted;
         ++stats_.counter("promotion_no_frame");
         return result;
     }
@@ -153,9 +190,8 @@ Os::promoteRegion(Process &proc, Addr region_base, bool allow_compaction)
                                         mem::kBytes2M);
     result.app_cycles += params_.costs.promotion_conflict;
     result.status = PromoteStatus::Ok;
-    result.compacted = compacted;
     ++stats_.counter("promotions");
-    if (compacted)
+    if (result.compacted)
         ++stats_.counter("promotions_after_compaction");
     if (promoted_)
         promoted_(proc.pid(), region_base, mem::PageSize::Huge2M);
@@ -186,14 +222,27 @@ Os::promoteRegion1G(Process &proc, Addr region_base)
         result.status = PromoteStatus::NotEligible;
         return result;
     }
-    if (promotedBytesTotal() + mem::kBytes1G >
-        params_.promotion_cap_bytes) {
+    if (!capAllows(mem::kBytes1G)) {
         result.status = PromoteStatus::CapReached;
         return result;
     }
 
     const Vpn first_vpn = mem::vpnOf(region_base, mem::PageSize::Base4K);
     auto huge_pfn = phys_.allocHuge1G(proc.pid(), first_vpn);
+    if (!huge_pfn && phys_.transientFailuresPossible()) {
+        // Injected transient failures deserve the same bounded
+        // backoff-and-retry as 2MB promotion (no gigabyte compaction
+        // exists, so a direct retry is all we can do).
+        for (u32 retry = 1; retry <= params_.promote_retries && !huge_pfn;
+             ++retry) {
+            chargeBackground(params_.retry_backoff << (retry - 1));
+            ++result.retries;
+            ++stats_.counter("promote_retries");
+            huge_pfn = phys_.allocHuge1G(proc.pid(), first_vpn);
+            if (huge_pfn)
+                ++stats_.counter("promote_retry_successes");
+        }
+    }
     if (!huge_pfn) {
         result.status = PromoteStatus::NoHugeFrame;
         ++stats_.counter("promotion1g_no_frame");
@@ -291,6 +340,79 @@ Os::demoteRegion(Process &proc, Addr region_base)
     return app_cycles;
 }
 
+Os::ReclaimResult
+Os::reclaimColdHugePages(u32 max_regions)
+{
+    struct Victim
+    {
+        Pid pid;
+        Addr base;
+        u64 score;     //!< hotness per the ranker; lower = colder
+        u32 untouched; //!< frames a demotion would actually free
+    };
+    std::vector<Victim> candidates;
+    for (const auto &proc : processes_) {
+        for (u64 r = 0; r < proc->numRegions(); ++r) {
+            const Addr base = proc->regionBase(r);
+            if (proc->regionStateOf(base) != RegionState::Huge2M)
+                continue;
+            const u32 untouched = static_cast<u32>(mem::kPagesPer2M) -
+                                  proc->touchedInRegion(base);
+            if (untouched == 0)
+                continue; // every frame holds data; demoting frees nothing
+            const u64 score = ranker_ ? ranker_(proc->pid(), base) : 0;
+            candidates.push_back({proc->pid(), base, score, untouched});
+        }
+    }
+
+    // Coldest first; ties break toward the most bloat, then by address
+    // so victim selection is deterministic.
+    const u64 take = std::min<u64>(max_regions, candidates.size());
+    std::partial_sort(candidates.begin(), candidates.begin() + take,
+                      candidates.end(),
+                      [](const Victim &a, const Victim &b) {
+                          if (a.score != b.score)
+                              return a.score < b.score;
+                          if (a.untouched != b.untouched)
+                              return a.untouched > b.untouched;
+                          if (a.pid != b.pid)
+                              return a.pid < b.pid;
+                          return a.base < b.base;
+                      });
+
+    ReclaimResult result;
+    ++stats_.counter("reclaim_events");
+    for (u64 v = 0; v < take; ++v) {
+        const Victim &victim = candidates[v];
+        Process &proc = process(victim.pid);
+        result.app_cycles += demoteRegion(proc, victim.base);
+        ++result.regions_demoted;
+        ++stats_.counter("reclaim_demotions");
+
+        // The split left 512 individually-mapped base frames; the
+        // never-touched ones hold no data, so unmap and free them.
+        u64 freed = 0;
+        for (u64 p = 0; p < mem::kPagesPer2M; ++p) {
+            const Addr vaddr = victim.base + p * mem::kBytes4K;
+            if (proc.touched(vaddr))
+                continue;
+            const auto pte = proc.pageTable().lookup(vaddr);
+            if (!pte.present || pte.size != mem::PageSize::Base4K)
+                continue;
+            proc.pageTable().unmap(vaddr);
+            phys_.freeBase(pte.pfn);
+            const u64 page = proc.pageIndex(vaddr);
+            proc.faulted_[page >> 6] &= ~(1ull << (page & 63));
+            --proc.faulted_per_region_[proc.regionIndex(vaddr)];
+            ++freed;
+        }
+        proc.bloat_pages_ -= freed;
+        result.frames_freed += freed;
+        stats_.counter("reclaimed_frames") += freed;
+    }
+    return result;
+}
+
 u64
 Os::promotedBytesTotal() const
 {
@@ -300,15 +422,15 @@ Os::promotedBytesTotal() const
     return total;
 }
 
-u64
+std::optional<u64>
 Os::promotionBudgetRegions() const
 {
-    if (params_.promotion_cap_bytes == ~0ull)
-        return ~0ull;
+    if (!params_.promotion_cap_bytes)
+        return std::nullopt;
     const u64 used = promotedBytesTotal();
-    if (used >= params_.promotion_cap_bytes)
+    if (used >= *params_.promotion_cap_bytes)
         return 0;
-    return (params_.promotion_cap_bytes - used) / mem::kBytes2M;
+    return (*params_.promotion_cap_bytes - used) / mem::kBytes2M;
 }
 
 } // namespace pccsim::os

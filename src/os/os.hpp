@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "mem/phys_mem.hpp"
@@ -34,6 +35,8 @@ struct PromoteResult
     PromoteStatus status = PromoteStatus::NotEligible;
     Cycles app_cycles = 0; //!< synchronous cost charged to the app core
     bool compacted = false;
+    u32 retries = 0;        //!< extra acquire attempts after failures
+    u32 compaction_runs = 0; //!< compactOneBlock() calls made
 };
 
 class Os
@@ -43,13 +46,32 @@ class Os
     {
         OsCosts costs{};
         /**
-         * Promotion budget in bytes across all processes; ~0 means
+         * Promotion budget in bytes across all processes; nullopt means
          * unlimited. Drives the paper's utility curves (huge pages
          * back N% of the footprint).
          */
-        u64 promotion_cap_bytes = ~0ull;
+        std::optional<u64> promotion_cap_bytes{};
         /** Max compaction attempts per needed huge frame. */
         u32 compaction_attempts = 8;
+        /**
+         * Extra huge-frame acquisition attempts after a transient
+         * failure. Only taken when the physical memory reports that
+         * failures can be transient (a fault-injection gate is
+         * installed); a genuine out-of-frames condition never changes
+         * between back-to-back attempts, so retrying would only skew
+         * clean-run results.
+         */
+        u32 promote_retries = 2;
+        /** Backoff charged per retry (doubles each attempt). */
+        Cycles retry_backoff = 2'000;
+        /**
+         * On base-page allocation failure, demote and trim cold huge
+         * pages to free memory (direct-reclaim analogue) instead of
+         * aborting the run.
+         */
+        bool reclaim_on_pressure = true;
+        /** Huge regions reclaimed per pressure event. */
+        u32 reclaim_batch_regions = 1;
     };
 
     /**
@@ -63,6 +85,24 @@ class Os
     using PromotionHook =
         std::function<void(Pid, Addr, mem::PageSize)>;
 
+    /**
+     * Hotness estimate for a huge region, used to pick reclaim victims
+     * (coldest first). The System wires this to the PCCs so reclaim is
+     * guided by the same page-walk frequencies that guide promotion;
+     * without a ranker every candidate scores 0 and ties break toward
+     * the most bloated region.
+     */
+    using ReclaimRanker = std::function<u64(Pid, Addr)>;
+
+    /** Outcome of a pressure-reclaim pass. */
+    struct ReclaimResult
+    {
+        u64 regions_demoted = 0;
+        u64 frames_freed = 0;
+        Cycles app_cycles = 0; //!< shootdown cost (direct reclaim is
+                               //!< charged to the faulting core)
+    };
+
     Os(Params params, mem::PhysicalMemory &phys);
 
     /** Create a process with the given maximum heap size. */
@@ -74,6 +114,7 @@ class Os
 
     void setShootdownHook(ShootdownHook hook) { shootdown_ = std::move(hook); }
     void setPromotionHook(PromotionHook hook) { promoted_ = std::move(hook); }
+    void setReclaimRanker(ReclaimRanker rank) { ranker_ = std::move(rank); }
 
     /**
      * Handle a page fault at vaddr.
@@ -105,8 +146,15 @@ class Os
     /** Split a 1GB page into 512 2MB pages (in place). */
     Cycles demoteRegion1G(Process &proc, Addr region_base);
 
-    /** Remaining promotion budget in regions; ~0 when unlimited. */
-    u64 promotionBudgetRegions() const;
+    /**
+     * Demote the coldest huge regions and free their never-touched
+     * frames. Called by handleFault when a base allocation fails, and
+     * available to policies that want to shed bloat proactively.
+     */
+    ReclaimResult reclaimColdHugePages(u32 max_regions);
+
+    /** Remaining promotion budget in regions; nullopt when unlimited. */
+    std::optional<u64> promotionBudgetRegions() const;
 
     /** Bytes promoted across all processes. */
     u64 promotedBytesTotal() const;
@@ -120,10 +168,18 @@ class Os
     void chargeBackground(Cycles c) { background_cycles_ += c; }
 
   private:
+    /** Does the promotion cap leave room for `more` further bytes? */
+    bool
+    capAllows(u64 more) const
+    {
+        return !params_.promotion_cap_bytes ||
+               promotedBytesTotal() + more <= *params_.promotion_cap_bytes;
+    }
+
     /** Obtain a huge frame, compacting if allowed. */
     std::optional<Pfn> acquireHugeFrame(Process &proc, Addr region_base,
                                         bool allow_compaction,
-                                        bool &compacted);
+                                        PromoteResult &result);
 
     /** Apply compaction page moves to the owning page tables. */
     void applyMoves(const std::vector<mem::PhysicalMemory::Move> &moves);
@@ -133,6 +189,7 @@ class Os
     std::vector<std::unique_ptr<Process>> processes_;
     ShootdownHook shootdown_;
     PromotionHook promoted_;
+    ReclaimRanker ranker_;
     StatGroup stats_{"os"};
     u64 background_cycles_ = 0;
 };

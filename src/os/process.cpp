@@ -26,6 +26,8 @@ Process::Process(Pid pid, u64 heap_capacity)
     region_hint_.assign(regions, HugeHint::Default);
     faulted_.assign((pages + 63) / 64, 0);
     faulted_per_region_.assign(regions, 0);
+    touched_.assign((pages + 63) / 64, 0);
+    touched_per_region_.assign(regions, 0);
 }
 
 Addr
@@ -64,6 +66,7 @@ Process::markFaulted(Addr vaddr)
         if (region_state_[regionIndex(vaddr)] == RegionState::Unbacked)
             region_state_[regionIndex(vaddr)] = RegionState::Base4K;
     }
+    noteTouched(vaddr);
 }
 
 void

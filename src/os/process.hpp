@@ -127,6 +127,46 @@ class Process
         return faulted_per_region_[regionIndex(vaddr)];
     }
 
+    /**
+     * Has the 4KB page containing vaddr ever been accessed?
+     *
+     * Distinct from faulted(): promotion marks the whole region
+     * faulted (the huge frame backs every page), while the touched
+     * bitmap only ever grows through real accesses. The pressure
+     * reclaimer relies on it — a never-touched page backed by a huge
+     * frame holds no data and can be dropped safely.
+     */
+    bool
+    touched(Addr vaddr) const
+    {
+        const u64 page = pageIndex(vaddr);
+        return (touched_[page >> 6] >> (page & 63)) & 1;
+    }
+
+    /** Touched pages inside the region containing vaddr. */
+    u32
+    touchedInRegion(Addr vaddr) const
+    {
+        return touched_per_region_[regionIndex(vaddr)];
+    }
+
+    /**
+     * Record a real access to vaddr (called by the simulator on every
+     * access and by the fault handler). Keeps the touched bitmap
+     * accurate for huge-backed regions, whose accesses never fault.
+     */
+    void
+    noteTouched(Addr vaddr)
+    {
+        const u64 page = pageIndex(vaddr);
+        u64 &word = touched_[page >> 6];
+        const u64 bit = 1ull << (page & 63);
+        if (!(word & bit)) {
+            word |= bit;
+            ++touched_per_region_[regionIndex(vaddr)];
+        }
+    }
+
     /** Index of the region containing vaddr within the heap. */
     u64
     regionIndex(Addr vaddr) const
@@ -196,6 +236,8 @@ class Process
     std::vector<HugeHint> region_hint_;
     std::vector<u64> faulted_;           //!< bitmap, 1 bit per 4KB page
     std::vector<u16> faulted_per_region_;
+    std::vector<u64> touched_;           //!< really-accessed pages
+    std::vector<u16> touched_per_region_;
 
     u64 promoted_bytes_ = 0;
     u64 promotions_ = 0;

@@ -14,6 +14,7 @@
 #include "os/policies.hpp"
 #include "pcc/pcc_unit.hpp"
 #include "pt/walker.hpp"
+#include "sim/fault_injector.hpp"
 #include "tlb/geometry.hpp"
 #include "workloads/registry.hpp"
 
@@ -76,6 +77,25 @@ struct SystemConfig
 
     /** Fraction of 2MB blocks pinned by the fragmentation injector. */
     double frag_fraction = 0.0;
+
+    /** Deterministic fault injection (off by default). */
+    FaultConfig faults{};
+
+    /**
+     * OS graceful-degradation knobs (forwarded to os::Os::Params).
+     * Exposed here so fault-injection campaigns can ablate the
+     * machinery itself: retries = 0 and reclaim off reverts the OS to
+     * fail-fast behavior.
+     */
+    u32 promote_retries = 2;
+    bool reclaim_on_pressure = true;
+
+    /**
+     * Sweep the cross-layer invariants (sim/invariants.hpp) after every
+     * policy interval and once at run end. O(pages) per sweep, so meant
+     * for tests and fault-injection campaigns, not timing runs.
+     */
+    bool check_invariants = false;
 
     /** Promotion budget as % of total footprint; < 0 = unlimited. */
     double promotion_cap_percent = -1.0;

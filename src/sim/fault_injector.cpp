@@ -1,0 +1,93 @@
+#include "sim/fault_injector.hpp"
+
+#include "mem/paging.hpp"
+
+namespace pccsim::sim {
+
+namespace {
+
+/** Derive one stream seed per fault class from (seed, salt, class). */
+u64
+streamSeed(u64 run_seed, u64 salt, u64 stream)
+{
+    u64 state = run_seed ^ (salt * 0x9e3779b97f4a7c15ull) ^
+                (stream << 32);
+    return splitmix64(state);
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultConfig &config, u64 run_seed)
+    : config_(config),
+      alloc_rng_(streamSeed(run_seed, config.seed_salt, 1)),
+      compact_rng_(streamSeed(run_seed, config.seed_salt, 2)),
+      storm_rng_(streamSeed(run_seed, config.seed_salt, 3)),
+      shock_rng_(streamSeed(run_seed, config.seed_salt, 4))
+{
+}
+
+bool
+FaultInjector::allowAlloc(unsigned order)
+{
+    double p = 0.0;
+    if (order == 0)
+        p = config_.alloc_fail_base;
+    else if (order == mem::kOrder2M)
+        p = config_.alloc_fail_huge;
+    else if (order == mem::kOrder1G)
+        p = config_.alloc_fail_1g;
+    // Draw on every attempt (chance(0) never fires but still advances
+    // the stream): the schedule then depends only on the *sequence* of
+    // allocation attempts, not on which orders were configured to fail.
+    if (!alloc_rng_.chance(p))
+        return true;
+    ++alloc_fails_;
+    return false;
+}
+
+u32
+FaultInjector::compactionMovesAllowed()
+{
+    // Draw both decisions every attempt so the stream position is
+    // independent of the configured probabilities.
+    const bool hard = compact_rng_.chance(config_.compaction_fail);
+    const bool partial = compact_rng_.chance(config_.compaction_partial);
+    if (hard) {
+        ++compaction_fails_;
+        return 0;
+    }
+    if (partial) {
+        ++compaction_fails_;
+        return config_.partial_move_limit;
+    }
+    return mem::PhysicalMemory::kUnlimitedMoves;
+}
+
+Cycles
+FaultInjector::shootdownDelay()
+{
+    if (config_.shootdown_storm <= 0.0)
+        return 0;
+    if (!storm_rng_.chance(config_.shootdown_storm))
+        return 0;
+    ++storms_;
+    return config_.shootdown_storm_cycles;
+}
+
+bool
+FaultInjector::shockDue(u64 interval) const
+{
+    for (u64 at : config_.shock_intervals)
+        if (at == interval)
+            return true;
+    return false;
+}
+
+u64
+FaultInjector::applyShock(mem::PhysicalMemory &phys)
+{
+    ++shocks_;
+    return phys.fragment(config_.shock_fraction, shock_rng_);
+}
+
+} // namespace pccsim::sim

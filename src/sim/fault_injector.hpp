@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Deterministic fault injection for robustness testing.
+ *
+ * The injector models the hostile conditions a real huge-page subsystem
+ * must survive: allocation failures under memory pressure, compaction
+ * attempts that fail or abort mid-migration, TLB-shootdown storms that
+ * inflate invalidation latency, and sudden fragmentation shocks
+ * mid-run. All decisions flow through seeded RNG streams derived from
+ * the run seed, so a given (seed, FaultConfig) pair reproduces the
+ * exact same fault schedule bit-for-bit — the determinism contract the
+ * rest of the simulator already honors.
+ *
+ * Each fault class draws from its own independent stream. That way
+ * enabling one class (say, shootdown storms) never perturbs the
+ * decisions of another, and experiments stay comparable as injection
+ * settings vary.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "mem/phys_mem.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace pccsim::sim {
+
+/** What to inject and how often. All probabilities are per-event. */
+struct FaultConfig
+{
+    // ---- allocation failures (per attempted allocation) ----
+    double alloc_fail_base = 0.0; //!< order-0 (4KB) allocations
+    double alloc_fail_huge = 0.0; //!< order-9 (2MB) allocations
+    double alloc_fail_1g = 0.0;   //!< order-18 (1GB) allocations
+
+    // ---- compaction failures (per compactOneBlock attempt) ----
+    double compaction_fail = 0.0;    //!< attempt fails outright
+    double compaction_partial = 0.0; //!< attempt aborts mid-migration
+    u32 partial_move_limit = 8;      //!< moves before a partial abort
+
+    // ---- shootdown storms (per shootdown) ----
+    double shootdown_storm = 0.0;        //!< probability of a storm
+    Cycles shootdown_storm_cycles = 50'000; //!< extra latency when hit
+
+    // ---- scheduled fragmentation shocks ----
+    /** Policy intervals at which to fragment physical memory again. */
+    std::vector<u64> shock_intervals;
+    /** Fraction of 2MB blocks each shock pins (Sec. 5.1.1 method). */
+    double shock_fraction = 0.25;
+
+    /** Salt mixed into the run seed for all injection streams. */
+    u64 seed_salt = 0xfa17;
+
+    /** Is any injection enabled at all? */
+    bool
+    any() const
+    {
+        return alloc_fail_base > 0.0 || alloc_fail_huge > 0.0 ||
+               alloc_fail_1g > 0.0 || compaction_fail > 0.0 ||
+               compaction_partial > 0.0 || shootdown_storm > 0.0 ||
+               !shock_intervals.empty();
+    }
+};
+
+class FaultInjector
+{
+  public:
+    /**
+     * @param config What to inject.
+     * @param run_seed The run's master seed; mixed with the salt so the
+     *        schedule is a pure function of (seed, config).
+     */
+    FaultInjector(const FaultConfig &config, u64 run_seed);
+
+    const FaultConfig &config() const { return config_; }
+    bool active() const { return config_.any(); }
+
+    /**
+     * Allocation-gate decision for a buddy allocation of the given
+     * order; false = this allocation fails (injected). Wire into
+     * PhysicalMemory::setAllocGate.
+     */
+    bool allowAlloc(unsigned order);
+
+    /**
+     * Compaction-gate decision: moves the next compaction attempt may
+     * perform. Wire into PhysicalMemory::setCompactionGate.
+     */
+    u32 compactionMovesAllowed();
+
+    /** Extra latency to add to the next shootdown (0 = no storm). */
+    Cycles shootdownDelay();
+
+    /** Is a fragmentation shock scheduled for this interval? */
+    bool shockDue(u64 interval) const;
+
+    /** Execute a shock: pin fresh unmovable pages. Returns pins made. */
+    u64 applyShock(mem::PhysicalMemory &phys);
+
+    // ---- injection tallies (what actually fired) ----
+    u64 allocFailsInjected() const { return alloc_fails_; }
+    u64 compactionFailsInjected() const { return compaction_fails_; }
+    u64 stormsInjected() const { return storms_; }
+    u64 shocksApplied() const { return shocks_; }
+
+  private:
+    FaultConfig config_;
+    Rng alloc_rng_;
+    Rng compact_rng_;
+    Rng storm_rng_;
+    Rng shock_rng_;
+    u64 alloc_fails_ = 0;
+    u64 compaction_fails_ = 0;
+    u64 storms_ = 0;
+    u64 shocks_ = 0;
+};
+
+} // namespace pccsim::sim

@@ -1,0 +1,231 @@
+#include "sim/invariants.hpp"
+
+#include "mem/paging.hpp"
+
+namespace pccsim::sim {
+
+namespace {
+
+using util::Status;
+
+/** Check one Base4K/Unbacked region page-by-page. */
+Status
+checkBaseRegion(const os::Process &proc, const mem::PhysicalMemory &phys,
+                Addr base)
+{
+    Status status;
+    u32 faulted_bits = 0;
+    for (u64 p = 0; p < mem::kPagesPer2M; ++p) {
+        const Addr vaddr = base + p * mem::kBytes4K;
+        const auto mapping = proc.pageTable().lookup(vaddr);
+        if (!proc.faulted(vaddr)) {
+            if (proc.touched(vaddr)) {
+                status.update(Status::error(
+                    "pid ", proc.pid(), " vaddr ", vaddr,
+                    ": touched but not faulted"));
+            }
+            if (mapping.present) {
+                status.update(Status::error(
+                    "pid ", proc.pid(), " vaddr ", vaddr,
+                    ": mapped but never faulted"));
+            }
+            continue;
+        }
+        ++faulted_bits;
+        if (!mapping.present ||
+            mapping.size != mem::PageSize::Base4K) {
+            status.update(Status::error(
+                "pid ", proc.pid(), " vaddr ", vaddr,
+                ": faulted base page lost its 4KB mapping"));
+            continue;
+        }
+        if (phys.useOf(mapping.pfn) != mem::FrameUse::AppBase) {
+            status.update(Status::error(
+                "pid ", proc.pid(), " vaddr ", vaddr, " pfn ",
+                mapping.pfn, ": frame not in AppBase use"));
+            continue;
+        }
+        const auto owner = phys.ownerOf(mapping.pfn);
+        if (owner.pid != proc.pid() ||
+            owner.vpn4k != mem::vpnOf(vaddr, mem::PageSize::Base4K)) {
+            status.update(Status::error(
+                "pid ", proc.pid(), " vaddr ", vaddr, " pfn ",
+                mapping.pfn, ": reverse map disagrees (owner pid ",
+                owner.pid, " vpn ", owner.vpn4k, ")"));
+        }
+    }
+    if (faulted_bits != proc.faultedInRegion(base)) {
+        status.update(Status::error(
+            "pid ", proc.pid(), " region ", base,
+            ": faulted bitmap count ", faulted_bits,
+            " != per-region count ", proc.faultedInRegion(base)));
+    }
+    return status;
+}
+
+/** Check a huge leaf (2MB or 1GB) and its backing frame. */
+Status
+checkHugeLeaf(const os::Process &proc, const mem::PhysicalMemory &phys,
+              Addr base, mem::PageSize size)
+{
+    const auto mapping = proc.pageTable().lookup(base);
+    const char *label =
+        size == mem::PageSize::Huge2M ? "2MB" : "1GB";
+    if (!mapping.present || mapping.size != size) {
+        return Status::error("pid ", proc.pid(), " region ", base,
+                             ": state says ", label,
+                             " but the page table disagrees");
+    }
+    const u64 frames = size == mem::PageSize::Huge2M
+                           ? mem::kPagesPer2M
+                           : mem::kPagesPer2M * mem::k2MPer1G;
+    if (mapping.pfn & (frames - 1)) {
+        return Status::error("pid ", proc.pid(), " region ", base,
+                             ": misaligned ", label, " frame ",
+                             mapping.pfn);
+    }
+    if (phys.useOf(mapping.pfn) != mem::FrameUse::AppHuge) {
+        return Status::error("pid ", proc.pid(), " region ", base,
+                             " pfn ", mapping.pfn,
+                             ": huge frame not in AppHuge use");
+    }
+    const auto owner = phys.ownerOf(mapping.pfn);
+    if (owner.pid != proc.pid() ||
+        owner.vpn4k != mem::vpnOf(base, mem::PageSize::Base4K)) {
+        return Status::error("pid ", proc.pid(), " region ", base,
+                             " pfn ", mapping.pfn,
+                             ": huge reverse map disagrees");
+    }
+    return Status{};
+}
+
+} // namespace
+
+util::Status
+checkMemoryConsistency(const os::Os &os, const mem::PhysicalMemory &phys)
+{
+    Status status;
+    u64 promoted_bytes = 0;
+    for (Pid pid = 0; pid < os.numProcesses(); ++pid) {
+        const os::Process &proc = os.process(pid);
+        promoted_bytes += proc.promotedBytes();
+        for (u64 r = 0; r < proc.numRegions(); ++r) {
+            const Addr base = proc.regionBase(r);
+            switch (proc.regionStateOf(base)) {
+              case os::RegionState::Unbacked:
+                if (proc.faultedInRegion(base) != 0) {
+                    status.update(Status::error(
+                        "pid ", pid, " region ", base,
+                        ": unbacked but has faulted pages"));
+                }
+                break;
+              case os::RegionState::Base4K:
+                status.update(checkBaseRegion(proc, phys, base));
+                break;
+              case os::RegionState::Huge2M:
+                status.update(checkHugeLeaf(proc, phys, base,
+                                            mem::PageSize::Huge2M));
+                if (proc.faultedInRegion(base) != mem::kPagesPer2M) {
+                    status.update(Status::error(
+                        "pid ", pid, " region ", base,
+                        ": huge region not fully marked faulted"));
+                }
+                break;
+              case os::RegionState::Huge1G:
+                if (mem::isAligned(base, mem::PageSize::Huge1G)) {
+                    status.update(checkHugeLeaf(
+                        proc, phys, base, mem::PageSize::Huge1G));
+                }
+                break;
+            }
+        }
+    }
+
+    // Global frame accounting: the buddy's free count and the use map
+    // must agree, and the AppHuge population must equal the promoted
+    // footprint — leaks and double-frees show up here.
+    u64 in_use = 0;
+    u64 app_huge = 0;
+    u64 unmovable = 0;
+    for (Pfn pfn = 0; pfn < phys.totalFrames(); ++pfn) {
+        const auto use = phys.useOf(pfn);
+        if (use == mem::FrameUse::Free)
+            continue;
+        ++in_use;
+        if (use == mem::FrameUse::AppHuge)
+            ++app_huge;
+        else if (use == mem::FrameUse::Unmovable)
+            ++unmovable;
+    }
+    if (in_use != phys.totalFrames() - phys.freeFrames()) {
+        status.update(Status::error(
+            "frame accounting: ", in_use, " frames marked in use but "
+            "buddy reports ", phys.totalFrames() - phys.freeFrames()));
+    }
+    if (app_huge != promoted_bytes / mem::kBytes4K) {
+        status.update(Status::error(
+            "huge accounting: ", app_huge, " AppHuge frames vs ",
+            promoted_bytes / mem::kBytes4K, " promoted"));
+    }
+    if (unmovable != phys.pinnedBlocks()) {
+        status.update(Status::error(
+            "pin accounting: ", unmovable, " unmovable frames vs ",
+            phys.pinnedBlocks(), " pins recorded"));
+    }
+    return status;
+}
+
+util::Status
+checkTlbResidency(const tlb::TlbHierarchy &tlb, const os::Process &proc)
+{
+    Status status;
+    tlb.forEachResident([&](Vpn vpn, mem::PageSize size) {
+        const Addr vaddr = vpn << mem::shiftOf(size);
+        if (!proc.contains(vaddr)) {
+            status.update(util::Status::error(
+                "TLB entry vpn ", vpn, " outside pid ", proc.pid(),
+                "'s heap"));
+            return;
+        }
+        const auto mapping = proc.pageTable().lookup(vaddr);
+        if (!mapping.present || mapping.size != size) {
+            status.update(util::Status::error(
+                "stale TLB entry: pid ", proc.pid(), " vaddr ", vaddr,
+                " cached at size ", static_cast<int>(size),
+                " but page table says ",
+                mapping.present ? static_cast<int>(mapping.size) : -1));
+        }
+    });
+    return status;
+}
+
+util::Status
+checkPccResidency(const pcc::PccUnit &pcc, const os::Process &proc)
+{
+    Status status;
+    for (const auto &candidate : pcc.pcc2m().snapshot()) {
+        const Addr base = candidate.region << mem::kShift2M;
+        if (!proc.contains(base))
+            continue; // a different process's past residency; harmless
+        const auto state = proc.regionStateOf(base);
+        if (state == os::RegionState::Huge2M ||
+            state == os::RegionState::Huge1G) {
+            status.update(util::Status::error(
+                "PCC(2M) tracks already-huge region ", base, " of pid ",
+                proc.pid(), " — promotion shootdown missed it"));
+        }
+    }
+    for (const auto &candidate : pcc.pcc1g().snapshot()) {
+        const Addr base = candidate.region << mem::kShift1G;
+        if (!proc.contains(base))
+            continue;
+        if (proc.regionStateOf(base) == os::RegionState::Huge1G) {
+            status.update(util::Status::error(
+                "PCC(1G) tracks already-huge region ", base, " of pid ",
+                proc.pid(), " — promotion shootdown missed it"));
+        }
+    }
+    return status;
+}
+
+} // namespace pccsim::sim

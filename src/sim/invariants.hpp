@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Cross-layer invariant checking.
+ *
+ * The simulator keeps the same state in several places on purpose: the
+ * radix page table is authoritative, the per-process flat arrays mirror
+ * it for the hot path, physical-frame ownership reverse-maps it, and
+ * the TLBs/PCCs cache (parts of) it. Fault injection stresses exactly
+ * the code that keeps those views synchronized — compaction rollback,
+ * promotion failure paths, pressure reclaim — so after every policy
+ * interval the System can sweep all of them and prove they still agree.
+ *
+ * Checks return util::Status instead of asserting: a violation is
+ * reported with a precise diagnosis (and a count of how widespread it
+ * is) while the run keeps going, which is what makes the checker usable
+ * inside long fault-injection campaigns.
+ */
+
+#pragma once
+
+#include "mem/phys_mem.hpp"
+#include "os/os.hpp"
+#include "pcc/pcc_unit.hpp"
+#include "tlb/hierarchy.hpp"
+#include "util/status.hpp"
+
+namespace pccsim::sim {
+
+/**
+ * Page tables, the flat per-process mirrors, and physical-frame
+ * ownership all agree:
+ *  - region state matches the page-table leaf at that address;
+ *  - every faulted base page maps to an AppBase frame owned by
+ *    (pid, vpn), and every non-faulted page is unmapped;
+ *  - per-region faulted counts match the bitmap, and touched pages are
+ *    a subset of faulted pages;
+ *  - huge leaves point at aligned AppHuge frames owned by the process;
+ *  - global frame accounting balances (no leaked or double-freed
+ *    frames; AppHuge population equals promoted bytes).
+ */
+util::Status checkMemoryConsistency(const os::Os &os,
+                                    const mem::PhysicalMemory &phys);
+
+/**
+ * Every TLB entry for the process still translates a page the page
+ * table maps at that exact size — i.e. no promotion, demotion,
+ * migration or reclaim left a stale translation behind.
+ */
+util::Status checkTlbResidency(const tlb::TlbHierarchy &tlb,
+                               const os::Process &proc);
+
+/**
+ * No PCC candidate names a region the OS already backs with a huge
+ * page of that candidate's granularity: promotions must invalidate
+ * their candidates via the shootdown path (Fig. 4 step C).
+ */
+util::Status checkPccResidency(const pcc::PccUnit &pcc,
+                               const os::Process &proc);
+
+} // namespace pccsim::sim

@@ -56,6 +56,28 @@ struct JobResult
     }
 };
 
+/**
+ * What the run survived: injected faults, the degradation machinery
+ * they triggered, and the invariant sweeps that validated the result.
+ * All zero on a clean run without checking enabled.
+ */
+struct ResilienceStats
+{
+    u64 injected_alloc_fails = 0;      //!< allocations vetoed by the gate
+    u64 injected_compaction_fails = 0; //!< failed/aborted compactions
+    u64 shootdown_storms = 0;          //!< storms that fired
+    u64 frag_shocks = 0;               //!< mid-run fragmentation shocks
+    u64 shock_blocks_pinned = 0;       //!< blocks pinned by shocks
+    u64 promote_retries = 0;           //!< backoff retries taken
+    u64 promote_retry_successes = 0;   //!< retries that then succeeded
+    u64 reclaim_events = 0;            //!< pressure-reclaim entries
+    u64 reclaim_demotions = 0;         //!< huge pages demoted by reclaim
+    u64 reclaimed_frames = 0;          //!< bloat frames actually freed
+    u64 invariant_checks = 0;          //!< sweeps performed
+    u64 invariant_failures = 0;        //!< sweeps that found violations
+    std::string first_invariant_failure; //!< diagnosis of the first one
+};
+
 /** Complete result of one System::run(). */
 struct RunResult
 {
@@ -66,6 +88,7 @@ struct RunResult
     u64 compactions = 0;
     u64 shootdowns = 0;
     u64 intervals = 0;
+    ResilienceStats resilience{};
 
     const JobResult &
     job(size_t i = 0) const

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/invariants.hpp"
 #include "util/log.hpp"
 
 namespace pccsim::sim {
@@ -93,13 +94,82 @@ System::installShootdownHook()
         // and charged once per compaction, so only charge full
         // shootdowns (>= one region) here.
         if (bytes >= mem::kBytes2M) {
+            Cycles cost = config_.costs.shootdown;
+            // An injected shootdown storm: IPI delivery contends with
+            // a burst of unrelated invalidations, inflating latency.
+            if (injector_)
+                cost += injector_->shootdownDelay();
             for (u32 c = 0; c < config_.num_cores; ++c) {
                 if (core_process_[c] && core_process_[c]->pid() == pid)
-                    cores_[c].cycles += config_.costs.shootdown;
+                    cores_[c].cycles += cost;
             }
         }
         return 0;
     });
+}
+
+void
+System::installFaultInjection()
+{
+    injector_.reset();
+    if (!config_.faults.any())
+        return;
+    injector_ =
+        std::make_unique<FaultInjector>(config_.faults, config_.seed);
+    phys_->setAllocGate(
+        [this](unsigned order) { return injector_->allowAlloc(order); });
+    phys_->setCompactionGate(
+        [this] { return injector_->compactionMovesAllowed(); });
+}
+
+void
+System::installReclaimRanker()
+{
+    // Rank reclaim victims by the same hardware signal that ranks
+    // promotions: page-walk frequency from the PCCs of every core
+    // running the owner. Promoted 2MB regions were invalidated from
+    // the 2MB PCC, but their walks (as 2MB-mapped pages) still feed
+    // the 1GB PCC, so the containing gigabyte's frequency stands in
+    // as the hotness estimate; a 2MB-PCC hit (post-demotion residue)
+    // is an even stronger signal.
+    os_->setReclaimRanker([this](Pid pid, Addr base) -> u64 {
+        const Vpn v2m = mem::vpnOf(base, mem::PageSize::Huge2M);
+        const Vpn v1g = mem::vpnOf(base, mem::PageSize::Huge1G);
+        u64 score = 0;
+        for (u32 c = 0; c < config_.num_cores; ++c) {
+            if (!core_process_[c] || core_process_[c]->pid() != pid)
+                continue;
+            const auto &unit = cores_[c].pcc;
+            if (auto f = unit.pcc2m().frequencyOf(v2m))
+                score = std::max(score, *f * mem::kPagesPer2M);
+            if (auto f = unit.pcc1g().frequencyOf(v1g))
+                score = std::max(score, *f);
+        }
+        return score;
+    });
+}
+
+void
+System::runInvariantChecks()
+{
+    util::Status status =
+        checkMemoryConsistency(*os_, *phys_);
+    for (u32 c = 0; c < config_.num_cores; ++c) {
+        if (!core_process_[c])
+            continue;
+        const os::Process &proc = *core_process_[c];
+        status.update(checkTlbResidency(cores_[c].tlb, proc));
+        status.update(checkPccResidency(cores_[c].pcc, proc));
+    }
+    ++invariant_checks_;
+    if (!status.ok()) {
+        ++invariant_failures_;
+        if (first_invariant_failure_.empty()) {
+            first_invariant_failure_ = status.toString();
+            warn("invariant violation (interval ", intervals_,
+                 "): ", first_invariant_failure_);
+        }
+    }
 }
 
 Cycles
@@ -155,6 +225,10 @@ System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
     (void)write;
     Cycles cost = config_.timing.op_cost;
     ++core.accesses;
+    // Keep liveness knowledge current even for huge-backed pages, whose
+    // accesses never fault again — the pressure reclaimer must be able
+    // to tell data from bloat.
+    proc.noteTouched(vaddr);
 
     if (!proc.faulted(vaddr)) {
         const bool want_huge = policy_->wantHugeFault(proc, vaddr);
@@ -249,9 +323,12 @@ System::run(std::vector<Job> jobs)
         phys_bytes = mem::alignUp(phys_bytes, mem::PageSize::Huge1G);
     }
     phys_ = std::make_unique<mem::PhysicalMemory>(phys_bytes);
+    installFaultInjection();
 
     os::Os::Params os_params;
     os_params.costs = config_.costs;
+    os_params.promote_retries = config_.promote_retries;
+    os_params.reclaim_on_pressure = config_.reclaim_on_pressure;
     if (config_.promotion_cap_percent == 0.0) {
         os_params.promotion_cap_bytes = 0;
     } else if (config_.promotion_cap_percent > 0.0) {
@@ -265,6 +342,7 @@ System::run(std::vector<Job> jobs)
     os_ = std::make_unique<os::Os>(os_params, *phys_);
     policy_ = makePolicy();
     installShootdownHook();
+    installReclaimRanker();
     if (config_.record_trace) {
         os_->setPromotionHook(
             [this](Pid pid, Addr base, mem::PageSize size) {
@@ -316,6 +394,10 @@ System::run(std::vector<Job> jobs)
         config_.interval_accesses * std::max<u32>(1, total_lanes);
     intervals_ = 0;
     shootdowns_ = 0;
+    shock_pins_ = 0;
+    invariant_checks_ = 0;
+    invariant_failures_ = 0;
+    first_invariant_failure_.clear();
 
     std::vector<Cycles> job_wall(jobs.size(), 0);
     std::vector<u32> job_live(jobs.size(), 0);
@@ -364,7 +446,11 @@ System::run(std::vector<Job> jobs)
                     next_interval_at_ +=
                         config_.interval_accesses *
                         std::max<u32>(1, total_lanes);
+                    if (injector_ && injector_->shockDue(intervals_))
+                        shock_pins_ += injector_->applyShock(*phys_);
                     policy_->onInterval(*this);
+                    if (config_.check_invariants)
+                        runInvariantChecks();
                 }
             }
         }
@@ -373,12 +459,34 @@ System::run(std::vector<Job> jobs)
     }
 
     // ---- collect results ----
+    if (config_.check_invariants)
+        runInvariantChecks(); // final sweep over the end state
+
     RunResult result;
     result.total_accesses = total_accesses_;
     result.os_background_cycles = os_->backgroundCycles();
     result.compactions = phys_->stats().get("compactions");
     result.shootdowns = shootdowns_;
     result.intervals = intervals_;
+
+    auto &res = result.resilience;
+    if (injector_) {
+        res.injected_alloc_fails = injector_->allocFailsInjected();
+        res.injected_compaction_fails =
+            injector_->compactionFailsInjected();
+        res.shootdown_storms = injector_->stormsInjected();
+        res.frag_shocks = injector_->shocksApplied();
+        res.shock_blocks_pinned = shock_pins_;
+    }
+    res.promote_retries = os_->stats().get("promote_retries");
+    res.promote_retry_successes =
+        os_->stats().get("promote_retry_successes");
+    res.reclaim_events = os_->stats().get("reclaim_events");
+    res.reclaim_demotions = os_->stats().get("reclaim_demotions");
+    res.reclaimed_frames = os_->stats().get("reclaimed_frames");
+    res.invariant_checks = invariant_checks_;
+    res.invariant_failures = invariant_failures_;
+    res.first_invariant_failure = first_invariant_failure_;
 
     for (u32 j = 0; j < jobs.size(); ++j) {
         JobResult job_result;

@@ -25,6 +25,7 @@
 #include "pcc/pcc_unit.hpp"
 #include "pt/walker.hpp"
 #include "sim/config.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/results.hpp"
 #include "tlb/hierarchy.hpp"
 #include "workloads/workload.hpp"
@@ -111,12 +112,19 @@ class System : public os::PolicyContext
     void maybeReleaseBarrier(u32 job);
 
     void installShootdownHook();
+    void installFaultInjection();
+    void installReclaimRanker();
+
+    /** One invariant sweep across all layers (config_.check_invariants). */
+    void runInvariantChecks();
+
     std::unique_ptr<os::Policy> makePolicy();
 
     SystemConfig config_;
     std::unique_ptr<mem::PhysicalMemory> phys_;
     std::unique_ptr<os::Os> os_;
     std::unique_ptr<os::Policy> policy_;
+    std::unique_ptr<FaultInjector> injector_;
     std::vector<CoreState> cores_;
     std::vector<LaneState> lanes_;
     std::vector<os::Process *> core_process_;
@@ -124,6 +132,10 @@ class System : public os::PolicyContext
     u64 next_interval_at_ = 0;
     u64 intervals_ = 0;
     u64 shootdowns_ = 0;
+    u64 shock_pins_ = 0;
+    u64 invariant_checks_ = 0;
+    u64 invariant_failures_ = 0;
+    std::string first_invariant_failure_;
     os::PromotionTrace recorded_;
 };
 

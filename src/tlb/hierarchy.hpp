@@ -132,6 +132,24 @@ class TlbHierarchy
         accesses_ = l1_hits_ = l2_hits_ = walks_ = shootdowns_ = 0;
     }
 
+    /**
+     * Visit every resident translation as (vpn, size). Entries can be
+     * duplicated across levels; callers that care should de-duplicate.
+     * Used by the cross-layer invariant checker to prove no stale
+     * translation survives a promotion/demotion shootdown.
+     */
+    template <typename Fn>
+    void
+    forEachResident(Fn &&fn) const
+    {
+        l1_4k_.forEachValid([&](Vpn v) { fn(v, mem::PageSize::Base4K); });
+        l1_2m_.forEachValid([&](Vpn v) { fn(v, mem::PageSize::Huge2M); });
+        l1_1g_.forEachValid([&](Vpn v) { fn(v, mem::PageSize::Huge1G); });
+        l2_.forEachValid([&](Vpn key) {
+            fn(key >> 2, static_cast<mem::PageSize>(key & 3));
+        });
+    }
+
     const TlbGeometry &geometry() const { return geometry_; }
     SetAssocTlb &l1Of(mem::PageSize size)
     {

@@ -136,6 +136,16 @@ class SetAssocTlb
         return n;
     }
 
+    /** Visit the VPN of every valid entry (invariant checking). */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const auto &e : entries_)
+            if (e.valid)
+                fn(e.vpn);
+    }
+
     u32 numEntries() const { return params_.entries; }
     u32 numWays() const { return ways_; }
     u32 numSets() const { return sets_; }

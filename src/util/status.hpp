@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Structured, non-aborting error reporting.
+ *
+ * fatal()/panic() (log.hpp) terminate the run; Status carries a
+ * recoverable diagnosis back to a caller that decides what to do with
+ * it. The cross-layer invariant checker builds on this: every detected
+ * inconsistency becomes a Status with a precise message instead of a
+ * silent divergence or an immediate abort deep inside a subsystem.
+ */
+
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "util/log.hpp"
+#include "util/types.hpp"
+
+namespace pccsim::util {
+
+class Status
+{
+  public:
+    /** Default construction is success. */
+    Status() = default;
+
+    /** Build a failed status from streamable message fragments. */
+    template <typename... Args>
+    static Status
+    error(Args &&...args)
+    {
+        Status s;
+        s.failed_ = true;
+        s.message_ = detail::concat(std::forward<Args>(args)...);
+        return s;
+    }
+
+    bool ok() const { return !failed_; }
+    explicit operator bool() const { return ok(); }
+
+    /** Diagnosis of the first failure; empty when ok(). */
+    const std::string &message() const { return message_; }
+
+    /**
+     * Merge another status in, keeping the first failure seen (later
+     * failures are counted but their messages dropped). Lets a checker
+     * sweep a whole structure and report how widespread the damage is.
+     */
+    Status &
+    update(Status other)
+    {
+        if (other.ok())
+            return *this;
+        if (ok()) {
+            failed_ = true;
+            message_ = std::move(other.message_);
+            extra_failures_ += other.extra_failures_;
+        } else {
+            extra_failures_ += 1 + other.extra_failures_;
+        }
+        return *this;
+    }
+
+    /** Failures merged after the first (see update()). */
+    u64 extraFailures() const { return extra_failures_; }
+
+    /** Message plus a suffix summarizing merged failures. */
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "ok";
+        if (extra_failures_ == 0)
+            return message_;
+        return message_ + " (+" + std::to_string(extra_failures_) +
+               " more failures)";
+    }
+
+  private:
+    bool failed_ = false;
+    std::string message_;
+    u64 extra_failures_ = 0;
+};
+
+} // namespace pccsim::util

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "mem/phys_mem.hpp"
+#include "os/os.hpp"
+#include "pcc/pcc_unit.hpp"
+#include "sim/invariants.hpp"
+#include "tlb/hierarchy.hpp"
+#include "util/status.hpp"
+
+using namespace pccsim;
+using namespace pccsim::sim;
+
+TEST(Status, DefaultIsSuccess)
+{
+    util::Status status;
+    EXPECT_TRUE(status.ok());
+    EXPECT_TRUE(static_cast<bool>(status));
+    EXPECT_EQ(status.toString(), "ok");
+}
+
+TEST(Status, ErrorCarriesConcatenatedMessage)
+{
+    const auto status = util::Status::error("pfn ", 42, " leaked");
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.message(), "pfn 42 leaked");
+}
+
+TEST(Status, UpdateKeepsFirstFailureAndCountsTheRest)
+{
+    util::Status status;
+    status.update(util::Status{});
+    EXPECT_TRUE(status.ok());
+    status.update(util::Status::error("first"));
+    status.update(util::Status::error("second"));
+    status.update(util::Status::error("third"));
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.message(), "first");
+    EXPECT_EQ(status.extraFailures(), 2u);
+    EXPECT_EQ(status.toString(), "first (+2 more failures)");
+}
+
+namespace {
+
+/** A small OS + memory with faulted pages and one promoted region. */
+struct Fixture
+{
+    mem::PhysicalMemory phys{64 * mem::kBytes2M};
+    os::Os os{os::Os::Params{}, phys};
+    os::Process &proc = os.createProcess(64 * mem::kBytes2M);
+    Addr heap = proc.mmap(8 * mem::kBytes2M, "heap");
+
+    Fixture()
+    {
+        // Region 0: fully faulted and promoted. Region 1: sparse 4KB.
+        for (u64 p = 0; p < mem::kPagesPer2M; ++p)
+            os.handleFault(proc, heap + p * mem::kBytes4K, false);
+        EXPECT_EQ(os.promoteRegion(proc, heap, false).status,
+                  os::PromoteStatus::Ok);
+        for (u64 p = 0; p < 16; ++p)
+            os.handleFault(proc, heap + mem::kBytes2M + p * mem::kBytes4K,
+                           false);
+    }
+};
+
+} // namespace
+
+TEST(Invariants, ConsistentStatePasses)
+{
+    Fixture f;
+    const auto status = checkMemoryConsistency(f.os, f.phys);
+    EXPECT_TRUE(status.ok()) << status.toString();
+}
+
+TEST(Invariants, DetectsFrameFreedBehindTheOsBack)
+{
+    Fixture f;
+    const Addr victim = f.heap + mem::kBytes2M; // a faulted base page
+    const auto mapping = f.proc.pageTable().lookup(victim);
+    ASSERT_TRUE(mapping.present);
+    f.phys.freeBase(mapping.pfn);
+
+    const auto status = checkMemoryConsistency(f.os, f.phys);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("not in AppBase use"),
+              std::string::npos)
+        << status.toString();
+}
+
+TEST(Invariants, CountsEveryViolationNotJustTheFirst)
+{
+    Fixture f;
+    for (u64 p = 0; p < 3; ++p) {
+        const auto mapping = f.proc.pageTable().lookup(
+            f.heap + mem::kBytes2M + p * mem::kBytes4K);
+        ASSERT_TRUE(mapping.present);
+        f.phys.freeBase(mapping.pfn);
+    }
+    const auto status = checkMemoryConsistency(f.os, f.phys);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.extraFailures(), 2u);
+}
+
+TEST(Invariants, DetectsMappingWithoutFault)
+{
+    Fixture f;
+    // Map a page the process never faulted (PT and the flat fast-path
+    // state now disagree).
+    f.proc.pageTable().mapBase(f.heap + mem::kBytes2M + 100 * mem::kBytes4K,
+                               0);
+    const auto status = checkMemoryConsistency(f.os, f.phys);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("mapped but never faulted"),
+              std::string::npos)
+        << status.toString();
+}
+
+TEST(Invariants, DetectsTouchedButUnfaultedPage)
+{
+    Fixture f;
+    f.proc.noteTouched(f.heap + mem::kBytes2M + 200 * mem::kBytes4K);
+    const auto status = checkMemoryConsistency(f.os, f.phys);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("touched but not faulted"),
+              std::string::npos)
+        << status.toString();
+}
+
+TEST(Invariants, DetectsHugeFrameSplitBehindTheOsBack)
+{
+    Fixture f;
+    const auto mapping = f.proc.pageTable().lookup(f.heap);
+    ASSERT_TRUE(mapping.present);
+    ASSERT_EQ(mapping.size, mem::PageSize::Huge2M);
+    f.phys.splitHuge(mapping.pfn, f.proc.pid(),
+                     mem::vpnOf(f.heap, mem::PageSize::Base4K));
+    const auto status = checkMemoryConsistency(f.os, f.phys);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("huge frame not in AppHuge use"),
+              std::string::npos)
+        << status.toString();
+}
+
+TEST(Invariants, TlbResidencyAcceptsFreshFills)
+{
+    Fixture f;
+    tlb::TlbHierarchy tlb;
+    tlb.fill(f.heap, mem::PageSize::Huge2M);
+    tlb.fill(f.heap + mem::kBytes2M, mem::PageSize::Base4K);
+    const auto status = checkTlbResidency(tlb, f.proc);
+    EXPECT_TRUE(status.ok()) << status.toString();
+}
+
+TEST(Invariants, TlbResidencyFlagsStaleTranslation)
+{
+    Fixture f;
+    tlb::TlbHierarchy tlb;
+    // Cache the promoted region at 4KB granularity: exactly the stale
+    // state a missed shootdown would leave behind.
+    tlb.fill(f.heap, mem::PageSize::Base4K);
+    const auto status = checkTlbResidency(tlb, f.proc);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("stale TLB entry"),
+              std::string::npos)
+        << status.toString();
+}
+
+TEST(Invariants, PccResidencyFlagsTrackedHugeRegion)
+{
+    Fixture f;
+    pcc::PccUnit pcc;
+    pcc.pcc2m().touch(mem::vpnOf(f.heap, mem::PageSize::Huge2M));
+    const auto stale = checkPccResidency(pcc, f.proc);
+    ASSERT_FALSE(stale.ok());
+    EXPECT_NE(stale.message().find("PCC(2M) tracks already-huge"),
+              std::string::npos)
+        << stale.toString();
+
+    // The promotion shootdown (Fig. 4 step C) clears the entry and with
+    // it the violation.
+    pcc.shootdown(f.heap, mem::kBytes2M);
+    EXPECT_TRUE(checkPccResidency(pcc, f.proc).ok());
+}
