@@ -11,6 +11,7 @@
  */
 
 #include "common.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/synthetic.hpp"
 
 using namespace pccsim;
@@ -21,26 +22,38 @@ main(int argc, char **argv)
 {
     BenchEnv env = BenchEnv::parse(argc, argv);
     BaselineCache baselines(env);
+    baselines.prefetch(env.apps);
 
     // The filter matters when cold insertions can displace hot
     // candidates, i.e. when the PCC is small relative to the touched
     // region count — so sweep the PCC size.
+    auto spec_with = [&](const std::string &app, u32 entries,
+                         bool filter) {
+        auto spec = env.spec(app, sim::PolicyKind::Pcc);
+        spec.cap_percent = 8.0;
+        spec.tweak = [filter, entries](sim::SystemConfig &cfg) {
+            cfg.pcc.access_bit_filter = filter;
+            cfg.pcc.pcc2m.entries = entries;
+        };
+        spec.tweak_key = "pcc2m=" + std::to_string(entries) +
+                         ",filter=" + (filter ? "on" : "off");
+        return spec;
+    };
     for (u32 entries : {128u, 8u}) {
-        Table table({"app", "filter on", "filter off", "delta %"});
+        std::vector<sim::ExperimentSpec> specs;
         for (const auto &app : env.apps) {
-            const auto &base = baselines.get(app);
-            auto run_with = [&](bool filter) {
-                auto spec = env.spec(app, sim::PolicyKind::Pcc);
-                spec.cap_percent = 8.0;
-                spec.tweak = [filter, entries](sim::SystemConfig &cfg) {
-                    cfg.pcc.access_bit_filter = filter;
-                    cfg.pcc.pcc2m.entries = entries;
-                };
-                return sim::speedup(base, sim::runOne(spec));
-            };
-            const double on = run_with(true);
-            const double off = run_with(false);
-            table.row({app, Table::fmt(on, 3), Table::fmt(off, 3),
+            specs.push_back(spec_with(app, entries, true));
+            specs.push_back(spec_with(app, entries, false));
+        }
+        const auto results = runAll(specs);
+
+        Table table({"app", "filter on", "filter off", "delta %"});
+        for (size_t a = 0; a < env.apps.size(); ++a) {
+            const auto &base = baselines.get(env.apps[a]);
+            const double on = sim::speedup(base, *results[2 * a]);
+            const double off = sim::speedup(base, *results[2 * a + 1]);
+            table.row({env.apps[a], Table::fmt(on, 3),
+                       Table::fmt(off, 3),
                        Table::fmt(100.0 * (on - off) / off, 2)});
         }
         env.emit(table, "Accessed-bit cold-miss filter ablation, " +
@@ -62,21 +75,33 @@ main(int argc, char **argv)
                                                      : 4'000'000;
         spec.seed = env.seed;
 
-        auto run_with = [&](bool filter,
-                            sim::PolicyKind kind) {
-            workloads::SyntheticWorkload w(spec);
-            sim::SystemConfig cfg =
-                sim::SystemConfig::forScale(env.scale);
-            cfg.policy = kind;
-            cfg.promotion_cap_percent = 8.0;
-            cfg.pcc.access_bit_filter = filter;
-            cfg.pcc.pcc2m.entries = 16;
-            sim::System system(cfg);
-            return system.run(w);
+        // Raw-System runs (synthetic workloads are not in the
+        // registry): fan the three configurations out on a pool.
+        struct StressPoint
+        {
+            bool filter;
+            sim::PolicyKind kind;
         };
-        const auto base = run_with(true, sim::PolicyKind::Base);
-        const auto on = run_with(true, sim::PolicyKind::Pcc);
-        const auto off = run_with(false, sim::PolicyKind::Pcc);
+        const std::vector<StressPoint> points = {
+            {true, sim::PolicyKind::Base},
+            {true, sim::PolicyKind::Pcc},
+            {false, sim::PolicyKind::Pcc}};
+        util::ThreadPool pool(env.jobs);
+        const auto runs =
+            pool.parallelMap(points, [&](const StressPoint &p) {
+                workloads::SyntheticWorkload w(spec);
+                sim::SystemConfig cfg =
+                    sim::SystemConfig::forScale(env.scale);
+                cfg.policy = p.kind;
+                cfg.promotion_cap_percent = 8.0;
+                cfg.pcc.access_bit_filter = p.filter;
+                cfg.pcc.pcc2m.entries = 16;
+                sim::System system(cfg);
+                return system.run(w);
+            });
+        const auto &base = runs[0];
+        const auto &on = runs[1];
+        const auto &off = runs[2];
         Table table({"config", "speedup", "ptw %", "promotions"});
         table.row({"base-4k", "1.000",
                    Table::fmt(base.job().ptwPercent(), 2), "0"});

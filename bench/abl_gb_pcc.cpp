@@ -19,6 +19,7 @@
 #include "pcc/pcc_unit.hpp"
 #include "sim/system.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/synthetic.hpp"
 
 using namespace pccsim;
@@ -137,7 +138,7 @@ main(int argc, char **argv)
             env.scale == workloads::Scale::Ci ? 3'000'000 : 8'000'000;
         sspec.seed = env.seed;
 
-        auto run_with = [&](bool enable_1g) {
+        auto run_with = [&](const bool &enable_1g) {
             workloads::SyntheticWorkload w(sspec);
             sim::SystemConfig cfg =
                 sim::SystemConfig::forScale(env.scale);
@@ -157,8 +158,12 @@ main(int argc, char **argv)
             sim::System system(cfg);
             return system.run(w);
         };
-        const auto base = run_with(false);
-        const auto with_1g = run_with(true);
+        // The pair is independent; overlap the two raw-System runs.
+        util::ThreadPool pool(env.jobs);
+        const auto runs =
+            pool.parallelMap(std::vector<bool>{false, true}, run_with);
+        const auto &base = runs[0];
+        const auto &with_1g = runs[1];
         Table sys({"config", "speedup", "2MB promos", "1GB promos",
                    "ptw %"});
         sys.row({"base-4k", "1.000", "0", "0",

@@ -41,6 +41,7 @@ main(int argc, char **argv)
 {
     BenchEnv env = BenchEnv::parse(argc, argv, {"bfs", "pr", "dedup"});
     BaselineCache baselines(env);
+    baselines.prefetch(env.apps);
 
     const std::vector<std::pair<const char *, sim::PolicyKind>> policies{
         {"linux-thp", sim::PolicyKind::LinuxThp},
@@ -48,24 +49,54 @@ main(int argc, char **argv)
         {"pcc", sim::PolicyKind::Pcc},
     };
 
-    std::map<std::string, sim::RunResult> pcc_storms;
-    Table table({"app", "policy", "clean", "storm", "retained %"});
+    // One batch per app: (clean, storm) per policy, plus the PCC
+    // storm rerun with the degradation machinery disabled (used by
+    // the last table). The fault storms are keyed tweaks, so the
+    // runner can dedup and memoize them like any other spec.
+    auto pressured = [&](const std::string &app, sim::PolicyKind kind) {
+        auto spec = env.spec(app, kind);
+        spec.cap_percent = 25.0;
+        spec.frag_fraction = 0.3;
+        return spec;
+    };
+    std::vector<sim::ExperimentSpec> specs;
     for (const auto &app : env.apps) {
-        const auto &base = baselines.get(app);
         for (const auto &[label, kind] : policies) {
-            auto spec = env.spec(app, kind);
-            spec.cap_percent = 25.0;
-            spec.frag_fraction = 0.3;
+            specs.push_back(pressured(app, kind));
+            auto storm = pressured(app, kind);
+            storm.tweak = installStorm;
+            storm.tweak_key = "storm";
+            specs.push_back(std::move(storm));
+        }
+        auto failfast = pressured(app, sim::PolicyKind::Pcc);
+        failfast.tweak = [](sim::SystemConfig &cfg) {
+            installStorm(cfg);
+            cfg.promote_retries = 0;
+            cfg.reclaim_on_pressure = false;
+        };
+        failfast.tweak_key = "storm,failfast";
+        specs.push_back(std::move(failfast));
+    }
+    const auto results = runAll(specs);
+    const size_t per_app = 2 * policies.size() + 1;
+
+    std::map<std::string, std::shared_ptr<const sim::RunResult>>
+        pcc_storms;
+    Table table({"app", "policy", "clean", "storm", "retained %"});
+    for (size_t a = 0; a < env.apps.size(); ++a) {
+        const auto &app = env.apps[a];
+        const auto &base = baselines.get(app);
+        for (size_t p = 0; p < policies.size(); ++p) {
+            const auto &[label, kind] = policies[p];
+            const auto &stormy = results[per_app * a + 2 * p + 1];
             const double clean =
-                sim::speedup(base, sim::runOne(spec));
-            spec.tweak = installStorm;
-            auto stormy = sim::runOne(spec);
-            const double storm = sim::speedup(base, stormy);
+                sim::speedup(base, *results[per_app * a + 2 * p]);
+            const double storm = sim::speedup(base, *stormy);
             table.row({app, label, Table::fmt(clean, 3),
                        Table::fmt(storm, 3),
                        Table::fmt(100.0 * storm / clean, 1)});
             if (kind == sim::PolicyKind::Pcc)
-                pcc_storms.emplace(app, std::move(stormy));
+                pcc_storms.emplace(app, stormy);
         }
     }
     env.emit(table, "Policy speedup under an injected fault storm "
@@ -78,7 +109,7 @@ main(int argc, char **argv)
                    "shock pins", "retries", "retry wins", "reclaims",
                    "frames freed", "invariant fails"});
     for (const auto &[app, run] : pcc_storms) {
-        const auto &r = run.resilience;
+        const auto &r = run->resilience;
         anatomy.row({app, std::to_string(r.injected_alloc_fails),
                      std::to_string(r.injected_compaction_fails),
                      std::to_string(r.shootdown_storms),
@@ -97,19 +128,11 @@ main(int argc, char **argv)
     // versus the policy's own interval-to-interval persistence.
     Table machinery({"app", "machinery on", "machinery off",
                      "promotions on/off"});
-    for (const auto &app : env.apps) {
+    for (size_t a = 0; a < env.apps.size(); ++a) {
+        const auto &app = env.apps[a];
         const auto &base = baselines.get(app);
-        auto spec = env.spec(app, sim::PolicyKind::Pcc);
-        spec.cap_percent = 25.0;
-        spec.frag_fraction = 0.3;
-        spec.tweak = installStorm;
-        const auto &with = pcc_storms.at(app);
-        spec.tweak = [](sim::SystemConfig &cfg) {
-            installStorm(cfg);
-            cfg.promote_retries = 0;
-            cfg.reclaim_on_pressure = false;
-        };
-        const auto without = sim::runOne(spec);
+        const auto &with = *pcc_storms.at(app);
+        const auto &without = *results[per_app * a + per_app - 1];
         machinery.row(
             {app, Table::fmt(sim::speedup(base, with), 3),
              Table::fmt(sim::speedup(base, without), 3),

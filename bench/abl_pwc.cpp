@@ -18,18 +18,27 @@ main(int argc, char **argv)
 {
     BenchEnv env = BenchEnv::parse(argc, argv);
 
-    Table table({"app", "refs/walk (PWC)", "refs/walk (no PWC)",
-                 "miss% (PWC)", "miss% (no PWC)", "no-PWC slowdown"});
+    std::vector<sim::ExperimentSpec> specs;
     for (const auto &app : env.apps) {
         auto with_spec = env.spec(app, sim::PolicyKind::Base);
         with_spec.cap_percent = 0.0;
-        const auto with_pwc = sim::runOne(with_spec);
+        specs.push_back(with_spec);
 
         auto without_spec = with_spec;
         without_spec.tweak = [](sim::SystemConfig &cfg) {
             cfg.pwc.enabled = false;
         };
-        const auto without_pwc = sim::runOne(without_spec);
+        without_spec.tweak_key = "pwc=off";
+        specs.push_back(std::move(without_spec));
+    }
+    const auto results = runAll(specs);
+
+    Table table({"app", "refs/walk (PWC)", "refs/walk (no PWC)",
+                 "miss% (PWC)", "miss% (no PWC)", "no-PWC slowdown"});
+    for (size_t a = 0; a < env.apps.size(); ++a) {
+        const auto &app = env.apps[a];
+        const auto &with_pwc = *results[2 * a];
+        const auto &without_pwc = *results[2 * a + 1];
 
         table.row(
             {app, Table::fmt(with_pwc.job().refs_per_walk, 2),

@@ -18,24 +18,41 @@ main(int argc, char **argv)
     BenchEnv env = BenchEnv::parse(
         argc, argv, workloads::graphWorkloadNames());
     BaselineCache baselines(env);
+    baselines.prefetch(env.apps);
+
+    auto spec_with = [&](const std::string &app, u32 entries,
+                         pcc::Replacement replacement,
+                         const char *label) {
+        auto spec = env.spec(app, sim::PolicyKind::Pcc);
+        spec.cap_percent = 32.0;
+        spec.tweak = [entries, replacement](sim::SystemConfig &cfg) {
+            cfg.pcc.pcc2m.entries = entries;
+            cfg.pcc.pcc2m.replacement = replacement;
+        };
+        spec.tweak_key =
+            "pcc2m=" + std::to_string(entries) + ",repl=" + label;
+        return spec;
+    };
 
     for (u32 entries : {128u, 8u}) {
-        Table table({"app", "LFU+LRU tie", "pure LRU", "delta %"});
+        std::vector<sim::ExperimentSpec> specs;
         for (const auto &app : env.apps) {
-            const auto &base = baselines.get(app);
-            auto run_with = [&](pcc::Replacement replacement) {
-                auto spec = env.spec(app, sim::PolicyKind::Pcc);
-                spec.cap_percent = 32.0;
-                spec.tweak = [entries,
-                              replacement](sim::SystemConfig &cfg) {
-                    cfg.pcc.pcc2m.entries = entries;
-                    cfg.pcc.pcc2m.replacement = replacement;
-                };
-                return sim::speedup(base, sim::runOne(spec));
-            };
-            const double lfu = run_with(pcc::Replacement::LfuLruTie);
-            const double lru = run_with(pcc::Replacement::PureLru);
-            table.row({app, Table::fmt(lfu, 3), Table::fmt(lru, 3),
+            specs.push_back(spec_with(app, entries,
+                                      pcc::Replacement::LfuLruTie,
+                                      "lfu"));
+            specs.push_back(spec_with(app, entries,
+                                      pcc::Replacement::PureLru,
+                                      "lru"));
+        }
+        const auto results = runAll(specs);
+
+        Table table({"app", "LFU+LRU tie", "pure LRU", "delta %"});
+        for (size_t a = 0; a < env.apps.size(); ++a) {
+            const auto &base = baselines.get(env.apps[a]);
+            const double lfu = sim::speedup(base, *results[2 * a]);
+            const double lru = sim::speedup(base, *results[2 * a + 1]);
+            table.row({env.apps[a], Table::fmt(lfu, 3),
+                       Table::fmt(lru, 3),
                        Table::fmt(100.0 * (lfu - lru) / lru, 2)});
         }
         env.emit(table, "Replacement ablation, " +

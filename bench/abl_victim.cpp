@@ -23,27 +23,43 @@ main(int argc, char **argv)
 {
     BenchEnv env = BenchEnv::parse(argc, argv);
     BaselineCache baselines(env);
+    baselines.prefetch(env.apps);
+
+    auto spec_with = [&](const std::string &app, u32 entries,
+                         pcc::CandidateSource source,
+                         const char *label) {
+        auto spec = env.spec(app, sim::PolicyKind::Pcc);
+        spec.cap_percent = 8.0;
+        spec.tweak = [entries, source](sim::SystemConfig &cfg) {
+            cfg.pcc.pcc2m.entries = entries;
+            cfg.pcc.source = source;
+        };
+        spec.tweak_key =
+            "pcc2m=" + std::to_string(entries) + ",src=" + label;
+        return spec;
+    };
 
     for (u32 entries : {128u, 16u}) {
+        std::vector<sim::ExperimentSpec> specs;
+        for (const auto &app : env.apps) {
+            specs.push_back(spec_with(
+                app, entries, pcc::CandidateSource::PtwFiltered,
+                "walks"));
+            specs.push_back(spec_with(
+                app, entries, pcc::CandidateSource::L2Victims,
+                "victims"));
+        }
+        const auto results = runAll(specs);
+
         Table table({"app", "PCC (walks)", "victim buffer",
                      "delta %"});
-        for (const auto &app : env.apps) {
-            const auto &base = baselines.get(app);
-            auto run_with = [&](pcc::CandidateSource source) {
-                auto spec = env.spec(app, sim::PolicyKind::Pcc);
-                spec.cap_percent = 8.0;
-                spec.tweak = [entries,
-                              source](sim::SystemConfig &cfg) {
-                    cfg.pcc.pcc2m.entries = entries;
-                    cfg.pcc.source = source;
-                };
-                return sim::speedup(base, sim::runOne(spec));
-            };
+        for (size_t a = 0; a < env.apps.size(); ++a) {
+            const auto &base = baselines.get(env.apps[a]);
             const double walks =
-                run_with(pcc::CandidateSource::PtwFiltered);
+                sim::speedup(base, *results[2 * a]);
             const double victims =
-                run_with(pcc::CandidateSource::L2Victims);
-            table.row({app, Table::fmt(walks, 3),
+                sim::speedup(base, *results[2 * a + 1]);
+            table.row({env.apps[a], Table::fmt(walks, 3),
                        Table::fmt(victims, 3),
                        Table::fmt(100.0 * (walks - victims) /
                                       victims,

@@ -8,25 +8,83 @@
  *   --apps=bfs,sssp,...             workload subset
  *   --seed=N                        generator seed
  *   --csv                           emit CSV instead of aligned text
+ *   --jobs=N                        parallel simulations (0 = host
+ *                                   concurrency, the default)
+ *   --perf=FILE                     write runner accounting as JSON
  *
  * The default scale is `ci` so the whole suite regenerates in
  * minutes; pass --scale=small or --scale=medium for records closer
  * to the paper's ratios (see DESIGN.md on scale profiles).
+ *
+ * All simulations flow through sim::Runner::global(): identical specs
+ * simulate once per process, and --jobs=N fans independent runs out
+ * across N workers with bit-identical output to --jobs=1.
  */
 
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.hpp"
+#include "sim/runner.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
 namespace pccsim::bench {
+
+namespace detail {
+
+/** --perf destination; static storage so the atexit hook can see it. */
+inline std::string &
+perfPath()
+{
+    static std::string path;
+    return path;
+}
+
+inline void
+writePerfReport()
+{
+    const std::string &path = perfPath();
+    if (path.empty())
+        return;
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return;
+    const sim::Runner &runner = sim::Runner::global();
+    const auto stats = runner.stats();
+    const double ns_per_access =
+        stats.total_accesses == 0
+            ? 0.0
+            : static_cast<double>(stats.sim_nanos) /
+                  static_cast<double>(stats.total_accesses);
+    std::fprintf(f,
+                 "{\n"
+                 "  \"jobs\": %u,\n"
+                 "  \"requested\": %llu,\n"
+                 "  \"simulated\": %llu,\n"
+                 "  \"memo_hits\": %llu,\n"
+                 "  \"total_accesses\": %llu,\n"
+                 "  \"sim_ns\": %llu,\n"
+                 "  \"ns_per_access\": %.3f\n"
+                 "}\n",
+                 runner.jobs(),
+                 static_cast<unsigned long long>(stats.requested),
+                 static_cast<unsigned long long>(stats.simulated),
+                 static_cast<unsigned long long>(stats.memo_hits),
+                 static_cast<unsigned long long>(stats.total_accesses),
+                 static_cast<unsigned long long>(stats.sim_nanos),
+                 ns_per_access);
+    std::fclose(f);
+}
+
+} // namespace detail
 
 struct BenchEnv
 {
@@ -34,6 +92,7 @@ struct BenchEnv
     std::vector<std::string> apps;
     u64 seed = 42;
     bool csv = false;
+    u32 jobs = 1; //!< resolved worker count of the global runner
 
     static BenchEnv
     parse(int argc, char **argv,
@@ -53,6 +112,14 @@ struct BenchEnv
                 env.apps.push_back(app);
         } else {
             env.apps = std::move(default_apps);
+        }
+        // 0 (the default) selects host concurrency inside the runner.
+        sim::Runner::setGlobalJobs(
+            static_cast<u32>(opts.getInt("jobs", 0)));
+        env.jobs = sim::Runner::global().jobs();
+        if (opts.has("perf")) {
+            detail::perfPath() = opts.get("perf");
+            std::atexit(detail::writePerfReport);
         }
         return env;
     }
@@ -77,27 +144,63 @@ struct BenchEnv
     }
 };
 
-/** Baseline (4KB-only) runs, cached per workload. */
+/** Batch a spec list through the global runner (parallel + memoized). */
+inline std::vector<std::shared_ptr<const sim::RunResult>>
+runAll(const std::vector<sim::ExperimentSpec> &specs)
+{
+    return sim::Runner::global().runMany(specs);
+}
+
+/** Run one spec through the global runner. */
+inline std::shared_ptr<const sim::RunResult>
+runShared(const sim::ExperimentSpec &spec)
+{
+    return sim::Runner::global().run(spec);
+}
+
+/**
+ * Baseline (4KB-only) runs, one per workload. Runs go through the
+ * global runner's spec-keyed memo, so a baseline requested here and a
+ * PolicyKind::Base spec inside geomeanSpeedup() or a figure sweep
+ * simulate exactly once per process.
+ */
 class BaselineCache
 {
   public:
     explicit BaselineCache(const BenchEnv &env) : env_(env) {}
+
+    /** The baseline spec for one app (shared key with all users). */
+    sim::ExperimentSpec
+    spec(const std::string &app) const
+    {
+        sim::ExperimentSpec s = env_.spec(app, sim::PolicyKind::Base);
+        s.cap_percent = 0.0;
+        return s;
+    }
+
+    /** Simulate every app's baseline as one parallel batch. */
+    void
+    prefetch(const std::vector<std::string> &apps)
+    {
+        std::vector<sim::ExperimentSpec> specs;
+        specs.reserve(apps.size());
+        for (const auto &app : apps)
+            specs.push_back(spec(app));
+        runAll(specs);
+    }
 
     const sim::RunResult &
     get(const std::string &app)
     {
         auto it = cache_.find(app);
         if (it != cache_.end())
-            return it->second;
-        sim::ExperimentSpec spec =
-            env_.spec(app, sim::PolicyKind::Base);
-        spec.cap_percent = 0.0;
-        return cache_.emplace(app, sim::runOne(spec)).first->second;
+            return *it->second;
+        return *cache_.emplace(app, runShared(spec(app))).first->second;
     }
 
   private:
     const BenchEnv &env_;
-    std::map<std::string, sim::RunResult> cache_;
+    std::map<std::string, std::shared_ptr<const sim::RunResult>> cache_;
 };
 
 /** Render the utility-cap x-axis value the way the paper labels it. */

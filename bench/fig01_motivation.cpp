@@ -20,20 +20,28 @@ main(int argc, char **argv)
 {
     BenchEnv env = BenchEnv::parse(argc, argv);
     BaselineCache baselines(env);
+    baselines.prefetch(env.apps);
+
+    // Batch every app's (ideal, THP) pair through the runner so the
+    // whole figure fans out across --jobs workers.
+    std::vector<sim::ExperimentSpec> specs;
+    for (const auto &app : env.apps) {
+        specs.push_back(env.spec(app, sim::PolicyKind::AllHuge));
+        auto thp_spec = env.spec(app, sim::PolicyKind::LinuxThp);
+        thp_spec.frag_fraction = 0.5;
+        specs.push_back(std::move(thp_spec));
+    }
+    const auto results = runAll(specs);
 
     Table miss({"app", "4KB miss %", "2MB miss %", "THP(50%) miss %"});
     Table speed({"app", "4KB", "2MB", "Linux THP (50% frag)"});
     std::vector<double> huge_speedups;
 
-    for (const auto &app : env.apps) {
+    for (size_t a = 0; a < env.apps.size(); ++a) {
+        const auto &app = env.apps[a];
         const auto &base = baselines.get(app);
-
-        auto ideal_spec = env.spec(app, sim::PolicyKind::AllHuge);
-        const auto ideal = sim::runOne(ideal_spec);
-
-        auto thp_spec = env.spec(app, sim::PolicyKind::LinuxThp);
-        thp_spec.frag_fraction = 0.5;
-        const auto thp = sim::runOne(thp_spec);
+        const auto &ideal = *results[2 * a];
+        const auto &thp = *results[2 * a + 1];
 
         miss.row({app, Table::fmt(base.job().tlbMissPercent(), 2),
                   Table::fmt(ideal.job().tlbMissPercent(), 2),

@@ -21,18 +21,28 @@ main(int argc, char **argv)
 {
     BenchEnv env = BenchEnv::parse(argc, argv);
     BaselineCache baselines(env);
+    baselines.prefetch(env.apps);
 
+    // Batch the per-app reference points up front; the utility curves
+    // below batch their own nine points through the same runner.
+    std::vector<sim::ExperimentSpec> refs;
     for (const auto &app : env.apps) {
-        const auto &base = baselines.get(app);
-
-        const auto ideal =
-            sim::runOne(env.spec(app, sim::PolicyKind::AllHuge));
+        refs.push_back(env.spec(app, sim::PolicyKind::AllHuge));
         auto thp50 = env.spec(app, sim::PolicyKind::LinuxThp);
         thp50.frag_fraction = 0.5;
-        const auto linux50 = sim::runOne(thp50);
+        refs.push_back(std::move(thp50));
         auto thp90 = env.spec(app, sim::PolicyKind::LinuxThp);
         thp90.frag_fraction = 0.9;
-        const auto linux90 = sim::runOne(thp90);
+        refs.push_back(std::move(thp90));
+    }
+    const auto ref_runs = runAll(refs);
+
+    for (size_t a = 0; a < env.apps.size(); ++a) {
+        const auto &app = env.apps[a];
+        const auto &base = baselines.get(app);
+        const auto &ideal = *ref_runs[3 * a];
+        const auto &linux50 = *ref_runs[3 * a + 1];
+        const auto &linux90 = *ref_runs[3 * a + 2];
 
         const auto pcc_curve =
             sim::utilityCurve(env.spec(app, sim::PolicyKind::Pcc),

@@ -13,6 +13,7 @@
  */
 
 #include "common.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/synthetic.hpp"
 
 using namespace pccsim;
@@ -30,30 +31,50 @@ main(int argc, char **argv)
     BenchEnv env = BenchEnv::parse(
         argc, argv, workloads::graphWorkloadNames());
     BaselineCache baselines(env);
+    baselines.prefetch(env.apps);
 
-    Table table({"app", "baseline", "4", "8", "16", "32", "64", "128",
-                 "256", "512", "1024", "ideal"});
+    // One batch: every (app x PCC size) point plus each app's ideal.
+    // The tweak carries a key, so the points are memoizable and the
+    // whole grid fans out across --jobs workers.
+    std::vector<sim::ExperimentSpec> specs;
     for (const auto &app : env.apps) {
-        const auto &base = baselines.get(app);
-        std::vector<std::string> row = {app, "1.000"};
         for (u32 size : kSizes) {
             auto spec = env.spec(app, sim::PolicyKind::Pcc);
             spec.cap_percent = 32.0;
             spec.tweak = [size](sim::SystemConfig &cfg) {
                 cfg.pcc.pcc2m.entries = size;
             };
-            row.push_back(
-                Table::fmt(sim::speedup(base, sim::runOne(spec)), 3));
+            spec.tweak_key = "pcc2m=" + std::to_string(size);
+            specs.push_back(std::move(spec));
         }
-        const auto ideal =
-            sim::runOne(env.spec(app, sim::PolicyKind::AllHuge));
-        row.push_back(Table::fmt(sim::speedup(base, ideal), 3));
+        specs.push_back(env.spec(app, sim::PolicyKind::AllHuge));
+    }
+    const auto results = runAll(specs);
+
+    const size_t per_app = kSizes.size() + 1;
+    Table table({"app", "baseline", "4", "8", "16", "32", "64", "128",
+                 "256", "512", "1024", "ideal"});
+    for (size_t a = 0; a < env.apps.size(); ++a) {
+        const auto &app = env.apps[a];
+        const auto &base = baselines.get(app);
+        std::vector<std::string> row = {app, "1.000"};
+        for (size_t s = 0; s < kSizes.size(); ++s) {
+            row.push_back(Table::fmt(
+                sim::speedup(base, *results[a * per_app + s]), 3));
+        }
+        row.push_back(Table::fmt(
+            sim::speedup(base, *results[a * per_app + kSizes.size()]),
+            3));
         table.row(row);
     }
     env.emit(table, "Fig. 6: speedup vs PCC entries (cap 32%)");
 
     // Controlled synthetic: 256 hot regions out of 512, so the
     // plateau must land between 128 and 256 entries as in the paper.
+    // Runs use raw Systems (the synthetic workload is not in the
+    // registry), parallelized directly on a worker pool; each task
+    // builds its own workload + System, so runs stay independent and
+    // the output order is the input order.
     {
         workloads::SyntheticSpec sspec;
         sspec.pattern = workloads::Pattern::HotRegions;
@@ -63,28 +84,35 @@ main(int argc, char **argv)
                                                       : 8'000'000;
         sspec.seed = env.seed;
 
-        sim::SystemConfig cfg = sim::SystemConfig::forScale(env.scale);
-        cfg.policy = sim::PolicyKind::Base;
-        cfg.promotion_cap_percent = 0.0;
-        workloads::SyntheticWorkload base_w(sspec);
-        sim::System base_sys(cfg);
-        const auto base = base_sys.run(base_w);
-
-        Table syn({"PCC entries", "speedup", "promotions"});
-        for (u32 size : kSizes) {
-            sim::SystemConfig pcfg =
-                sim::SystemConfig::forScale(env.scale);
-            pcfg.policy = sim::PolicyKind::Pcc;
-            pcfg.promotion_cap_percent = 64.0;
-            pcfg.pcc.pcc2m.entries = size;
-            // Match the paper's interval count (a handful of promotion
-            // rounds per run) so the per-interval budget C — the PCC
-            // size — is what limits small configurations.
-            pcfg.interval_accesses = sspec.ops / 5;
+        // Task 0 is the 4KB baseline; tasks 1..N sweep the PCC size.
+        std::vector<u32> tasks = {0};
+        tasks.insert(tasks.end(), kSizes.begin(), kSizes.end());
+        util::ThreadPool pool(env.jobs);
+        const auto runs = pool.parallelMap(tasks, [&](const u32 &size) {
+            sim::SystemConfig cfg = sim::SystemConfig::forScale(env.scale);
+            if (size == 0) {
+                cfg.policy = sim::PolicyKind::Base;
+                cfg.promotion_cap_percent = 0.0;
+            } else {
+                cfg.policy = sim::PolicyKind::Pcc;
+                cfg.promotion_cap_percent = 64.0;
+                cfg.pcc.pcc2m.entries = size;
+                // Match the paper's interval count (a handful of
+                // promotion rounds per run) so the per-interval budget
+                // C — the PCC size — is what limits small
+                // configurations.
+                cfg.interval_accesses = sspec.ops / 5;
+            }
             workloads::SyntheticWorkload w(sspec);
-            sim::System sys(pcfg);
-            const auto run = sys.run(w);
-            syn.row({std::to_string(size),
+            sim::System sys(cfg);
+            return sys.run(w);
+        });
+
+        const auto &base = runs[0];
+        Table syn({"PCC entries", "speedup", "promotions"});
+        for (size_t s = 0; s < kSizes.size(); ++s) {
+            const auto &run = runs[s + 1];
+            syn.row({std::to_string(kSizes[s]),
                      Table::fmt(sim::speedup(base, run), 3),
                      std::to_string(run.job().promotions)});
         }

@@ -20,35 +20,44 @@ main(int argc, char **argv)
     BenchEnv env = BenchEnv::parse(
         argc, argv, workloads::graphWorkloadNames());
     BaselineCache baselines(env);
+    baselines.prefetch(env.apps);
     Options opts(argc, argv);
 
     for (double frag : {0.5, 0.9}) {
+        // Batch the whole fragmentation level (4 policies x apps).
+        std::vector<sim::ExperimentSpec> specs;
+        for (const auto &app : env.apps) {
+            auto hawk_spec = env.spec(app, sim::PolicyKind::HawkEye);
+            hawk_spec.frag_fraction = frag;
+            specs.push_back(std::move(hawk_spec));
+
+            auto thp_spec = env.spec(app, sim::PolicyKind::LinuxThp);
+            thp_spec.frag_fraction = frag;
+            specs.push_back(std::move(thp_spec));
+
+            auto pcc_spec = env.spec(app, sim::PolicyKind::Pcc);
+            pcc_spec.frag_fraction = frag;
+            specs.push_back(pcc_spec);
+
+            auto demote_spec = pcc_spec;
+            demote_spec.pcc_policy.demote_on_pressure = true;
+            specs.push_back(std::move(demote_spec));
+        }
+        const auto results = runAll(specs);
+
         Table table({"app", "baseline", "hawkeye", "linux-thp", "pcc",
                      "pcc+demote"});
         std::vector<double> pcc_vs_linux;
         std::vector<double> pcc_vs_hawk;
-        for (const auto &app : env.apps) {
+        for (size_t a = 0; a < env.apps.size(); ++a) {
+            const auto &app = env.apps[a];
             const auto &base = baselines.get(app);
-
-            auto hawk_spec = env.spec(app, sim::PolicyKind::HawkEye);
-            hawk_spec.frag_fraction = frag;
-            const double hawk =
-                sim::speedup(base, sim::runOne(hawk_spec));
-
-            auto thp_spec = env.spec(app, sim::PolicyKind::LinuxThp);
-            thp_spec.frag_fraction = frag;
+            const double hawk = sim::speedup(base, *results[4 * a]);
             const double linux_thp =
-                sim::speedup(base, sim::runOne(thp_spec));
-
-            auto pcc_spec = env.spec(app, sim::PolicyKind::Pcc);
-            pcc_spec.frag_fraction = frag;
-            const double pcc =
-                sim::speedup(base, sim::runOne(pcc_spec));
-
-            auto demote_spec = pcc_spec;
-            demote_spec.pcc_policy.demote_on_pressure = true;
+                sim::speedup(base, *results[4 * a + 1]);
+            const double pcc = sim::speedup(base, *results[4 * a + 2]);
             const double pcc_demote =
-                sim::speedup(base, sim::runOne(demote_spec));
+                sim::speedup(base, *results[4 * a + 3]);
 
             table.row({app, "1.000", Table::fmt(hawk, 3),
                        Table::fmt(linux_thp, 3), Table::fmt(pcc, 3),

@@ -24,33 +24,41 @@ main(int argc, char **argv)
     const double cap = opts.getDouble("cap", 8.0);
 
     for (u32 threads : {2u, 4u, 8u}) {
-        Table table({"app", "highest-freq", "round-robin", "ideal"});
+        // Batch the whole thread count (4 configurations x apps).
+        std::vector<sim::ExperimentSpec> specs;
         for (const auto &app : env.apps) {
             auto base_spec = env.spec(app, sim::PolicyKind::Base);
             base_spec.lanes = threads;
             base_spec.cap_percent = 0.0;
-            const auto base = sim::runOne(base_spec);
+            specs.push_back(std::move(base_spec));
 
             auto freq_spec = env.spec(app, sim::PolicyKind::Pcc);
             freq_spec.lanes = threads;
             freq_spec.cap_percent = cap;
             freq_spec.pcc_policy.order =
                 os::PromotionOrder::HighestFrequency;
-            const double freq =
-                sim::speedup(base, sim::runOne(freq_spec));
+            specs.push_back(freq_spec);
 
             auto rr_spec = freq_spec;
             rr_spec.pcc_policy.order = os::PromotionOrder::RoundRobin;
-            const double rr =
-                sim::speedup(base, sim::runOne(rr_spec));
+            specs.push_back(std::move(rr_spec));
 
             auto ideal_spec = env.spec(app, sim::PolicyKind::AllHuge);
             ideal_spec.lanes = threads;
-            const double ideal =
-                sim::speedup(base, sim::runOne(ideal_spec));
+            specs.push_back(std::move(ideal_spec));
+        }
+        const auto results = runAll(specs);
 
-            table.row({app, Table::fmt(freq, 3), Table::fmt(rr, 3),
-                       Table::fmt(ideal, 3)});
+        Table table({"app", "highest-freq", "round-robin", "ideal"});
+        for (size_t a = 0; a < env.apps.size(); ++a) {
+            const auto &base = *results[4 * a];
+            const double freq = sim::speedup(base, *results[4 * a + 1]);
+            const double rr = sim::speedup(base, *results[4 * a + 2]);
+            const double ideal =
+                sim::speedup(base, *results[4 * a + 3]);
+
+            table.row({env.apps[a], Table::fmt(freq, 3),
+                       Table::fmt(rr, 3), Table::fmt(ideal, 3)});
         }
         env.emit(table, "Fig. 8: " + std::to_string(threads) +
                             " threads, cap " + Table::fmt(cap, 0) +

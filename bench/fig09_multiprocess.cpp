@@ -14,6 +14,7 @@
  */
 
 #include "common.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/registry.hpp"
 
 using namespace pccsim;
@@ -27,6 +28,14 @@ struct PairResult
     double speedup_b;
     u64 thps_a;
     u64 thps_b;
+};
+
+/** One grid point of a case study: arbitration policy x cap. */
+struct PairPoint
+{
+    sim::PolicyKind policy;
+    os::PromotionOrder order;
+    double cap;
 };
 
 sim::RunResult
@@ -54,11 +63,8 @@ runPairOnce(const BenchEnv &env, const std::string &a,
 }
 
 PairResult
-runPair(const BenchEnv &env, const std::string &a, const std::string &b,
-        sim::PolicyKind policy, os::PromotionOrder order, double cap,
-        const sim::RunResult &base)
+toPairResult(const sim::RunResult &base, const sim::RunResult &run)
 {
-    const auto run = runPairOnce(env, a, b, policy, order, cap);
     return {sim::speedup(base, run, 0), sim::speedup(base, run, 1),
             run.jobs[0].promotions, run.jobs[1].promotions};
 }
@@ -67,32 +73,44 @@ void
 caseStudy(const BenchEnv &env, const std::string &a,
           const std::string &b, const std::string &title)
 {
-    // One shared 4KB baseline per case study.
-    const auto base =
-        runPairOnce(env, a, b, sim::PolicyKind::Base,
-                    os::PromotionOrder::HighestFrequency, 0.0);
+    // Two-job runs are not expressible as ExperimentSpecs, so the
+    // grid fans out directly on a worker pool: point 0 is the shared
+    // 4KB baseline, the last point the unconstrained ideal, and each
+    // task builds its own workloads + System (runs stay independent;
+    // parallelMap keeps input order).
+    std::vector<PairPoint> points;
+    points.push_back({sim::PolicyKind::Base,
+                      os::PromotionOrder::HighestFrequency, 0.0});
+    for (double cap : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, -1.0}) {
+        points.push_back({sim::PolicyKind::Pcc,
+                          os::PromotionOrder::HighestFrequency, cap});
+        points.push_back(
+            {sim::PolicyKind::Pcc, os::PromotionOrder::RoundRobin, cap});
+    }
+    points.push_back({sim::PolicyKind::AllHuge,
+                      os::PromotionOrder::HighestFrequency, -1.0});
+
+    util::ThreadPool pool(env.jobs);
+    const auto runs = pool.parallelMap(points, [&](const PairPoint &p) {
+        return runPairOnce(env, a, b, p.policy, p.order, p.cap);
+    });
+    const auto &base = runs.front();
 
     Table table({"cap %", "policy", a + " speedup", b + " speedup",
                  a + " THPs", b + " THPs"});
-    for (double cap : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, -1.0}) {
-        for (auto [order, label] :
-             {std::pair{os::PromotionOrder::HighestFrequency,
-                        "highest-freq"},
-              std::pair{os::PromotionOrder::RoundRobin,
-                        "round-robin"}}) {
-            const auto r = runPair(env, a, b, sim::PolicyKind::Pcc,
-                                   order, cap, base);
-            table.row({capLabel(cap), label,
-                       Table::fmt(r.speedup_a, 3),
-                       Table::fmt(r.speedup_b, 3),
-                       std::to_string(r.thps_a),
-                       std::to_string(r.thps_b)});
-        }
+    for (size_t i = 1; i + 1 < runs.size(); ++i) {
+        const auto r = toPairResult(base, runs[i]);
+        table.row({capLabel(points[i].cap),
+                   points[i].order == os::PromotionOrder::RoundRobin
+                       ? "round-robin"
+                       : "highest-freq",
+                   Table::fmt(r.speedup_a, 3),
+                   Table::fmt(r.speedup_b, 3),
+                   std::to_string(r.thps_a),
+                   std::to_string(r.thps_b)});
     }
     // Reference: unconstrained ideal.
-    const auto ideal = runPair(env, a, b, sim::PolicyKind::AllHuge,
-                               os::PromotionOrder::HighestFrequency,
-                               -1.0, base);
+    const auto ideal = toPairResult(base, runs.back());
     env.emit(table, title);
     std::printf("  ideal: %s=%.3f %s=%.3f (THPs %llu / %llu)\n\n",
                 a.c_str(), ideal.speedup_a, b.c_str(), ideal.speedup_b,

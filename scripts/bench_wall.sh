@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Wall-clock benchmark of the parallel experiment runner: times
+# fig06_pcc_size serially (--jobs=1) and in parallel (--jobs=N),
+# verifies the outputs are byte-identical, and writes BENCH_runner.json
+# with the wall times, the speedup, and the serial per-access cost from
+# the runner's own --perf accounting.
+#
+# Usage:
+#   scripts/bench_wall.sh                 # --scale=small, N = nproc
+#   PCC_SCALE=ci scripts/bench_wall.sh    # quicker, CI-sized inputs
+#   PCC_JOBS=8   scripts/bench_wall.sh    # explicit parallel width
+#
+# Interpreting the result: "speedup" is serial wall / parallel wall for
+# the whole harness. On a host with 4+ cores the acceptance target is
+# >= 3x; on smaller hosts the parallel run degenerates toward serial
+# (host_jobs in the JSON records what was available).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SCALE="${PCC_SCALE:-small}"
+JOBS="${PCC_JOBS:-$(nproc)}"
+OUT="${PCC_OUT:-BENCH_runner.json}"
+
+echo "==> building (build/)"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build -j "$(nproc)" --target fig06_pcc_size >/dev/null
+
+BIN=./build/bench/fig06_pcc_size
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "==> serial run (--jobs=1, scale=$SCALE)"
+t0=$(date +%s.%N)
+"$BIN" --scale="$SCALE" --csv --jobs=1 --perf="$TMP/serial.perf.json" \
+    > "$TMP/serial.csv"
+t1=$(date +%s.%N)
+
+echo "==> parallel run (--jobs=$JOBS, scale=$SCALE)"
+t2=$(date +%s.%N)
+"$BIN" --scale="$SCALE" --csv --jobs="$JOBS" \
+    --perf="$TMP/parallel.perf.json" > "$TMP/parallel.csv"
+t3=$(date +%s.%N)
+
+echo "==> verifying parallel output is byte-identical to serial"
+diff -u "$TMP/serial.csv" "$TMP/parallel.csv"
+
+python3 - "$TMP" "$OUT" "$SCALE" "$JOBS" "$t0" "$t1" "$t2" "$t3" <<'EOF'
+import json
+import os
+import sys
+
+tmp, out, scale, jobs, t0, t1, t2, t3 = sys.argv[1:9]
+serial_wall = float(t1) - float(t0)
+parallel_wall = float(t3) - float(t2)
+
+with open(os.path.join(tmp, "serial.perf.json")) as f:
+    serial_perf = json.load(f)
+with open(os.path.join(tmp, "parallel.perf.json")) as f:
+    parallel_perf = json.load(f)
+
+report = {
+    "benchmark": "fig06_pcc_size",
+    "scale": scale,
+    "host_jobs": os.cpu_count() or 1,
+    "jobs": int(jobs),
+    "serial_wall_s": round(serial_wall, 3),
+    "parallel_wall_s": round(parallel_wall, 3),
+    "speedup": round(serial_wall / parallel_wall, 3)
+    if parallel_wall > 0
+    else None,
+    "output_identical": True,  # the diff above gates this script
+    "serial_ns_per_access": serial_perf["ns_per_access"],
+    "parallel_ns_per_access": parallel_perf["ns_per_access"],
+    "serial_runner": serial_perf,
+    "parallel_runner": parallel_perf,
+}
+with open(out, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(json.dumps(report, indent=2))
+EOF
+
+echo "==> wrote $OUT"

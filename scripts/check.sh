@@ -1,30 +1,67 @@
 #!/usr/bin/env bash
-# Robustness gate: build and run the test suite under sanitizers.
+# Robustness gate: build and run the test suite under sanitizers, then
+# prove the parallel runner's determinism contract end to end.
 #
 # Usage:
-#   scripts/check.sh                 # address + undefined (the default gate)
-#   scripts/check.sh address         # one specific sanitizer
+#   scripts/check.sh                    # address + undefined + determinism
+#   scripts/check.sh address            # one specific gate
+#   scripts/check.sh tsan               # ThreadSanitizer on the runner
 #   scripts/check.sh undefined thread
+#   scripts/check.sh determinism        # only the --jobs CSV diff
+#
+# Gates:
+#   address | asan        full suite under AddressSanitizer (+ leaks)
+#   undefined | ubsan     full suite under UBSan
+#   thread | tsan         ThreadSanitizer on the concurrent machinery
+#                         (test_runner + the ThreadPool tests)
+#   determinism           fig06_pcc_size --scale=ci --jobs=4 must emit
+#                         byte-identical CSV to --jobs=1
 #
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
-# build-tsan/) so switching never poisons the regular build/ directory.
-# The script fails on the first sanitizer whose build or tests fail.
+# build-tsan/; determinism uses build-det/) so switching never poisons
+# the regular build/ directory. The script fails on the first gate
+# whose build or tests fail.
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-sanitizers=("$@")
-if [ ${#sanitizers[@]} -eq 0 ]; then
-    sanitizers=(address undefined)
+run_determinism() {
+    echo "==> [determinism] configuring build-det"
+    cmake -B build-det -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    echo "==> [determinism] building fig06_pcc_size"
+    cmake --build build-det -j "$(nproc)" --target fig06_pcc_size \
+        >/dev/null
+    echo "==> [determinism] fig06 --jobs=4 vs --jobs=1 CSV diff"
+    local tmp
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' RETURN
+    ./build-det/bench/fig06_pcc_size --scale=ci --csv --jobs=1 \
+        > "$tmp/serial.csv"
+    ./build-det/bench/fig06_pcc_size --scale=ci --csv --jobs=4 \
+        > "$tmp/parallel.csv"
+    if ! diff -u "$tmp/serial.csv" "$tmp/parallel.csv"; then
+        echo "determinism gate FAILED: parallel output diverged" >&2
+        return 1
+    fi
+    echo "==> [determinism] clean (byte-identical output)"
+}
+
+gates=("$@")
+if [ ${#gates[@]} -eq 0 ]; then
+    gates=(address undefined determinism)
 fi
 
-for san in "${sanitizers[@]}"; do
-    case "$san" in
-      address)   dir=build-asan ;;
-      undefined) dir=build-ubsan ;;
-      thread)    dir=build-tsan ;;
-      *) echo "unknown sanitizer '$san' (use address|undefined|thread)" >&2
+for gate in "${gates[@]}"; do
+    case "$gate" in
+      address|asan)    san=address;   dir=build-asan ;;
+      undefined|ubsan) san=undefined; dir=build-ubsan ;;
+      thread|tsan)     san=thread;    dir=build-tsan ;;
+      determinism)
+         run_determinism
+         continue ;;
+      *) echo "unknown gate '$gate'" \
+              "(use address|undefined|thread|determinism)" >&2
          exit 2 ;;
     esac
 
@@ -36,12 +73,23 @@ for san in "${sanitizers[@]}"; do
     cmake --build "$dir" -j "$(nproc)" >/dev/null
 
     echo "==> [$san] testing"
-    # halt_on_error makes UBSan failures fail the test run instead of
-    # merely printing; detect_leaks catches frames the simulator drops.
-    UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
-    ASAN_OPTIONS="detect_leaks=1" \
-        ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+    if [ "$san" = thread ]; then
+        # TSan's value is in the concurrent machinery: the runner, its
+        # thread pool, and the shared state they guard. Restricting the
+        # run keeps the gate fast while covering every code path the
+        # workers touch (each runner test executes whole simulations).
+        TSAN_OPTIONS="halt_on_error=1" \
+            ctest --test-dir "$dir" --output-on-failure \
+                -R '^(Runner\.|SpecKey\.|ThreadPool\.)' \
+                -j "$(nproc)"
+    else
+        # halt_on_error makes UBSan failures fail the test run instead
+        # of merely printing; detect_leaks catches dropped frames.
+        UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+        ASAN_OPTIONS="detect_leaks=1" \
+            ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+    fi
     echo "==> [$san] clean"
 done
 
-echo "All sanitizer gates passed."
+echo "All gates passed."

@@ -42,12 +42,17 @@ class Cache
     explicit Cache(CacheParams params)
         : params_(params),
           sets_(params.sets() == 0 ? 1 : params.sets()),
-          lines_(sets_ * params.ways)
+          lines_(sets_ * params.ways),
+          mru_(sets_, 0)
     {
         PCCSIM_ASSERT(params.line_bytes > 0 && params.ways > 0);
         line_shift_ = 0;
         while ((1u << line_shift_) < params.line_bytes)
             ++line_shift_;
+        // Real geometries have power-of-two set counts; indexing with a
+        // mask instead of a 64-bit division is a large win on the
+        // per-access hot path. Odd set counts fall back to modulo.
+        set_mask_ = (sets_ & (sets_ - 1)) == 0 ? sets_ - 1 : 0;
     }
 
     /** Probe and update LRU; true on hit. */
@@ -55,10 +60,23 @@ class Cache
     lookup(Addr addr)
     {
         const u64 tag = addr >> line_shift_;
-        Line *set = setOf(tag);
+        PCCSIM_DCHECK(tag != kInvalidTag);
+        const u64 set_index = setIndexOf(tag);
+        Line *set = &lines_[set_index * params_.ways];
+        // MRU-way fast check: the timing model's dominant cost is this
+        // scan, and most hits land on the last way touched. A stale
+        // hint (after eviction) just fails the compare and falls
+        // through; the stamp update is the same one the scan performs,
+        // so the fast path is bit-identical to the slow one.
+        u32 &mru = mru_[set_index];
+        if (set[mru].tag == tag) {
+            set[mru].stamp = ++clock_;
+            return true;
+        }
         for (u32 w = 0; w < params_.ways; ++w) {
-            if (set[w].valid && set[w].tag == tag) {
+            if (set[w].tag == tag) {
                 set[w].stamp = ++clock_;
+                mru = w;
                 return true;
             }
         }
@@ -70,11 +88,12 @@ class Cache
     insert(Addr addr)
     {
         const u64 tag = addr >> line_shift_;
-        Line *set = setOf(tag);
+        const u64 set_index = setIndexOf(tag);
+        Line *set = &lines_[set_index * params_.ways];
         u32 victim = 0;
         u64 oldest = ~0ull;
         for (u32 w = 0; w < params_.ways; ++w) {
-            if (!set[w].valid) {
+            if (set[w].tag == kInvalidTag) {
                 victim = w;
                 break;
             }
@@ -85,32 +104,47 @@ class Cache
                 victim = w;
             }
         }
-        set[victim] = {tag, ++clock_, true};
+        set[victim] = {tag, ++clock_};
+        mru_[set_index] = victim;
     }
 
     void
     flushAll()
     {
         for (auto &line : lines_)
-            line.valid = false;
+            line = Line{};
     }
 
     const CacheParams &params() const { return params_; }
 
   private:
+    /**
+     * 16-byte line: validity is the sentinel tag rather than a bool,
+     * which shrinks the line array by a third (the LLC's array is the
+     * timing model's dominant host-cache footprint). The sentinel is
+     * unreachable as a real tag: tags are addr >> line_shift_, so
+     * ~0 would require an address in the top cache line of the
+     * address space.
+     */
+    static constexpr u64 kInvalidTag = ~0ull;
     struct Line
     {
-        u64 tag = 0;
+        u64 tag = kInvalidTag;
         u64 stamp = 0;
-        bool valid = false;
     };
 
-    Line *setOf(u64 tag) { return &lines_[(tag % sets_) * params_.ways]; }
+    u64
+    setIndexOf(u64 tag) const
+    {
+        return set_mask_ ? (tag & set_mask_) : (tag % sets_);
+    }
 
     CacheParams params_;
     u64 sets_;
     std::vector<Line> lines_;
+    std::vector<u32> mru_; //!< per-set hint; advisory, may be stale
     u64 clock_ = 0;
+    u64 set_mask_ = 0;
     u32 line_shift_ = 0;
 };
 

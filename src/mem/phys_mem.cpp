@@ -11,7 +11,14 @@ PhysicalMemory::PhysicalMemory(u64 bytes)
       use_(bytes / kBytes4K, FrameUse::Free),
       owner_(bytes / kBytes4K),
       blocks_((bytes / kBytes4K) >> kOrder2M),
-      num_blocks_((bytes / kBytes4K) >> kOrder2M)
+      num_blocks_((bytes / kBytes4K) >> kOrder2M),
+      c_alloc_base_(&stats_.counter("alloc_base")),
+      c_alloc_base_fail_(&stats_.counter("alloc_base_fail")),
+      c_alloc_huge_(&stats_.counter("alloc_huge")),
+      c_alloc_huge_fail_(&stats_.counter("alloc_huge_fail")),
+      c_free_base_(&stats_.counter("free_base")),
+      c_free_huge_(&stats_.counter("free_huge")),
+      c_injected_alloc_fail_(&stats_.counter("injected_alloc_fail"))
 {
     PCCSIM_ASSERT(num_blocks_ > 0, "physical memory smaller than 2MB");
 }
@@ -21,7 +28,7 @@ PhysicalMemory::gateDenies(unsigned order)
 {
     if (!alloc_gate_ || alloc_gate_(order))
         return false;
-    ++stats_.counter("injected_alloc_fail");
+    ++*c_injected_alloc_fail_;
     return true;
 }
 
@@ -29,18 +36,18 @@ std::optional<Pfn>
 PhysicalMemory::allocBase(Pid pid, Vpn vpn4k, bool bypass_gate)
 {
     if (!bypass_gate && gateDenies(0)) {
-        ++stats_.counter("alloc_base_fail");
+        ++*c_alloc_base_fail_;
         return std::nullopt;
     }
     auto pfn = buddy_.allocate(0);
     if (!pfn) {
-        ++stats_.counter("alloc_base_fail");
+        ++*c_alloc_base_fail_;
         return std::nullopt;
     }
     use_[*pfn] = FrameUse::AppBase;
     owner_[*pfn] = {pid, vpn4k};
     ++blocks_[blockOf(*pfn)].resident;
-    ++stats_.counter("alloc_base");
+    ++*c_alloc_base_;
     return pfn;
 }
 
@@ -48,19 +55,19 @@ std::optional<Pfn>
 PhysicalMemory::allocHuge(Pid pid, Vpn first_vpn4k)
 {
     if (gateDenies(kOrder2M)) {
-        ++stats_.counter("alloc_huge_fail");
+        ++*c_alloc_huge_fail_;
         return std::nullopt;
     }
     auto pfn = buddy_.allocate(kOrder2M);
     if (!pfn) {
-        ++stats_.counter("alloc_huge_fail");
+        ++*c_alloc_huge_fail_;
         return std::nullopt;
     }
     for (u64 i = 0; i < kPagesPer2M; ++i)
         use_[*pfn + i] = FrameUse::AppHuge;
     owner_[*pfn] = {pid, first_vpn4k};
     blocks_[blockOf(*pfn)].huge = true;
-    ++stats_.counter("alloc_huge");
+    ++*c_alloc_huge_;
     return pfn;
 }
 
@@ -110,7 +117,7 @@ PhysicalMemory::freeBase(Pfn pfn)
     owner_[pfn] = {};
     --blocks_[blockOf(pfn)].resident;
     buddy_.free(pfn, 0);
-    ++stats_.counter("free_base");
+    ++*c_free_base_;
 }
 
 void
@@ -124,7 +131,7 @@ PhysicalMemory::freeHuge(Pfn pfn)
     owner_[pfn] = {};
     blocks_[blockOf(pfn)].huge = false;
     buddy_.free(pfn, kOrder2M);
-    ++stats_.counter("free_huge");
+    ++*c_free_huge_;
 }
 
 void

@@ -198,6 +198,16 @@ class PhysicalMemory
     u64 pinned_blocks_ = 0;
     u64 compact_cursor_ = 0;
     StatGroup stats_{"phys_mem"};
+    // Allocation-frequency counters resolved once: StatGroup::counter's
+    // string lookup is measurable on the per-fault hot path. Pointers
+    // stay valid for the StatGroup's lifetime (std::map storage).
+    Counter *c_alloc_base_;
+    Counter *c_alloc_base_fail_;
+    Counter *c_alloc_huge_;
+    Counter *c_alloc_huge_fail_;
+    Counter *c_free_base_;
+    Counter *c_free_huge_;
+    Counter *c_injected_alloc_fail_;
 };
 
 } // namespace pccsim::mem

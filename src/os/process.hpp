@@ -171,7 +171,9 @@ class Process
     u64
     regionIndex(Addr vaddr) const
     {
-        PCCSIM_ASSERT(vaddr >= heap_base_ &&
+        // Debug-only: this sits on the per-access hot path and an
+        // out-of-heap vaddr is caught by mmap()/fault handling anyway.
+        PCCSIM_DCHECK(vaddr >= heap_base_ &&
                       vaddr < heap_base_ + heap_capacity_);
         return (vaddr - heap_base_) >> mem::kShift2M;
     }
@@ -220,7 +222,7 @@ class Process
     u64
     pageIndex(Addr vaddr) const
     {
-        PCCSIM_ASSERT(vaddr >= heap_base_ &&
+        PCCSIM_DCHECK(vaddr >= heap_base_ &&
                       vaddr < heap_base_ + heap_capacity_);
         return (vaddr - heap_base_) >> mem::kShift4K;
     }

@@ -203,14 +203,19 @@ PageTable::walk(Addr vaddr)
     Entry &pgd = root_->entries[indexAt(vaddr, Level::PGD)];
     if (!pgd.child)
         return info;
-    pgd.accessed = true;
+    // Accessed bits are set conditionally throughout: walks re-touch
+    // the same entries constantly, and skipping the redundant store
+    // keeps the host cache line clean.
+    if (!pgd.accessed)
+        pgd.accessed = true;
     info.levels = 1;
 
     Entry &pud = pgd.child->entries[indexAt(vaddr, Level::PUD)];
     info.pud_was_accessed = pud.accessed;
     ++info.levels;
     if (pud.leaf && pud.present) {
-        pud.accessed = true;
+        if (!pud.accessed)
+            pud.accessed = true;
         info.present = true;
         info.size = mem::PageSize::Huge1G;
         info.pfn = pud.pfn;
@@ -218,13 +223,15 @@ PageTable::walk(Addr vaddr)
     }
     if (!pud.child)
         return info;
-    pud.accessed = true;
+    if (!pud.accessed)
+        pud.accessed = true;
 
     Entry &pmd = pud.child->entries[indexAt(vaddr, Level::PMD)];
     info.pmd_was_accessed = pmd.accessed;
     ++info.levels;
     if (pmd.leaf && pmd.present) {
-        pmd.accessed = true;
+        if (!pmd.accessed)
+            pmd.accessed = true;
         info.present = true;
         info.size = mem::PageSize::Huge2M;
         info.pfn = pmd.pfn;
@@ -232,13 +239,15 @@ PageTable::walk(Addr vaddr)
     }
     if (!pmd.child)
         return info;
-    pmd.accessed = true;
+    if (!pmd.accessed)
+        pmd.accessed = true;
 
     Entry &pte = pmd.child->entries[indexAt(vaddr, Level::PTE)];
     info.pte_was_accessed = pte.accessed;
     ++info.levels;
     if (pte.present) {
-        pte.accessed = true;
+        if (!pte.accessed)
+            pte.accessed = true;
         info.present = true;
         info.size = mem::PageSize::Base4K;
         info.pfn = pte.pfn;

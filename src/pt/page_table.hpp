@@ -111,13 +111,19 @@ class PageTable
   private:
     struct Node;
 
+    /**
+     * 16-byte entry: pfn and the three status bits share one word, so
+     * four entries fit a host cache line and a random PTE probe never
+     * straddles two lines. 61 bits of pfn is far beyond any simulated
+     * physical memory size.
+     */
     struct Entry
     {
         Node *child = nullptr; //!< non-leaf: next level table
-        Pfn pfn = 0;
-        bool present = false;
-        bool leaf = false;     //!< huge leaf at PUD/PMD, or any PTE
-        bool accessed = false;
+        u64 pfn : 61 = 0;
+        u64 present : 1 = 0;
+        u64 leaf : 1 = 0;      //!< huge leaf at PUD/PMD, or any PTE
+        u64 accessed : 1 = 0;
     };
 
     struct Node

@@ -142,25 +142,32 @@ class Walker
         const Vpn vpn2m = mem::vpnOf(vaddr, mem::PageSize::Huge2M);
         const Vpn vpn512g = vaddr >> 39;
 
-        // Start below the deepest PWC hit.
+        // Start below the deepest PWC hit; every traversed level is
+        // (re)filled. The combined access() folds the former
+        // probe-then-refill double scan into one scan per structure:
+        // a level that must be probed uses access() (hit or insert in
+        // one pass), while levels above a deeper hit skip the probe
+        // and just refill.
         unsigned start_level = 0; // number of levels skipped
-        if (depth >= 4 && pde_.lookup(vpn2m)) {
+        if (depth >= 4 && pde_.access(vpn2m).hit)
             start_level = 3;
-        } else if (depth >= 3 && pdpte_.lookup(vpn1g)) {
-            start_level = 2;
-        } else if (depth >= 2 && pml4e_.lookup(vpn512g)) {
-            start_level = 1;
+        if (depth >= 3) {
+            if (start_level == 0) {
+                if (pdpte_.access(vpn1g).hit)
+                    start_level = 2;
+            } else {
+                pdpte_.insert(vpn1g);
+            }
         }
-        const unsigned refs = depth - start_level;
-
-        // Refill the PWCs with the entries this walk traversed.
-        if (depth >= 2)
-            pml4e_.insert(vpn512g);
-        if (depth >= 3)
-            pdpte_.insert(vpn1g);
-        if (depth >= 4)
-            pde_.insert(vpn2m);
-        return refs;
+        if (depth >= 2) {
+            if (start_level == 0) {
+                if (pml4e_.access(vpn512g).hit)
+                    start_level = 1;
+            } else {
+                pml4e_.insert(vpn512g);
+            }
+        }
+        return depth - start_level;
     }
 
     PwcParams params_;

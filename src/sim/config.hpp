@@ -97,6 +97,14 @@ struct SystemConfig
      */
     bool check_invariants = false;
 
+    /**
+     * Per-core last-translation fast path: consecutive accesses to the
+     * same page skip the TLB set scan (the translation is L1-resident
+     * and MRU by construction) while still being accounted as L1 hits.
+     * Never changes results — kept as a knob so tests can prove that.
+     */
+    bool last_translation_cache = true;
+
     /** Promotion budget as % of total footprint; < 0 = unlimited. */
     double promotion_cap_percent = -1.0;
 

@@ -1,5 +1,6 @@
 #include "sim/experiment.hpp"
 
+#include "sim/runner.hpp"
 #include "util/stats.hpp"
 
 namespace pccsim::sim {
@@ -43,18 +44,32 @@ utilityCaps()
 }
 
 std::vector<CurvePoint>
-utilityCurve(const ExperimentSpec &spec, const RunResult &baseline)
+utilityCurve(const ExperimentSpec &spec, const RunResult &baseline,
+             Runner *runner)
 {
-    std::vector<CurvePoint> curve;
+    if (!runner)
+        runner = &Runner::global();
+    // Batch every non-trivial cap point so the runner can execute the
+    // sweep in parallel and recall repeated points from its memo.
+    std::vector<ExperimentSpec> points;
     for (double cap : utilityCaps()) {
+        if (cap == 0.0)
+            continue;
         ExperimentSpec point = spec;
         point.cap_percent = cap;
+        points.push_back(std::move(point));
+    }
+    const auto results = runner->runMany(points);
+
+    std::vector<CurvePoint> curve;
+    size_t next = 0;
+    for (double cap : utilityCaps()) {
         if (cap == 0.0) {
             // 0% promoted is by definition the 4KB baseline.
             curve.push_back({cap, 1.0, baseline.job().ptwPercent(), 0});
             continue;
         }
-        const RunResult result = runOne(point);
+        const RunResult &result = *results[next++];
         curve.push_back({cap, speedup(baseline, result),
                          result.job().ptwPercent(),
                          result.job().promotions});
@@ -63,9 +78,15 @@ utilityCurve(const ExperimentSpec &spec, const RunResult &baseline)
 }
 
 double
-geomeanSpeedup(const ExperimentSpec &spec, const DatasetSweep &sweep)
+geomeanSpeedup(const ExperimentSpec &spec, const DatasetSweep &sweep,
+               Runner *runner)
 {
-    std::vector<double> values;
+    if (!runner)
+        runner = &Runner::global();
+    // Collect the (baseline, variant) pair of every dataset, then run
+    // the whole sweep as one batch: baselines shared with other call
+    // sites (BaselineCache, other figures) simulate only once.
+    std::vector<ExperimentSpec> specs;
     for (graph::NetworkKind kind : sweep.networks) {
         for (int sorted = 0; sorted <= (sweep.include_sorted ? 1 : 0);
              ++sorted) {
@@ -77,11 +98,15 @@ geomeanSpeedup(const ExperimentSpec &spec, const DatasetSweep &sweep)
             base.policy = PolicyKind::Base;
             base.cap_percent = 0.0;
 
-            const RunResult base_run = runOne(base);
-            const RunResult run = runOne(variant);
-            values.push_back(speedup(base_run, run));
+            specs.push_back(std::move(base));
+            specs.push_back(std::move(variant));
         }
     }
+    const auto results = runner->runMany(specs);
+
+    std::vector<double> values;
+    for (size_t i = 0; i + 1 < results.size(); i += 2)
+        values.push_back(speedup(*results[i], *results[i + 1]));
     return geomean(values);
 }
 

@@ -15,6 +15,8 @@
 
 namespace pccsim::sim {
 
+class Runner;
+
 /** Everything needed to reproduce one run. */
 struct ExperimentSpec
 {
@@ -26,6 +28,14 @@ struct ExperimentSpec
     os::PccPolicy::Params pcc_policy{};
     /** Final hook to adjust the SystemConfig (PCC size sweeps etc.). */
     std::function<void(SystemConfig &)> tweak;
+    /**
+     * Canonical label for `tweak`, making the spec memoizable by the
+     * runner: two specs with equal keys (and equal plain fields) must
+     * describe identical runs. Leave empty while `tweak` is set to opt
+     * the spec out of memoization/deduplication (it still runs, every
+     * time).
+     */
+    std::string tweak_key;
 };
 
 /** Build the SystemConfig an ExperimentSpec implies. */
@@ -48,10 +58,13 @@ struct CurvePoint
 
 /**
  * Sweep the promotion cap for a policy and report speedups relative
- * to the supplied 4KB baseline run.
+ * to the supplied 4KB baseline run. The sweep's nine runs go through
+ * `runner` (default: Runner::global()) — deduplicated, memoized, and
+ * executed in parallel when the runner has jobs() > 1.
  */
 std::vector<CurvePoint> utilityCurve(const ExperimentSpec &spec,
-                                     const RunResult &baseline);
+                                     const RunResult &baseline,
+                                     Runner *runner = nullptr);
 
 /**
  * Run a graph workload over the requested datasets (network kinds x
@@ -66,6 +79,7 @@ struct DatasetSweep
 };
 
 double geomeanSpeedup(const ExperimentSpec &spec,
-                      const DatasetSweep &sweep);
+                      const DatasetSweep &sweep,
+                      Runner *runner = nullptr);
 
 } // namespace pccsim::sim

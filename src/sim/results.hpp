@@ -54,6 +54,9 @@ struct JobResult
     {
         return percent(promoted_bytes, footprint_bytes);
     }
+
+    /** Member-wise equality: the determinism tests compare runs. */
+    bool operator==(const JobResult &) const = default;
 };
 
 /**
@@ -76,6 +79,8 @@ struct ResilienceStats
     u64 invariant_checks = 0;          //!< sweeps performed
     u64 invariant_failures = 0;        //!< sweeps that found violations
     std::string first_invariant_failure; //!< diagnosis of the first one
+
+    bool operator==(const ResilienceStats &) const = default;
 };
 
 /** Complete result of one System::run(). */
@@ -95,6 +100,9 @@ struct RunResult
     {
         return jobs.at(i);
     }
+
+    /** Stat-for-stat equality, the runner's determinism contract. */
+    bool operator==(const RunResult &) const = default;
 };
 
 /** Speedup of `run` relative to `baseline` for job i. */

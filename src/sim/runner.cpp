@@ -1,0 +1,161 @@
+#include "sim/runner.hpp"
+
+#include <chrono>
+#include <sstream>
+
+namespace pccsim::sim {
+
+namespace {
+
+u64
+nowNanos()
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+std::string
+specKey(const ExperimentSpec &spec)
+{
+    if (spec.tweak && spec.tweak_key.empty())
+        return {};
+    std::ostringstream os;
+    os.precision(17);
+    const auto &w = spec.workload;
+    os << w.name << '|' << static_cast<int>(w.scale) << '|'
+       << static_cast<int>(w.network) << '|' << w.dbg_sorted << '|'
+       << w.seed << '|' << spec.lanes << '|'
+       << static_cast<int>(spec.policy) << '|' << spec.cap_percent
+       << '|' << spec.frag_fraction;
+    const auto &p = spec.pcc_policy;
+    os << '|' << p.regions_to_promote << '|' << static_cast<int>(p.order);
+    for (Pid pid : p.bias_pids)
+        os << ',' << pid;
+    os << '|' << p.allow_compaction << p.demote_on_pressure << '|'
+       << p.min_frequency << '|' << p.promote_1g << '|' << p.ratio_1g;
+    os << '|' << spec.tweak_key;
+    return os.str();
+}
+
+Runner::Runner(u32 jobs)
+    : jobs_(jobs == 0 ? util::ThreadPool::hardwareJobs() : jobs)
+{
+    if (jobs_ > 1)
+        pool_ = std::make_unique<util::ThreadPool>(jobs_);
+}
+
+Runner::~Runner() = default;
+
+Runner::Stats
+Runner::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::shared_ptr<const RunResult>
+Runner::simulate(const ExperimentSpec &spec)
+{
+    const u64 t0 = nowNanos();
+    auto result = std::make_shared<const RunResult>(runOne(spec));
+    const u64 elapsed = nowNanos() - t0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.simulated;
+    stats_.total_accesses += result->total_accesses;
+    stats_.sim_nanos += elapsed;
+    return result;
+}
+
+std::shared_ptr<const RunResult>
+Runner::run(const ExperimentSpec &spec)
+{
+    return runMany({spec}).front();
+}
+
+std::vector<std::shared_ptr<const RunResult>>
+Runner::runMany(const std::vector<ExperimentSpec> &specs)
+{
+    std::vector<std::shared_ptr<const RunResult>> out(specs.size());
+    std::vector<std::string> keys(specs.size());
+    // Indices that need a simulation; for duplicate keys inside the
+    // batch only the first occurrence simulates (the batch owner).
+    std::vector<size_t> to_run;
+    std::map<std::string, size_t> batch_owner;
+    std::vector<std::pair<size_t, size_t>> followers;
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.requested += specs.size();
+        for (size_t i = 0; i < specs.size(); ++i) {
+            keys[i] = specKey(specs[i]);
+            if (keys[i].empty()) {
+                to_run.push_back(i); // unkeyed: always simulate
+                continue;
+            }
+            if (auto it = memo_.find(keys[i]); it != memo_.end()) {
+                out[i] = it->second;
+                ++stats_.memo_hits;
+                continue;
+            }
+            if (auto it = batch_owner.find(keys[i]);
+                it != batch_owner.end()) {
+                followers.emplace_back(i, it->second);
+                ++stats_.memo_hits;
+                continue;
+            }
+            batch_owner.emplace(keys[i], i);
+            to_run.push_back(i);
+        }
+    }
+
+    if (!to_run.empty()) {
+        std::vector<std::shared_ptr<const RunResult>> results;
+        if (pool_) {
+            results = pool_->parallelMap(
+                to_run, [&](const size_t &i) { return simulate(specs[i]); });
+        } else {
+            results.reserve(to_run.size());
+            for (size_t i : to_run)
+                results.push_back(simulate(specs[i]));
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (size_t n = 0; n < to_run.size(); ++n) {
+            const size_t i = to_run[n];
+            out[i] = results[n];
+            if (!keys[i].empty())
+                memo_.emplace(keys[i], results[n]);
+        }
+    }
+    for (const auto &[follower, owner] : followers)
+        out[follower] = out[owner];
+    return out;
+}
+
+namespace {
+
+std::mutex g_runner_mutex;
+std::unique_ptr<Runner> g_runner;
+
+} // namespace
+
+Runner &
+Runner::global()
+{
+    std::lock_guard<std::mutex> lock(g_runner_mutex);
+    if (!g_runner)
+        g_runner = std::make_unique<Runner>(0);
+    return *g_runner;
+}
+
+void
+Runner::setGlobalJobs(u32 jobs)
+{
+    std::lock_guard<std::mutex> lock(g_runner_mutex);
+    g_runner = std::make_unique<Runner>(jobs);
+}
+
+} // namespace pccsim::sim

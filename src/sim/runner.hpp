@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Parallel, memoizing experiment runner.
+ *
+ * The bench harnesses reproduce paper figures from many *independent*
+ * simulations; the runner executes them across a fixed-size thread
+ * pool while keeping the output bit-identical to a serial loop:
+ *
+ *  - determinism: every simulation is self-contained (its own System,
+ *    Rng, FaultInjector seeded from the spec), results are returned in
+ *    request order, and nothing about scheduling leaks into a result;
+ *  - deduplication: identical specs inside one runMany() batch
+ *    simulate once (baselines used to be re-run per variant);
+ *  - memoization: results are cached across calls under a canonical
+ *    spec key, so BaselineCache, geomeanSpeedup and the figure
+ *    harnesses all share one simulation per distinct spec.
+ *
+ * Specs whose `tweak` has no `tweak_key` cannot be keyed; they run on
+ * every request (still in parallel) and are never cached.
+ */
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pccsim::sim {
+
+/**
+ * Canonical memoization key of a spec: a serialization of every field
+ * that reaches configFor()/makeWorkload(). Returns "" for specs with
+ * an unkeyed tweak (not memoizable).
+ */
+std::string specKey(const ExperimentSpec &spec);
+
+class Runner
+{
+  public:
+    /** @param jobs Worker count; 0 selects the host concurrency. */
+    explicit Runner(u32 jobs = 0);
+    ~Runner();
+
+    Runner(const Runner &) = delete;
+    Runner &operator=(const Runner &) = delete;
+
+    u32 jobs() const { return jobs_; }
+
+    /** Aggregate accounting across every run() / runMany() so far. */
+    struct Stats
+    {
+        u64 requested = 0;       //!< specs handed to the runner
+        u64 simulated = 0;       //!< simulations actually executed
+        u64 memo_hits = 0;       //!< requests served by cache/dedup
+        u64 total_accesses = 0;  //!< simulated accesses executed
+        u64 sim_nanos = 0;       //!< host ns spent inside System::run
+    };
+
+    Stats stats() const;
+
+    /** Run (or recall) one spec. */
+    std::shared_ptr<const RunResult> run(const ExperimentSpec &spec);
+
+    /**
+     * Run a batch. Results arrive in spec order; duplicate keys within
+     * the batch simulate once; previously-seen keys are recalled from
+     * the memo. With jobs() == 1 the batch runs serially inline —
+     * jobs() > 1 produces bit-identical results.
+     */
+    std::vector<std::shared_ptr<const RunResult>>
+    runMany(const std::vector<ExperimentSpec> &specs);
+
+    /**
+     * The process-wide runner used by the bench harnesses. Configure
+     * its parallelism with setGlobalJobs() before first use (BenchEnv
+     * does); reconfiguring later discards the memo.
+     */
+    static Runner &global();
+    static void setGlobalJobs(u32 jobs);
+
+  private:
+    std::shared_ptr<const RunResult> simulate(const ExperimentSpec &spec);
+
+    u32 jobs_;
+    std::unique_ptr<util::ThreadPool> pool_; //!< created when jobs_ > 1
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<const RunResult>> memo_;
+    Stats stats_;
+};
+
+} // namespace pccsim::sim

@@ -28,12 +28,18 @@ System::System(SystemConfig config) : config_(std::move(config))
     for (u32 c = 0; c < config_.num_cores; ++c)
         cores_.emplace_back(config_);
     core_process_.assign(config_.num_cores, nullptr);
-    // Victim-buffer candidate source (Sec. 5.4.1 alternative).
-    for (auto &core : cores_) {
-        core.tlb.setL2VictimHook(
-            [&core](Vpn vpn, mem::PageSize size) {
-                core.pcc.observeL2Victim(vpn, size);
-            });
+    // Victim-buffer candidate source (Sec. 5.4.1 alternative). Only
+    // wire the hook when that source is selected: observeL2Victim() is
+    // a no-op otherwise, and an unset hook lets the TLB skip a
+    // std::function call on every L2 displacement (a hot-path cost on
+    // walk-heavy workloads).
+    if (config_.pcc.source == pcc::CandidateSource::L2Victims) {
+        for (auto &core : cores_) {
+            core.tlb.setL2VictimHook(
+                [&core](Vpn vpn, mem::PageSize size) {
+                    core.pcc.observeL2Victim(vpn, size);
+                });
+        }
     }
 }
 
@@ -88,6 +94,9 @@ System::installShootdownHook()
             core.tlb.shootdown(base, bytes);
             core.walker.shootdown(base, bytes);
             core.pcc.shootdown(base, bytes);
+            // The mapping (size or frame) changed somewhere; drop the
+            // last-translation fast path so the next access re-probes.
+            core.last_page_bytes = 0;
         }
         // The IPI cost lands on every core running the owning process.
         // Per-4KB invalidations (migration) are batched by the kernel
@@ -235,7 +244,20 @@ System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
         cost += os_->handleFault(proc, vaddr, want_huge);
         ++core.faults;
         // The fault handler's walk loaded the translation.
-        core.tlb.fill(vaddr, proc.mappingSizeOf(vaddr));
+        const mem::PageSize filled = proc.mappingSizeOf(vaddr);
+        core.tlb.fill(vaddr, filled);
+        core.noteTranslated(vaddr, filled);
+        cost += core.dcache.access(vaddr);
+        return cost;
+    }
+
+    // Last-translation fast path: the page is still L1-resident and
+    // MRU (any mapping change since would have shot it down), so skip
+    // the mapping query and the TLB set scan but account the access
+    // identically to the L1-hit path below.
+    if (config_.last_translation_cache &&
+        vaddr - core.last_page_base < core.last_page_bytes) {
+        core.tlb.noteRepeatL1Hit();
         cost += core.dcache.access(vaddr);
         return cost;
     }
@@ -246,12 +268,13 @@ System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
         cost += config_.timing.l2_tlb_hit;
     } else if (level == tlb::HitLevel::Miss) {
         const auto walk = core.walker.walk(proc.pageTable(), vaddr);
-        PCCSIM_ASSERT(walk.present, "walk missed a faulted page");
+        PCCSIM_DCHECK(walk.present, "walk missed a faulted page");
         cost += chargeWalkRefs(core, proc, vaddr, walk.memory_refs,
                                walk.size);
         core.tlb.fill(vaddr, size);
         core.pcc.observeWalk(vaddr, walk);
     }
+    core.noteTranslated(vaddr, size);
     cost += core.dcache.access(vaddr);
     return cost;
 }

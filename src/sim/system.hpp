@@ -89,6 +89,22 @@ class System : public os::PolicyContext
         Pid pid = 0;
         u32 job = 0;
         u32 lane = 0;
+
+        /**
+         * Last-translated page on this core: [base, base + bytes).
+         * bytes == 0 means invalid; cleared on every shootdown, since
+         * promotions/demotions/migrations all flow through the
+         * shootdown hook.
+         */
+        Addr last_page_base = 0;
+        u64 last_page_bytes = 0;
+
+        void
+        noteTranslated(Addr vaddr, mem::PageSize size)
+        {
+            last_page_base = mem::pageBase(vaddr, size);
+            last_page_bytes = mem::bytesOf(size);
+        }
     };
 
     struct LaneState

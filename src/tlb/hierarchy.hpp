@@ -59,8 +59,10 @@ class TlbHierarchy
         }
         if (l2Holds(size) && l2_.lookup(l2Key(vpn, size))) {
             ++l2_hits_;
-            // A victim-style refill: the translation moves (also) into L1.
-            l1Of(size).insert(vpn);
+            // A victim-style refill: the translation moves (also) into
+            // L1. The combined access() probes and inserts in one set
+            // scan (the L1 lookup above already missed).
+            l1Of(size).access(vpn);
             return HitLevel::L2;
         }
         ++walks_;
@@ -77,14 +79,30 @@ class TlbHierarchy
     fill(Addr vaddr, mem::PageSize size)
     {
         const Vpn vpn = mem::vpnOf(vaddr, size);
-        l1Of(size).insert(vpn);
+        l1Of(size).access(vpn);
         if (l2Holds(size)) {
-            if (auto victim = l2_.insert(l2Key(vpn, size));
+            if (auto victim = l2_.access(l2Key(vpn, size)).displaced;
                 victim && l2_victim_) {
                 l2_victim_(*victim >> 2,
                            static_cast<mem::PageSize>(*victim & 3));
             }
         }
+    }
+
+    /**
+     * Account one access served by the System's per-core
+     * last-translation cache: by construction such an access would
+     * have hit L1 (the cached page was L1-filled and nothing
+     * invalidated it since), so it counts as an L1 hit without paying
+     * the set scan. Skipping the LRU stamp refresh is safe — repeated
+     * accesses to one page leave the set's relative recency order
+     * unchanged.
+     */
+    void
+    noteRepeatL1Hit()
+    {
+        ++accesses_;
+        ++l1_hits_;
     }
 
     /**

@@ -21,28 +21,101 @@ namespace pccsim::tlb {
 class SetAssocTlb
 {
   public:
+    /** Outcome of a combined probe-or-insert access(). */
+    struct AccessResult
+    {
+        bool hit = false;
+        /** VPN evicted when the miss-path insertion had to evict. */
+        std::optional<Vpn> displaced{};
+    };
+
     explicit SetAssocTlb(TlbParams params)
         : params_(params),
           sets_(params.sets() == 0 ? 1 : params.sets()),
           ways_(params.ways == 0 ? 1 : params.ways),
-          entries_(static_cast<size_t>(sets_) * ways_)
+          entries_(static_cast<size_t>(sets_) * ways_),
+          mru_(sets_, 0)
     {
         PCCSIM_ASSERT(params.entries % params.ways == 0,
                       "TLB entries not divisible by ways");
+        // Power-of-two set counts (every real geometry) index with a
+        // mask; the 64-bit modulo fallback only serves odd test shapes.
+        set_mask_ = (sets_ & (sets_ - 1)) == 0 ? sets_ - 1 : 0;
     }
 
     /** Probe for vpn; refreshes LRU state on hit. */
     bool
     lookup(Vpn vpn)
     {
-        Entry *set = setOf(vpn);
+        const u64 set_index = setIndexOf(vpn);
+        Entry *set = &entries_[set_index * ways_];
+        // MRU-way fast check: consecutive accesses overwhelmingly
+        // re-touch the way that hit last. The hint is only ever a
+        // shortcut — a stale hint fails the compare and falls through
+        // to the full scan, so results are identical either way.
+        u32 &mru = mru_[set_index];
+        if (set[mru].vpn == vpn) {
+            set[mru].stamp = ++clock_;
+            return true;
+        }
         for (u32 w = 0; w < ways_; ++w) {
-            if (set[w].valid && set[w].vpn == vpn) {
+            if (set[w].vpn == vpn) {
                 set[w].stamp = ++clock_;
+                mru = w;
                 return true;
             }
         }
         return false;
+    }
+
+    /**
+     * Combined lookup-or-insert in a single set scan.
+     *
+     * Equivalent to `lookup(vpn)` followed on miss by `insert(vpn)`,
+     * with the same hit results, replacement decisions, and displaced
+     * victim — a hit refreshes one LRU stamp instead of two, which
+     * preserves the set's relative recency order.
+     */
+    AccessResult
+    access(Vpn vpn)
+    {
+        PCCSIM_DCHECK(vpn != kInvalidVpn);
+        const u64 set_index = setIndexOf(vpn);
+        Entry *set = &entries_[set_index * ways_];
+        u32 &mru = mru_[set_index];
+        if (set[mru].vpn == vpn) {
+            set[mru].stamp = ++clock_;
+            return {true, std::nullopt};
+        }
+        u32 victim = 0;
+        u64 oldest = ~0ull;
+        bool found_empty = false;
+        for (u32 w = 0; w < ways_; ++w) {
+            if (set[w].vpn == kInvalidVpn) {
+                // invalidate() can punch holes mid-set, so keep
+                // scanning for a hit beyond the first empty way.
+                if (!found_empty) {
+                    victim = w;
+                    found_empty = true;
+                }
+                continue;
+            }
+            if (set[w].vpn == vpn) {
+                set[w].stamp = ++clock_;
+                mru = w;
+                return {true, std::nullopt};
+            }
+            if (!found_empty && set[w].stamp < oldest) {
+                oldest = set[w].stamp;
+                victim = w;
+            }
+        }
+        const std::optional<Vpn> displaced =
+            found_empty ? std::nullopt
+                        : std::optional<Vpn>(set[victim].vpn);
+        set[victim] = {vpn, ++clock_};
+        mru = victim;
+        return {false, displaced};
     }
 
     /** Probe without touching replacement state. */
@@ -51,7 +124,7 @@ class SetAssocTlb
     {
         const Entry *set = setOf(vpn);
         for (u32 w = 0; w < ways_; ++w)
-            if (set[w].valid && set[w].vpn == vpn)
+            if (set[w].vpn == vpn)
                 return true;
         return false;
     }
@@ -64,12 +137,13 @@ class SetAssocTlb
     std::optional<Vpn>
     insert(Vpn vpn)
     {
+        PCCSIM_DCHECK(vpn != kInvalidVpn);
         Entry *set = setOf(vpn);
         u32 victim = 0;
         u64 oldest = ~0ull;
         bool evicting = true;
         for (u32 w = 0; w < ways_; ++w) {
-            if (!set[w].valid) {
+            if (set[w].vpn == kInvalidVpn) {
                 victim = w;
                 evicting = false;
                 break;
@@ -86,7 +160,7 @@ class SetAssocTlb
         const std::optional<Vpn> displaced =
             evicting ? std::optional<Vpn>(set[victim].vpn)
                      : std::nullopt;
-        set[victim] = {vpn, ++clock_, true};
+        set[victim] = {vpn, ++clock_};
         return displaced;
     }
 
@@ -96,8 +170,8 @@ class SetAssocTlb
     {
         Entry *set = setOf(vpn);
         for (u32 w = 0; w < ways_; ++w) {
-            if (set[w].valid && set[w].vpn == vpn) {
-                set[w].valid = false;
+            if (set[w].vpn == vpn) {
+                set[w].vpn = kInvalidVpn;
                 return true;
             }
         }
@@ -110,8 +184,8 @@ class SetAssocTlb
     {
         u64 dropped = 0;
         for (auto &e : entries_) {
-            if (e.valid && e.vpn >= lo && e.vpn < hi) {
-                e.valid = false;
+            if (e.vpn != kInvalidVpn && e.vpn >= lo && e.vpn < hi) {
+                e.vpn = kInvalidVpn;
                 ++dropped;
             }
         }
@@ -123,7 +197,7 @@ class SetAssocTlb
     flushAll()
     {
         for (auto &e : entries_)
-            e.valid = false;
+            e = Entry{};
     }
 
     /** Currently valid entries (for tests/introspection). */
@@ -132,7 +206,7 @@ class SetAssocTlb
     {
         u64 n = 0;
         for (const auto &e : entries_)
-            n += e.valid ? 1 : 0;
+            n += e.vpn != kInvalidVpn ? 1 : 0;
         return n;
     }
 
@@ -142,7 +216,7 @@ class SetAssocTlb
     forEachValid(Fn &&fn) const
     {
         for (const auto &e : entries_)
-            if (e.valid)
+            if (e.vpn != kInvalidVpn)
                 fn(e.vpn);
     }
 
@@ -151,24 +225,39 @@ class SetAssocTlb
     u32 numSets() const { return sets_; }
 
   private:
+    /**
+     * 16-byte entry: an empty way holds the sentinel VPN instead of a
+     * separate valid flag, so the hot-path scans are pure VPN
+     * compares. The sentinel is unreachable: VPNs are vaddr >> 12 (or
+     * more), so ~0 would need an address in the top page of the
+     * address space.
+     */
+    static constexpr Vpn kInvalidVpn = ~Vpn(0);
     struct Entry
     {
-        Vpn vpn = 0;
+        Vpn vpn = kInvalidVpn;
         u64 stamp = 0;
-        bool valid = false;
     };
 
-    Entry *setOf(Vpn vpn) { return &entries_[(vpn % sets_) * ways_]; }
+    u64
+    setIndexOf(Vpn vpn) const
+    {
+        return set_mask_ ? (vpn & set_mask_) : (vpn % sets_);
+    }
+    Entry *setOf(Vpn vpn) { return &entries_[setIndexOf(vpn) * ways_]; }
     const Entry *
     setOf(Vpn vpn) const
     {
-        return &entries_[(vpn % sets_) * ways_];
+        return &entries_[setIndexOf(vpn) * ways_];
     }
 
     TlbParams params_;
     u32 sets_;
     u32 ways_;
     std::vector<Entry> entries_;
+    /** Per-set hint: the way of the most recent hit/insert. */
+    std::vector<u32> mru_;
+    u64 set_mask_ = 0;
     u64 clock_ = 0;
 };
 

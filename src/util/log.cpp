@@ -1,33 +1,55 @@
 #include "util/log.hpp"
 
 #include <cstdio>
+#include <mutex>
 
 namespace pccsim {
 namespace detail {
 
+namespace {
+
+// The runner simulates on worker threads; interleaved fprintf calls
+// would shred diagnostics, so every sink serializes on one mutex.
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+} // namespace
+
 void
 fatalImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    }
     std::exit(1);
 }
 
 void
 panicImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    }
     std::abort();
 }
 
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

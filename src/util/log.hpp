@@ -73,4 +73,24 @@ inform(Args &&...args)
             ::pccsim::panic("assertion failed: " #cond " ", ##__VA_ARGS__); \
     } while (0)
 
+/**
+ * Debug-only assertion for per-access hot paths.
+ *
+ * Identical to PCCSIM_ASSERT in debug builds; compiled out entirely
+ * (the condition is parsed but never evaluated) when NDEBUG is set —
+ * which includes the default RelWithDebInfo build. Use it only for
+ * invariants whose violation would also be caught downstream or by the
+ * Debug-configuration test run; user-facing validation must stay
+ * PCCSIM_ASSERT/fatal().
+ */
+#if defined(NDEBUG) && !defined(PCCSIM_FORCE_DCHECKS)
+#define PCCSIM_DCHECK(cond, ...)                                            \
+    do {                                                                    \
+        if (false)                                                          \
+            static_cast<void>(cond);                                        \
+    } while (0)
+#else
+#define PCCSIM_DCHECK(cond, ...) PCCSIM_ASSERT(cond, ##__VA_ARGS__)
+#endif
+
 } // namespace pccsim

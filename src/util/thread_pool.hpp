@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fixed-size worker-thread pool for the experiment runner.
+ *
+ * The pool exists to run *independent* simulations concurrently: tasks
+ * must not share mutable state. parallelMap() preserves input order in
+ * its result vector, so callers see exactly the output a serial loop
+ * would produce regardless of completion order.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pccsim::util {
+
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; 0 selects hardwareJobs(). */
+    explicit ThreadPool(u32 threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    u32 size() const { return static_cast<u32>(workers_.size()); }
+
+    /** Host hardware concurrency, never less than 1. */
+    static u32 hardwareJobs();
+
+    /** Enqueue one task; runs on some worker in FIFO dispatch order. */
+    void post(std::function<void()> task);
+
+    /**
+     * Apply fn to every item and return the results in input order.
+     *
+     * Results land at the index of their item, so the output is
+     * identical to a serial `for` loop over `items` (fn must be pure
+     * with respect to shared state). The first exception thrown by any
+     * task is rethrown here after all tasks finish; the result type
+     * must be default-constructible. With one worker (or one item) the
+     * map runs inline on the calling thread.
+     */
+    template <typename T, typename Fn>
+    auto
+    parallelMap(const std::vector<T> &items, Fn &&fn)
+        -> std::vector<std::invoke_result_t<Fn &, const T &>>
+    {
+        using R = std::invoke_result_t<Fn &, const T &>;
+        std::vector<R> results(items.size());
+        if (items.size() <= 1 || size() <= 1) {
+            for (size_t i = 0; i < items.size(); ++i)
+                results[i] = fn(items[i]);
+            return results;
+        }
+
+        std::mutex batch_mutex;
+        std::condition_variable batch_done;
+        size_t remaining = items.size();
+        std::exception_ptr first_error;
+
+        for (size_t i = 0; i < items.size(); ++i) {
+            post([&, i] {
+                try {
+                    results[i] = fn(items[i]);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(batch_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+                std::lock_guard<std::mutex> lock(batch_mutex);
+                if (--remaining == 0)
+                    batch_done.notify_all();
+            });
+        }
+
+        std::unique_lock<std::mutex> lock(batch_mutex);
+        batch_done.wait(lock, [&] { return remaining == 0; });
+        if (first_error)
+            std::rethrow_exception(first_error);
+        return results;
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+};
+
+} // namespace pccsim::util

@@ -93,10 +93,26 @@ struct GraphKey
     }
 };
 
+/** Approximate retained bytes of a CSR graph (for the LRU budget). */
+u64
+graphBytes(const graph::CsrGraph &g)
+{
+    return (static_cast<u64>(g.numNodes()) + 1) * 8 + g.numEdges() * 4 +
+           (g.hasWeights() ? g.numEdges() * 4 : 0);
+}
+
 std::shared_ptr<const graph::CsrGraph>
 cachedGraph(const WorkloadSpec &spec, bool weighted)
 {
     static std::map<GraphKey, std::weak_ptr<const graph::CsrGraph>> cache;
+    // Strong refs to recently used graphs: the weak map alone lets a
+    // graph die between back-to-back serial runs, so a harness
+    // sweeping configurations regenerates the same input dozens of
+    // times. A byte budget bounds retention (paper-scale graphs run to
+    // hundreds of MB); the newest graph is always kept.
+    static std::vector<std::pair<GraphKey,
+        std::shared_ptr<const graph::CsrGraph>>> recent;
+    static constexpr u64 kRecentBudgetBytes = 512ull << 20;
     static std::mutex mutex;
 
     const ScaleParams params = scaleParams(spec.scale);
@@ -105,8 +121,29 @@ cachedGraph(const WorkloadSpec &spec, bool weighted)
                        spec.dbg_sorted,   spec.seed};
 
     std::lock_guard<std::mutex> lock(mutex);
-    if (auto hit = cache[key].lock())
+
+    const auto remember =
+        [&key](const std::shared_ptr<const graph::CsrGraph> &g) {
+            for (auto it = recent.begin(); it != recent.end(); ++it) {
+                if (!(it->first < key) && !(key < it->first)) {
+                    recent.erase(it);
+                    break;
+                }
+            }
+            recent.emplace_back(key, g);
+            u64 total = 0;
+            for (const auto &[k, kept] : recent)
+                total += graphBytes(*kept);
+            while (recent.size() > 1 && total > kRecentBudgetBytes) {
+                total -= graphBytes(*recent.front().second);
+                recent.erase(recent.begin());
+            }
+        };
+
+    if (auto hit = cache[key].lock()) {
+        remember(hit);
         return hit;
+    }
 
     graph::GraphSpec gspec;
     gspec.scale = params.graph_scale;
@@ -120,6 +157,7 @@ cachedGraph(const WorkloadSpec &spec, bool weighted)
     auto shared =
         std::make_shared<const graph::CsrGraph>(std::move(built));
     cache[key] = shared;
+    remember(shared);
     return shared;
 }
 

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "sim/runner.hpp"
+
+using namespace pccsim;
+using namespace pccsim::sim;
+
+namespace {
+
+ExperimentSpec
+ciSpec(const std::string &workload, PolicyKind policy,
+       double cap = 8.0, double frag = 0.0)
+{
+    ExperimentSpec spec;
+    spec.workload.name = workload;
+    spec.workload.scale = workloads::Scale::Ci;
+    spec.policy = policy;
+    spec.cap_percent = cap;
+    spec.frag_fraction = frag;
+    return spec;
+}
+
+/** A ci-scale suite covering every policy family plus fault injection. */
+std::vector<ExperimentSpec>
+ciSuite()
+{
+    std::vector<ExperimentSpec> specs;
+    specs.push_back(ciSpec("bfs", PolicyKind::Base, 0.0));
+    specs.push_back(ciSpec("bfs", PolicyKind::Pcc));
+    specs.push_back(ciSpec("bfs", PolicyKind::LinuxThp, 25.0, 0.5));
+    specs.push_back(ciSpec("pr", PolicyKind::Base, 0.0));
+    specs.push_back(ciSpec("pr", PolicyKind::HawkEye, 25.0));
+    specs.push_back(ciSpec("pr", PolicyKind::AllHuge, -1.0));
+
+    // A faulty run: the injector is seeded from the spec inside each
+    // simulation, so it must replay identically at any job count.
+    auto faulty = ciSpec("bfs", PolicyKind::Pcc, 25.0, 0.3);
+    faulty.tweak = [](SystemConfig &cfg) {
+        cfg.faults.alloc_fail_huge = 0.3;
+        cfg.faults.compaction_fail = 0.25;
+        cfg.faults.shootdown_storm = 0.1;
+        cfg.faults.shock_intervals = {2, 5};
+        cfg.check_invariants = true;
+    };
+    faulty.tweak_key = "storm";
+    specs.push_back(std::move(faulty));
+    return specs;
+}
+
+} // namespace
+
+TEST(SpecKey, IdenticalSpecsShareAKey)
+{
+    EXPECT_EQ(specKey(ciSpec("bfs", PolicyKind::Pcc)),
+              specKey(ciSpec("bfs", PolicyKind::Pcc)));
+}
+
+TEST(SpecKey, DistinguishesEveryRunShapingField)
+{
+    const auto base = ciSpec("bfs", PolicyKind::Pcc);
+    const std::string key = specKey(base);
+
+    EXPECT_NE(key, specKey(ciSpec("pr", PolicyKind::Pcc)));
+    EXPECT_NE(key, specKey(ciSpec("bfs", PolicyKind::LinuxThp)));
+    EXPECT_NE(key, specKey(ciSpec("bfs", PolicyKind::Pcc, 16.0)));
+    EXPECT_NE(key, specKey(ciSpec("bfs", PolicyKind::Pcc, 8.0, 0.5)));
+
+    auto lanes = base;
+    lanes.lanes = 4;
+    EXPECT_NE(key, specKey(lanes));
+
+    auto seeded = base;
+    seeded.workload.seed = base.workload.seed + 1;
+    EXPECT_NE(key, specKey(seeded));
+
+    auto policy = base;
+    policy.pcc_policy.regions_to_promote += 1;
+    EXPECT_NE(key, specKey(policy));
+
+    auto keyed = base;
+    keyed.tweak = [](SystemConfig &) {};
+    keyed.tweak_key = "variant-a";
+    EXPECT_NE(key, specKey(keyed));
+}
+
+TEST(SpecKey, UnkeyedTweakIsNotMemoizable)
+{
+    auto spec = ciSpec("bfs", PolicyKind::Pcc);
+    spec.tweak = [](SystemConfig &cfg) { cfg.pcc.pcc2m.entries = 7; };
+    EXPECT_TRUE(specKey(spec).empty());
+    spec.tweak_key = "pcc2m=7";
+    EXPECT_FALSE(specKey(spec).empty());
+}
+
+TEST(Runner, ParallelIsBitIdenticalToSerial)
+{
+    const auto specs = ciSuite();
+    Runner serial(1);
+    Runner parallel(8);
+    const auto a = serial.runMany(specs);
+    const auto b = parallel.runMany(specs);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_TRUE(a[i] && b[i]) << i;
+        EXPECT_TRUE(*a[i] == *b[i]) << "spec " << i
+                                    << " diverged across job counts";
+    }
+}
+
+TEST(Runner, RepeatedBatchesStayDeterministic)
+{
+    // The memo must hand back the exact result a fresh simulation
+    // would produce, and a second runner must reproduce it.
+    const auto specs = ciSuite();
+    Runner first(4);
+    Runner second(2);
+    const auto a = first.runMany(specs);
+    const auto again = first.runMany(specs);
+    const auto b = second.runMany(specs);
+    for (size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_TRUE(*a[i] == *b[i]) << i;
+        EXPECT_TRUE(*a[i] == *again[i]) << i;
+    }
+}
+
+TEST(Runner, MemoizesAcrossCalls)
+{
+    Runner runner(2);
+    const auto spec = ciSpec("bfs", PolicyKind::Base, 0.0);
+    const auto first = runner.run(spec);
+    const auto second = runner.run(spec);
+    EXPECT_EQ(first.get(), second.get()); // same cached object
+    const auto stats = runner.stats();
+    EXPECT_EQ(stats.requested, 2u);
+    EXPECT_EQ(stats.simulated, 1u);
+    EXPECT_EQ(stats.memo_hits, 1u);
+    EXPECT_GT(stats.total_accesses, 0u);
+}
+
+TEST(Runner, DeduplicatesWithinABatch)
+{
+    // The duplicated-baseline bug: harnesses used to re-run the Base
+    // config once per variant. The runner collapses them.
+    Runner runner(4);
+    const auto base = ciSpec("bfs", PolicyKind::Base, 0.0);
+    const auto results = runner.runMany({base, base, base});
+    EXPECT_EQ(results[0].get(), results[1].get());
+    EXPECT_EQ(results[0].get(), results[2].get());
+    EXPECT_EQ(runner.stats().simulated, 1u);
+    EXPECT_EQ(runner.stats().memo_hits, 2u);
+}
+
+TEST(Runner, UnkeyedTweakSimulatesEveryTime)
+{
+    Runner runner(2);
+    auto spec = ciSpec("bfs", PolicyKind::Base, 0.0);
+    spec.tweak = [](SystemConfig &cfg) { cfg.pwc.enabled = false; };
+    const auto a = runner.run(spec);
+    const auto b = runner.run(spec);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(runner.stats().simulated, 2u);
+    EXPECT_EQ(runner.stats().memo_hits, 0u);
+    EXPECT_TRUE(*a == *b); // still deterministic, just not cached
+}
+
+TEST(Runner, LastTranslationCacheNeverChangesResults)
+{
+    // The per-core (vpn, size) fast path is a pure CPU-time
+    // optimization: every stat — TLB hits, walks, promotions,
+    // shootdowns, wall cycles — must be identical with it disabled.
+    // PolicyKind::Pcc promotes and demotes mid-run, so the shootdown
+    // invalidation path is exercised too.
+    Runner runner(2);
+    for (PolicyKind kind : {PolicyKind::Pcc, PolicyKind::LinuxThp}) {
+        const auto with = ciSpec("bfs", kind, 25.0, 0.3);
+        auto without = with;
+        without.tweak = [](SystemConfig &cfg) {
+            cfg.last_translation_cache = false;
+        };
+        without.tweak_key = "ltc=off";
+        const auto results = runner.runMany({with, without});
+        EXPECT_TRUE(*results[0] == *results[1])
+            << "last-translation cache changed results for policy "
+            << static_cast<int>(kind);
+    }
+}
+
+TEST(Runner, GlobalRunnerIsConfigurable)
+{
+    Runner::setGlobalJobs(3);
+    EXPECT_EQ(Runner::global().jobs(), 3u);
+    Runner::setGlobalJobs(1);
+    EXPECT_EQ(Runner::global().jobs(), 1u);
+}

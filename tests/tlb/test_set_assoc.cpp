@@ -90,6 +90,95 @@ TEST(SetAssocTlb, FullAssociativityActsAsOneSet)
     EXPECT_TRUE(tlb.contains(103));
 }
 
+TEST(SetAssocTlbAccess, CombinedAccessMatchesLookupThenInsert)
+{
+    // access() fuses the lookup + insert pair the hierarchy used to
+    // issue; the hit results and resulting contents must match the
+    // two-call sequence exactly on an arbitrary stream, including one
+    // with invalidation holes.
+    SetAssocTlb combined({16, 4});
+    SetAssocTlb reference({16, 4});
+    u64 probe = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 4000; ++i) {
+        probe = probe * 6364136223846793005ull + 1442695040888963407ull;
+        const Vpn vpn = (probe >> 33) % 48; // heavy set contention
+        if (i % 97 == 13) {
+            EXPECT_EQ(combined.invalidate(vpn), reference.invalidate(vpn));
+            continue;
+        }
+        const bool ref_hit = reference.lookup(vpn);
+        if (!ref_hit)
+            reference.insert(vpn);
+        const auto result = combined.access(vpn);
+        ASSERT_EQ(result.hit, ref_hit) << "op " << i << " vpn " << vpn;
+        ASSERT_EQ(combined.validCount(), reference.validCount()) << i;
+    }
+    for (Vpn vpn = 0; vpn < 48; ++vpn)
+        EXPECT_EQ(combined.contains(vpn), reference.contains(vpn)) << vpn;
+}
+
+TEST(SetAssocTlbAccess, ReportsDisplacedVictim)
+{
+    SetAssocTlb tlb({8, 2}); // 4 sets, 2 ways; set 0 holds {0,4,8,...}
+    EXPECT_EQ(tlb.access(0).displaced, std::nullopt);
+    EXPECT_EQ(tlb.access(4).displaced, std::nullopt);
+    const auto evicting = tlb.access(8); // set full: evicts LRU = 0
+    EXPECT_FALSE(evicting.hit);
+    ASSERT_TRUE(evicting.displaced.has_value());
+    EXPECT_EQ(*evicting.displaced, 0u);
+}
+
+TEST(SetAssocTlbAccess, NoVictimWhenAHoleExists)
+{
+    SetAssocTlb tlb({8, 2});
+    tlb.insert(0);
+    tlb.insert(4);
+    tlb.invalidate(0); // hole in way 0
+    const auto result = tlb.access(8);
+    EXPECT_FALSE(result.hit);
+    EXPECT_EQ(result.displaced, std::nullopt);
+    EXPECT_TRUE(tlb.contains(4));
+    EXPECT_TRUE(tlb.contains(8));
+}
+
+TEST(SetAssocTlbAccess, HitRefreshesRecency)
+{
+    SetAssocTlb tlb({8, 2});
+    tlb.insert(0);
+    tlb.insert(4);
+    EXPECT_TRUE(tlb.access(0).hit); // 0 becomes MRU
+    tlb.insert(8);                  // evicts 4
+    EXPECT_TRUE(tlb.contains(0));
+    EXPECT_FALSE(tlb.contains(4));
+}
+
+TEST(SetAssocTlbMru, RepeatedLookupsStayCorrect)
+{
+    // The MRU-way fast check must be behaviorally invisible: repeated
+    // hits on one entry, then eviction traffic, then probes again.
+    SetAssocTlb tlb({8, 2});
+    tlb.insert(0);
+    tlb.insert(4);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(tlb.lookup(0));
+    tlb.insert(8); // evicts 4; MRU hint for set 0 now points at 8's way
+    EXPECT_FALSE(tlb.lookup(4));
+    EXPECT_TRUE(tlb.lookup(0));
+    EXPECT_TRUE(tlb.lookup(8));
+}
+
+TEST(SetAssocTlbMru, StaleHintAfterInvalidateIsSafe)
+{
+    SetAssocTlb tlb({8, 2});
+    tlb.insert(0);
+    EXPECT_TRUE(tlb.lookup(0)); // hint -> way holding 0
+    tlb.invalidate(0);
+    EXPECT_FALSE(tlb.lookup(0)); // hint points at an invalid way
+    tlb.insert(4);
+    EXPECT_TRUE(tlb.lookup(4));
+    EXPECT_FALSE(tlb.lookup(0));
+}
+
 class TlbGeometrySweep
     : public ::testing::TestWithParam<std::pair<u32, u32>>
 {

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "util/thread_pool.hpp"
+
+using namespace pccsim;
+using namespace pccsim::util;
+
+TEST(ThreadPool, HardwareJobsIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareJobs(), 1u);
+}
+
+TEST(ThreadPool, DefaultSizeMatchesHardware)
+{
+    ThreadPool pool;
+    EXPECT_EQ(pool.size(), ThreadPool::hardwareJobs());
+}
+
+TEST(ThreadPool, ParallelMapPreservesInputOrder)
+{
+    ThreadPool pool(4);
+    std::vector<int> items(100);
+    std::iota(items.begin(), items.end(), 0);
+    const auto out =
+        pool.parallelMap(items, [](const int &x) { return x * x; });
+    ASSERT_EQ(out.size(), items.size());
+    for (size_t i = 0; i < items.size(); ++i)
+        EXPECT_EQ(out[i], items[i] * items[i]) << i;
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline)
+{
+    ThreadPool pool(1);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<int> items{1, 2, 3};
+    const auto out = pool.parallelMap(items, [&](const int &x) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        return x + 1;
+    });
+    EXPECT_EQ(out, (std::vector<int>{2, 3, 4}));
+}
+
+TEST(ThreadPool, MatchesSerialLoopExactly)
+{
+    ThreadPool pool(8);
+    std::vector<u64> items(257);
+    std::iota(items.begin(), items.end(), 1);
+    auto fn = [](const u64 &x) {
+        return static_cast<u64>(x * 2654435761ull % 1000003);
+    };
+    std::vector<u64> serial;
+    serial.reserve(items.size());
+    for (const u64 &x : items)
+        serial.push_back(fn(x));
+    EXPECT_EQ(pool.parallelMap(items, fn), serial);
+}
+
+TEST(ThreadPool, AllTasksRunExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    std::vector<int> items(64, 0);
+    pool.parallelMap(items, [&](const int &) {
+        calls.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+    });
+    EXPECT_EQ(calls.load(), 64);
+}
+
+TEST(ThreadPool, FirstExceptionPropagates)
+{
+    ThreadPool pool(4);
+    std::vector<int> items(32);
+    std::iota(items.begin(), items.end(), 0);
+    EXPECT_THROW(pool.parallelMap(items,
+                                  [](const int &x) {
+                                      if (x == 13)
+                                          throw std::runtime_error("13");
+                                      return x;
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, EmptyInputYieldsEmptyOutput)
+{
+    ThreadPool pool(4);
+    const std::vector<int> none;
+    EXPECT_TRUE(
+        pool.parallelMap(none, [](const int &x) { return x; }).empty());
+}
+
+TEST(ThreadPool, PostedTasksAllComplete)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < 50; ++i)
+            pool.post([&] { done.fetch_add(1); });
+        // Destructor drains the queue before joining.
+    }
+    EXPECT_EQ(done.load(), 50);
+}
