@@ -8,9 +8,26 @@
  *   --apps=bfs,sssp,...             workload subset
  *   --seed=N                        generator seed
  *   --csv                           emit CSV instead of aligned text
+ *   --format=text|csv|json          output format (--csv still works)
  *   --jobs=N                        parallel simulations (0 = host
  *                                   concurrency, the default)
  *   --perf=FILE                     write runner accounting as JSON
+ *   --policy=pcc                    policy override where the harness
+ *                                   honors one (parsePolicyKind names)
+ *   --telemetry=FILE                collect per-interval series and
+ *                                   write them (with final counters)
+ *                                   as JSON at exit
+ *   --trace=FILE                    write a Chrome about://tracing
+ *                                   JSON of the run's OS/mm events
+ *
+ * --telemetry/--trace enable telemetry on every spec built through
+ * BenchEnv::spec(); the exported files carry the report of the first
+ * telemetry-bearing run of the process (deterministic: batch order is
+ * spec order). Load the trace file in chrome://tracing or Perfetto.
+ *
+ * All section output flows through one telemetry::Emitter (env.emit),
+ * so --format=json renders the whole harness run as a single JSON
+ * document instead of "## title" text/CSV blocks.
  *
  * The default scale is `ci` so the whole suite regenerates in
  * minutes; pass --scale=small or --scale=medium for records closer
@@ -27,12 +44,15 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.hpp"
 #include "sim/runner.hpp"
+#include "telemetry/emitter.hpp"
+#include "util/log.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -46,6 +66,42 @@ perfPath()
 {
     static std::string path;
     return path;
+}
+
+/** --telemetry destination (interval series + counters JSON). */
+inline std::string &
+telemetryPath()
+{
+    static std::string path;
+    return path;
+}
+
+/** --trace destination (Chrome about://tracing JSON). */
+inline std::string &
+tracePath()
+{
+    static std::string path;
+    return path;
+}
+
+/** Section output format, set once by BenchEnv::parse. */
+inline telemetry::Format &
+outputFormat()
+{
+    static telemetry::Format format = telemetry::Format::Text;
+    return format;
+}
+
+/**
+ * The report backing the --telemetry/--trace exports: the first
+ * telemetry-bearing result the process ran (batch order is spec order,
+ * so "first" is deterministic).
+ */
+inline std::shared_ptr<const telemetry::TelemetryReport> &
+exportReport()
+{
+    static std::shared_ptr<const telemetry::TelemetryReport> report;
+    return report;
 }
 
 inline void
@@ -64,27 +120,53 @@ writePerfReport()
             ? 0.0
             : static_cast<double>(stats.sim_nanos) /
                   static_cast<double>(stats.total_accesses);
-    std::fprintf(f,
-                 "{\n"
-                 "  \"jobs\": %u,\n"
-                 "  \"requested\": %llu,\n"
-                 "  \"simulated\": %llu,\n"
-                 "  \"memo_hits\": %llu,\n"
-                 "  \"total_accesses\": %llu,\n"
-                 "  \"sim_ns\": %llu,\n"
-                 "  \"ns_per_access\": %.3f\n"
-                 "}\n",
-                 runner.jobs(),
-                 static_cast<unsigned long long>(stats.requested),
-                 static_cast<unsigned long long>(stats.simulated),
-                 static_cast<unsigned long long>(stats.memo_hits),
-                 static_cast<unsigned long long>(stats.total_accesses),
-                 static_cast<unsigned long long>(stats.sim_nanos),
-                 ns_per_access);
+    telemetry::Json doc = telemetry::Json::object();
+    doc.set("jobs", static_cast<u64>(runner.jobs()));
+    doc.set("requested", stats.requested);
+    doc.set("simulated", stats.simulated);
+    doc.set("memo_hits", stats.memo_hits);
+    doc.set("total_accesses", stats.total_accesses);
+    doc.set("sim_ns", stats.sim_nanos);
+    doc.set("ns_per_access", ns_per_access);
+    std::fprintf(f, "%s\n", doc.dump(2).c_str());
     std::fclose(f);
 }
 
+inline void
+writeTelemetryExports()
+{
+    const auto &report = exportReport();
+    if (!report)
+        return;
+    if (!telemetryPath().empty()) {
+        writeFile(telemetryPath(),
+                  report->seriesJson().dump(2) + "\n");
+    }
+    if (!tracePath().empty())
+        writeFile(tracePath(), report->traceJson().dump(2) + "\n");
+}
+
+/** Remember the first telemetry report seen for the exit exports. */
+inline void
+noteResult(const sim::RunResult &result)
+{
+    if (!exportReport() && result.telemetry)
+        exportReport() = result.telemetry;
+}
+
 } // namespace detail
+
+/**
+ * The process-wide section emitter every harness prints through.
+ * Constructed on first use with the format BenchEnv::parse resolved;
+ * its destructor flushes the buffered document for --format=json.
+ */
+inline telemetry::Emitter &
+emitter()
+{
+    static telemetry::Emitter emitter(detail::outputFormat());
+    return emitter;
+}
 
 struct BenchEnv
 {
@@ -92,7 +174,12 @@ struct BenchEnv
     std::vector<std::string> apps;
     u64 seed = 42;
     bool csv = false;
+    telemetry::Format format = telemetry::Format::Text;
     u32 jobs = 1; //!< resolved worker count of the global runner
+    /** --policy override for harnesses that honor one. */
+    std::optional<sim::PolicyKind> policy;
+    /** Applied to every spec(); enabled by --telemetry/--trace. */
+    telemetry::TelemetryConfig telemetry;
 
     static BenchEnv
     parse(int argc, char **argv,
@@ -105,6 +192,10 @@ struct BenchEnv
             opts.get("scale", "ci"));
         env.seed = static_cast<u64>(opts.getInt("seed", 42));
         env.csv = opts.getBool("csv");
+        env.format = telemetry::formatFromString(
+            opts.get("format", env.csv ? "csv" : "text"));
+        env.csv = env.format == telemetry::Format::Csv;
+        detail::outputFormat() = env.format;
         if (opts.has("apps")) {
             std::stringstream ss(opts.get("apps"));
             std::string app;
@@ -112,6 +203,16 @@ struct BenchEnv
                 env.apps.push_back(app);
         } else {
             env.apps = std::move(default_apps);
+        }
+        if (opts.has("policy")) {
+            const std::string name = opts.get("policy");
+            const auto parsed = sim::parsePolicyKind(name);
+            if (!parsed) {
+                fatal("unknown --policy=", name,
+                      " (try base-4k, all-huge, linux-thp, hawkeye, "
+                      "pcc, or trace-replay)");
+            }
+            env.policy = *parsed;
         }
         // 0 (the default) selects host concurrency inside the runner.
         sim::Runner::setGlobalJobs(
@@ -121,26 +222,33 @@ struct BenchEnv
             detail::perfPath() = opts.get("perf");
             std::atexit(detail::writePerfReport);
         }
+        if (opts.has("telemetry") || opts.has("trace")) {
+            detail::telemetryPath() = opts.get("telemetry", "");
+            detail::tracePath() = opts.get("trace", "");
+            env.telemetry.enabled = true;
+            std::atexit(detail::writeTelemetryExports);
+        }
         return env;
     }
 
     sim::ExperimentSpec
-    spec(const std::string &app, sim::PolicyKind policy) const
+    spec(const std::string &app, sim::PolicyKind policy_kind) const
     {
         sim::ExperimentSpec s;
         s.workload.name = app;
         s.workload.scale = scale;
         s.workload.seed = seed;
-        s.policy = policy;
+        s.policy = policy_kind;
+        s.telemetry = telemetry;
         return s;
     }
 
     void
     emit(const Table &table, const std::string &title) const
     {
-        std::printf("## %s (scale=%s)\n\n%s\n", title.c_str(),
-                    workloads::to_string(scale).c_str(),
-                    csv ? table.csv().c_str() : table.str().c_str());
+        emitter().table(
+            title + " (scale=" + workloads::to_string(scale) + ")",
+            table);
     }
 };
 
@@ -148,14 +256,19 @@ struct BenchEnv
 inline std::vector<std::shared_ptr<const sim::RunResult>>
 runAll(const std::vector<sim::ExperimentSpec> &specs)
 {
-    return sim::Runner::global().runMany(specs);
+    auto results = sim::Runner::global().runMany(specs);
+    for (const auto &result : results)
+        detail::noteResult(*result);
+    return results;
 }
 
 /** Run one spec through the global runner. */
 inline std::shared_ptr<const sim::RunResult>
 runShared(const sim::ExperimentSpec &spec)
 {
-    return sim::Runner::global().run(spec);
+    auto result = sim::Runner::global().run(spec);
+    detail::noteResult(*result);
+    return result;
 }
 
 /**

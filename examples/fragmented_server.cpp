@@ -8,11 +8,13 @@
  * outcome.
  *
  * Usage: fragmented_server [--scale=ci] [--frag=0.9] [--bias=pr]
+ *                          [--format=text|csv|json]
  */
 
 #include <cstdio>
 
 #include "sim/system.hpp"
+#include "telemetry/emitter.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 #include "workloads/registry.hpp"
@@ -75,12 +77,21 @@ main(int argc, char **argv)
     report("pcc, bias=dedup",
            runPair(scale, frag, sim::PolicyKind::Pcc, {1}, seed));
 
-    std::printf("fragmented server: %.0f%% of memory fragmented, "
-                "scale=%s\n\n%s\n",
-                frag * 100, workloads::to_string(scale).c_str(),
-                table.str().c_str());
-    std::printf("Reading the table: the PCC finds the analytics job's\n"
-                "HUB regions despite fragmentation; biasing dedup\n"
-                "wastes huge frames on streaming data.\n");
+    const auto format =
+        telemetry::formatFromString(opts.get("format", "text"));
+    telemetry::Emitter emitter(format);
+    char title[128];
+    std::snprintf(title, sizeof title,
+                  "fragmented server: %.0f%% of memory fragmented, "
+                  "scale=%s",
+                  frag * 100, workloads::to_string(scale).c_str());
+    emitter.table(title, table);
+    emitter.close();
+    if (format == telemetry::Format::Text) {
+        std::printf(
+            "Reading the table: the PCC finds the analytics job's\n"
+            "HUB regions despite fragmentation; biasing dedup\n"
+            "wastes huge frames on streaming data.\n");
+    }
     return 0;
 }

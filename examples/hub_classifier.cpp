@@ -8,6 +8,7 @@
  * page-table-walk frequency is a good HUB proxy.
  *
  * Usage: hub_classifier --workload=pr --scale=ci --pcc=128
+ *                       [--format=text|csv|json]
  */
 
 #include <algorithm>
@@ -18,6 +19,7 @@
 #include "pcc/pcc_unit.hpp"
 #include "pt/walker.hpp"
 #include "sim/config.hpp"
+#include "telemetry/emitter.hpp"
 #include "tlb/hierarchy.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -79,12 +81,16 @@ main(int argc, char **argv)
         }
     }
 
+    const auto format =
+        telemetry::formatFromString(opts.get("format", "text"));
+    telemetry::Emitter emitter(format);
+
     const auto summary = oracle.summarize();
     Table census({"class", "4KB pages"});
     census.row({"TLB-friendly", std::to_string(summary.tlb_friendly)});
     census.row({"HUB", std::to_string(summary.hubs)});
     census.row({"low-reuse", std::to_string(summary.low_reuse)});
-    std::printf("%s\n", census.str().c_str());
+    emitter.table("HUB census (" + wspec.name + ")", census);
 
     // Agreement between the oracle's hottest HUB regions and the PCC.
     const auto oracle_regions = oracle.hubRegions();
@@ -98,14 +104,23 @@ main(int argc, char **argv)
     for (size_t i = 0; i < k; ++i)
         agree += oracle_top.count(pcc_snapshot[i].region);
 
-    std::printf("TLB miss rate: %.2f%%, walks: %llu, PCC size: %u\n",
-                100.0 * tlb.missRate(),
-                static_cast<unsigned long long>(tlb.walks()),
-                pcc_entries);
-    std::printf("oracle-vs-PCC top-%zu agreement: %zu/%zu (%.0f%%)\n",
-                k, agree, k, 100.0 * agree / std::max<size_t>(1, k));
-    std::printf("\nThe PCC's walk-frequency ranking should largely\n"
-                "recover the oracle's reuse-distance HUB ranking —\n"
-                "that correspondence is the paper's key insight.\n");
+    Table agreement({"tlb miss %", "walks", "pcc entries", "top-k",
+                     "agreement", "agreement %"});
+    agreement.row({Table::fmt(100.0 * tlb.missRate(), 2),
+                   std::to_string(tlb.walks()),
+                   std::to_string(pcc_entries), std::to_string(k),
+                   std::to_string(agree) + "/" + std::to_string(k),
+                   Table::fmt(100.0 * static_cast<double>(agree) /
+                                  static_cast<double>(std::max<size_t>(
+                                      1, k)),
+                              0)});
+    emitter.table("oracle vs hardware PCC", agreement);
+    emitter.close();
+    if (format == telemetry::Format::Text) {
+        std::printf(
+            "\nThe PCC's walk-frequency ranking should largely\n"
+            "recover the oracle's reuse-distance HUB ranking —\n"
+            "that correspondence is the paper's key insight.\n");
+    }
     return 0;
 }

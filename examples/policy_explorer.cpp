@@ -8,11 +8,15 @@
  * Usage:
  *   policy_explorer --workload=sssp --scale=small --frag=0.5 --cap=4
  *   policy_explorer --workload=canneal --lanes=4
+ *   policy_explorer --policy=pcc            # just one policy
+ *   policy_explorer --format=json           # machine-readable output
  */
 
 #include <cstdio>
 
 #include "sim/experiment.hpp"
+#include "telemetry/emitter.hpp"
+#include "util/log.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -32,6 +36,23 @@ main(int argc, char **argv)
     spec.frag_fraction = opts.getDouble("frag", 0.0);
     spec.cap_percent = opts.getDouble("cap", -1.0);
 
+    // --policy=NAME narrows the sweep to one policy (canonical
+    // to_string names plus the usual aliases).
+    std::vector<sim::PolicyKind> policies = {
+        sim::PolicyKind::Base, sim::PolicyKind::LinuxThp,
+        sim::PolicyKind::HawkEye, sim::PolicyKind::Pcc,
+        sim::PolicyKind::AllHuge};
+    if (opts.has("policy")) {
+        const std::string name = opts.get("policy");
+        const auto parsed = sim::parsePolicyKind(name);
+        if (!parsed) {
+            fatal("unknown --policy=", name,
+                  " (try base-4k, all-huge, linux-thp, hawkeye, pcc, "
+                  "or trace-replay)");
+        }
+        policies = {*parsed};
+    }
+
     sim::ExperimentSpec base_spec = spec;
     base_spec.policy = sim::PolicyKind::Base;
     base_spec.cap_percent = 0.0;
@@ -41,10 +62,7 @@ main(int argc, char **argv)
     Table table({"policy", "speedup", "tlb miss %", "ptw %",
                  "refs/walk", "promos", "huge %", "bloat pages",
                  "compactions"});
-    for (auto policy :
-         {sim::PolicyKind::Base, sim::PolicyKind::LinuxThp,
-          sim::PolicyKind::HawkEye, sim::PolicyKind::Pcc,
-          sim::PolicyKind::AllHuge}) {
+    for (auto policy : policies) {
         sim::ExperimentSpec run_spec = spec;
         run_spec.policy = policy;
         const auto run = sim::runOne(run_spec);
@@ -60,13 +78,18 @@ main(int argc, char **argv)
                    std::to_string(run.compactions)});
     }
 
-    std::printf("workload=%s scale=%s lanes=%u frag=%.0f%% cap=%s\n\n%s",
-                spec.workload.name.c_str(),
-                workloads::to_string(spec.workload.scale).c_str(),
-                spec.lanes, spec.frag_fraction * 100,
-                spec.cap_percent < 0
-                    ? "unlimited"
-                    : (Table::fmt(spec.cap_percent, 0) + "%").c_str(),
-                table.str().c_str());
+    telemetry::Emitter emitter(
+        telemetry::formatFromString(opts.get("format", "text")));
+    char title[256];
+    std::snprintf(title, sizeof title,
+                  "policy_explorer workload=%s scale=%s lanes=%u "
+                  "frag=%.0f%% cap=%s",
+                  spec.workload.name.c_str(),
+                  workloads::to_string(spec.workload.scale).c_str(),
+                  spec.lanes, spec.frag_fraction * 100,
+                  spec.cap_percent < 0
+                      ? "unlimited"
+                      : (Table::fmt(spec.cap_percent, 0) + "%").c_str());
+    emitter.table(title, table);
     return 0;
 }

@@ -5,11 +5,18 @@
  * all-huge ideal — and print the paper's headline metrics.
  *
  * Usage: quickstart [--scale=ci|small|medium] [--frag=0.5] [--cap=4]
+ *                   [--format=text|csv|json]
+ *                   [--telemetry=series.json] [--trace=trace.json]
+ *
+ * --telemetry/--trace collect interval time-series and a structured
+ * event trace from the PCC run and write them as JSON (the trace loads
+ * in chrome://tracing or Perfetto).
  */
 
 #include <cstdio>
 
 #include "sim/experiment.hpp"
+#include "telemetry/emitter.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -23,6 +30,8 @@ main(int argc, char **argv)
         workloads::scaleFromString(opts.get("scale", "ci"));
     const double frag = opts.getDouble("frag", 0.5);
     const double cap = opts.getDouble("cap", 4.0);
+    const std::string telemetry_path = opts.get("telemetry", "");
+    const std::string trace_path = opts.get("trace", "");
 
     sim::ExperimentSpec spec;
     spec.workload.name = opts.get("workload", "bfs");
@@ -53,15 +62,39 @@ main(int argc, char **argv)
     pcc.policy = sim::PolicyKind::Pcc;
     pcc.frag_fraction = frag;
     pcc.cap_percent = cap;
-    report("pcc(frag,cap)", sim::runOne(pcc));
+    // The PCC run is the interesting one: collect its telemetry when
+    // an export destination was given.
+    pcc.telemetry.enabled =
+        !telemetry_path.empty() || !trace_path.empty();
+    const auto pcc_run = sim::runOne(pcc);
+    report("pcc(frag,cap)", pcc_run);
 
     sim::ExperimentSpec ideal = spec;
     ideal.policy = sim::PolicyKind::AllHuge;
     report("all-huge(ideal)", sim::runOne(ideal));
 
-    std::printf("workload=%s scale=%s frag=%.0f%% cap=%.0f%%\n\n%s",
-                spec.workload.name.c_str(),
-                workloads::to_string(scale).c_str(), frag * 100, cap,
-                table.str().c_str());
+    telemetry::Emitter emitter(
+        telemetry::formatFromString(opts.get("format", "text")));
+    char title[256];
+    std::snprintf(title, sizeof title,
+                  "quickstart workload=%s scale=%s frag=%.0f%% cap=%.0f%%",
+                  spec.workload.name.c_str(),
+                  workloads::to_string(scale).c_str(), frag * 100, cap);
+    emitter.table(title, table);
+
+    if (pcc_run.telemetry) {
+        if (!telemetry_path.empty()) {
+            writeFile(telemetry_path,
+                      pcc_run.telemetry->seriesJson().dump(2) + "\n");
+            std::fprintf(stderr, "wrote telemetry series to %s\n",
+                         telemetry_path.c_str());
+        }
+        if (!trace_path.empty()) {
+            writeFile(trace_path,
+                      pcc_run.telemetry->traceJson().dump(2) + "\n");
+            std::fprintf(stderr, "wrote Chrome trace to %s\n",
+                         trace_path.c_str());
+        }
+    }
     return 0;
 }

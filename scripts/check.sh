@@ -16,6 +16,9 @@
 #                         (test_runner + the ThreadPool tests)
 #   determinism           fig06_pcc_size --scale=ci --jobs=4 must emit
 #                         byte-identical CSV to --jobs=1
+#   telemetry             fig06 with --telemetry/--trace exports must
+#                         emit JSON that parses with the expected
+#                         top-level keys, identically at --jobs=2
 #
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
 # build-tsan/; determinism uses build-det/) so switching never poisons
@@ -47,9 +50,56 @@ run_determinism() {
     echo "==> [determinism] clean (byte-identical output)"
 }
 
+run_telemetry() {
+    echo "==> [telemetry] configuring build-det"
+    cmake -B build-det -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    echo "==> [telemetry] building fig06_pcc_size"
+    cmake --build build-det -j "$(nproc)" --target fig06_pcc_size \
+        >/dev/null
+    echo "==> [telemetry] exporting series + trace at --jobs=1 and --jobs=2"
+    local tmp
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' RETURN
+    for jobs in 1 2; do
+        ./build-det/bench/fig06_pcc_size --scale=ci --csv \
+            --jobs="$jobs" \
+            --telemetry="$tmp/series$jobs.json" \
+            --trace="$tmp/trace$jobs.json" > /dev/null
+    done
+    echo "==> [telemetry] validating JSON shape"
+    python3 - "$tmp" <<'PYEOF'
+import json, sys
+
+tmp = sys.argv[1]
+series = json.load(open(tmp + "/series1.json"))
+for key in ("intervals", "series", "counters", "events",
+            "events_dropped"):
+    assert key in series, f"series.json missing {key!r}"
+assert series["intervals"] > 0, "no intervals sampled"
+for name, values in series["series"].items():
+    assert len(values) == series["intervals"], \
+        f"series {name!r}: {len(values)} != {series['intervals']}"
+
+trace = json.load(open(tmp + "/trace1.json"))
+for key in ("traceEvents", "displayTimeUnit", "otherData"):
+    assert key in trace, f"trace.json missing {key!r}"
+assert trace["traceEvents"], "empty trace"
+for event in trace["traceEvents"]:
+    for key in ("name", "cat", "ph", "ts", "pid", "args"):
+        assert key in event, f"trace event missing {key!r}"
+
+for name in ("series", "trace"):
+    a = open(f"{tmp}/{name}1.json").read()
+    b = open(f"{tmp}/{name}2.json").read()
+    assert a == b, f"{name} export diverged between --jobs=1 and 2"
+print("telemetry exports validate")
+PYEOF
+    echo "==> [telemetry] clean"
+}
+
 gates=("$@")
 if [ ${#gates[@]} -eq 0 ]; then
-    gates=(address undefined determinism)
+    gates=(address undefined determinism telemetry)
 fi
 
 for gate in "${gates[@]}"; do
@@ -60,8 +110,11 @@ for gate in "${gates[@]}"; do
       determinism)
          run_determinism
          continue ;;
+      telemetry)
+         run_telemetry
+         continue ;;
       *) echo "unknown gate '$gate'" \
-              "(use address|undefined|thread|determinism)" >&2
+              "(use address|undefined|thread|determinism|telemetry)" >&2
          exit 2 ;;
     esac
 

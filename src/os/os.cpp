@@ -84,9 +84,20 @@ Os::acquireHugeFrame(Process &proc, Addr region_base,
             auto compaction = phys_.compactOneBlock();
             chargeBackground(params_.costs.compaction_attempt);
             ++result.compaction_runs;
-            if (!compaction)
+            if (!compaction) {
+                if (tracer_) {
+                    tracer_->record(telemetry::EventKind::Compaction,
+                                    proc.pid(), region_base, 0, 0);
+                }
                 return std::nullopt;
+            }
             result.compacted = true;
+            if (tracer_) {
+                // arg = pages migrated by this compaction run.
+                tracer_->record(telemetry::EventKind::Compaction,
+                                proc.pid(), region_base, mem::kBytes2M,
+                                compaction->moves.size());
+            }
             chargeBackground(compaction->moves.size() *
                              params_.costs.copy_page);
             applyMoves(compaction->moves);
@@ -195,6 +206,12 @@ Os::promoteRegion(Process &proc, Addr region_base, bool allow_compaction)
         ++stats_.counter("promotions_after_compaction");
     if (promoted_)
         promoted_(proc.pid(), region_base, mem::PageSize::Huge2M);
+    if (tracer_) {
+        // arg = compaction runs this promotion needed (0 = free frame).
+        tracer_->record(telemetry::EventKind::Promotion, proc.pid(),
+                        region_base, mem::kBytes2M,
+                        result.compaction_runs);
+    }
     return result;
 }
 
@@ -283,6 +300,10 @@ Os::promoteRegion1G(Process &proc, Addr region_base)
     ++stats_.counter("promotions_1g");
     if (promoted_)
         promoted_(proc.pid(), region_base, mem::PageSize::Huge1G);
+    if (tracer_) {
+        tracer_->record(telemetry::EventKind::Promotion1G, proc.pid(),
+                        region_base, mem::kBytes1G, result.retries);
+    }
     return result;
 }
 
@@ -313,6 +334,10 @@ Os::demoteRegion1G(Process &proc, Addr region_base)
         app_cycles += shootdown_(proc.pid(), region_base,
                                  mem::kBytes1G);
     ++stats_.counter("demotions_1g");
+    if (tracer_) {
+        tracer_->record(telemetry::EventKind::Demotion1G, proc.pid(),
+                        region_base, mem::kBytes1G, 0);
+    }
     return app_cycles;
 }
 
@@ -337,6 +362,10 @@ Os::demoteRegion(Process &proc, Addr region_base)
     if (shootdown_)
         app_cycles += shootdown_(proc.pid(), region_base, mem::kBytes2M);
     ++stats_.counter("demotions");
+    if (tracer_) {
+        tracer_->record(telemetry::EventKind::Demotion, proc.pid(),
+                        region_base, mem::kBytes2M, 0);
+    }
     return app_cycles;
 }
 
@@ -409,6 +438,12 @@ Os::reclaimColdHugePages(u32 max_regions)
         proc.bloat_pages_ -= freed;
         result.frames_freed += freed;
         stats_.counter("reclaimed_frames") += freed;
+    }
+    if (tracer_) {
+        // bytes = memory actually freed; arg = regions demoted.
+        tracer_->record(telemetry::EventKind::Reclaim, 0, 0,
+                        result.frames_freed * mem::kBytes4K,
+                        result.regions_demoted);
     }
     return result;
 }

@@ -16,6 +16,7 @@
 #include "mem/phys_mem.hpp"
 #include "os/costs.hpp"
 #include "os/process.hpp"
+#include "telemetry/trace.hpp"
 #include "util/stats.hpp"
 
 namespace pccsim::os {
@@ -117,6 +118,14 @@ class Os
     void setReclaimRanker(ReclaimRanker rank) { ranker_ = std::move(rank); }
 
     /**
+     * Structured event tracing (null = off, the default). Every
+     * promotion, demotion, compaction run, and reclaim pass records one
+     * event; with no tracer each site costs one pointer test, so
+     * disabled telemetry never perturbs timing-sensitive runs.
+     */
+    void setTracer(telemetry::EventTracer *tracer) { tracer_ = tracer; }
+
+    /**
      * Handle a page fault at vaddr.
      * @param want_huge The policy asks for a fault-time 2MB allocation
      *        (greedy THP). Falls back to a base page on failure.
@@ -190,6 +199,7 @@ class Os
     ShootdownHook shootdown_;
     PromotionHook promoted_;
     ReclaimRanker ranker_;
+    telemetry::EventTracer *tracer_ = nullptr;
     StatGroup stats_{"os"};
     u64 background_cycles_ = 0;
 };

@@ -148,6 +148,31 @@ class PccUnit
         return *f1g >= ratio * best2m;
     }
 
+    /** Occupied entries across both PCCs (telemetry gauge). */
+    u32
+    occupancy() const
+    {
+        return pcc2m_.size() +
+               (config_.enable_1g ? pcc1g_.size() : 0);
+    }
+
+    /**
+     * The ranked head of the 2MB PCC, as region VPNs: the candidates
+     * the OS would promote next. Telemetry tracks the churn of this
+     * set across intervals (a stable head = HUBs identified).
+     */
+    std::vector<Vpn>
+    topRegions(u32 k) const
+    {
+        std::vector<Vpn> regions;
+        const auto ranked = pcc2m_.snapshot();
+        const u32 n = std::min<u32>(k, static_cast<u32>(ranked.size()));
+        regions.reserve(n);
+        for (u32 i = 0; i < n; ++i)
+            regions.push_back(ranked[i].region);
+        return regions;
+    }
+
     PromotionCandidateCache &pcc2m() { return pcc2m_; }
     PromotionCandidateCache &pcc1g() { return pcc1g_; }
     const PromotionCandidateCache &pcc2m() const { return pcc2m_; }

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <functional>
+#include <optional>
+#include <string_view>
 
 #include "cache/cache.hpp"
 #include "os/os.hpp"
@@ -15,7 +17,9 @@
 #include "pcc/pcc_unit.hpp"
 #include "pt/walker.hpp"
 #include "sim/fault_injector.hpp"
+#include "telemetry/report.hpp"
 #include "tlb/geometry.hpp"
+#include "util/status.hpp"
 #include "workloads/registry.hpp"
 
 namespace pccsim::sim {
@@ -32,6 +36,14 @@ enum class PolicyKind : u8
 };
 
 std::string to_string(PolicyKind kind);
+
+/**
+ * Inverse of to_string(PolicyKind): accepts the canonical names
+ * ("base-4k", "all-huge", "linux-thp", "hawkeye", "pcc",
+ * "trace-replay") plus short aliases ("base", "thp", "huge").
+ * Returns nullopt for anything else so callers can report the typo.
+ */
+std::optional<PolicyKind> parsePolicyKind(std::string_view name);
 
 /** Cycle costs the System charges beyond the OS event costs. */
 struct TimingParams
@@ -134,6 +146,22 @@ struct SystemConfig
     u64 heap_capacity = 8ull << 30;
 
     u64 seed = 1;
+
+    /**
+     * Telemetry collection (off by default — the hot path then pays
+     * only a null-pointer test at rare events). When enabled the run
+     * attaches a TelemetryReport to RunResult: per-interval series,
+     * the structured event trace, and final counter values.
+     */
+    telemetry::TelemetryConfig telemetry{};
+
+    /**
+     * Sanity-check the configuration: TLB/cache geometries that the
+     * set-index math can address, sane caps and intervals. Called at
+     * the top of System::run(), which fatals on a non-OK status;
+     * harnesses can call it earlier for a friendlier diagnostic.
+     */
+    util::Status validate() const;
 
     /** Hardware profile matched to a workload scale. */
     static SystemConfig

@@ -14,6 +14,7 @@ configFor(const ExperimentSpec &spec)
     cfg.promotion_cap_percent = spec.cap_percent;
     cfg.frag_fraction = spec.frag_fraction;
     cfg.pcc_policy = spec.pcc_policy;
+    cfg.telemetry = spec.telemetry;
     cfg.seed = spec.workload.seed;
     if (spec.policy == PolicyKind::AllHuge) {
         // The "Max. Perf. with THPs" configuration: unfragmented,

@@ -26,6 +26,8 @@ struct ExperimentSpec
     double cap_percent = -1.0; //!< promotion budget; < 0 = unlimited
     double frag_fraction = 0.0;
     os::PccPolicy::Params pcc_policy{};
+    /** Telemetry collection for this run (off by default). */
+    telemetry::TelemetryConfig telemetry{};
     /** Final hook to adjust the SystemConfig (PCC size sweeps etc.). */
     std::function<void(SystemConfig &)> tweak;
     /**

@@ -42,6 +42,10 @@ FaultInjector::allowAlloc(unsigned order)
     if (!alloc_rng_.chance(p))
         return true;
     ++alloc_fails_;
+    if (tracer_) {
+        tracer_->record(telemetry::EventKind::AllocFailInjected, 0, 0,
+                        mem::kBytes4K << order, order);
+    }
     return false;
 }
 
@@ -54,10 +58,19 @@ FaultInjector::compactionMovesAllowed()
     const bool partial = compact_rng_.chance(config_.compaction_partial);
     if (hard) {
         ++compaction_fails_;
+        if (tracer_) {
+            tracer_->record(
+                telemetry::EventKind::CompactionFailInjected, 0, 0, 0, 0);
+        }
         return 0;
     }
     if (partial) {
         ++compaction_fails_;
+        if (tracer_) {
+            // arg = moves allowed before the partial abort.
+            tracer_->record(telemetry::EventKind::CompactionFailInjected,
+                            0, 0, 0, config_.partial_move_limit);
+        }
         return config_.partial_move_limit;
     }
     return mem::PhysicalMemory::kUnlimitedMoves;
@@ -71,6 +84,10 @@ FaultInjector::shootdownDelay()
     if (!storm_rng_.chance(config_.shootdown_storm))
         return 0;
     ++storms_;
+    if (tracer_) {
+        tracer_->record(telemetry::EventKind::ShootdownStorm, 0, 0, 0,
+                        config_.shootdown_storm_cycles);
+    }
     return config_.shootdown_storm_cycles;
 }
 
@@ -87,7 +104,12 @@ u64
 FaultInjector::applyShock(mem::PhysicalMemory &phys)
 {
     ++shocks_;
-    return phys.fragment(config_.shock_fraction, shock_rng_);
+    const u64 pinned = phys.fragment(config_.shock_fraction, shock_rng_);
+    if (tracer_) {
+        tracer_->record(telemetry::EventKind::FragShock, 0, 0,
+                        pinned * mem::kBytes2M, pinned);
+    }
+    return pinned;
 }
 
 } // namespace pccsim::sim

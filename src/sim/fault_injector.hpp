@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "mem/phys_mem.hpp"
+#include "telemetry/trace.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -105,8 +106,16 @@ class FaultInjector
     u64 stormsInjected() const { return storms_; }
     u64 shocksApplied() const { return shocks_; }
 
+    /**
+     * Structured event tracing (null = off): each fault that actually
+     * fires records one event, so traces show exactly where injected
+     * hostility landed relative to the OS's reactions.
+     */
+    void setTracer(telemetry::EventTracer *tracer) { tracer_ = tracer; }
+
   private:
     FaultConfig config_;
+    telemetry::EventTracer *tracer_ = nullptr;
     Rng alloc_rng_;
     Rng compact_rng_;
     Rng storm_rng_;

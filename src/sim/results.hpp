@@ -7,9 +7,11 @@
 
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "telemetry/report.hpp"
 #include "util/stats.hpp"
 #include "util/types.hpp"
 
@@ -95,21 +97,54 @@ struct RunResult
     u64 intervals = 0;
     ResilienceStats resilience{};
 
+    /**
+     * Attached when SystemConfig::telemetry.enabled; null otherwise.
+     * Shared so RunResult stays cheap to copy through the runner's
+     * memo cache (the report itself is immutable once the run ends).
+     */
+    std::shared_ptr<const telemetry::TelemetryReport> telemetry;
+
     const JobResult &
     job(size_t i = 0) const
     {
         return jobs.at(i);
     }
 
-    /** Stat-for-stat equality, the runner's determinism contract. */
-    bool operator==(const RunResult &) const = default;
+    /**
+     * Stat-for-stat equality, the runner's determinism contract.
+     * Hand-written because `telemetry` must compare by *content*
+     * (serial and --jobs=N runs allocate distinct report objects but
+     * must produce identical series and traces), not pointer identity.
+     */
+    bool
+    operator==(const RunResult &other) const
+    {
+        if (jobs != other.jobs || wall_cycles != other.wall_cycles ||
+            total_accesses != other.total_accesses ||
+            os_background_cycles != other.os_background_cycles ||
+            compactions != other.compactions ||
+            shootdowns != other.shootdowns ||
+            intervals != other.intervals ||
+            !(resilience == other.resilience)) {
+            return false;
+        }
+        if (!telemetry || !other.telemetry)
+            return !telemetry && !other.telemetry;
+        return *telemetry == *other.telemetry;
+    }
 };
 
-/** Speedup of `run` relative to `baseline` for job i. */
+/**
+ * Speedup of `run` relative to `baseline` for job i. Returns 0 when
+ * the job is missing from either result or the run's wall time is
+ * zero — degenerate baselines must not crash reporting loops.
+ */
 inline double
 speedup(const RunResult &baseline, const RunResult &run, size_t i = 0)
 {
-    return ratio(baseline.job(i).wall_cycles, run.job(i).wall_cycles);
+    if (i >= baseline.jobs.size() || i >= run.jobs.size())
+        return 0.0;
+    return ratio(baseline.jobs[i].wall_cycles, run.jobs[i].wall_cycles);
 }
 
 } // namespace pccsim::sim

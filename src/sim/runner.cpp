@@ -37,6 +37,11 @@ specKey(const ExperimentSpec &spec)
         os << ',' << pid;
     os << '|' << p.allow_compaction << p.demote_on_pressure << '|'
        << p.min_frequency << '|' << p.promote_1g << '|' << p.ratio_1g;
+    // Telemetry settings change the attached report (part of RunResult
+    // equality), so they must be part of the memo identity too.
+    const auto &t = spec.telemetry;
+    os << '|' << t.enabled << t.trace_events << '|' << t.top_k << '|'
+       << t.max_events;
     os << '|' << spec.tweak_key;
     return os.str();
 }

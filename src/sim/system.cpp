@@ -21,6 +21,143 @@ to_string(PolicyKind kind)
     return "?";
 }
 
+std::optional<PolicyKind>
+parsePolicyKind(std::string_view name)
+{
+    if (name == "base-4k" || name == "base" || name == "4k")
+        return PolicyKind::Base;
+    if (name == "all-huge" || name == "huge")
+        return PolicyKind::AllHuge;
+    if (name == "linux-thp" || name == "thp")
+        return PolicyKind::LinuxThp;
+    if (name == "hawkeye")
+        return PolicyKind::HawkEye;
+    if (name == "pcc")
+        return PolicyKind::Pcc;
+    if (name == "trace-replay")
+        return PolicyKind::TraceReplay;
+    return std::nullopt;
+}
+
+namespace {
+
+bool
+isPow2(u64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+util::Status
+SystemConfig::validate() const
+{
+    using util::Status;
+    Status status;
+
+    if (num_cores < 1)
+        status.update(Status::error("num_cores must be >= 1"));
+
+    const auto checkTlb = [&status](const char *label,
+                                    const tlb::TlbParams &p) {
+        if (p.ways == 0) {
+            status.update(Status::error(label, ": zero-way TLB"));
+            return;
+        }
+        if (p.entries == 0) {
+            status.update(Status::error(label, ": zero entries"));
+            return;
+        }
+        if (p.entries % p.ways != 0) {
+            status.update(Status::error(
+                label, ": entries (", p.entries,
+                ") not a multiple of ways (", p.ways, ")"));
+            return;
+        }
+        if (!isPow2(p.entries / p.ways)) {
+            status.update(Status::error(
+                label, ": non-power-of-two set count ",
+                p.entries / p.ways));
+        }
+    };
+    checkTlb("tlb.l1_4k", tlb.l1_4k);
+    checkTlb("tlb.l1_2m", tlb.l1_2m);
+    checkTlb("tlb.l1_1g", tlb.l1_1g);
+    checkTlb("tlb.l2", tlb.l2);
+    if (pwc.enabled) {
+        checkTlb("pwc.pml4e", pwc.pml4e);
+        checkTlb("pwc.pdpte", pwc.pdpte);
+        checkTlb("pwc.pde", pwc.pde);
+    }
+
+    const auto checkCache = [&status](const char *label,
+                                      const cache::CacheParams &p) {
+        if (p.ways == 0) {
+            status.update(Status::error(label, ": zero-way cache"));
+            return;
+        }
+        if (!isPow2(p.line_bytes)) {
+            status.update(Status::error(
+                label, ": line size ", p.line_bytes,
+                " not a power of two"));
+            return;
+        }
+        const u64 way_bytes = static_cast<u64>(p.ways) * p.line_bytes;
+        if (p.size_bytes == 0 || p.size_bytes % way_bytes != 0) {
+            status.update(Status::error(
+                label, ": size ", p.size_bytes,
+                " not a multiple of ways x line (", way_bytes, ")"));
+        }
+        // Unlike the TLBs, non-power-of-two cache set counts are a
+        // supported geometry (the model falls back to modulo
+        // indexing): real LLC slices — e.g. the paper profile's
+        // 20MB 16-way Haswell LLC — land on 20480 sets.
+    };
+    if (cache.enabled) {
+        checkCache("cache.l1", cache.l1);
+        checkCache("cache.l2", cache.l2);
+        checkCache("cache.llc", cache.llc);
+    }
+
+    const auto checkPcc = [&status](const char *label,
+                                    const pcc::PccConfig &p) {
+        if (p.entries == 0)
+            status.update(Status::error(label, ": zero entries"));
+        if (p.counter_bits < 1 || p.counter_bits > 63) {
+            status.update(Status::error(
+                label, ": counter_bits ", p.counter_bits,
+                " outside [1, 63]"));
+        }
+    };
+    checkPcc("pcc.pcc2m", pcc.pcc2m);
+    if (pcc.enable_1g)
+        checkPcc("pcc.pcc1g", pcc.pcc1g);
+
+    if (interval_accesses == 0)
+        status.update(Status::error("interval_accesses must be >= 1"));
+    if (promotion_cap_percent > 100.0) {
+        status.update(Status::error(
+            "promotion_cap_percent ", promotion_cap_percent,
+            " exceeds 100"));
+    }
+    if (frag_fraction < 0.0 || frag_fraction > 1.0) {
+        status.update(Status::error(
+            "frag_fraction ", frag_fraction, " outside [0, 1]"));
+    }
+    if (phys_bytes == 0 && phys_headroom <= 0.0) {
+        status.update(Status::error(
+            "phys_headroom must be positive when phys_bytes is auto"));
+    }
+    if (heap_capacity < mem::kBytes2M) {
+        status.update(Status::error(
+            "heap_capacity ", heap_capacity, " below one 2MB region"));
+    }
+    if (telemetry.enabled && telemetry.top_k == 0)
+        status.update(Status::error("telemetry.top_k must be >= 1"));
+
+    return status;
+}
+
 System::System(SystemConfig config) : config_(std::move(config))
 {
     PCCSIM_ASSERT(config_.num_cores >= 1);
@@ -112,6 +249,13 @@ System::installShootdownHook()
                 if (core_process_[c] && core_process_[c]->pid() == pid)
                     cores_[c].cycles += cost;
             }
+            // Trace only region-sized broadcasts: per-4KB migration
+            // invalidations would flood the event log (they are batched
+            // cost-wise for the same reason).
+            if (tel_tracer_) {
+                tel_tracer_->record(telemetry::EventKind::Shootdown,
+                                    pid, base, bytes, cost);
+            }
         }
         return 0;
     });
@@ -156,6 +300,128 @@ System::installReclaimRanker()
         }
         return score;
     });
+}
+
+void
+System::setupTelemetry(size_t num_jobs)
+{
+    tel_registry_.reset();
+    tel_sampler_.reset();
+    tel_tracer_.reset();
+    tel_churn_ = telemetry::TopKChurnTracker{};
+    tel_churn_counter_ = telemetry::Registry::Handle{};
+    if (!config_.telemetry.enabled)
+        return;
+
+    tel_registry_ = std::make_unique<telemetry::Registry>();
+    telemetry::Registry &reg = *tel_registry_;
+
+    // Probes over state the simulator maintains anyway: registering
+    // them costs the instrumented modules nothing, and reading happens
+    // only at interval boundaries and run end.
+    reg.probe("tlb_accesses", [this] {
+        u64 sum = 0;
+        for (const auto &core : cores_)
+            sum += core.tlb.accesses();
+        return sum;
+    });
+    reg.probe("l1_hits", [this] {
+        u64 sum = 0;
+        for (const auto &core : cores_)
+            sum += core.tlb.l1Hits();
+        return sum;
+    });
+    reg.probe("l2_hits", [this] {
+        u64 sum = 0;
+        for (const auto &core : cores_)
+            sum += core.tlb.l2Hits();
+        return sum;
+    });
+    reg.probe("walks", [this] {
+        u64 sum = 0;
+        for (const auto &core : cores_)
+            sum += core.tlb.walks();
+        return sum;
+    });
+    reg.probe("faults", [this] {
+        u64 sum = 0;
+        for (const auto &core : cores_)
+            sum += core.faults;
+        return sum;
+    });
+    reg.probe("pcc_occupancy", [this] {
+        u64 sum = 0;
+        for (const auto &core : cores_)
+            sum += core.pcc.occupancy();
+        return sum;
+    });
+    reg.probe("promotions",
+              [this] { return os_->stats().get("promotions"); });
+    reg.probe("promotions_1g",
+              [this] { return os_->stats().get("promotions_1g"); });
+    reg.probe("demotions",
+              [this] { return os_->stats().get("demotions"); });
+    reg.probe("reclaim_events",
+              [this] { return os_->stats().get("reclaim_events"); });
+    reg.probe("reclaimed_frames",
+              [this] { return os_->stats().get("reclaimed_frames"); });
+    reg.probe("compactions",
+              [this] { return phys_->stats().get("compactions"); });
+    reg.probe("shootdowns", [this] { return shootdowns_; });
+    reg.probe("os_background_cycles",
+              [this] { return os_->backgroundCycles(); });
+    for (size_t j = 0; j < num_jobs; ++j) {
+        reg.probe("job" + std::to_string(j) + "_cycles", [this, j] {
+            Cycles wall = 0;
+            for (const auto &lane : lanes_)
+                if (lane.job == j)
+                    wall = std::max(wall, cores_[lane.core].cycles);
+            return wall;
+        });
+    }
+    tel_churn_counter_ = reg.counter("pcc_topk_churn");
+
+    tel_sampler_ = std::make_unique<telemetry::IntervalSampler>(reg);
+    using telemetry::SampleKind;
+    for (const char *name :
+         {"walks", "l1_hits", "l2_hits", "faults", "promotions",
+          "demotions", "compactions", "reclaim_events", "shootdowns",
+          "pcc_topk_churn"}) {
+        tel_sampler_->track(name, SampleKind::Cumulative);
+    }
+    tel_sampler_->track("pcc_occupancy", SampleKind::Gauge);
+    for (size_t j = 0; j < num_jobs; ++j) {
+        tel_sampler_->track("job" + std::to_string(j) + "_cycles",
+                            SampleKind::Gauge);
+    }
+
+    if (config_.telemetry.trace_events) {
+        tel_tracer_ = std::make_unique<telemetry::EventTracer>(
+            config_.telemetry.max_events);
+        tel_tracer_->setClock([this] { return total_accesses_; });
+        os_->setTracer(tel_tracer_.get());
+        if (injector_)
+            injector_->setTracer(tel_tracer_.get());
+    }
+}
+
+void
+System::sampleTelemetryInterval()
+{
+    // Merge the ranked heads of every core's PCC: the churn of that
+    // union is how much of the system-wide candidate set turned over
+    // this interval.
+    std::vector<Vpn> merged;
+    for (const auto &core : cores_) {
+        auto top = core.pcc.topRegions(config_.telemetry.top_k);
+        merged.insert(merged.end(), top.begin(), top.end());
+    }
+    tel_churn_counter_ += tel_churn_.update(std::move(merged));
+    tel_sampler_->sample();
+    if (tel_tracer_) {
+        tel_tracer_->record(telemetry::EventKind::Interval, 0, 0, 0,
+                            intervals_);
+    }
 }
 
 void
@@ -308,6 +574,8 @@ System::maybeReleaseBarrier(u32 job)
 RunResult
 System::run(std::vector<Job> jobs)
 {
+    if (util::Status status = config_.validate(); !status.ok())
+        fatal("invalid SystemConfig: ", status.toString());
     PCCSIM_ASSERT(!jobs.empty());
     u32 total_lanes = 0;
     for (const auto &job : jobs)
@@ -372,6 +640,7 @@ System::run(std::vector<Job> jobs)
                 recorded_.record(total_accesses_, pid, base, size);
             });
     }
+    setupTelemetry(jobs.size());
 
     if (config_.frag_fraction > 0.0) {
         Rng rng(config_.seed ^ 0xf7a6);
@@ -474,6 +743,11 @@ System::run(std::vector<Job> jobs)
                     policy_->onInterval(*this);
                     if (config_.check_invariants)
                         runInvariantChecks();
+                    // Sample after the policy acted so this interval's
+                    // promotions land in this interval's row; series
+                    // length therefore equals RunResult::intervals.
+                    if (tel_sampler_)
+                        sampleTelemetryInterval();
                 }
             }
         }
@@ -543,6 +817,18 @@ System::run(std::vector<Job> jobs)
         result.jobs.push_back(std::move(job_result));
         result.wall_cycles =
             std::max(result.wall_cycles, job_wall[j]);
+    }
+
+    if (tel_sampler_) {
+        auto report = std::make_shared<telemetry::TelemetryReport>();
+        report->intervals = intervals_;
+        report->counters = tel_registry_->readAll();
+        report->series = tel_sampler_->takeSeries();
+        if (tel_tracer_) {
+            report->events_dropped = tel_tracer_->dropped();
+            report->events = tel_tracer_->takeEvents();
+        }
+        result.telemetry = std::move(report);
     }
     return result;
 }

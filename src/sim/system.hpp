@@ -27,6 +27,9 @@
 #include "sim/config.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/results.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/series.hpp"
+#include "telemetry/trace.hpp"
 #include "tlb/hierarchy.hpp"
 #include "workloads/workload.hpp"
 
@@ -131,6 +134,16 @@ class System : public os::PolicyContext
     void installFaultInjection();
     void installReclaimRanker();
 
+    /**
+     * Build the telemetry registry/sampler/tracer for this run (no-op
+     * when config_.telemetry.enabled is false — every later telemetry
+     * touch point is then a single null-pointer test).
+     */
+    void setupTelemetry(size_t num_jobs);
+
+    /** Take one interval sample (churn, series, interval marker). */
+    void sampleTelemetryInterval();
+
     /** One invariant sweep across all layers (config_.check_invariants). */
     void runInvariantChecks();
 
@@ -153,6 +166,13 @@ class System : public os::PolicyContext
     u64 invariant_failures_ = 0;
     std::string first_invariant_failure_;
     os::PromotionTrace recorded_;
+
+    // ---- telemetry (all null/empty unless config_.telemetry.enabled) ----
+    std::unique_ptr<telemetry::Registry> tel_registry_;
+    std::unique_ptr<telemetry::IntervalSampler> tel_sampler_;
+    std::unique_ptr<telemetry::EventTracer> tel_tracer_;
+    telemetry::TopKChurnTracker tel_churn_;
+    telemetry::Registry::Handle tel_churn_counter_;
 };
 
 std::string to_string(PolicyKind kind);

@@ -1,0 +1,93 @@
+#include "telemetry/emitter.hpp"
+
+namespace pccsim::telemetry {
+
+Format
+formatFromString(const std::string &name)
+{
+    if (name == "csv")
+        return Format::Csv;
+    if (name == "json")
+        return Format::Json;
+    return Format::Text;
+}
+
+namespace {
+
+Json
+tableJson(const Table &table)
+{
+    Json header = Json::array();
+    for (const auto &cell : table.header())
+        header.push(cell);
+    Json rows = Json::array();
+    for (const auto &row : table.cells()) {
+        Json cells = Json::array();
+        for (const auto &cell : row)
+            cells.push(cell);
+        rows.push(std::move(cells));
+    }
+    Json out = Json::object();
+    out.set("header", std::move(header));
+    out.set("rows", std::move(rows));
+    return out;
+}
+
+} // namespace
+
+void
+Emitter::table(const std::string &title, const Table &table)
+{
+    switch (format_) {
+      case Format::Text:
+        std::fprintf(out_, "## %s\n\n%s\n", title.c_str(),
+                     table.str().c_str());
+        return;
+      case Format::Csv:
+        std::fprintf(out_, "## %s\n\n%s\n", title.c_str(),
+                     table.csv().c_str());
+        return;
+      case Format::Json: {
+        Json section = Json::object();
+        section.set("title", title);
+        section.set("table", tableJson(table));
+        sections_.push(std::move(section));
+        return;
+      }
+    }
+}
+
+void
+Emitter::object(const std::string &title, Json data)
+{
+    switch (format_) {
+      case Format::Text:
+      case Format::Csv:
+        std::fprintf(out_, "## %s\n\n%s\n", title.c_str(),
+                     data.dump(2).c_str());
+        return;
+      case Format::Json: {
+        Json section = Json::object();
+        section.set("title", title);
+        section.set("data", std::move(data));
+        sections_.push(std::move(section));
+        return;
+      }
+    }
+}
+
+void
+Emitter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    if (format_ == Format::Json) {
+        Json doc = Json::object();
+        doc.set("sections", std::move(sections_));
+        std::fprintf(out_, "%s\n", doc.dump(2).c_str());
+    }
+    std::fflush(out_);
+}
+
+} // namespace pccsim::telemetry

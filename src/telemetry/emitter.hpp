@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The one results/serialization API: every harness and example routes
+ * its output through an Emitter instead of hand-rolled printf/ostream
+ * reporting.
+ *
+ * An Emitter receives titled sections — tables (the figure harnesses'
+ * paper-style rows) and JSON objects (perf accounting, telemetry
+ * summaries) — and renders them in one of three formats:
+ *
+ *   Text  aligned ASCII tables under "## title" headings (default)
+ *   Csv   the same sections as CSV blocks (machine-diffable; the
+ *         determinism gate byte-compares this format across --jobs)
+ *   Json  one document: {"sections": [{"title", "table"| "data"}]},
+ *         buffered until close() so the output is valid JSON
+ *
+ * Text/CSV sections stream immediately; the JSON sink buffers.
+ * close() is idempotent and flushes the buffered document — callers
+ * that can exit early should register it with atexit (BenchEnv does).
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "telemetry/json.hpp"
+#include "util/table.hpp"
+
+namespace pccsim::telemetry {
+
+enum class Format : u8
+{
+    Text = 0,
+    Csv,
+    Json,
+};
+
+/** Parse "text" / "csv" / "json" (anything else falls back to Text). */
+Format formatFromString(const std::string &name);
+
+class Emitter
+{
+  public:
+    explicit Emitter(Format format, std::FILE *out = stdout)
+        : format_(format), out_(out)
+    {
+    }
+
+    ~Emitter() { close(); }
+
+    Emitter(const Emitter &) = delete;
+    Emitter &operator=(const Emitter &) = delete;
+
+    Format format() const { return format_; }
+
+    /** Emit a titled table section. */
+    void table(const std::string &title, const Table &table);
+
+    /** Emit a titled key/value (or arbitrary JSON) section. */
+    void object(const std::string &title, Json data);
+
+    /** Flush buffered output (Json sink); further sections are lost. */
+    void close();
+
+  private:
+    Format format_;
+    std::FILE *out_;
+    Json sections_ = Json::array();
+    bool closed_ = false;
+};
+
+} // namespace pccsim::telemetry

@@ -1,0 +1,144 @@
+#include "telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/log.hpp"
+
+namespace pccsim::telemetry {
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    PCCSIM_ASSERT(kind_ == Kind::Object, "set() on a non-object Json");
+    for (auto &[k, v] : members_) {
+        if (k == key) {
+            v = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Json &
+Json::push(Json value)
+{
+    PCCSIM_ASSERT(kind_ == Kind::Array, "push() on a non-array Json");
+    elements_.push_back(std::move(value));
+    return *this;
+}
+
+std::string
+Json::escape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void
+newline(std::string &out, int indent, int depth)
+{
+    if (indent < 0)
+        return;
+    out += '\n';
+    out.append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+std::string
+formatDouble(double value)
+{
+    // Fixed %.12g: enough precision to round-trip every value the
+    // simulator derives from 64-bit counters, few enough digits that
+    // the textual form is stable (no trailing-noise digits).
+    if (!std::isfinite(value))
+        return "null"; // JSON has no inf/nan
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    return buf;
+}
+
+} // namespace
+
+void
+Json::render(std::string &out, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null: out += "null"; return;
+      case Kind::Bool: out += bool_ ? "true" : "false"; return;
+      case Kind::Uint: out += std::to_string(uint_); return;
+      case Kind::Int: out += std::to_string(int_); return;
+      case Kind::Double: out += formatDouble(double_); return;
+      case Kind::String:
+        out += '"';
+        out += escape(string_);
+        out += '"';
+        return;
+      case Kind::Array: {
+        if (elements_.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        for (size_t i = 0; i < elements_.size(); ++i) {
+            if (i)
+                out += indent < 0 ? "," : ",";
+            newline(out, indent, depth + 1);
+            elements_[i].render(out, indent, depth + 1);
+        }
+        newline(out, indent, depth);
+        out += ']';
+        return;
+      }
+      case Kind::Object: {
+        if (members_.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        for (size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out += ",";
+            newline(out, indent, depth + 1);
+            out += '"';
+            out += escape(members_[i].first);
+            out += indent < 0 ? "\":" : "\": ";
+            members_[i].second.render(out, indent, depth + 1);
+        }
+        newline(out, indent, depth);
+        out += '}';
+        return;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    render(out, indent, 0);
+    return out;
+}
+
+} // namespace pccsim::telemetry

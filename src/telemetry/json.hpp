@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Minimal deterministic JSON document builder.
+ *
+ * Every machine-readable artifact the simulator emits — interval
+ * series, Chrome traces, runner perf accounting, the benches' --json
+ * sections — is assembled as a Json value and rendered by dump().
+ * Object keys keep insertion order and number formatting is fixed, so
+ * two identical runs always produce byte-identical output (the same
+ * determinism contract the runner gives RunResults).
+ *
+ * This is a writer, not a parser: the simulator only produces JSON;
+ * validation of emitted documents lives in scripts/check.sh, which has
+ * a real parser (python3) available.
+ */
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pccsim::telemetry {
+
+class Json
+{
+  public:
+    /** Default construction is null. */
+    Json() = default;
+
+    Json(bool value) : kind_(Kind::Bool), bool_(value) {}
+    Json(double value) : kind_(Kind::Double), double_(value) {}
+    Json(u64 value) : kind_(Kind::Uint), uint_(value) {}
+    Json(i64 value) : kind_(Kind::Int), int_(value) {}
+    Json(int value) : Json(static_cast<i64>(value)) {}
+    Json(unsigned value) : Json(static_cast<u64>(value)) {}
+    Json(const char *value) : kind_(Kind::String), string_(value) {}
+    Json(std::string value)
+        : kind_(Kind::String), string_(std::move(value))
+    {
+    }
+
+    static Json
+    object()
+    {
+        Json j;
+        j.kind_ = Kind::Object;
+        return j;
+    }
+
+    static Json
+    array()
+    {
+        Json j;
+        j.kind_ = Kind::Array;
+        return j;
+    }
+
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isNull() const { return kind_ == Kind::Null; }
+
+    /** Set a key on an object (insertion-ordered; replaces in place). */
+    Json &set(const std::string &key, Json value);
+
+    /** Append an element to an array. */
+    Json &push(Json value);
+
+    size_t
+    size() const
+    {
+        return kind_ == Kind::Object ? members_.size() : elements_.size();
+    }
+
+    /**
+     * Render the document. indent < 0 produces one compact line;
+     * indent >= 0 pretty-prints with that many spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /** JSON string escaping of `raw` (without surrounding quotes). */
+    static std::string escape(const std::string &raw);
+
+  private:
+    enum class Kind : u8
+    {
+        Null = 0,
+        Bool,
+        Uint,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    void render(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    u64 uint_ = 0;
+    i64 int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Json> elements_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+} // namespace pccsim::telemetry

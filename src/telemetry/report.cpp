@@ -1,0 +1,24 @@
+#include "telemetry/report.hpp"
+
+namespace pccsim::telemetry {
+
+Json
+TelemetryReport::seriesJson() const
+{
+    Json doc = series.toJson(); // {"intervals": N, "series": {...}}
+    Json finals = Json::object();
+    for (const auto &[name, value] : counters)
+        finals.set(name, value);
+    doc.set("counters", std::move(finals));
+    doc.set("events", static_cast<u64>(events.size()));
+    doc.set("events_dropped", events_dropped);
+    return doc;
+}
+
+Json
+TelemetryReport::traceJson() const
+{
+    return EventTracer::chromeTrace(events, events_dropped);
+}
+
+} // namespace pccsim::telemetry

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Telemetry configuration and the per-run report attached to
+ * sim::RunResult.
+ *
+ * Telemetry is off by default and configured through
+ * SystemConfig::telemetry. Collection never perturbs simulation: all
+ * sources are read-only probes over state the simulator maintains
+ * anyway, so a run's metrics (cycles, walks, promotions, ...) are
+ * bit-identical with telemetry on or off — only the attached report
+ * differs. Because every sampled value derives from the deterministic
+ * simulation clock, serial and --jobs=N executions of one spec produce
+ * identical reports.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/series.hpp"
+#include "telemetry/trace.hpp"
+
+namespace pccsim::telemetry {
+
+/** SystemConfig::telemetry — what to collect during a run. */
+struct TelemetryConfig
+{
+    /** Master switch: collect interval series + final counters. */
+    bool enabled = false;
+    /** Also record structured events (promotions, faults, ...). */
+    bool trace_events = true;
+    /** Ranked-head size for the PCC top-K churn series. */
+    u32 top_k = 8;
+    /** Event-tracer memory bound (events beyond it are counted). */
+    u64 max_events = 1'000'000;
+
+    bool operator==(const TelemetryConfig &) const = default;
+};
+
+/** Everything a run collected; attached to RunResult::telemetry. */
+struct TelemetryReport
+{
+    /** Per-policy-interval series (length == RunResult::intervals). */
+    SeriesSet series;
+    /** Structured event log, in simulated-time order. */
+    std::vector<Event> events;
+    u64 events_dropped = 0;
+    /** Final (end-of-run) value of every registered source, sorted. */
+    std::vector<std::pair<std::string, u64>> counters;
+    u64 intervals = 0;
+
+    bool operator==(const TelemetryReport &) const = default;
+
+    /** Series + counters as one JSON document (check.sh shape). */
+    Json seriesJson() const;
+
+    /** Chrome about://tracing document of the event log. */
+    Json traceJson() const;
+};
+
+} // namespace pccsim::telemetry

@@ -1,0 +1,97 @@
+#include "telemetry/series.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace pccsim::telemetry {
+
+void
+SeriesSet::append(const std::string &name, u64 value)
+{
+    for (auto &s : series_) {
+        if (s.name == name) {
+            s.values.push_back(value);
+            return;
+        }
+    }
+    series_.push_back({name, {value}});
+}
+
+const Series *
+SeriesSet::find(const std::string &name) const
+{
+    for (const auto &s : series_)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+size_t
+SeriesSet::intervals() const
+{
+    size_t n = 0;
+    for (const auto &s : series_)
+        n = std::max(n, s.values.size());
+    return n;
+}
+
+Json
+SeriesSet::toJson() const
+{
+    Json values = Json::object();
+    for (const auto &s : series_) {
+        Json arr = Json::array();
+        for (u64 v : s.values)
+            arr.push(v);
+        values.set(s.name, std::move(arr));
+    }
+    Json doc = Json::object();
+    doc.set("intervals", static_cast<u64>(intervals()));
+    doc.set("series", std::move(values));
+    return doc;
+}
+
+void
+IntervalSampler::track(const std::string &name, SampleKind kind)
+{
+    PCCSIM_ASSERT(samples_ == 0,
+                  "track() after sampling would leave ragged series");
+    sources_.push_back({name, kind, 0});
+}
+
+void
+IntervalSampler::sample()
+{
+    for (auto &src : sources_) {
+        const u64 now = registry_->read(src.name);
+        if (src.kind == SampleKind::Cumulative) {
+            // Running totals never decrease; guard anyway so a
+            // misbehaving probe yields 0 instead of wrapping.
+            const u64 delta = now >= src.previous ? now - src.previous : 0;
+            series_.append(src.name, delta);
+            src.previous = now;
+        } else {
+            series_.append(src.name, now);
+        }
+    }
+    ++samples_;
+}
+
+u64
+TopKChurnTracker::update(std::vector<Vpn> current)
+{
+    std::sort(current.begin(), current.end());
+    current.erase(std::unique(current.begin(), current.end()),
+                  current.end());
+    u64 churn = 0;
+    for (Vpn region : current) {
+        if (!std::binary_search(previous_.begin(), previous_.end(),
+                                region))
+            ++churn;
+    }
+    previous_ = std::move(current);
+    return churn;
+}
+
+} // namespace pccsim::telemetry

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Interval time-series: one sampled value per policy interval for each
+ * tracked metric, the temporal view the paper's Figs. 5-7 argue from
+ * (PCC rankings, decay, and promotion utility all evolve interval by
+ * interval).
+ *
+ * The IntervalSampler reads a Registry once per interval. Sources
+ * registered as Cumulative are differenced against the previous sample
+ * (so a monotonically-growing walk counter becomes walks-per-interval);
+ * Gauge sources record their instantaneous value (PCC occupancy,
+ * per-job cycles).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "telemetry/registry.hpp"
+#include "util/types.hpp"
+
+namespace pccsim::telemetry {
+
+/** One named series; values[i] belongs to policy interval i. */
+struct Series
+{
+    std::string name;
+    std::vector<u64> values;
+
+    bool operator==(const Series &) const = default;
+};
+
+/** An ordered bundle of equally-long series. */
+class SeriesSet
+{
+  public:
+    /** Append one value to `name`, creating the series on first use. */
+    void append(const std::string &name, u64 value);
+
+    const Series *find(const std::string &name) const;
+
+    const std::vector<Series> &all() const { return series_; }
+    bool empty() const { return series_.empty(); }
+
+    /** Length of the longest series (== intervals when regular). */
+    size_t intervals() const;
+
+    /**
+     * {"intervals": N, "series": {name: [v, ...], ...}} — the
+     * interchange shape scripts/check.sh validates.
+     */
+    Json toJson() const;
+
+    bool operator==(const SeriesSet &) const = default;
+
+  private:
+    std::vector<Series> series_; //!< registration order
+};
+
+/** How the sampler interprets one registry source. */
+enum class SampleKind : u8
+{
+    Cumulative = 0, //!< record per-interval delta of a running total
+    Gauge = 1,      //!< record the instantaneous value
+};
+
+class IntervalSampler
+{
+  public:
+    explicit IntervalSampler(const Registry &registry)
+        : registry_(&registry)
+    {
+    }
+
+    /** Track a registry source; order of calls is the series order. */
+    void track(const std::string &name, SampleKind kind);
+
+    /** Take one sample (call exactly once per policy interval). */
+    void sample();
+
+    u64 samplesTaken() const { return samples_; }
+    const SeriesSet &series() const { return series_; }
+    SeriesSet takeSeries() { return std::move(series_); }
+
+  private:
+    struct Source
+    {
+        std::string name;
+        SampleKind kind;
+        u64 previous = 0;
+    };
+
+    const Registry *registry_;
+    std::vector<Source> sources_;
+    SeriesSet series_;
+    u64 samples_ = 0;
+};
+
+/**
+ * Top-K churn tracker: how much of the PCC's ranked head turned over
+ * since the previous interval — the "top-K churn" view of candidate
+ * stability (a HUB set that stops churning has been identified).
+ */
+class TopKChurnTracker
+{
+  public:
+    /**
+     * @param current Sorted-unique region set of this interval's top-K.
+     * @return Number of regions in `current` absent from the previous
+     *         interval's set (the first call reports |current|).
+     */
+    u64 update(std::vector<Vpn> current);
+
+  private:
+    std::vector<Vpn> previous_;
+};
+
+} // namespace pccsim::telemetry

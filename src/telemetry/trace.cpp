@@ -1,0 +1,97 @@
+#include "telemetry/trace.hpp"
+
+#include <cstdio>
+
+namespace pccsim::telemetry {
+
+std::string
+to_string(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Promotion: return "promotion";
+      case EventKind::Promotion1G: return "promotion-1g";
+      case EventKind::Demotion: return "demotion";
+      case EventKind::Demotion1G: return "demotion-1g";
+      case EventKind::Shootdown: return "shootdown";
+      case EventKind::Compaction: return "compaction";
+      case EventKind::Reclaim: return "reclaim";
+      case EventKind::AllocFailInjected: return "alloc-fail-injected";
+      case EventKind::CompactionFailInjected:
+        return "compaction-fail-injected";
+      case EventKind::ShootdownStorm: return "shootdown-storm";
+      case EventKind::FragShock: return "frag-shock";
+      case EventKind::Interval: return "interval";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Trace-viewer category: groups related event kinds into one track. */
+const char *
+categoryOf(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Promotion:
+      case EventKind::Promotion1G:
+      case EventKind::Demotion:
+      case EventKind::Demotion1G:
+      case EventKind::Reclaim: return "os";
+      case EventKind::Shootdown:
+      case EventKind::Compaction: return "mm";
+      case EventKind::AllocFailInjected:
+      case EventKind::CompactionFailInjected:
+      case EventKind::ShootdownStorm:
+      case EventKind::FragShock: return "fault";
+      case EventKind::Interval: return "sim";
+    }
+    return "?";
+}
+
+std::string
+hexAddr(Addr addr)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+} // namespace
+
+Json
+EventTracer::chromeTrace(const std::vector<Event> &events, u64 dropped)
+{
+    Json trace_events = Json::array();
+    for (const auto &event : events) {
+        Json args = Json::object();
+        if (event.addr != 0 || event.bytes != 0)
+            args.set("addr", hexAddr(event.addr));
+        if (event.bytes != 0)
+            args.set("bytes", event.bytes);
+        args.set("arg", event.arg);
+
+        Json e = Json::object();
+        e.set("name", to_string(event.kind));
+        e.set("cat", categoryOf(event.kind));
+        e.set("ph", "i"); // instant event
+        e.set("s", "p");  // process-scoped
+        e.set("ts", event.ts);
+        e.set("pid", static_cast<u64>(event.pid));
+        e.set("tid", static_cast<u64>(0));
+        e.set("args", std::move(args));
+        trace_events.push(std::move(e));
+    }
+
+    Json other = Json::object();
+    other.set("clock", "simulated-accesses");
+    other.set("events_dropped", dropped);
+
+    Json doc = Json::object();
+    doc.set("traceEvents", std::move(trace_events));
+    doc.set("displayTimeUnit", "ms");
+    doc.set("otherData", std::move(other));
+    return doc;
+}
+
+} // namespace pccsim::telemetry

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Structured event tracing: every memory-management decision the OS or
+ * the fault injector makes becomes a timestamped record — the
+ * introspection eBPF-mm argues the OS layer needs, here for the
+ * simulated OS. Timestamps are simulated time (total accesses executed
+ * when the event fired), the same deterministic clock the promotion
+ * trace of Sec. 4 uses, so serial and parallel runs of one spec emit
+ * identical traces.
+ *
+ * Traces export as Chrome about://tracing JSON (toChromeTrace): load
+ * the file in chrome://tracing or Perfetto to scrub through a run and
+ * see exactly when each HUB was promoted, what compaction cost, and
+ * where injected faults landed.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "util/types.hpp"
+
+namespace pccsim::telemetry {
+
+/** What happened. */
+enum class EventKind : u8
+{
+    Promotion = 0,         //!< 2MB collapse succeeded
+    Promotion1G,           //!< 1GB collapse succeeded (Sec. 3.2.3)
+    Demotion,              //!< 2MB split back to base pages
+    Demotion1G,            //!< 1GB split back to 2MB pages
+    Shootdown,             //!< full-region TLB shootdown broadcast
+    Compaction,            //!< one compaction attempt ran
+    Reclaim,               //!< pressure-reclaim pass
+    AllocFailInjected,     //!< injector vetoed an allocation
+    CompactionFailInjected, //!< injector failed/aborted a compaction
+    ShootdownStorm,        //!< injected storm inflated a shootdown
+    FragShock,             //!< scheduled fragmentation shock applied
+    Interval,              //!< policy-interval boundary marker
+};
+
+std::string to_string(EventKind kind);
+
+/** One traced event. `arg` is kind-specific (see record call sites). */
+struct Event
+{
+    u64 ts = 0;   //!< simulated accesses at record time
+    EventKind kind = EventKind::Interval;
+    Pid pid = 0;
+    Addr addr = 0;
+    u64 bytes = 0;
+    u64 arg = 0;
+
+    bool operator==(const Event &) const = default;
+};
+
+class EventTracer
+{
+  public:
+    /** @param max_events Memory bound; later events are counted, not kept. */
+    explicit EventTracer(u64 max_events = 1'000'000)
+        : max_events_(max_events)
+    {
+    }
+
+    /**
+     * Install the simulated clock (the System points this at its
+     * total-accesses counter). Events recorded before a clock is
+     * installed get ts = 0.
+     */
+    void setClock(std::function<u64()> clock) { clock_ = std::move(clock); }
+
+    void
+    record(EventKind kind, Pid pid = 0, Addr addr = 0, u64 bytes = 0,
+           u64 arg = 0)
+    {
+        if (events_.size() >= max_events_) {
+            ++dropped_;
+            return;
+        }
+        events_.push_back(
+            {clock_ ? clock_() : 0, kind, pid, addr, bytes, arg});
+    }
+
+    const std::vector<Event> &events() const { return events_; }
+    u64 dropped() const { return dropped_; }
+    std::vector<Event> takeEvents() { return std::move(events_); }
+
+    /**
+     * Chrome about://tracing JSON of an event list. Top-level shape:
+     * {"traceEvents": [...], "displayTimeUnit": "ms", "otherData":
+     * {...}}; every trace event carries name/cat/ph/ts/pid/tid and the
+     * kind-specific payload under "args". ts is simulated accesses
+     * presented as microseconds (the viewer only needs monotonic
+     * numbers).
+     */
+    static Json chromeTrace(const std::vector<Event> &events,
+                            u64 dropped = 0);
+
+  private:
+    u64 max_events_;
+    std::function<u64()> clock_;
+    std::vector<Event> events_;
+    u64 dropped_ = 0;
+};
+
+} // namespace pccsim::telemetry

@@ -43,6 +43,13 @@ class Table
 
     size_t rows() const { return rows_.size(); }
 
+    /** Raw cells, for serializers (telemetry::Emitter JSON sink). */
+    const std::vector<std::string> &header() const { return header_; }
+    const std::vector<std::vector<std::string>> &cells() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;

@@ -157,3 +157,98 @@ TEST(SystemDeathTest, MoreLanesThanCoresPanics)
     System system(ciConfig(PolicyKind::Base));
     EXPECT_DEATH(system.run(w, 2), "more lanes than cores");
 }
+
+TEST(SystemConfigValidate, ShippedProfilesAreValid)
+{
+    for (auto scale :
+         {workloads::Scale::Ci, workloads::Scale::Small,
+          workloads::Scale::Medium, workloads::Scale::Paper}) {
+        const SystemConfig cfg = SystemConfig::forScale(scale);
+        EXPECT_TRUE(cfg.validate().ok()) << cfg.validate().toString();
+    }
+    const SystemConfig defaults;
+    EXPECT_TRUE(defaults.validate().ok())
+        << defaults.validate().toString();
+}
+
+TEST(SystemConfigValidate, RejectsImpossibleGeometry)
+{
+    SystemConfig cfg = SystemConfig::forScale(workloads::Scale::Ci);
+    cfg.tlb.l2.ways = 3; // entries no longer divisible by ways
+    const auto status = cfg.validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.toString().find("tlb.l2"), std::string::npos)
+        << status.toString();
+
+    SystemConfig zero_way = SystemConfig::forScale(workloads::Scale::Ci);
+    zero_way.tlb.l1_4k.ways = 0;
+    EXPECT_FALSE(zero_way.validate().ok());
+
+    SystemConfig bad_pcc = SystemConfig::forScale(workloads::Scale::Ci);
+    bad_pcc.pcc.pcc2m.counter_bits = 0;
+    EXPECT_FALSE(bad_pcc.validate().ok());
+
+    // Cache sizes must divide into whole ways of whole lines, but a
+    // non-power-of-two set count is a supported geometry (modulo
+    // indexing), e.g. the paper profile's 20MB 16-way LLC.
+    SystemConfig bad_cache = SystemConfig::forScale(workloads::Scale::Ci);
+    bad_cache.cache.llc.size_bytes += 1;
+    EXPECT_FALSE(bad_cache.validate().ok());
+    SystemConfig odd_sets = SystemConfig::forScale(workloads::Scale::Ci);
+    odd_sets.cache.llc = {20 * 1024 * 1024, 16, 64};
+    EXPECT_TRUE(odd_sets.validate().ok())
+        << odd_sets.validate().toString();
+}
+
+TEST(SystemConfigValidate, RejectsNonsenseRunParameters)
+{
+    SystemConfig cfg = SystemConfig::forScale(workloads::Scale::Ci);
+    cfg.num_cores = 0;
+    cfg.interval_accesses = 0;
+    cfg.promotion_cap_percent = 150.0;
+    cfg.frag_fraction = 2.0;
+    const auto status = cfg.validate();
+    ASSERT_FALSE(status.ok());
+    // The sweep reports the first failure and counts the rest instead
+    // of stopping at one.
+    EXPECT_GE(status.extraFailures(), 3u) << status.toString();
+}
+
+TEST(SystemConfigValidate, RejectsEnabledTelemetryWithoutTopK)
+{
+    SystemConfig cfg = SystemConfig::forScale(workloads::Scale::Ci);
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.top_k = 0;
+    EXPECT_FALSE(cfg.validate().ok());
+    cfg.telemetry.top_k = 8;
+    EXPECT_TRUE(cfg.validate().ok());
+}
+
+TEST(SystemConfigValidateDeathTest, RunRefusesAnInvalidConfig)
+{
+    workloads::SyntheticWorkload w(hotSpec());
+    SystemConfig cfg = ciConfig(PolicyKind::Base);
+    cfg.interval_accesses = 0;
+    System system(cfg);
+    EXPECT_DEATH(system.run(w), "invalid SystemConfig");
+}
+
+TEST(PolicyKindNames, ParseRoundTripsWithToString)
+{
+    for (auto kind :
+         {PolicyKind::Base, PolicyKind::AllHuge, PolicyKind::LinuxThp,
+          PolicyKind::HawkEye, PolicyKind::Pcc,
+          PolicyKind::TraceReplay}) {
+        const auto parsed = parsePolicyKind(to_string(kind));
+        ASSERT_TRUE(parsed.has_value()) << to_string(kind);
+        EXPECT_EQ(*parsed, kind);
+    }
+    // Short aliases accepted by the CLI surfaces.
+    EXPECT_EQ(parsePolicyKind("base"), PolicyKind::Base);
+    EXPECT_EQ(parsePolicyKind("4k"), PolicyKind::Base);
+    EXPECT_EQ(parsePolicyKind("thp"), PolicyKind::LinuxThp);
+    EXPECT_EQ(parsePolicyKind("huge"), PolicyKind::AllHuge);
+    // Typos surface as nullopt so callers can report them.
+    EXPECT_FALSE(parsePolicyKind("pccx").has_value());
+    EXPECT_FALSE(parsePolicyKind("").has_value());
+}
