@@ -19,11 +19,19 @@
  *                                   as JSON at exit
  *   --trace=FILE                    write a Chrome about://tracing
  *                                   JSON of the run's OS/mm events
+ *   --attribution=FILE              write region-level walk-cost
+ *                                   attribution (heatmap rows, CDF,
+ *                                   HUB concentration) as JSON
+ *   --audit=FILE                    write the promotion audit trail
+ *                                   (decision log, reason histogram,
+ *                                   counterfactual regret) as JSON
  *
- * --telemetry/--trace enable telemetry on every spec built through
- * BenchEnv::spec(); the exported files carry the report of the first
- * telemetry-bearing run of the process (deterministic: batch order is
- * spec order). Load the trace file in chrome://tracing or Perfetto.
+ * --telemetry/--trace/--attribution/--audit enable telemetry on every
+ * spec built through BenchEnv::spec(); the exported files carry the
+ * report of the first telemetry-bearing run of the process
+ * (deterministic: batch order is spec order). Load the trace file in
+ * chrome://tracing or Perfetto. Export failures (unwritable paths) are
+ * warned about and make the process exit nonzero.
  *
  * All section output flows through one telemetry::Emitter (env.emit),
  * so --format=json renders the whole harness run as a single JSON
@@ -52,9 +60,11 @@
 #include "sim/experiment.hpp"
 #include "sim/runner.hpp"
 #include "telemetry/emitter.hpp"
+#include "util/host_profile.hpp"
 #include "util/log.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pccsim::bench {
 
@@ -84,6 +94,50 @@ tracePath()
     return path;
 }
 
+/** --attribution destination (region walk-cost attribution JSON). */
+inline std::string &
+attributionPath()
+{
+    static std::string path;
+    return path;
+}
+
+/** --audit destination (promotion decision log + regret JSON). */
+inline std::string &
+auditPath()
+{
+    static std::string path;
+    return path;
+}
+
+/** Sticky failure flag: export errors flip the process exit code. */
+inline bool &
+exportFailed()
+{
+    static bool failed = false;
+    return failed;
+}
+
+/** Write one export file; warn and mark failure instead of losing it. */
+inline void
+writeExport(const std::string &path, const std::string &contents)
+{
+    const util::Status status =
+        telemetry::Emitter::writeFileStatus(path, contents);
+    if (!status.ok()) {
+        warn("export failed: ", status.toString());
+        exportFailed() = true;
+    }
+}
+
+/** atexit hook: turn any failed export into a nonzero exit. */
+inline void
+exitNonzeroOnExportFailure()
+{
+    if (exportFailed())
+        std::_Exit(1);
+}
+
 /** Section output format, set once by BenchEnv::parse. */
 inline telemetry::Format &
 outputFormat()
@@ -110,26 +164,45 @@ writePerfReport()
     const std::string &path = perfPath();
     if (path.empty())
         return;
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        return;
     const sim::Runner &runner = sim::Runner::global();
     const auto stats = runner.stats();
-    const double ns_per_access =
-        stats.total_accesses == 0
-            ? 0.0
-            : static_cast<double>(stats.sim_nanos) /
-                  static_cast<double>(stats.total_accesses);
+    const auto per_access = [&stats](u64 nanos) {
+        return stats.total_accesses == 0
+                   ? 0.0
+                   : static_cast<double>(nanos) /
+                         static_cast<double>(stats.total_accesses);
+    };
     telemetry::Json doc = telemetry::Json::object();
     doc.set("jobs", static_cast<u64>(runner.jobs()));
     doc.set("requested", stats.requested);
     doc.set("simulated", stats.simulated);
     doc.set("memo_hits", stats.memo_hits);
     doc.set("total_accesses", stats.total_accesses);
-    doc.set("sim_ns", stats.sim_nanos);
-    doc.set("ns_per_access", ns_per_access);
-    std::fprintf(f, "%s\n", doc.dump(2).c_str());
-    std::fclose(f);
+    // Two deliberately distinct time bases: busy ns summed over
+    // workers (the throughput numerator; inflated by timeslicing when
+    // oversubscribed) and the wall time the harness spent blocked in
+    // batches (what --jobs actually buys). The old single
+    // "sim_ns"/"ns_per_access" pair conflated them, which made
+    // parallel runs look slower per access than serial ones.
+    doc.set("sim_busy_ns", stats.sim_nanos);
+    doc.set("busy_ns_per_access", per_access(stats.sim_nanos));
+    doc.set("batch_wall_ns", stats.wall_nanos);
+    doc.set("wall_ns_per_access", per_access(stats.wall_nanos));
+
+    telemetry::Json host = telemetry::Json::object();
+    host.set("hardware_jobs",
+             static_cast<u64>(util::ThreadPool::hardwareJobs()));
+    host.set("peak_rss_bytes", util::HostProfile::peakRssBytes());
+    telemetry::Json phases = telemetry::Json::object();
+    for (const auto &[phase, nanos] : util::HostProfile::global().phases())
+        phases.set(phase, nanos);
+    host.set("phases", std::move(phases));
+    telemetry::Json busy = telemetry::Json::array();
+    for (u64 nanos : stats.worker_busy_nanos)
+        busy.push(nanos);
+    host.set("worker_busy_ns", std::move(busy));
+    doc.set("host", std::move(host));
+    writeExport(path, doc.dump(2) + "\n");
 }
 
 inline void
@@ -139,11 +212,17 @@ writeTelemetryExports()
     if (!report)
         return;
     if (!telemetryPath().empty()) {
-        writeFile(telemetryPath(),
-                  report->seriesJson().dump(2) + "\n");
+        writeExport(telemetryPath(),
+                    report->seriesJson().dump(2) + "\n");
     }
     if (!tracePath().empty())
-        writeFile(tracePath(), report->traceJson().dump(2) + "\n");
+        writeExport(tracePath(), report->traceJson().dump(2) + "\n");
+    if (!attributionPath().empty()) {
+        writeExport(attributionPath(),
+                    report->attribution.toJson().dump(2) + "\n");
+    }
+    if (!auditPath().empty())
+        writeExport(auditPath(), report->audit.toJson().dump(2) + "\n");
 }
 
 /** Remember the first telemetry report seen for the exit exports. */
@@ -215,17 +294,35 @@ struct BenchEnv
             env.policy = *parsed;
         }
         // 0 (the default) selects host concurrency inside the runner.
-        sim::Runner::setGlobalJobs(
-            static_cast<u32>(opts.getInt("jobs", 0)));
+        // An explicit larger count is honored (the determinism gates
+        // intentionally oversubscribe), but worth a warning: extra
+        // workers on a smaller host add scheduling noise, not speed.
+        const u32 jobs_requested =
+            static_cast<u32>(opts.getInt("jobs", 0));
+        const u32 hardware = util::ThreadPool::hardwareJobs();
+        if (jobs_requested > hardware) {
+            warn("--jobs=", jobs_requested, " oversubscribes this host (",
+                 hardware, " hardware thread",
+                 hardware == 1 ? "" : "s", ")");
+        }
+        sim::Runner::setGlobalJobs(jobs_requested);
         env.jobs = sim::Runner::global().jobs();
+        // Register the failure latch first: atexit runs in reverse
+        // order, so it fires after every export writer below.
+        std::atexit(detail::exitNonzeroOnExportFailure);
         if (opts.has("perf")) {
             detail::perfPath() = opts.get("perf");
             std::atexit(detail::writePerfReport);
         }
-        if (opts.has("telemetry") || opts.has("trace")) {
+        if (opts.has("telemetry") || opts.has("trace") ||
+            opts.has("attribution") || opts.has("audit")) {
             detail::telemetryPath() = opts.get("telemetry", "");
             detail::tracePath() = opts.get("trace", "");
+            detail::attributionPath() = opts.get("attribution", "");
+            detail::auditPath() = opts.get("audit", "");
             env.telemetry.enabled = true;
+            env.telemetry.attribution = opts.has("attribution");
+            env.telemetry.audit = opts.has("audit");
             std::atexit(detail::writeTelemetryExports);
         }
         return env;

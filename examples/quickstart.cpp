@@ -5,22 +5,77 @@
  * all-huge ideal — and print the paper's headline metrics.
  *
  * Usage: quickstart [--scale=ci|small|medium] [--frag=0.5] [--cap=4]
- *                   [--format=text|csv|json]
+ *                   [--jobs=N] [--format=text|csv|json]
  *                   [--telemetry=series.json] [--trace=trace.json]
+ *                   [--attribution[=FILE]] [--audit[=FILE]]
  *
  * --telemetry/--trace collect interval time-series and a structured
  * event trace from the PCC run and write them as JSON (the trace loads
- * in chrome://tracing or Perfetto).
+ * in chrome://tracing or Perfetto). --attribution adds region-level
+ * walk-cost attribution (top regions, CDF, HUB concentration) and
+ * --audit the promotion decision log with counterfactual regret — each
+ * prints a summary section and optionally exports the full JSON when
+ * given a =FILE value. The four simulations run through the parallel
+ * runner; output is byte-identical for any --jobs value.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "sim/experiment.hpp"
+#include "sim/runner.hpp"
 #include "telemetry/emitter.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
 using namespace pccsim;
+
+namespace {
+
+std::string
+hexAddr(Addr addr)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+/** Rows (from the sorted list) needed to cover `pct` of walk cycles. */
+u64
+regionsForPct(const telemetry::AttributionReport &attr, double pct)
+{
+    const double target =
+        static_cast<double>(attr.total_walk_cycles) * pct / 100.0;
+    u64 cum = 0;
+    for (size_t i = 0; i < attr.regions.size(); ++i) {
+        cum += attr.regions[i].walk_cycles;
+        if (static_cast<double>(cum) >= target)
+            return static_cast<u64>(i + 1);
+    }
+    return 0; // not reachable from tracked rows alone
+}
+
+/** Write one export; returns false (after a warning) on failure. */
+bool
+exportJson(const std::string &path, const telemetry::Json &doc,
+           const char *what)
+{
+    if (path.empty())
+        return true;
+    const util::Status status =
+        telemetry::Emitter::writeFileStatus(path, doc.dump(2) + "\n");
+    if (!status.ok()) {
+        std::fprintf(stderr, "quickstart: %s export failed: %s\n", what,
+                     status.toString().c_str());
+        return false;
+    }
+    std::fprintf(stderr, "wrote %s to %s\n", what, path.c_str());
+    return true;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -32,46 +87,71 @@ main(int argc, char **argv)
     const double cap = opts.getDouble("cap", 4.0);
     const std::string telemetry_path = opts.get("telemetry", "");
     const std::string trace_path = opts.get("trace", "");
+    const bool want_attribution = opts.has("attribution");
+    const bool want_audit = opts.has("audit");
+    const std::string attribution_path = opts.get("attribution", "");
+    const std::string audit_path = opts.get("audit", "");
+
+    // Default to one worker: the quickstart is the determinism demo
+    // (--jobs=4 must reproduce --jobs=1 byte for byte), so parallelism
+    // is opt-in rather than host-dependent.
+    sim::Runner::setGlobalJobs(
+        static_cast<u32>(opts.getInt("jobs", 1)));
 
     sim::ExperimentSpec spec;
     spec.workload.name = opts.get("workload", "bfs");
     spec.workload.scale = scale;
 
-    // 4KB baseline.
     sim::ExperimentSpec base = spec;
     base.policy = sim::PolicyKind::Base;
-    const auto base_run = sim::runOne(base);
-
-    Table table({"policy", "speedup", "tlb miss %", "ptw %",
-                 "promotions", "huge %"});
-    auto report = [&](const char *label, const sim::RunResult &run) {
-        table.row({label, Table::fmt(sim::speedup(base_run, run), 3),
-                   Table::fmt(run.job().tlbMissPercent(), 2),
-                   Table::fmt(run.job().ptwPercent(), 2),
-                   std::to_string(run.job().promotions),
-                   Table::fmt(run.job().hugeCoveragePercent(), 1)});
-    };
-    report("base-4k", base_run);
 
     sim::ExperimentSpec thp = spec;
     thp.policy = sim::PolicyKind::LinuxThp;
     thp.frag_fraction = frag;
-    report("linux-thp(frag)", sim::runOne(thp));
 
     sim::ExperimentSpec pcc = spec;
     pcc.policy = sim::PolicyKind::Pcc;
     pcc.frag_fraction = frag;
     pcc.cap_percent = cap;
     // The PCC run is the interesting one: collect its telemetry when
-    // an export destination was given.
-    pcc.telemetry.enabled =
-        !telemetry_path.empty() || !trace_path.empty();
-    const auto pcc_run = sim::runOne(pcc);
-    report("pcc(frag,cap)", pcc_run);
+    // an export destination or an analysis section was requested.
+    pcc.telemetry.enabled = !telemetry_path.empty() ||
+                            !trace_path.empty() || want_attribution ||
+                            want_audit;
+    pcc.telemetry.attribution = want_attribution;
+    pcc.telemetry.audit = want_audit;
 
     sim::ExperimentSpec ideal = spec;
     ideal.policy = sim::PolicyKind::AllHuge;
-    report("all-huge(ideal)", sim::runOne(ideal));
+
+    const auto results =
+        sim::Runner::global().runMany({base, thp, pcc, ideal});
+    const sim::RunResult &base_run = *results[0];
+    const sim::RunResult &pcc_run = *results[2];
+
+    Table table({"policy", "speedup", "tlb miss %", "ptw %",
+                 "promotions", "huge %", "regret"});
+    auto report = [&](const char *label, const sim::RunResult &run) {
+        // Counterfactual regret: walk cycles behind candidates the
+        // policy ranked but left unpromoted ("-" without --audit).
+        std::string regret = "-";
+        if (run.telemetry && pcc.telemetry.audit) {
+            const u64 cycles = sim::regretCycles(run);
+            regret = std::to_string(cycles) + " (" +
+                     Table::fmt(percent(cycles, run.wall_cycles), 2) +
+                     "%)";
+        }
+        table.row({label, Table::fmt(sim::speedup(base_run, run), 3),
+                   Table::fmt(run.job().tlbMissPercent(), 2),
+                   Table::fmt(run.job().ptwPercent(), 2),
+                   std::to_string(run.job().promotions),
+                   Table::fmt(run.job().hugeCoveragePercent(), 1),
+                   regret});
+    };
+    report("base-4k", base_run);
+    report("linux-thp(frag)", *results[1]);
+    report("pcc(frag,cap)", pcc_run);
+    report("all-huge(ideal)", *results[3]);
 
     telemetry::Emitter emitter(
         telemetry::formatFromString(opts.get("format", "text")));
@@ -82,19 +162,69 @@ main(int argc, char **argv)
                   workloads::to_string(scale).c_str(), frag * 100, cap);
     emitter.table(title, table);
 
+    bool exports_ok = true;
     if (pcc_run.telemetry) {
+        const telemetry::TelemetryReport &tel = *pcc_run.telemetry;
+        if (want_attribution) {
+            const auto &attr = tel.attribution;
+            Table regions({"pid", "base", "walks", "walk cycles",
+                           "pwc hits", "pcc hits", "share %"});
+            const size_t top =
+                std::min<size_t>(8, attr.regions.size());
+            for (size_t i = 0; i < top; ++i) {
+                const auto &row = attr.regions[i];
+                regions.row(
+                    {std::to_string(row.pid), hexAddr(row.base),
+                     std::to_string(row.walks),
+                     std::to_string(row.walk_cycles),
+                     std::to_string(row.pwc_hits),
+                     std::to_string(row.pcc_hits),
+                     Table::fmt(percent(row.walk_cycles,
+                                        attr.total_walk_cycles),
+                                2)});
+            }
+            emitter.table("attribution: hottest regions (pcc run)",
+                          regions);
+            telemetry::Json hub = telemetry::Json::object();
+            hub.set("tracked_regions",
+                    static_cast<u64>(attr.regions.size()));
+            hub.set("total_walk_cycles", attr.total_walk_cycles);
+            hub.set("untracked_walk_cycles",
+                    attr.untracked_walk_cycles);
+            hub.set("regions_for_50pct", regionsForPct(attr, 50.0));
+            hub.set("regions_for_70pct", regionsForPct(attr, 70.0));
+            hub.set("regions_for_90pct", regionsForPct(attr, 90.0));
+            emitter.object("attribution: HUB concentration", hub);
+            exports_ok &= exportJson(attribution_path,
+                                     attr.toJson(), "attribution");
+        }
+        if (want_audit) {
+            const auto &audit = tel.audit;
+            telemetry::Json summary = telemetry::Json::object();
+            summary.set("decisions",
+                        static_cast<u64>(audit.records.size()));
+            summary.set("records_dropped", audit.records_dropped);
+            telemetry::Json reasons = telemetry::Json::object();
+            for (const auto &[key, count] : audit.reason_counts)
+                reasons.set(key, count);
+            summary.set("reasons", std::move(reasons));
+            summary.set("regret_total_cycles",
+                        audit.regret_total_cycles);
+            summary.set("regret_regions",
+                        static_cast<u64>(audit.regret.size()));
+            emitter.object("audit: promotion decisions (pcc run)",
+                           summary);
+            exports_ok &=
+                exportJson(audit_path, audit.toJson(), "audit");
+        }
         if (!telemetry_path.empty()) {
-            writeFile(telemetry_path,
-                      pcc_run.telemetry->seriesJson().dump(2) + "\n");
-            std::fprintf(stderr, "wrote telemetry series to %s\n",
-                         telemetry_path.c_str());
+            exports_ok &= exportJson(telemetry_path, tel.seriesJson(),
+                                     "telemetry series");
         }
         if (!trace_path.empty()) {
-            writeFile(trace_path,
-                      pcc_run.telemetry->traceJson().dump(2) + "\n");
-            std::fprintf(stderr, "wrote Chrome trace to %s\n",
-                         trace_path.c_str());
+            exports_ok &= exportJson(trace_path, tel.traceJson(),
+                                     "Chrome trace");
         }
     }
-    return 0;
+    return exports_ok ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #
 # Usage:
 #   scripts/check.sh                    # address + undefined + determinism
+#                                       #   + telemetry + attribution + bench
 #   scripts/check.sh address            # one specific gate
 #   scripts/check.sh tsan               # ThreadSanitizer on the runner
 #   scripts/check.sh undefined thread
@@ -19,11 +20,17 @@
 #   telemetry             fig06 with --telemetry/--trace exports must
 #                         emit JSON that parses with the expected
 #                         top-level keys, identically at --jobs=2
+#   attribution           quickstart --attribution/--audit exports and
+#                         stdout must validate and be byte-identical
+#                         between --jobs=1 and --jobs=4
+#   bench | bench_compare fresh fig06 --format=json output must match
+#                         bench/baselines/ (exact simulation equality,
+#                         tolerant per-access timing)
 #
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
-# build-tsan/; determinism uses build-det/) so switching never poisons
-# the regular build/ directory. The script fails on the first gate
-# whose build or tests fail.
+# build-tsan/; determinism, telemetry, attribution and bench use
+# build-det/) so switching never poisons the regular build/ directory.
+# The script fails on the first gate whose build or tests fail.
 
 set -euo pipefail
 
@@ -97,9 +104,77 @@ PYEOF
     echo "==> [telemetry] clean"
 }
 
+run_attribution() {
+    echo "==> [attribution] configuring build-det"
+    cmake -B build-det -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    echo "==> [attribution] building quickstart"
+    cmake --build build-det -j "$(nproc)" --target quickstart >/dev/null
+    echo "==> [attribution] quickstart --attribution/--audit at --jobs=1 and --jobs=4"
+    local tmp
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' RETURN
+    for jobs in 1 4; do
+        ./build-det/examples/quickstart --format=csv --jobs="$jobs" \
+            --attribution="$tmp/attr$jobs.json" \
+            --audit="$tmp/audit$jobs.json" \
+            > "$tmp/stdout$jobs.csv" 2>/dev/null
+    done
+    echo "==> [attribution] byte-comparing serial vs parallel"
+    for name in stdout1.csv attr1.json audit1.json; do
+        par="${name/1/4}"
+        if ! diff -u "$tmp/$name" "$tmp/$par"; then
+            echo "attribution gate FAILED: $name diverged at --jobs=4" >&2
+            return 1
+        fi
+    done
+    echo "==> [attribution] validating export shape"
+    python3 - "$tmp" <<'PYEOF'
+import json, sys
+
+tmp = sys.argv[1]
+attr = json.load(open(tmp + "/attr1.json"))
+for key in ("budget", "tracked_regions", "total_walks",
+            "total_walk_cycles", "untracked", "regions", "cdf", "hub",
+            "by_1g"):
+    assert key in attr, f"attribution missing {key!r}"
+assert attr["regions"], "no regions attributed"
+assert attr["total_walks"] > 0, "no walks attributed"
+tracked = sum(r["walk_cycles"] for r in attr["regions"])
+total = tracked + attr["untracked"]["walk_cycles"]
+assert total == attr["total_walk_cycles"], \
+    f"walk-cycle conservation broke: {total} != {attr['total_walk_cycles']}"
+cycles = [r["walk_cycles"] for r in attr["regions"]]
+assert cycles == sorted(cycles, reverse=True), "rows not sorted"
+
+audit = json.load(open(tmp + "/audit1.json"))
+for key in ("records", "records_dropped", "reasons", "decisions",
+            "regret"):
+    assert key in audit, f"audit missing {key!r}"
+assert audit["decisions"], "no decisions recorded"
+for dec in audit["decisions"]:
+    for key in ("ts", "pid", "base", "action", "reason", "rank",
+                "counter", "cycles"):
+        assert key in dec, f"decision missing {key!r}"
+assert "total_cycles" in audit["regret"], "regret missing total_cycles"
+print("attribution + audit exports validate")
+PYEOF
+    echo "==> [attribution] clean"
+}
+
+run_bench_compare() {
+    echo "==> [bench] configuring build-det"
+    cmake -B build-det -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    echo "==> [bench] building fig06_pcc_size"
+    cmake --build build-det -j "$(nproc)" --target fig06_pcc_size \
+        >/dev/null
+    echo "==> [bench] comparing against bench/baselines/"
+    python3 scripts/bench_compare.py --build=build-det
+    echo "==> [bench] clean"
+}
+
 gates=("$@")
 if [ ${#gates[@]} -eq 0 ]; then
-    gates=(address undefined determinism telemetry)
+    gates=(address undefined determinism telemetry attribution bench)
 fi
 
 for gate in "${gates[@]}"; do
@@ -113,8 +188,15 @@ for gate in "${gates[@]}"; do
       telemetry)
          run_telemetry
          continue ;;
+      attribution)
+         run_attribution
+         continue ;;
+      bench|bench_compare)
+         run_bench_compare
+         continue ;;
       *) echo "unknown gate '$gate'" \
-              "(use address|undefined|thread|determinism|telemetry)" >&2
+              "(use address|undefined|thread|determinism|telemetry|" \
+              "attribution|bench)" >&2
          exit 2 ;;
     esac
 

@@ -19,6 +19,26 @@ Os::createProcess(u64 heap_capacity)
     return *processes_.back();
 }
 
+telemetry::AuditReason
+Os::auditReasonFor(PromoteStatus status) const
+{
+    using telemetry::AuditReason;
+    switch (status) {
+      case PromoteStatus::Ok: return AuditReason::Ok;
+      case PromoteStatus::AlreadyHuge: return AuditReason::AlreadyHuge;
+      case PromoteStatus::CapReached: return AuditReason::CapReached;
+      case PromoteStatus::NoHugeFrame:
+        // With a fault-injection gate installed the failure may be
+        // injected (transient); without one it is genuine exhaustion
+        // or fragmentation. The audit distinguishes the two classes.
+        return phys_.transientFailuresPossible()
+                   ? AuditReason::NoHugeFrameTransient
+                   : AuditReason::NoHugeFrame;
+      case PromoteStatus::NotEligible: return AuditReason::NotEligible;
+    }
+    return AuditReason::NotEligible;
+}
+
 Cycles
 Os::handleFault(Process &proc, Addr vaddr, bool want_huge)
 {
@@ -38,9 +58,20 @@ Os::handleFault(Process &proc, Addr vaddr, bool want_huge)
             proc.pageTable().mapHuge2M(region_base, *pfn);
             proc.markRegionHuge(region_base);
             ++stats_.counter("huge_faults");
+            if (audit_) {
+                audit_->record(telemetry::AuditAction::FaultHuge,
+                               telemetry::AuditReason::Ok, proc.pid(),
+                               region_base, 0, 0,
+                               params_.costs.huge_fault_extra);
+            }
             return cost + params_.costs.huge_fault_extra;
         }
         ++stats_.counter("huge_fault_fallbacks");
+        if (audit_) {
+            audit_->record(telemetry::AuditAction::FaultHuge,
+                           auditReasonFor(PromoteStatus::NoHugeFrame),
+                           proc.pid(), region_base);
+        }
     }
 
     // Base-page fault.
@@ -147,27 +178,37 @@ Os::applyMoves(const std::vector<mem::PhysicalMemory::Move> &moves)
 }
 
 PromoteResult
-Os::promoteRegion(Process &proc, Addr region_base, bool allow_compaction)
+Os::promoteRegion(Process &proc, Addr region_base, bool allow_compaction,
+                  PromoteAttempt attempt)
 {
     PromoteResult result;
     region_base = mem::pageBase(region_base, mem::PageSize::Huge2M);
+    const auto audited = [&](PromoteResult r) {
+        if (audit_) {
+            audit_->record(telemetry::AuditAction::Promote2M,
+                           auditReasonFor(r.status), proc.pid(),
+                           region_base, attempt.rank, attempt.counter,
+                           r.app_cycles);
+        }
+        return r;
+    };
     if (!proc.contains(region_base) ||
         region_base + mem::kBytes2M > proc.heapEnd()) {
         result.status = PromoteStatus::NotEligible;
-        return result;
+        return audited(result);
     }
     const RegionState state = proc.regionStateOf(region_base);
     if (state == RegionState::Huge2M || state == RegionState::Huge1G) {
         result.status = PromoteStatus::AlreadyHuge;
-        return result;
+        return audited(result);
     }
     if (state == RegionState::Unbacked || proc.faultedInRegion(region_base) == 0) {
         result.status = PromoteStatus::NotEligible;
-        return result;
+        return audited(result);
     }
     if (!capAllows(mem::kBytes2M)) {
         result.status = PromoteStatus::CapReached;
-        return result;
+        return audited(result);
     }
 
     auto huge_pfn = acquireHugeFrame(proc, region_base, allow_compaction,
@@ -175,7 +216,7 @@ Os::promoteRegion(Process &proc, Addr region_base, bool allow_compaction)
     if (!huge_pfn) {
         result.status = PromoteStatus::NoHugeFrame;
         ++stats_.counter("promotion_no_frame");
-        return result;
+        return audited(result);
     }
 
     // Copy faulted pages into the huge frame (background thread work)
@@ -212,18 +253,28 @@ Os::promoteRegion(Process &proc, Addr region_base, bool allow_compaction)
                         region_base, mem::kBytes2M,
                         result.compaction_runs);
     }
-    return result;
+    return audited(result);
 }
 
 PromoteResult
-Os::promoteRegion1G(Process &proc, Addr region_base)
+Os::promoteRegion1G(Process &proc, Addr region_base,
+                    PromoteAttempt attempt)
 {
     PromoteResult result;
     region_base = mem::pageBase(region_base, mem::PageSize::Huge1G);
+    const auto audited = [&](PromoteResult r) {
+        if (audit_) {
+            audit_->record(telemetry::AuditAction::Promote1G,
+                           auditReasonFor(r.status), proc.pid(),
+                           region_base, attempt.rank, attempt.counter,
+                           r.app_cycles);
+        }
+        return r;
+    };
     if (!proc.contains(region_base) ||
         region_base + mem::kBytes1G > proc.heapEnd()) {
         result.status = PromoteStatus::NotEligible;
-        return result;
+        return audited(result);
     }
     // The range must be touched somewhere and not already 1GB.
     bool touched = false;
@@ -231,17 +282,17 @@ Os::promoteRegion1G(Process &proc, Addr region_base)
         const Addr base = region_base + r * mem::kBytes2M;
         if (proc.regionStateOf(base) == RegionState::Huge1G) {
             result.status = PromoteStatus::AlreadyHuge;
-            return result;
+            return audited(result);
         }
         touched |= proc.faultedInRegion(base) > 0;
     }
     if (!touched) {
         result.status = PromoteStatus::NotEligible;
-        return result;
+        return audited(result);
     }
     if (!capAllows(mem::kBytes1G)) {
         result.status = PromoteStatus::CapReached;
-        return result;
+        return audited(result);
     }
 
     const Vpn first_vpn = mem::vpnOf(region_base, mem::PageSize::Base4K);
@@ -263,7 +314,7 @@ Os::promoteRegion1G(Process &proc, Addr region_base)
     if (!huge_pfn) {
         result.status = PromoteStatus::NoHugeFrame;
         ++stats_.counter("promotion1g_no_frame");
-        return result;
+        return audited(result);
     }
 
     // Collapse every constituent mapping into the 1GB frame.
@@ -304,7 +355,7 @@ Os::promoteRegion1G(Process &proc, Addr region_base)
         tracer_->record(telemetry::EventKind::Promotion1G, proc.pid(),
                         region_base, mem::kBytes1G, result.retries);
     }
-    return result;
+    return audited(result);
 }
 
 Cycles
@@ -338,6 +389,11 @@ Os::demoteRegion1G(Process &proc, Addr region_base)
         tracer_->record(telemetry::EventKind::Demotion1G, proc.pid(),
                         region_base, mem::kBytes1G, 0);
     }
+    if (audit_) {
+        audit_->record(telemetry::AuditAction::Demote1G,
+                       telemetry::AuditReason::Ok, proc.pid(),
+                       region_base, 0, 0, app_cycles);
+    }
     return app_cycles;
 }
 
@@ -365,6 +421,11 @@ Os::demoteRegion(Process &proc, Addr region_base)
     if (tracer_) {
         tracer_->record(telemetry::EventKind::Demotion, proc.pid(),
                         region_base, mem::kBytes2M, 0);
+    }
+    if (audit_) {
+        audit_->record(telemetry::AuditAction::Demote2M,
+                       telemetry::AuditReason::Ok, proc.pid(),
+                       region_base, 0, 0, app_cycles);
     }
     return app_cycles;
 }
@@ -414,6 +475,14 @@ Os::reclaimColdHugePages(u32 max_regions)
     for (u64 v = 0; v < take; ++v) {
         const Victim &victim = candidates[v];
         Process &proc = process(victim.pid);
+        if (audit_) {
+            // rank = position in the coldness order, counter = the
+            // ranker's hotness score the selection used.
+            audit_->record(telemetry::AuditAction::Reclaim,
+                           telemetry::AuditReason::PressureReclaim,
+                           victim.pid, victim.base,
+                           static_cast<u32>(v), victim.score);
+        }
         result.app_cycles += demoteRegion(proc, victim.base);
         ++result.regions_demoted;
         ++stats_.counter("reclaim_demotions");

@@ -16,6 +16,7 @@
 #include "mem/phys_mem.hpp"
 #include "os/costs.hpp"
 #include "os/process.hpp"
+#include "telemetry/audit.hpp"
 #include "telemetry/trace.hpp"
 #include "util/stats.hpp"
 
@@ -38,6 +39,18 @@ struct PromoteResult
     bool compacted = false;
     u32 retries = 0;        //!< extra acquire attempts after failures
     u32 compaction_runs = 0; //!< compactOneBlock() calls made
+};
+
+/**
+ * The policy's evidence behind a promotion attempt, forwarded into the
+ * audit log so each decision record carries the candidate's rank and
+ * counter value. Default-constructed (rank 0 / counter 0) for callers
+ * with no ranking, so existing call sites need no change.
+ */
+struct PromoteAttempt
+{
+    u32 rank = 0;    //!< 0-based rank among this interval's candidates
+    u64 counter = 0; //!< PCC frequency / coverage estimate
 };
 
 class Os
@@ -126,6 +139,14 @@ class Os
     void setTracer(telemetry::EventTracer *tracer) { tracer_ = tracer; }
 
     /**
+     * Promotion audit trail (null = off, the default; same one-pointer
+     * -test discipline as setTracer). Every promote/demote/reclaim
+     * decision — including fault-time huge allocations and their
+     * fallbacks — records an AuditRecord with a structured reason.
+     */
+    void setAuditLog(telemetry::PromotionAuditLog *audit) { audit_ = audit; }
+
+    /**
      * Handle a page fault at vaddr.
      * @param want_huge The policy asks for a fault-time 2MB allocation
      *        (greedy THP). Falls back to a base page on failure.
@@ -139,7 +160,8 @@ class Os
      * @param allow_compaction Run compaction when no huge frame is free.
      */
     PromoteResult promoteRegion(Process &proc, Addr region_base,
-                                bool allow_compaction);
+                                bool allow_compaction,
+                                PromoteAttempt attempt = {});
 
     /** Split a huge mapping back into base pages (in place). */
     Cycles demoteRegion(Process &proc, Addr region_base);
@@ -150,7 +172,8 @@ class Os
      * collapsed, exactly as the paper describes for mixed regions.
      * Requires a free order-18 frame (no gigabyte compaction).
      */
-    PromoteResult promoteRegion1G(Process &proc, Addr region_base);
+    PromoteResult promoteRegion1G(Process &proc, Addr region_base,
+                                  PromoteAttempt attempt = {});
 
     /** Split a 1GB page into 512 2MB pages (in place). */
     Cycles demoteRegion1G(Process &proc, Addr region_base);
@@ -193,6 +216,9 @@ class Os
     /** Apply compaction page moves to the owning page tables. */
     void applyMoves(const std::vector<mem::PhysicalMemory::Move> &moves);
 
+    /** Audit reason for a promotion outcome (injection-aware). */
+    telemetry::AuditReason auditReasonFor(PromoteStatus status) const;
+
     Params params_;
     mem::PhysicalMemory &phys_;
     std::vector<std::unique_ptr<Process>> processes_;
@@ -200,6 +226,7 @@ class Os
     PromotionHook promoted_;
     ReclaimRanker ranker_;
     telemetry::EventTracer *tracer_ = nullptr;
+    telemetry::PromotionAuditLog *audit_ = nullptr;
     StatGroup stats_{"os"};
     u64 background_cycles_ = 0;
 };

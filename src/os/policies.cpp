@@ -100,8 +100,9 @@ LinuxThpPolicy::onInterval(PolicyContext &ctx)
             continue;
         if (proc.faultedInRegion(base) < params_.min_faulted_pages)
             continue;
-        auto result = os.promoteRegion(proc, base,
-                                       params_.khugepaged_compaction);
+        auto result = os.promoteRegion(
+            proc, base, params_.khugepaged_compaction,
+            {0, proc.faultedInRegion(base)});
         if (result.status == PromoteStatus::Ok) {
             // Shootdown / conflict costs land on the cores running
             // this process.
@@ -187,8 +188,12 @@ HawkEyePolicy::onInterval(PolicyContext &ctx)
                 const Addr base = proc.regionBase(idx);
                 if (proc.regionStateOf(base) != RegionState::Base4K)
                     continue;
-                auto result = os.promoteRegion(proc, base,
-                                               params_.compaction);
+                // rank = promotion order (best bucket first), counter =
+                // the access-coverage bucket the scan assigned.
+                auto result = os.promoteRegion(
+                    proc, base, params_.compaction,
+                    {static_cast<u32>(9 - bucket),
+                     static_cast<u64>(bucket)});
                 if (result.status == PromoteStatus::CapReached ||
                     result.status == PromoteStatus::NoHugeFrame) {
                     return; // out of budget or frames this interval
@@ -285,19 +290,43 @@ PccPolicy::onInterval(PolicyContext &ctx)
     if (promoted_fifo_.size() < os.numProcesses())
         promoted_fifo_.resize(os.numProcesses());
 
+    telemetry::PromotionAuditLog *audit = ctx.audit();
+
     // 1GB pass first: a successful gigabyte promotion supersedes any
     // 2MB promotions inside its range (Sec. 3.2.3).
     if (params_.promote_1g) {
         for (CoreId c = 0; c < ctx.numCores(); ++c) {
             pcc::PccUnit &unit = ctx.pccUnit(c);
             Process &proc = ctx.processOnCore(c);
-            for (const auto &cand : unit.pcc1g().snapshot()) {
-                if (!unit.prefer1G(cand.region, params_.ratio_1g))
-                    continue;
+            const auto snap = unit.pcc1g().snapshot();
+            for (size_t r = 0; r < snap.size(); ++r) {
+                const auto &cand = snap[r];
                 const Addr base = cand.region << mem::kShift1G;
-                if (!proc.contains(base))
+                if (!unit.prefer1G(cand.region, params_.ratio_1g)) {
+                    // The PUD-level walk signal does not dominate the
+                    // constituent 2MB counters: 2MB promotion suffices.
+                    if (audit) {
+                        audit->record(
+                            telemetry::AuditAction::Skip,
+                            telemetry::AuditReason::Not1GPreferred,
+                            proc.pid(), base, static_cast<u32>(r),
+                            cand.frequency);
+                    }
                     continue;
-                const auto result = os.promoteRegion1G(proc, base);
+                }
+                if (!proc.contains(base)) {
+                    if (audit) {
+                        audit->record(
+                            telemetry::AuditAction::Skip,
+                            telemetry::AuditReason::OutsideVma,
+                            proc.pid(), base, static_cast<u32>(r),
+                            cand.frequency);
+                    }
+                    continue;
+                }
+                const auto result = os.promoteRegion1G(
+                    proc, base,
+                    {static_cast<u32>(r), cand.frequency});
                 if (result.status == PromoteStatus::Ok)
                     ctx.chargeCore(c, result.app_cycles);
             }
@@ -309,26 +338,51 @@ PccPolicy::onInterval(PolicyContext &ctx)
 
     const u32 budget = autoPromoteRegions(ctx, params_.regions_to_promote);
     u32 promoted = 0;
-    for (const auto &rc : ranked) {
-        if (promoted >= budget)
-            break;
-        if (rc.candidate.frequency < params_.min_frequency)
-            continue;
+    for (size_t r = 0; r < ranked.size(); ++r) {
+        const auto &rc = ranked[r];
         Process &proc = ctx.processOnCore(rc.core);
         const Addr base = rc.candidate.region << mem::kShift2M;
-        if (!proc.contains(base))
+        const auto skip = [&](telemetry::AuditReason reason) {
+            if (audit) {
+                audit->record(telemetry::AuditAction::Skip, reason,
+                              proc.pid(), base, static_cast<u32>(r),
+                              rc.candidate.frequency);
+            }
+        };
+        if (promoted >= budget) {
+            // Out of per-interval budget: without an audit log there is
+            // nothing left to do; with one, record what was left on the
+            // table (these skips are what regret is measured against).
+            if (!audit)
+                break;
+            skip(telemetry::AuditReason::IntervalBudget);
             continue;
-        if (proc.regionStateOf(base) != RegionState::Base4K)
+        }
+        if (rc.candidate.frequency < params_.min_frequency) {
+            skip(telemetry::AuditReason::BelowMinFrequency);
             continue;
+        }
+        if (!proc.contains(base)) {
+            skip(telemetry::AuditReason::OutsideVma);
+            continue;
+        }
+        if (proc.regionStateOf(base) != RegionState::Base4K) {
+            skip(telemetry::AuditReason::RegionNotBase);
+            continue;
+        }
 
+        const PromoteAttempt attempt{static_cast<u32>(r),
+                                     rc.candidate.frequency};
         auto result = os.promoteRegion(proc, base,
-                                       params_.allow_compaction);
+                                       params_.allow_compaction,
+                                       attempt);
         if (result.status == PromoteStatus::NoHugeFrame &&
             params_.demote_on_pressure) {
             // Free a frame by demoting the oldest huge page, then retry.
             if (demoteOne(ctx, proc.pid())) {
                 result = os.promoteRegion(proc, base,
-                                          params_.allow_compaction);
+                                          params_.allow_compaction,
+                                          attempt);
             }
         }
         if (result.status == PromoteStatus::Ok) {
@@ -337,6 +391,25 @@ PccPolicy::onInterval(PolicyContext &ctx)
             ctx.chargeCore(rc.core, result.app_cycles);
         } else if (result.status == PromoteStatus::CapReached ||
                    result.status == PromoteStatus::NoHugeFrame) {
+            if (audit) {
+                // Candidates ranked after the terminal failure were
+                // skipped for the same cause.
+                const auto reason =
+                    result.status == PromoteStatus::CapReached
+                        ? telemetry::AuditReason::CapReached
+                        : (os.phys().transientFailuresPossible()
+                               ? telemetry::AuditReason::
+                                     NoHugeFrameTransient
+                               : telemetry::AuditReason::NoHugeFrame);
+                for (size_t r2 = r + 1; r2 < ranked.size(); ++r2) {
+                    const auto &rc2 = ranked[r2];
+                    audit->record(
+                        telemetry::AuditAction::Skip, reason,
+                        ctx.processOnCore(rc2.core).pid(),
+                        rc2.candidate.region << mem::kShift2M,
+                        static_cast<u32>(r2), rc2.candidate.frequency);
+                }
+            }
             break; // no budget / no frames left this interval
         }
     }

@@ -41,6 +41,18 @@ class PolicyContext
 
     /** Total simulated accesses so far (trace replay timing). */
     virtual u64 accessesSoFar() const = 0;
+
+    /**
+     * Promotion audit log, or null when auditing is off (the default,
+     * and the default implementation — contexts that never collect
+     * telemetry need not override). Policies record the candidates
+     * they *skip* here; the Os mechanism records the attempts.
+     */
+    virtual telemetry::PromotionAuditLog *
+    audit()
+    {
+        return nullptr;
+    }
 };
 
 class Policy

@@ -38,10 +38,13 @@ PromotionCandidateCache::touch(Vpn region)
     ++misses_;
     if (full()) {
         const u32 victim = victimIndex();
-        index_.erase(entries_[victim].region);
+        const Vpn victim_region = entries_[victim].region;
+        index_.erase(victim_region);
         entries_[victim] = {region, 0, ++clock_};
         index_[region] = victim;
         ++evictions_;
+        if (evicted_)
+            evicted_(victim_region);
         return;
     }
     entries_.push_back({region, 0, ++clock_});

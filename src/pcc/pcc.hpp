@@ -23,6 +23,7 @@
 
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -104,6 +105,18 @@ class PromotionCandidateCache
         return entries * ((bits_per_entry + 7) / 8);
     }
 
+    /**
+     * Observer of capacity evictions (telemetry attribution): invoked
+     * with the victim region whenever an insertion displaces an entry.
+     * Unset (the default) costs one branch per eviction; invalidate()
+     * is not an eviction and never fires it.
+     */
+    void
+    setEvictionHook(std::function<void(Vpn)> hook)
+    {
+        evicted_ = std::move(hook);
+    }
+
     // --- statistics ---
     u64 hits() const { return hits_; }
     u64 misses() const { return misses_; }
@@ -125,6 +138,7 @@ class PromotionCandidateCache
     PccConfig config_;
     std::vector<Entry> entries_;
     std::unordered_map<Vpn, u32> index_; //!< region -> entries_ slot
+    std::function<void(Vpn)> evicted_;
     u64 clock_ = 0;
 
     u64 hits_ = 0;

@@ -147,4 +147,17 @@ speedup(const RunResult &baseline, const RunResult &run, size_t i = 0)
     return ratio(baseline.jobs[i].wall_cycles, run.jobs[i].wall_cycles);
 }
 
+/**
+ * Counterfactual regret of a run: walk cycles spent in regions the
+ * policy had ranked but skipped or failed to promote. 0 when auditing
+ * was off (no telemetry attached) as well as for a regret-free policy;
+ * harnesses that must distinguish the two check `result.telemetry`.
+ */
+inline u64
+regretCycles(const RunResult &result)
+{
+    return result.telemetry ? result.telemetry->audit.regret_total_cycles
+                            : 0;
+}
+
 } // namespace pccsim::sim

@@ -1,6 +1,8 @@
 #include "sim/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <functional>
 #include <sstream>
 
 namespace pccsim::sim {
@@ -40,8 +42,9 @@ specKey(const ExperimentSpec &spec)
     // Telemetry settings change the attached report (part of RunResult
     // equality), so they must be part of the memo identity too.
     const auto &t = spec.telemetry;
-    os << '|' << t.enabled << t.trace_events << '|' << t.top_k << '|'
-       << t.max_events;
+    os << '|' << t.enabled << t.trace_events << t.attribution << t.audit
+       << '|' << t.top_k << '|' << t.max_events << '|'
+       << t.attribution_regions << '|' << t.max_audit_records;
     os << '|' << spec.tweak_key;
     return os.str();
 }
@@ -59,7 +62,14 @@ Runner::Stats
 Runner::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    Stats snapshot = stats_;
+    snapshot.worker_busy_nanos.clear();
+    snapshot.worker_busy_nanos.reserve(worker_busy_.size());
+    for (const auto &[tid, busy] : worker_busy_)
+        snapshot.worker_busy_nanos.push_back(busy);
+    std::sort(snapshot.worker_busy_nanos.begin(),
+              snapshot.worker_busy_nanos.end(), std::greater<u64>());
+    return snapshot;
 }
 
 std::shared_ptr<const RunResult>
@@ -72,6 +82,7 @@ Runner::simulate(const ExperimentSpec &spec)
     ++stats_.simulated;
     stats_.total_accesses += result->total_accesses;
     stats_.sim_nanos += elapsed;
+    worker_busy_[std::this_thread::get_id()] += elapsed;
     return result;
 }
 
@@ -84,6 +95,7 @@ Runner::run(const ExperimentSpec &spec)
 std::vector<std::shared_ptr<const RunResult>>
 Runner::runMany(const std::vector<ExperimentSpec> &specs)
 {
+    const u64 wall_t0 = nowNanos();
     std::vector<std::shared_ptr<const RunResult>> out(specs.size());
     std::vector<std::string> keys(specs.size());
     // Indices that need a simulation; for duplicate keys inside the
@@ -137,6 +149,10 @@ Runner::runMany(const std::vector<ExperimentSpec> &specs)
     }
     for (const auto &[follower, owner] : followers)
         out[follower] = out[owner];
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.wall_nanos += nowNanos() - wall_t0;
+    }
     return out;
 }
 

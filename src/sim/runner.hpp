@@ -25,6 +25,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/experiment.hpp"
@@ -58,7 +59,16 @@ class Runner
         u64 simulated = 0;       //!< simulations actually executed
         u64 memo_hits = 0;       //!< requests served by cache/dedup
         u64 total_accesses = 0;  //!< simulated accesses executed
-        u64 sim_nanos = 0;       //!< host ns spent inside System::run
+        /**
+         * Host ns spent inside System::run, summed over workers
+         * (busy time). With jobs() > 1 this exceeds wall time — it is
+         * the parallel speedup's *numerator*, never a latency — and on
+         * an oversubscribed host timeslicing inflates it further.
+         */
+        u64 sim_nanos = 0;
+        u64 wall_nanos = 0; //!< host ns spent blocked in runMany()
+        /** Per-worker busy ns (sim_nanos split by thread), busiest first. */
+        std::vector<u64> worker_busy_nanos;
     };
 
     Stats stats() const;
@@ -92,6 +102,7 @@ class Runner
     mutable std::mutex mutex_;
     std::map<std::string, std::shared_ptr<const RunResult>> memo_;
     Stats stats_;
+    std::map<std::thread::id, u64> worker_busy_;
 };
 
 } // namespace pccsim::sim

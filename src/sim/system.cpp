@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/invariants.hpp"
+#include "util/host_profile.hpp"
 #include "util/log.hpp"
 
 namespace pccsim::sim {
@@ -154,6 +155,16 @@ SystemConfig::validate() const
     }
     if (telemetry.enabled && telemetry.top_k == 0)
         status.update(Status::error("telemetry.top_k must be >= 1"));
+    if (telemetry.enabled && telemetry.attribution &&
+        telemetry.attribution_regions == 0) {
+        status.update(
+            Status::error("telemetry.attribution_regions must be >= 1"));
+    }
+    if (telemetry.enabled && telemetry.audit &&
+        telemetry.max_audit_records == 0) {
+        status.update(
+            Status::error("telemetry.max_audit_records must be >= 1"));
+    }
 
     return status;
 }
@@ -308,6 +319,10 @@ System::setupTelemetry(size_t num_jobs)
     tel_registry_.reset();
     tel_sampler_.reset();
     tel_tracer_.reset();
+    tel_profiler_.reset();
+    tel_audit_.reset();
+    for (auto &core : cores_)
+        core.pcc.pcc2m().setEvictionHook({});
     tel_churn_ = telemetry::TopKChurnTracker{};
     tel_churn_counter_ = telemetry::Registry::Handle{};
     if (!config_.telemetry.enabled)
@@ -402,6 +417,27 @@ System::setupTelemetry(size_t num_jobs)
         os_->setTracer(tel_tracer_.get());
         if (injector_)
             injector_->setTracer(tel_tracer_.get());
+    }
+
+    if (config_.telemetry.attribution) {
+        tel_profiler_ = std::make_unique<telemetry::RegionProfiler>(
+            config_.telemetry.attribution_regions);
+        // PCC evictions flow through a per-cache hook so attribution
+        // sees the victim region with the core's owning process.
+        for (u32 c = 0; c < config_.num_cores; ++c) {
+            cores_[c].pcc.pcc2m().setEvictionHook([this, c](Vpn region) {
+                if (core_process_[c]) {
+                    tel_profiler_->recordPccEviction(
+                        core_process_[c]->pid(), region);
+                }
+            });
+        }
+    }
+    if (config_.telemetry.audit) {
+        tel_audit_ = std::make_unique<telemetry::PromotionAuditLog>(
+            config_.telemetry.max_audit_records);
+        tel_audit_->setClock([this] { return total_accesses_; });
+        os_->setAuditLog(tel_audit_.get());
     }
 }
 
@@ -535,9 +571,29 @@ System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
     } else if (level == tlb::HitLevel::Miss) {
         const auto walk = core.walker.walk(proc.pageTable(), vaddr);
         PCCSIM_DCHECK(walk.present, "walk missed a faulted page");
-        cost += chargeWalkRefs(core, proc, vaddr, walk.memory_refs,
-                               walk.size);
+        const Cycles walk_cost = chargeWalkRefs(
+            core, proc, vaddr, walk.memory_refs, walk.size);
+        cost += walk_cost;
         core.tlb.fill(vaddr, size);
+        if (tel_profiler_ || tel_audit_) {
+            // Attribute the walk before observeWalk mutates the PCC:
+            // pcc_hit must reflect whether the region was tracked when
+            // the walk retired, not after this walk's own touch.
+            const Vpn v2m = mem::vpnOf(vaddr, mem::PageSize::Huge2M);
+            const u32 depth = walk.size == mem::PageSize::Base4K ? 4
+                              : walk.size == mem::PageSize::Huge2M ? 3
+                                                                   : 2;
+            const u32 pwc_hits =
+                depth - std::min(depth, walk.memory_refs);
+            if (tel_profiler_) {
+                const bool pcc_hit =
+                    core.pcc.pcc2m().frequencyOf(v2m).has_value();
+                tel_profiler_->recordWalk(proc.pid(), v2m, walk_cost,
+                                          pwc_hits, pcc_hit);
+            }
+            if (tel_audit_)
+                tel_audit_->chargeWalk(proc.pid(), v2m, walk_cost);
+        }
         core.pcc.observeWalk(vaddr, walk);
     }
     core.noteTranslated(vaddr, size);
@@ -577,6 +633,7 @@ System::run(std::vector<Job> jobs)
     if (util::Status status = config_.validate(); !status.ok())
         fatal("invalid SystemConfig: ", status.toString());
     PCCSIM_ASSERT(!jobs.empty());
+    u64 phase_t0 = util::HostProfile::nowNanos();
     u32 total_lanes = 0;
     for (const auto &job : jobs)
         total_lanes += job.lanes;
@@ -697,6 +754,12 @@ System::run(std::vector<Job> jobs)
         ++job_live[lane.job];
 
     // ---- main scheduling loop ----
+    {
+        const u64 now = util::HostProfile::nowNanos();
+        util::HostProfile::global().add("workload_setup",
+                                        now - phase_t0);
+        phase_t0 = now;
+    }
     constexpr u32 kBatch = 64;
     u32 live = static_cast<u32>(lanes_.size());
     while (live > 0) {
@@ -756,6 +819,8 @@ System::run(std::vector<Job> jobs)
     }
 
     // ---- collect results ----
+    util::HostProfile::global().add(
+        "simulate", util::HostProfile::nowNanos() - phase_t0);
     if (config_.check_invariants)
         runInvariantChecks(); // final sweep over the end state
 
@@ -828,6 +893,10 @@ System::run(std::vector<Job> jobs)
             report->events_dropped = tel_tracer_->dropped();
             report->events = tel_tracer_->takeEvents();
         }
+        if (tel_profiler_)
+            report->attribution = tel_profiler_->report();
+        if (tel_audit_)
+            report->audit = tel_audit_->report();
         result.telemetry = std::move(report);
     }
     return result;

@@ -27,6 +27,8 @@
 #include "sim/config.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/results.hpp"
+#include "telemetry/attribution.hpp"
+#include "telemetry/audit.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/series.hpp"
 #include "telemetry/trace.hpp"
@@ -66,6 +68,7 @@ class System : public os::PolicyContext
     void chargeCore(CoreId core, Cycles cycles) override;
     u64 intervalIndex() const override { return intervals_; }
     u64 accessesSoFar() const override { return total_accesses_; }
+    telemetry::PromotionAuditLog *audit() override { return tel_audit_.get(); }
 
     const SystemConfig &config() const { return config_; }
     mem::PhysicalMemory *phys() { return phys_.get(); }
@@ -171,6 +174,8 @@ class System : public os::PolicyContext
     std::unique_ptr<telemetry::Registry> tel_registry_;
     std::unique_ptr<telemetry::IntervalSampler> tel_sampler_;
     std::unique_ptr<telemetry::EventTracer> tel_tracer_;
+    std::unique_ptr<telemetry::RegionProfiler> tel_profiler_;
+    std::unique_ptr<telemetry::PromotionAuditLog> tel_audit_;
     telemetry::TopKChurnTracker tel_churn_;
     telemetry::Registry::Handle tel_churn_counter_;
 };

@@ -1,0 +1,286 @@
+#include "telemetry/attribution.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/log.hpp"
+
+namespace pccsim::telemetry {
+
+namespace {
+
+/** splitmix64 finalizer: deterministic, platform-independent mixing. */
+u64
+mix(u64 x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+u64
+keyHash(Pid pid, Vpn region)
+{
+    return mix(region * 0x100000001B3ull ^ pid);
+}
+
+/** Fixed 1-in-8 key sample for reserve-slot admissions. */
+bool
+sampledKey(Pid pid, Vpn region)
+{
+    return (keyHash(pid, region) >> 32) % 8 == 0;
+}
+
+u64
+nextPow2(u64 x)
+{
+    u64 p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+std::string
+hexAddr(Addr addr)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+} // namespace
+
+RegionProfiler::RegionProfiler(u32 region_budget)
+    : budget_(region_budget)
+{
+    PCCSIM_ASSERT(budget_ >= 1, "attribution budget must be >= 1");
+    // Reserve ~1/8 of the budget (at least one slot when the budget
+    // allows) for hash-sampled late admissions.
+    const u32 reserve = budget_ >= 8 ? budget_ / 8 : (budget_ > 1 ? 1 : 0);
+    admit_free_ = budget_ - reserve;
+    // Load factor <= 0.5 keeps linear probing short and deterministic.
+    slots_.resize(nextPow2(std::max<u64>(16, 2ull * budget_)));
+}
+
+RegionProfiler::Slot *
+RegionProfiler::findSlot(Pid pid, Vpn region, bool admit)
+{
+    const u64 mask = slots_.size() - 1;
+    u64 i = keyHash(pid, region) & mask;
+    const u32 tag = static_cast<u32>(pid) + 1;
+    for (;;) {
+        Slot &slot = slots_[i];
+        if (slot.pid_plus_1 == tag && slot.region == region)
+            return &slot;
+        if (slot.pid_plus_1 == 0) {
+            if (!admit || tracked_ >= budget_)
+                return nullptr;
+            if (tracked_ >= admit_free_) {
+                // Reserve slots: only the fixed key sample gets in.
+                if (!sampledKey(pid, region))
+                    return nullptr;
+                ++sampled_admissions_;
+            }
+            slot.pid_plus_1 = tag;
+            slot.region = region;
+            ++tracked_;
+            return &slot;
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+void
+RegionProfiler::recordWalk(Pid pid, Vpn region, Cycles cycles,
+                           u32 pwc_hits, bool pcc_hit)
+{
+    if (Slot *slot = findSlot(pid, region, /*admit=*/true)) {
+        ++slot->walks;
+        slot->walk_cycles += cycles;
+        slot->pwc_hits += pwc_hits;
+        slot->pcc_hits += pcc_hit ? 1 : 0;
+        return;
+    }
+    ++untracked_walks_;
+    untracked_walk_cycles_ += cycles;
+    untracked_pwc_hits_ += pwc_hits;
+    untracked_pcc_hits_ += pcc_hit ? 1 : 0;
+}
+
+void
+RegionProfiler::recordPccEviction(Pid pid, Vpn region)
+{
+    // Evictions never admit a row: a region only matters here if its
+    // walks earned it one (or will); otherwise the eviction is noise.
+    if (Slot *slot = findSlot(pid, region, /*admit=*/false)) {
+        ++slot->pcc_evictions;
+        return;
+    }
+    ++untracked_pcc_evictions_;
+}
+
+AttributionReport
+RegionProfiler::report() const
+{
+    AttributionReport out;
+    out.budget = budget_;
+    out.sampled_admissions = sampled_admissions_;
+    out.untracked_walks = untracked_walks_;
+    out.untracked_walk_cycles = untracked_walk_cycles_;
+    out.untracked_pwc_hits = untracked_pwc_hits_;
+    out.untracked_pcc_hits = untracked_pcc_hits_;
+    out.untracked_pcc_evictions = untracked_pcc_evictions_;
+
+    out.regions.reserve(tracked_);
+    for (const Slot &slot : slots_) {
+        if (slot.pid_plus_1 == 0)
+            continue;
+        RegionRow row;
+        row.pid = static_cast<Pid>(slot.pid_plus_1 - 1);
+        row.base = slot.region << mem::kShift2M;
+        row.walks = slot.walks;
+        row.walk_cycles = slot.walk_cycles;
+        row.pwc_hits = slot.pwc_hits;
+        row.pcc_hits = slot.pcc_hits;
+        row.pcc_evictions = slot.pcc_evictions;
+        out.regions.push_back(row);
+    }
+    std::sort(out.regions.begin(), out.regions.end(),
+              [](const RegionRow &a, const RegionRow &b) {
+                  if (a.walk_cycles != b.walk_cycles)
+                      return a.walk_cycles > b.walk_cycles;
+                  if (a.pid != b.pid)
+                      return a.pid < b.pid;
+                  return a.base < b.base;
+              });
+
+    out.total_walks = untracked_walks_;
+    out.total_walk_cycles = untracked_walk_cycles_;
+    for (const RegionRow &row : out.regions) {
+        out.total_walks += row.walks;
+        out.total_walk_cycles += row.walk_cycles;
+    }
+    return out;
+}
+
+Json
+AttributionReport::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("budget", static_cast<u64>(budget));
+    doc.set("tracked_regions", static_cast<u64>(regions.size()));
+    doc.set("sampled_admissions", sampled_admissions);
+    doc.set("total_walks", total_walks);
+    doc.set("total_walk_cycles", total_walk_cycles);
+
+    Json untracked = Json::object();
+    untracked.set("walks", untracked_walks);
+    untracked.set("walk_cycles", untracked_walk_cycles);
+    untracked.set("pwc_hits", untracked_pwc_hits);
+    untracked.set("pcc_hits", untracked_pcc_hits);
+    untracked.set("pcc_evictions", untracked_pcc_evictions);
+    doc.set("untracked", std::move(untracked));
+
+    const double denom =
+        total_walk_cycles == 0 ? 1.0
+                               : static_cast<double>(total_walk_cycles);
+    Json rows = Json::array();
+    u64 cum = 0;
+    for (const RegionRow &row : regions) {
+        cum += row.walk_cycles;
+        Json r = Json::object();
+        r.set("pid", static_cast<u64>(row.pid));
+        r.set("base", hexAddr(row.base));
+        r.set("walks", row.walks);
+        r.set("walk_cycles", row.walk_cycles);
+        r.set("pwc_hits", row.pwc_hits);
+        r.set("pcc_hits", row.pcc_hits);
+        r.set("pcc_evictions", row.pcc_evictions);
+        r.set("share_pct",
+              100.0 * static_cast<double>(row.walk_cycles) / denom);
+        r.set("cum_pct", 100.0 * static_cast<double>(cum) / denom);
+        rows.push(std::move(r));
+    }
+    doc.set("regions", std::move(rows));
+
+    // CDF at power-of-two k: "top-k regions cover X% of walk cycles",
+    // over the exact run-wide total (untracked cycles included).
+    Json cdf = Json::array();
+    cum = 0;
+    size_t next_k = 1;
+    for (size_t i = 0; i < regions.size(); ++i) {
+        cum += regions[i].walk_cycles;
+        if (i + 1 == next_k || i + 1 == regions.size()) {
+            Json point = Json::object();
+            point.set("k", static_cast<u64>(i + 1));
+            point.set("walk_cycles_pct",
+                      100.0 * static_cast<double>(cum) / denom);
+            cdf.push(std::move(point));
+            while (next_k <= i + 1)
+                next_k *= 2;
+        }
+    }
+    doc.set("cdf", std::move(cdf));
+
+    // HUB concentration: smallest k whose cumulative share reaches the
+    // threshold (0 = not reachable within the tracked rows).
+    Json hub = Json::object();
+    for (const double pct : {50.0, 70.0, 90.0}) {
+        u64 k = 0;
+        cum = 0;
+        for (size_t i = 0; i < regions.size(); ++i) {
+            cum += regions[i].walk_cycles;
+            if (100.0 * static_cast<double>(cum) / denom >= pct) {
+                k = static_cast<u64>(i + 1);
+                break;
+            }
+        }
+        hub.set("regions_for_" + std::to_string(static_cast<int>(pct)) +
+                    "pct",
+                k);
+    }
+    doc.set("hub", std::move(hub));
+
+    // 1GB rollup: walk cycles grouped by containing gigabyte region.
+    struct Roll
+    {
+        Pid pid;
+        Addr base;
+        u64 walk_cycles;
+    };
+    std::vector<Roll> rolls;
+    for (const RegionRow &row : regions) {
+        const Addr base1g = row.base & ~(mem::kBytes1G - 1);
+        auto it = std::find_if(rolls.begin(), rolls.end(),
+                               [&](const Roll &r) {
+                                   return r.pid == row.pid &&
+                                          r.base == base1g;
+                               });
+        if (it == rolls.end())
+            rolls.push_back({row.pid, base1g, row.walk_cycles});
+        else
+            it->walk_cycles += row.walk_cycles;
+    }
+    std::sort(rolls.begin(), rolls.end(),
+              [](const Roll &a, const Roll &b) {
+                  if (a.walk_cycles != b.walk_cycles)
+                      return a.walk_cycles > b.walk_cycles;
+                  if (a.pid != b.pid)
+                      return a.pid < b.pid;
+                  return a.base < b.base;
+              });
+    Json by_1g = Json::array();
+    for (const Roll &roll : rolls) {
+        Json r = Json::object();
+        r.set("pid", static_cast<u64>(roll.pid));
+        r.set("base", hexAddr(roll.base));
+        r.set("walk_cycles", roll.walk_cycles);
+        by_1g.push(std::move(r));
+    }
+    doc.set("by_1g", std::move(by_1g));
+    return doc;
+}
+
+} // namespace pccsim::telemetry

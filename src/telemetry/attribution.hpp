@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Region-level attribution of address-translation cost.
+ *
+ * The paper's core claim is attributional: a small set of HUB regions
+ * (~1-4% of the footprint) causes most TLB-walk cycles (Fig. 2). The
+ * RegionProfiler produces that evidence for any run: it attributes
+ * last-level TLB misses, walk cycles, PWC hits, and PCC hits/evictions
+ * to the 2MB-aligned virtual region they touched, in a fixed-budget
+ * open-addressed table.
+ *
+ * Determinism contract (same as the rest of telemetry): every recorded
+ * value derives from simulation state, the table is rebuilt identically
+ * for identical access streams, and report() orders rows by a total
+ * order (walk_cycles desc, then pid, then base) — so serial and
+ * --jobs=N runs of one spec emit byte-identical attribution.
+ *
+ * Overflow policy: the first (budget - reserve) distinct regions are
+ * admitted first-come; the final `reserve` slots only admit regions
+ * whose key hash falls in a fixed 1-in-8 sample, so late-arriving hot
+ * regions still have a chance of a row without unbounded memory. Once
+ * the budget is exhausted, events fold into exact `untracked_*`
+ * aggregates — totals (and therefore CDF denominators) stay exact even
+ * when per-region rows do not cover the whole footprint.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "mem/paging.hpp"
+#include "telemetry/json.hpp"
+#include "util/types.hpp"
+
+namespace pccsim::telemetry {
+
+/** One tracked 2MB region's attributed translation costs. */
+struct RegionRow
+{
+    Pid pid = 0;
+    Addr base = 0; //!< 2MB-aligned virtual address of the region
+    u64 walks = 0; //!< last-level TLB misses resolved in this region
+    u64 walk_cycles = 0;
+    u64 pwc_hits = 0;       //!< walk levels skipped thanks to the PWC
+    u64 pcc_hits = 0;       //!< walks that found the region PCC-tracked
+    u64 pcc_evictions = 0;  //!< times a PCC evicted this region
+
+    bool operator==(const RegionRow &) const = default;
+};
+
+/** The profiler's end-of-run summary (attached to TelemetryReport). */
+struct AttributionReport
+{
+    u32 budget = 0;            //!< configured row budget
+    u64 sampled_admissions = 0; //!< rows admitted via the hash sample
+    /** Aggregates of events from regions beyond the row budget. */
+    u64 untracked_walks = 0;
+    u64 untracked_walk_cycles = 0;
+    u64 untracked_pwc_hits = 0;
+    u64 untracked_pcc_hits = 0;
+    u64 untracked_pcc_evictions = 0;
+    /** Exact totals: tracked rows + untracked aggregates. */
+    u64 total_walks = 0;
+    u64 total_walk_cycles = 0;
+    /** Sorted: walk_cycles desc, then pid asc, then base asc. */
+    std::vector<RegionRow> regions;
+
+    bool operator==(const AttributionReport &) const = default;
+
+    /**
+     * Full JSON document: totals, per-region rows, the top-k CDF
+     * ("top-k regions cover X% of walk cycles"), HUB-concentration
+     * summary, and a 1GB-region rollup.
+     */
+    Json toJson() const;
+};
+
+class RegionProfiler
+{
+  public:
+    explicit RegionProfiler(u32 region_budget);
+
+    /**
+     * Attribute one completed page-table walk.
+     * @param region 2MB-aligned VPN the faulting address belongs to.
+     * @param cycles what the walk cost the core.
+     * @param pwc_hits walk levels served by the PWC (depth - mem refs).
+     * @param pcc_hit the region was PCC-tracked when the walk retired.
+     */
+    void recordWalk(Pid pid, Vpn region, Cycles cycles, u32 pwc_hits,
+                    bool pcc_hit);
+
+    /** Attribute one PCC eviction to its victim region. */
+    void recordPccEviction(Pid pid, Vpn region);
+
+    u64 trackedRegions() const { return tracked_; }
+
+    AttributionReport report() const;
+
+  private:
+    struct Slot
+    {
+        u32 pid_plus_1 = 0; //!< 0 = empty
+        Vpn region = 0;
+        u64 walks = 0;
+        u64 walk_cycles = 0;
+        u64 pwc_hits = 0;
+        u64 pcc_hits = 0;
+        u64 pcc_evictions = 0;
+    };
+
+    /** Find the slot of (pid, region); admit it if policy allows. */
+    Slot *findSlot(Pid pid, Vpn region, bool admit);
+
+    u32 budget_;
+    u32 admit_free_;  //!< first-come admissions below this tracked count
+    u64 tracked_ = 0;
+    u64 sampled_admissions_ = 0;
+    std::vector<Slot> slots_; //!< power-of-two open-addressed table
+
+    u64 untracked_walks_ = 0;
+    u64 untracked_walk_cycles_ = 0;
+    u64 untracked_pwc_hits_ = 0;
+    u64 untracked_pcc_hits_ = 0;
+    u64 untracked_pcc_evictions_ = 0;
+};
+
+} // namespace pccsim::telemetry

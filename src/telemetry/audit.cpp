@@ -1,0 +1,280 @@
+#include "telemetry/audit.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "util/log.hpp"
+
+namespace pccsim::telemetry {
+
+namespace {
+
+/** Regret table geometry: fixed so memory stays bounded per run. */
+constexpr u64 kRegretSlots = 4096; //!< power of two (open addressing)
+constexpr u64 kRegretBudget = 2048; //!< load factor <= 0.5
+
+u64
+mix(u64 x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+u64
+keyHash(Pid pid, Vpn region)
+{
+    return mix(region * 0x100000001B3ull ^ pid);
+}
+
+std::string
+hexAddr(Addr addr)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+/** Reasons that open a region's regret window when it is skipped or a
+ *  promotion attempt on it fails. */
+bool
+regrettable(AuditReason reason)
+{
+    switch (reason) {
+      case AuditReason::CapReached:
+      case AuditReason::NoHugeFrame:
+      case AuditReason::NoHugeFrameTransient:
+      case AuditReason::BelowMinFrequency:
+      case AuditReason::IntervalBudget:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+std::string
+to_string(AuditAction action)
+{
+    switch (action) {
+      case AuditAction::FaultHuge: return "fault-huge";
+      case AuditAction::Promote2M: return "promote-2m";
+      case AuditAction::Promote1G: return "promote-1g";
+      case AuditAction::Demote2M: return "demote-2m";
+      case AuditAction::Demote1G: return "demote-1g";
+      case AuditAction::Reclaim: return "reclaim";
+      case AuditAction::Skip: return "skip";
+    }
+    return "?";
+}
+
+std::string
+to_string(AuditReason reason)
+{
+    switch (reason) {
+      case AuditReason::Ok: return "ok";
+      case AuditReason::AlreadyHuge: return "already-huge";
+      case AuditReason::CapReached: return "cap-reached";
+      case AuditReason::NoHugeFrame: return "no-huge-frame";
+      case AuditReason::NoHugeFrameTransient:
+        return "no-huge-frame-transient";
+      case AuditReason::NotEligible: return "not-eligible";
+      case AuditReason::BelowMinFrequency: return "below-min-frequency";
+      case AuditReason::OutsideVma: return "outside-vma";
+      case AuditReason::RegionNotBase: return "region-not-base";
+      case AuditReason::IntervalBudget: return "interval-budget";
+      case AuditReason::Not1GPreferred: return "not-1g-preferred";
+      case AuditReason::PressureReclaim: return "pressure-reclaim";
+    }
+    return "?";
+}
+
+PromotionAuditLog::PromotionAuditLog(u64 max_records)
+    : max_records_(max_records), regret_(kRegretSlots)
+{
+    PCCSIM_ASSERT(max_records_ >= 1, "audit log bound must be >= 1");
+}
+
+PromotionAuditLog::RegretSlot *
+PromotionAuditLog::findRegret(Pid pid, Vpn region, bool admit)
+{
+    const u64 mask = regret_.size() - 1;
+    u64 i = keyHash(pid, region) & mask;
+    const u32 tag = static_cast<u32>(pid) + 1;
+    for (;;) {
+        RegretSlot &slot = regret_[i];
+        if (slot.pid_plus_1 == tag && slot.region == region)
+            return &slot;
+        if (slot.pid_plus_1 == 0) {
+            if (!admit || regret_tracked_ >= kRegretBudget)
+                return nullptr;
+            slot.pid_plus_1 = tag;
+            slot.region = region;
+            ++regret_tracked_;
+            return &slot;
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+void
+PromotionAuditLog::markRegret(Pid pid, Addr base)
+{
+    const Vpn region = mem::vpnOf(base, mem::PageSize::Huge2M);
+    if (RegretSlot *slot = findRegret(pid, region, /*admit=*/true)) {
+        slot->open = true;
+        return;
+    }
+    ++regret_marks_dropped_;
+}
+
+void
+PromotionAuditLog::closeRegret(Pid pid, Addr base, u64 bytes)
+{
+    const Vpn lo = mem::vpnOf(base, mem::PageSize::Huge2M);
+    const Vpn hi = mem::vpnOf(base + bytes - 1, mem::PageSize::Huge2M);
+    const u32 tag = static_cast<u32>(pid) + 1;
+    for (RegretSlot &slot : regret_) {
+        if (slot.pid_plus_1 == tag && slot.region >= lo &&
+            slot.region <= hi) {
+            slot.open = false;
+        }
+    }
+}
+
+void
+PromotionAuditLog::record(AuditAction action, AuditReason reason,
+                          Pid pid, Addr base, u32 rank, u64 counter,
+                          Cycles cycles)
+{
+    if (records_.size() < max_records_) {
+        AuditRecord rec;
+        rec.ts = now();
+        rec.pid = pid;
+        rec.base = base;
+        rec.action = action;
+        rec.reason = reason;
+        rec.rank = rank;
+        rec.counter = counter;
+        rec.cycles = cycles;
+        records_.push_back(rec);
+    } else {
+        ++records_dropped_;
+    }
+
+    switch (action) {
+      case AuditAction::Skip:
+        if (regrettable(reason))
+            markRegret(pid, base);
+        break;
+      case AuditAction::Promote2M:
+        if (reason == AuditReason::Ok)
+            closeRegret(pid, base, mem::kBytes2M);
+        else if (regrettable(reason))
+            markRegret(pid, base);
+        break;
+      case AuditAction::Promote1G:
+        if (reason == AuditReason::Ok)
+            closeRegret(pid, base, mem::kBytes1G);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+PromotionAuditLog::chargeWalk(Pid pid, Vpn region2m, Cycles cycles)
+{
+    if (RegretSlot *slot = findRegret(pid, region2m, /*admit=*/false)) {
+        if (slot->open)
+            slot->cycles += cycles;
+    }
+}
+
+AuditReport
+PromotionAuditLog::report() const
+{
+    AuditReport out;
+    out.records = records_;
+    out.records_dropped = records_dropped_;
+    out.regret_marks_dropped = regret_marks_dropped_;
+
+    std::map<std::string, u64> counts;
+    for (const AuditRecord &rec : records_)
+        ++counts[to_string(rec.action) + ":" + to_string(rec.reason)];
+    out.reason_counts.assign(counts.begin(), counts.end());
+
+    for (const RegretSlot &slot : regret_) {
+        if (slot.pid_plus_1 == 0)
+            continue;
+        if (slot.cycles == 0 && !slot.open)
+            continue;
+        RegretRow row;
+        row.pid = static_cast<Pid>(slot.pid_plus_1 - 1);
+        row.base = slot.region << mem::kShift2M;
+        row.cycles = slot.cycles;
+        row.open = slot.open;
+        out.regret.push_back(row);
+        out.regret_total_cycles += slot.cycles;
+    }
+    std::sort(out.regret.begin(), out.regret.end(),
+              [](const RegretRow &a, const RegretRow &b) {
+                  if (a.cycles != b.cycles)
+                      return a.cycles > b.cycles;
+                  if (a.pid != b.pid)
+                      return a.pid < b.pid;
+                  return a.base < b.base;
+              });
+    return out;
+}
+
+Json
+AuditReport::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("records", static_cast<u64>(records.size()));
+    doc.set("records_dropped", records_dropped);
+
+    Json reasons = Json::object();
+    for (const auto &[key, count] : reason_counts)
+        reasons.set(key, count);
+    doc.set("reasons", std::move(reasons));
+
+    Json decisions = Json::array();
+    for (const AuditRecord &rec : records) {
+        Json r = Json::object();
+        r.set("ts", rec.ts);
+        r.set("pid", static_cast<u64>(rec.pid));
+        r.set("base", hexAddr(rec.base));
+        r.set("action", to_string(rec.action));
+        r.set("reason", to_string(rec.reason));
+        r.set("rank", static_cast<u64>(rec.rank));
+        r.set("counter", rec.counter);
+        r.set("cycles", rec.cycles);
+        decisions.push(std::move(r));
+    }
+    doc.set("decisions", std::move(decisions));
+
+    Json regret_doc = Json::object();
+    regret_doc.set("total_cycles", regret_total_cycles);
+    regret_doc.set("tracked_regions", static_cast<u64>(regret.size()));
+    regret_doc.set("marks_dropped", regret_marks_dropped);
+    Json rows = Json::array();
+    for (const RegretRow &row : regret) {
+        Json r = Json::object();
+        r.set("pid", static_cast<u64>(row.pid));
+        r.set("base", hexAddr(row.base));
+        r.set("cycles", row.cycles);
+        r.set("open", row.open);
+        rows.push(std::move(r));
+    }
+    regret_doc.set("regions", std::move(rows));
+    doc.set("regret", std::move(regret_doc));
+    return doc;
+}
+
+} // namespace pccsim::telemetry

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Promotion audit trail and counterfactual regret.
+ *
+ * The PromotionAuditLog records every OS promote/skip/demote/reclaim
+ * decision with a structured reason code plus the evidence behind it
+ * (candidate rank, PCC counter value, allocation-failure class,
+ * pressure reclaim), timestamped on the simulated clock. On top of the
+ * decision log it computes per-region *counterfactual regret*: walk
+ * cycles a region keeps incurring after it was a ranked candidate that
+ * the OS skipped or failed to promote. A perfect oracle (the all-huge
+ * policy) never skips a candidate, so its regret is zero; the gap a
+ * real policy leaves is reported as "regret vs oracle" cycles.
+ *
+ * Determinism: records derive only from simulation state and the
+ * simulated clock, the log is bounded (drops counted), and report()
+ * orders regret rows totally — serial and --jobs=N runs of one spec
+ * produce byte-identical audit output.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mem/paging.hpp"
+#include "telemetry/json.hpp"
+#include "util/types.hpp"
+
+namespace pccsim::telemetry {
+
+/** What kind of decision a record documents. */
+enum class AuditAction : u8
+{
+    FaultHuge = 0, //!< fault-time 2MB allocation attempt (greedy THP)
+    Promote2M,
+    Promote1G,
+    Demote2M,
+    Demote1G,
+    Reclaim, //!< pressure-reclaim victim demotion
+    Skip,    //!< a ranked candidate the policy did not attempt
+};
+
+/** Why the decision went the way it did. */
+enum class AuditReason : u8
+{
+    Ok = 0,
+    AlreadyHuge,
+    CapReached,           //!< promotion budget exhausted
+    NoHugeFrame,          //!< genuine allocation/compaction failure
+    NoHugeFrameTransient, //!< failure with fault injection active
+    NotEligible,          //!< outside VMA bounds or never touched
+    BelowMinFrequency,    //!< PCC counter under the policy threshold
+    OutsideVma,           //!< candidate region left the address space
+    RegionNotBase,        //!< already huge or unbacked at decision time
+    IntervalBudget,       //!< per-interval promotion budget exhausted
+    Not1GPreferred,       //!< PUD-level signal failed the 1GB ratio test
+    PressureReclaim,      //!< demoted to relieve memory pressure
+};
+
+std::string to_string(AuditAction action);
+std::string to_string(AuditReason reason);
+
+struct AuditRecord
+{
+    u64 ts = 0; //!< simulated clock (total accesses) at decision time
+    Pid pid = 0;
+    Addr base = 0; //!< region the decision concerned
+    AuditAction action = AuditAction::Skip;
+    AuditReason reason = AuditReason::Ok;
+    u32 rank = 0;    //!< candidate rank when the policy supplied one
+    u64 counter = 0; //!< PCC counter / coverage evidence, if any
+    Cycles cycles = 0; //!< synchronous cycles the action charged
+
+    bool operator==(const AuditRecord &) const = default;
+};
+
+/** Per-region accumulated regret. */
+struct RegretRow
+{
+    Pid pid = 0;
+    Addr base = 0;  //!< 2MB-aligned region address
+    u64 cycles = 0; //!< walk cycles incurred while skipped-but-ranked
+    bool open = false; //!< still unpromoted at end of run
+
+    bool operator==(const RegretRow &) const = default;
+};
+
+/** End-of-run audit summary (attached to TelemetryReport). */
+struct AuditReport
+{
+    std::vector<AuditRecord> records;
+    u64 records_dropped = 0;
+    /** "action:reason" -> count, sorted by key. */
+    std::vector<std::pair<std::string, u64>> reason_counts;
+    /** Sorted: cycles desc, then pid asc, then base asc. */
+    std::vector<RegretRow> regret;
+    u64 regret_total_cycles = 0;
+    u64 regret_marks_dropped = 0; //!< regions beyond the regret table
+
+    bool operator==(const AuditReport &) const = default;
+
+    Json toJson() const;
+};
+
+class PromotionAuditLog
+{
+  public:
+    explicit PromotionAuditLog(u64 max_records);
+
+    /** Timestamp source (the System wires the simulated clock). */
+    void setClock(std::function<u64()> clock) { clock_ = std::move(clock); }
+
+    /**
+     * Record one decision. Regret bookkeeping is driven from here:
+     * skips and failed promotions mark the region as regretted;
+     * a successful promotion closes the region's regret window
+     * (accumulated cycles are kept — they were really incurred).
+     */
+    void record(AuditAction action, AuditReason reason, Pid pid,
+                Addr base, u32 rank = 0, u64 counter = 0,
+                Cycles cycles = 0);
+
+    /**
+     * Attribute one page-table walk; accumulates into the region's
+     * regret when its window is open. Called from the access hot path
+     * (one call per last-level TLB miss, telemetry-gated).
+     */
+    void chargeWalk(Pid pid, Vpn region2m, Cycles cycles);
+
+    u64 recordCount() const { return static_cast<u64>(records_.size()); }
+
+    AuditReport report() const;
+
+  private:
+    struct RegretSlot
+    {
+        u32 pid_plus_1 = 0; //!< 0 = empty
+        Vpn region = 0;
+        u64 cycles = 0;
+        bool open = false;
+    };
+
+    RegretSlot *findRegret(Pid pid, Vpn region, bool admit);
+    void markRegret(Pid pid, Addr base);
+    void closeRegret(Pid pid, Addr base, u64 bytes);
+
+    u64 now() const { return clock_ ? clock_() : 0; }
+
+    u64 max_records_;
+    std::function<u64()> clock_;
+    std::vector<AuditRecord> records_;
+    u64 records_dropped_ = 0;
+
+    std::vector<RegretSlot> regret_; //!< open-addressed, fixed size
+    u64 regret_tracked_ = 0;
+    u64 regret_marks_dropped_ = 0;
+};
+
+} // namespace pccsim::telemetry

@@ -76,6 +76,26 @@ Emitter::object(const std::string &title, Json data)
     }
 }
 
+util::Status
+Emitter::writeFileStatus(const std::string &path,
+                         const std::string &contents)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        return util::Status::error("cannot open '", path,
+                                   "' for writing");
+    }
+    const size_t written =
+        std::fwrite(contents.data(), 1, contents.size(), f);
+    const bool close_ok = std::fclose(f) == 0;
+    if (written != contents.size() || !close_ok) {
+        return util::Status::error("short write to '", path, "' (",
+                                   written, " of ", contents.size(),
+                                   " bytes)");
+    }
+    return {};
+}
+
 void
 Emitter::close()
 {

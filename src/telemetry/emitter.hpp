@@ -25,6 +25,7 @@
 #include <string>
 
 #include "telemetry/json.hpp"
+#include "util/status.hpp"
 #include "util/table.hpp"
 
 namespace pccsim::telemetry {
@@ -62,6 +63,15 @@ class Emitter
 
     /** Flush buffered output (Json sink); further sections are lost. */
     void close();
+
+    /**
+     * Write an export file, reporting failure as a Status instead of
+     * aborting or failing silently. Harnesses surface the message
+     * (warn / nonzero exit) so an unwritable --telemetry=/--trace=
+     * path never loses a run's data without a trace.
+     */
+    static util::Status writeFileStatus(const std::string &path,
+                                        const std::string &contents);
 
   private:
     Format format_;

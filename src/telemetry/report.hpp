@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/attribution.hpp"
+#include "telemetry/audit.hpp"
 #include "telemetry/series.hpp"
 #include "telemetry/trace.hpp"
 
@@ -34,6 +36,14 @@ struct TelemetryConfig
     u32 top_k = 8;
     /** Event-tracer memory bound (events beyond it are counted). */
     u64 max_events = 1'000'000;
+    /** Attribute walk cost to 2MB regions (RegionProfiler). */
+    bool attribution = false;
+    /** Row budget of the attribution table (sampled overflow beyond). */
+    u32 attribution_regions = 512;
+    /** Record promote/skip/demote/reclaim decisions + regret. */
+    bool audit = false;
+    /** Audit-log memory bound (decisions beyond it are counted). */
+    u64 max_audit_records = 262'144;
 
     bool operator==(const TelemetryConfig &) const = default;
 };
@@ -49,6 +59,10 @@ struct TelemetryReport
     /** Final (end-of-run) value of every registered source, sorted. */
     std::vector<std::pair<std::string, u64>> counters;
     u64 intervals = 0;
+    /** Region-level walk-cost attribution (empty unless enabled). */
+    AttributionReport attribution;
+    /** Promotion decision log + regret (empty unless enabled). */
+    AuditReport audit;
 
     bool operator==(const TelemetryReport &) const = default;
 

@@ -1,0 +1,55 @@
+#include "util/host_profile.hpp"
+
+#include <chrono>
+
+#include <sys/resource.h>
+
+namespace pccsim::util {
+
+HostProfile &
+HostProfile::global()
+{
+    // Leaked on purpose: atexit hooks (perf/telemetry export writers)
+    // read the profile during shutdown, after function-local statics
+    // with ordinary lifetimes may already be gone.
+    static HostProfile *profile = new HostProfile();
+    return *profile;
+}
+
+void
+HostProfile::add(const std::string &phase, u64 nanos)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    phases_[phase] += nanos;
+}
+
+std::vector<std::pair<std::string, u64>>
+HostProfile::phases() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {phases_.begin(), phases_.end()};
+}
+
+u64
+HostProfile::nowNanos()
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+u64
+HostProfile::peakRssBytes()
+{
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+#ifdef __APPLE__
+    return static_cast<u64>(usage.ru_maxrss); // bytes on macOS
+#else
+    return static_cast<u64>(usage.ru_maxrss) * 1024; // KiB on Linux
+#endif
+}
+
+} // namespace pccsim::util

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Host self-profiling: where does the harness's *wall* time go?
+ *
+ * The simulator reports simulated cycles; this records what the run
+ * cost the host — per-phase wall time (workload setup, the access
+ * loop, emission/export) and peak RSS — so BENCH_*.json and every
+ * --perf report can distinguish "the simulation got slower" from "the
+ * harness spends its time elsewhere".
+ *
+ * The profile is process-global and thread-safe (parallel runner
+ * workers all add to it) but deliberately kept OUT of simulation
+ * results: host timings are nondeterministic, and RunResult equality
+ * (the determinism contract) must not depend on them.
+ */
+
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pccsim::util {
+
+class HostProfile
+{
+  public:
+    /** The process-wide profile (immortal: safe from atexit hooks). */
+    static HostProfile &global();
+
+    /** Accumulate `nanos` of wall time into `phase`. */
+    void add(const std::string &phase, u64 nanos);
+
+    /** Snapshot, sorted by phase name. */
+    std::vector<std::pair<std::string, u64>> phases() const;
+
+    /** Monotonic host clock in nanoseconds. */
+    static u64 nowNanos();
+
+    /** Peak resident set size of this process, in bytes (0 unknown). */
+    static u64 peakRssBytes();
+
+    /** RAII phase timer. */
+    class Timer
+    {
+      public:
+        explicit Timer(const char *phase)
+            : phase_(phase), t0_(nowNanos())
+        {
+        }
+
+        ~Timer() { global().add(phase_, nowNanos() - t0_); }
+
+        Timer(const Timer &) = delete;
+        Timer &operator=(const Timer &) = delete;
+
+      private:
+        const char *phase_;
+        u64 t0_;
+    };
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, u64> phases_;
+};
+
+} // namespace pccsim::util

@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include "mem/phys_mem.hpp"
+#include "os/os.hpp"
+#include "sim/results.hpp"
+#include "sim/runner.hpp"
+#include "telemetry/attribution.hpp"
+#include "telemetry/audit.hpp"
+
+using namespace pccsim;
+using namespace pccsim::telemetry;
+
+// ---------------------------------------------------------- RegionProfiler
+
+TEST(RegionProfiler, AttributesWalksToRegions)
+{
+    RegionProfiler profiler(64);
+    const Vpn hot = 0x200000 >> mem::kShift2M;
+    const Vpn cold = 0x400000 >> mem::kShift2M;
+    profiler.recordWalk(1, hot, 100, 2, true);
+    profiler.recordWalk(1, hot, 150, 3, false);
+    profiler.recordWalk(1, cold, 40, 0, false);
+    profiler.recordPccEviction(1, hot);
+
+    const AttributionReport report = profiler.report();
+    ASSERT_EQ(report.regions.size(), 2u);
+    // Sorted by walk_cycles desc: hot first.
+    const RegionRow &row = report.regions[0];
+    EXPECT_EQ(row.pid, 1u);
+    EXPECT_EQ(row.base, static_cast<Addr>(hot) << mem::kShift2M);
+    EXPECT_EQ(row.walks, 2u);
+    EXPECT_EQ(row.walk_cycles, 250u);
+    EXPECT_EQ(row.pwc_hits, 5u);
+    EXPECT_EQ(row.pcc_hits, 1u);
+    EXPECT_EQ(row.pcc_evictions, 1u);
+    EXPECT_EQ(report.regions[1].walk_cycles, 40u);
+    EXPECT_EQ(report.total_walks, 3u);
+    EXPECT_EQ(report.total_walk_cycles, 290u);
+    EXPECT_EQ(report.untracked_walks, 0u);
+}
+
+TEST(RegionProfiler, OverflowFoldsIntoExactAggregates)
+{
+    // A budget far below the footprint: per-region rows cap out but
+    // totals (and therefore CDF denominators) must remain exact.
+    constexpr u32 kBudget = 16;
+    RegionProfiler profiler(kBudget);
+    u64 want_walks = 0, want_cycles = 0;
+    for (Vpn region = 0; region < 400; ++region) {
+        profiler.recordWalk(1, region, region + 1, 1, false);
+        ++want_walks;
+        want_cycles += region + 1;
+    }
+
+    const AttributionReport report = profiler.report();
+    EXPECT_EQ(report.budget, kBudget);
+    EXPECT_LE(report.regions.size(), static_cast<size_t>(kBudget));
+    EXPECT_LE(profiler.trackedRegions(), static_cast<u64>(kBudget));
+
+    u64 tracked_walks = 0, tracked_cycles = 0;
+    for (const RegionRow &row : report.regions) {
+        tracked_walks += row.walks;
+        tracked_cycles += row.walk_cycles;
+    }
+    EXPECT_EQ(tracked_walks + report.untracked_walks, want_walks);
+    EXPECT_EQ(tracked_cycles + report.untracked_walk_cycles, want_cycles);
+    EXPECT_EQ(report.total_walks, want_walks);
+    EXPECT_EQ(report.total_walk_cycles, want_cycles);
+    EXPECT_GT(report.untracked_walks, 0u);
+
+    // Rows obey the total order: walk_cycles desc, pid asc, base asc.
+    for (size_t i = 1; i < report.regions.size(); ++i) {
+        EXPECT_GE(report.regions[i - 1].walk_cycles,
+                  report.regions[i].walk_cycles);
+    }
+}
+
+TEST(RegionProfiler, OverflowSamplingIsDeterministic)
+{
+    // The reserve slots admit a fixed 1-in-8 key sample; identical
+    // streams must produce byte-identical reports — including which
+    // late regions won a row.
+    auto feed = [](RegionProfiler &profiler) {
+        for (Vpn region = 100; region < 600; ++region)
+            profiler.recordWalk(2, region, 10, 1, false);
+    };
+    RegionProfiler a(32), b(32);
+    feed(a);
+    feed(b);
+    EXPECT_TRUE(a.report() == b.report());
+    EXPECT_EQ(a.report().toJson().dump(), b.report().toJson().dump());
+    // With 500 distinct regions against a 32-row budget, some reserve
+    // admissions happened via the hash sample.
+    EXPECT_GT(a.report().sampled_admissions, 0u);
+}
+
+// ------------------------------------------------------- PromotionAuditLog
+
+TEST(PromotionAuditLog, RegretWindowOpensOnSkipAndClosesOnPromote)
+{
+    PromotionAuditLog log(64);
+    u64 now = 0;
+    log.setClock([&now] { return now; });
+    const Addr base = 0x600000;
+    const Vpn region = mem::vpnOf(base, mem::PageSize::Huge2M);
+
+    // Walks before any skip accrue no regret (window closed).
+    log.chargeWalk(1, region, 500);
+    now = 10;
+    log.record(AuditAction::Skip, AuditReason::CapReached, 1, base, 0,
+               42);
+    log.chargeWalk(1, region, 300);
+    log.chargeWalk(1, region, 200);
+
+    // Successful promotion closes the window; the incurred cycles are
+    // kept (they really happened) but nothing accrues afterwards.
+    now = 20;
+    log.record(AuditAction::Promote2M, AuditReason::Ok, 1, base, 0, 42);
+    log.chargeWalk(1, region, 999);
+
+    const AuditReport report = log.report();
+    ASSERT_EQ(report.regret.size(), 1u);
+    EXPECT_EQ(report.regret[0].base, base);
+    EXPECT_EQ(report.regret[0].cycles, 500u);
+    EXPECT_FALSE(report.regret[0].open);
+    EXPECT_EQ(report.regret_total_cycles, 500u);
+
+    ASSERT_EQ(report.records.size(), 2u);
+    EXPECT_EQ(report.records[0].ts, 10u);
+    EXPECT_EQ(report.records[1].ts, 20u);
+}
+
+TEST(PromotionAuditLog, FailedPromotionAlsoOpensTheWindow)
+{
+    PromotionAuditLog log(64);
+    const Addr base = 0x800000;
+    const Vpn region = mem::vpnOf(base, mem::PageSize::Huge2M);
+    log.record(AuditAction::Promote2M, AuditReason::NoHugeFrame, 1,
+               base);
+    log.chargeWalk(1, region, 77);
+    const AuditReport report = log.report();
+    ASSERT_EQ(report.regret.size(), 1u);
+    EXPECT_EQ(report.regret[0].cycles, 77u);
+    EXPECT_TRUE(report.regret[0].open);
+}
+
+TEST(PromotionAuditLog, BoundedLogCountsDroppedRecords)
+{
+    PromotionAuditLog log(2);
+    for (int i = 0; i < 5; ++i)
+        log.record(AuditAction::Skip, AuditReason::CapReached, 1,
+                   static_cast<Addr>(i) * mem::kBytes2M);
+    EXPECT_EQ(log.recordCount(), 2u);
+    const AuditReport report = log.report();
+    EXPECT_EQ(report.records.size(), 2u);
+    EXPECT_EQ(report.records_dropped, 3u);
+    // Regret bookkeeping is independent of the record bound: all five
+    // skipped regions carry an open window.
+    ASSERT_EQ(report.regret.size(), 5u);
+    for (const RegretRow &row : report.regret)
+        EXPECT_TRUE(row.open);
+}
+
+// ------------------------------------------------------------ Os decisions
+
+namespace {
+
+/** Fault every 4KB page of the 2MB region at `base`. */
+void
+faultRegion(os::Os &os_model, os::Process &proc, Addr base)
+{
+    for (u64 p = 0; p < mem::kPagesPer2M; ++p)
+        os_model.handleFault(proc, base + p * mem::kBytes4K, false);
+}
+
+bool
+hasRecord(const AuditReport &report, AuditAction action,
+          AuditReason reason)
+{
+    for (const AuditRecord &rec : report.records)
+        if (rec.action == action && rec.reason == reason)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(OsAudit, InjectedAllocationFailureRecordsTransientReason)
+{
+    mem::PhysicalMemory phys(64 * mem::kBytes2M);
+    phys.setAllocGate(
+        [](unsigned order) { return order != mem::kOrder2M; });
+    os::Os os_model(os::Os::Params{}, phys);
+    PromotionAuditLog log(1024);
+    os_model.setAuditLog(&log);
+
+    os::Process &proc = os_model.createProcess(64 * mem::kBytes2M);
+    const Addr heap = proc.mmap(4 * mem::kBytes2M, "heap");
+    faultRegion(os_model, proc, heap);
+
+    const auto result =
+        os_model.promoteRegion(proc, heap, /*allow_compaction=*/false,
+                               {.rank = 3, .counter = 99});
+    EXPECT_EQ(result.status, os::PromoteStatus::NoHugeFrame);
+
+    const AuditReport report = log.report();
+    // The gate makes the failure transient by definition: retrying
+    // could have succeeded, and the record says so.
+    EXPECT_TRUE(hasRecord(report, AuditAction::Promote2M,
+                          AuditReason::NoHugeFrameTransient));
+    ASSERT_FALSE(report.records.empty());
+    const AuditRecord &rec = report.records.back();
+    EXPECT_EQ(rec.pid, proc.pid());
+    EXPECT_EQ(rec.base, heap);
+    EXPECT_EQ(rec.rank, 3u);
+    EXPECT_EQ(rec.counter, 99u);
+}
+
+TEST(OsAudit, GenuineExhaustionRecordsNonTransientReason)
+{
+    // No injection gate: the same failure is final, and the audit
+    // trail distinguishes it from the transient class above.
+    mem::PhysicalMemory phys(2 * mem::kBytes2M);
+    os::Os os_model(os::Os::Params{}, phys);
+    PromotionAuditLog log(1024);
+    os_model.setAuditLog(&log);
+
+    os::Process &proc = os_model.createProcess(2 * mem::kBytes2M);
+    const Addr heap = proc.mmap(2 * mem::kBytes2M, "heap");
+    faultRegion(os_model, proc, heap);
+    faultRegion(os_model, proc, heap + mem::kBytes2M);
+
+    const auto result = os_model.promoteRegion(proc, heap, true);
+    EXPECT_EQ(result.status, os::PromoteStatus::NoHugeFrame);
+    EXPECT_TRUE(hasRecord(log.report(), AuditAction::Promote2M,
+                          AuditReason::NoHugeFrame));
+    EXPECT_FALSE(hasRecord(log.report(), AuditAction::Promote2M,
+                           AuditReason::NoHugeFrameTransient));
+}
+
+TEST(OsAudit, PressureReclaimRecordsVictimDemotions)
+{
+    mem::PhysicalMemory phys(8 * mem::kBytes2M);
+    os::Os os_model(os::Os::Params{}, phys);
+    PromotionAuditLog log(1024);
+    os_model.setAuditLog(&log);
+
+    os::Process &proc = os_model.createProcess(8 * mem::kBytes2M);
+    const Addr heap = proc.mmap(2 * mem::kBytes2M, "heap");
+    // Touch only part of the region: after promotion the untouched
+    // tail is bloat a reclaim pass can actually free.
+    for (u64 p = 0; p < mem::kPagesPer2M / 4; ++p)
+        os_model.handleFault(proc, heap + p * mem::kBytes4K, false);
+    ASSERT_EQ(os_model.promoteRegion(proc, heap, true).status,
+              os::PromoteStatus::Ok);
+
+    const auto reclaim = os_model.reclaimColdHugePages(1);
+    EXPECT_EQ(reclaim.regions_demoted, 1u);
+
+    const AuditReport report = log.report();
+    EXPECT_TRUE(hasRecord(report, AuditAction::Reclaim,
+                          AuditReason::PressureReclaim));
+    EXPECT_TRUE(
+        hasRecord(report, AuditAction::Demote2M, AuditReason::Ok));
+}
+
+// ------------------------------------------------------ System integration
+
+namespace {
+
+sim::ExperimentSpec
+attributionSpec(const std::string &workload,
+                sim::PolicyKind policy = sim::PolicyKind::Pcc)
+{
+    sim::ExperimentSpec spec;
+    spec.workload.name = workload;
+    spec.workload.scale = workloads::Scale::Ci;
+    spec.policy = policy;
+    spec.cap_percent = 25.0;
+    spec.frag_fraction = 0.3;
+    spec.telemetry.enabled = true;
+    spec.telemetry.attribution = true;
+    spec.telemetry.audit = true;
+    return spec;
+}
+
+} // namespace
+
+TEST(SystemAttribution, ReportConservesWalkCycles)
+{
+    const auto result = sim::runOne(attributionSpec("bfs"));
+    ASSERT_NE(result.telemetry, nullptr);
+    const AttributionReport &attr = result.telemetry->attribution;
+    EXPECT_GT(attr.total_walks, 0u);
+    EXPECT_FALSE(attr.regions.empty());
+    u64 tracked_walks = 0, tracked_cycles = 0;
+    for (const RegionRow &row : attr.regions) {
+        tracked_walks += row.walks;
+        tracked_cycles += row.walk_cycles;
+    }
+    EXPECT_EQ(tracked_walks + attr.untracked_walks, attr.total_walks);
+    EXPECT_EQ(tracked_cycles + attr.untracked_walk_cycles,
+              attr.total_walk_cycles);
+    // Audit rode along: the PCC policy made decisions this run.
+    EXPECT_FALSE(result.telemetry->audit.records.empty());
+}
+
+TEST(SystemAttribution, SerialAndParallelRunnersAgree)
+{
+    std::vector<sim::ExperimentSpec> specs;
+    specs.push_back(attributionSpec("bfs"));
+    specs.push_back(attributionSpec("pr", sim::PolicyKind::LinuxThp));
+    auto faulty = attributionSpec("bfs");
+    faulty.tweak = [](sim::SystemConfig &cfg) {
+        cfg.faults.alloc_fail_huge = 0.3;
+        cfg.faults.compaction_fail = 0.25;
+        cfg.faults.shock_intervals = {2, 5};
+    };
+    faulty.tweak_key = "storm";
+    specs.push_back(std::move(faulty));
+
+    sim::Runner serial(1);
+    sim::Runner parallel(4);
+    const auto a = serial.runMany(specs);
+    const auto b = parallel.runMany(specs);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_NE(a[i]->telemetry, nullptr) << i;
+        ASSERT_NE(b[i]->telemetry, nullptr) << i;
+        EXPECT_TRUE(a[i]->telemetry->attribution ==
+                    b[i]->telemetry->attribution)
+            << "attribution diverged across job counts for spec " << i;
+        EXPECT_TRUE(a[i]->telemetry->audit == b[i]->telemetry->audit)
+            << "audit diverged across job counts for spec " << i;
+        // The exported documents are what check.sh byte-compares.
+        EXPECT_EQ(a[i]->telemetry->attribution.toJson().dump(),
+                  b[i]->telemetry->attribution.toJson().dump());
+        EXPECT_EQ(a[i]->telemetry->audit.toJson().dump(),
+                  b[i]->telemetry->audit.toJson().dump());
+    }
+}
+
+TEST(SystemAttribution, OraclePolicyHasZeroRegret)
+{
+    // The all-huge oracle never skips a candidate; its counterfactual
+    // regret is zero by construction.
+    auto spec = attributionSpec("bfs", sim::PolicyKind::AllHuge);
+    spec.frag_fraction = 0.0;
+    const auto result = sim::runOne(spec);
+    ASSERT_NE(result.telemetry, nullptr);
+    EXPECT_EQ(sim::regretCycles(result), 0u);
+}
+
+TEST(SystemAttribution, StarvedPolicyAccumulatesRegret)
+{
+    // A threshold no counter can reach: every ranked candidate is
+    // skipped below-min-frequency, so their walk cycles all count as
+    // regret vs the oracle.
+    auto spec = attributionSpec("bfs");
+    spec.pcc_policy.min_frequency = ~0ull;
+    const auto result = sim::runOne(spec);
+    ASSERT_NE(result.telemetry, nullptr);
+    EXPECT_GT(sim::regretCycles(result), 0u);
+    EXPECT_EQ(result.job().promotions, 0u);
+}
+
+TEST(SystemAttribution, MemoKeyDistinguishesAttributionSettings)
+{
+    const auto base = attributionSpec("bfs");
+    auto no_attr = base;
+    no_attr.telemetry.attribution = false;
+    auto no_audit = base;
+    no_audit.telemetry.audit = false;
+    auto small_table = base;
+    small_table.telemetry.attribution_regions = 64;
+    auto small_log = base;
+    small_log.telemetry.max_audit_records = 1024;
+
+    EXPECT_NE(sim::specKey(base), sim::specKey(no_attr));
+    EXPECT_NE(sim::specKey(base), sim::specKey(no_audit));
+    EXPECT_NE(sim::specKey(base), sim::specKey(small_table));
+    EXPECT_NE(sim::specKey(base), sim::specKey(small_log));
+}
