@@ -25,6 +25,18 @@
  *   --audit=FILE                    write the promotion audit trail
  *                                   (decision log, reason histogram,
  *                                   counterfactual regret) as JSON
+ *   --oracle[=N]                    run every spec under the
+ *                                   differential oracle (sim/oracle.hpp):
+ *                                   compare against the reference model
+ *                                   every N accesses (default: 1 in
+ *                                   debug builds, 64 in release) and
+ *                                   abort with a replayable divergence
+ *                                   report on mismatch
+ *   --resume=FILE                   persist finished results to (and
+ *                                   preload the memo from) an on-disk
+ *                                   journal, so a killed sweep rerun
+ *                                   with the same --resume file skips
+ *                                   completed jobs
  *
  * --telemetry/--trace/--attribution/--audit enable telemetry on every
  * spec built through BenchEnv::spec(); the exported files carry the
@@ -189,6 +201,16 @@ writePerfReport()
     doc.set("batch_wall_ns", stats.wall_nanos);
     doc.set("wall_ns_per_access", per_access(stats.wall_nanos));
 
+    telemetry::Json resilience = telemetry::Json::object();
+    resilience.set("journal_loaded", stats.journal_loaded);
+    resilience.set("journal_malformed", stats.journal_malformed);
+    resilience.set("journal_appends", stats.journal_appends);
+    resilience.set("journal_skipped", stats.journal_skipped);
+    resilience.set("quarantined", stats.quarantined);
+    resilience.set("retries", stats.retries);
+    resilience.set("memo_discards", sim::Runner::globalMemoDiscards());
+    doc.set("runner", std::move(resilience));
+
     telemetry::Json host = telemetry::Json::object();
     host.set("hardware_jobs",
              static_cast<u64>(util::ThreadPool::hardwareJobs()));
@@ -259,6 +281,8 @@ struct BenchEnv
     std::optional<sim::PolicyKind> policy;
     /** Applied to every spec(); enabled by --telemetry/--trace. */
     telemetry::TelemetryConfig telemetry;
+    /** Applied to every spec(); enabled by --oracle[=N]. */
+    sim::OracleConfig oracle;
 
     static BenchEnv
     parse(int argc, char **argv,
@@ -305,8 +329,19 @@ struct BenchEnv
                  hardware, " hardware thread",
                  hardware == 1 ? "" : "s", ")");
         }
-        sim::Runner::setGlobalJobs(jobs_requested);
+        sim::RunnerOptions runner_options;
+        runner_options.jobs = jobs_requested;
+        if (opts.has("resume"))
+            runner_options.journal_path = opts.get("resume");
+        sim::Runner::setGlobalOptions(runner_options);
         env.jobs = sim::Runner::global().jobs();
+        if (opts.has("oracle")) {
+            env.oracle.enabled = true;
+            const i64 every = opts.getInt("oracle", 0);
+            env.oracle.sample_every =
+                every > 0 ? static_cast<u64>(every)
+                          : sim::OracleConfig::defaultSampleEvery();
+        }
         // Register the failure latch first: atexit runs in reverse
         // order, so it fires after every export writer below.
         std::atexit(detail::exitNonzeroOnExportFailure);
@@ -337,6 +372,7 @@ struct BenchEnv
         s.workload.seed = seed;
         s.policy = policy_kind;
         s.telemetry = telemetry;
+        s.oracle = oracle;
         return s;
     }
 

@@ -31,6 +31,9 @@ pcc_fig(abl_gb_pcc)
 pcc_fig(abl_victim)
 pcc_fig(abl_pressure)
 
+# Differential fuzzing driver (not a figure; same plain-binary shape).
+pcc_fig(fuzz_diff)
+
 # Microbenchmarks: google-benchmark.
 function(pcc_micro name)
     add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)

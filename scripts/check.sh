@@ -26,6 +26,14 @@
 #   bench | bench_compare fresh fig06 --format=json output must match
 #                         bench/baselines/ (exact simulation equality,
 #                         tolerant per-access timing)
+#   fuzz                  50 seeded fuzz_diff iterations (differential
+#                         oracle + serial-vs-parallel) must find zero
+#                         divergences, and both planted hot-path bugs
+#                         must be caught and shrunk
+#   resume                a SIGKILL'd fig06 sweep restarted with
+#                         --resume must complete byte-identical to an
+#                         uninterrupted run, serving the journaled
+#                         jobs from the memo instead of re-simulating
 #
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
 # build-tsan/; determinism, telemetry, attribution and bench use
@@ -172,9 +180,80 @@ run_bench_compare() {
     echo "==> [bench] clean"
 }
 
+run_fuzz() {
+    echo "==> [fuzz] configuring build-det"
+    cmake -B build-det -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    echo "==> [fuzz] building fuzz_diff"
+    cmake --build build-det -j "$(nproc)" --target fuzz_diff >/dev/null
+    echo "==> [fuzz] 50 seeded iterations (oracle + parallel diff)"
+    ./build-det/bench/fuzz_diff --iters=50 --seed=1
+    echo "==> [fuzz] planted-bug self-tests"
+    ./build-det/bench/fuzz_diff --mutation=skip-l2-fill
+    ./build-det/bench/fuzz_diff --mutation=stale-ltc
+    echo "==> [fuzz] clean"
+}
+
+run_resume() {
+    echo "==> [resume] configuring build-det"
+    cmake -B build-det -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    echo "==> [resume] building fig06_pcc_size"
+    cmake --build build-det -j "$(nproc)" --target fig06_pcc_size \
+        >/dev/null
+    local tmp
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' RETURN
+    echo "==> [resume] reference run (no journal)"
+    ./build-det/bench/fig06_pcc_size --scale=ci --csv --jobs=2 \
+        > "$tmp/reference.csv"
+    echo "==> [resume] journaled run, SIGKILL'd mid-sweep"
+    ./build-det/bench/fig06_pcc_size --scale=ci --csv --jobs=2 \
+        --resume="$tmp/journal.txt" > "$tmp/killed.csv" 2>/dev/null &
+    local pid=$!
+    sleep 2
+    if kill -9 "$pid" 2>/dev/null; then
+        echo "==> [resume] killed pid $pid"
+    else
+        echo "==> [resume] run finished before the kill (still valid:" \
+             "the journal then holds every job)"
+    fi
+    wait "$pid" 2>/dev/null || true
+    if [ ! -f "$tmp/journal.txt" ]; then
+        echo "resume gate FAILED: journal file never created" >&2
+        return 1
+    fi
+    echo "==> [resume] restarting with --resume"
+    ./build-det/bench/fig06_pcc_size --scale=ci --csv --jobs=2 \
+        --resume="$tmp/journal.txt" --perf="$tmp/perf.json" \
+        > "$tmp/resumed.csv"
+    if ! diff -u "$tmp/reference.csv" "$tmp/resumed.csv"; then
+        echo "resume gate FAILED: resumed output diverged" >&2
+        return 1
+    fi
+    echo "==> [resume] validating journal accounting"
+    python3 - "$tmp" <<'PYEOF'
+import json, sys
+
+tmp = sys.argv[1]
+perf = json.load(open(tmp + "/perf.json"))
+runner = perf["runner"]
+loaded = runner["journal_loaded"]
+assert loaded > 0, "no jobs were recovered from the journal"
+assert runner["journal_malformed"] <= 1, \
+    f"too many malformed records: {runner['journal_malformed']}" \
+    " (at most the one torn by the kill)"
+assert perf["memo_hits"] >= loaded, \
+    f"memo hits {perf['memo_hits']} < journaled jobs {loaded}"
+print(f"resume recovered {loaded} jobs"
+      f" ({runner['journal_malformed']} torn),"
+      f" {perf['memo_hits']} memo hits")
+PYEOF
+    echo "==> [resume] clean"
+}
+
 gates=("$@")
 if [ ${#gates[@]} -eq 0 ]; then
-    gates=(address undefined determinism telemetry attribution bench)
+    gates=(address undefined determinism telemetry attribution bench \
+           fuzz resume)
 fi
 
 for gate in "${gates[@]}"; do
@@ -194,9 +273,15 @@ for gate in "${gates[@]}"; do
       bench|bench_compare)
          run_bench_compare
          continue ;;
+      fuzz)
+         run_fuzz
+         continue ;;
+      resume)
+         run_resume
+         continue ;;
       *) echo "unknown gate '$gate'" \
               "(use address|undefined|thread|determinism|telemetry|" \
-              "attribution|bench)" >&2
+              "attribution|bench|fuzz|resume)" >&2
          exit 2 ;;
     esac
 

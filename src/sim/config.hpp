@@ -7,8 +7,10 @@
 
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <optional>
+#include <stdexcept>
 #include <string_view>
 
 #include "cache/cache.hpp"
@@ -17,12 +19,41 @@
 #include "pcc/pcc_unit.hpp"
 #include "pt/walker.hpp"
 #include "sim/fault_injector.hpp"
+#include "sim/oracle.hpp"
 #include "telemetry/report.hpp"
 #include "tlb/geometry.hpp"
 #include "util/status.hpp"
 #include "workloads/registry.hpp"
 
 namespace pccsim::sim {
+
+/**
+ * Deliberately planted hot-path bugs, used by the oracle's own tests
+ * and the fuzz harness's self-check to prove the differential checker
+ * actually catches the class of defect it exists for. Never enable
+ * outside tests.
+ */
+enum class HotPathMutation : u8
+{
+    None = 0,
+    /** Shootdowns no longer clear the per-core last-translation cache,
+     *  so the fast path serves accesses from a stale mapping. */
+    StaleLtc,
+    /** Walk misses refill only the L1 TLB, never the unified L2. */
+    SkipL2Fill,
+};
+
+/**
+ * Thrown out of System::run() when the cooperative cancel flag
+ * (SystemConfig::cancel) is observed set. The run's partial state is
+ * discarded by the thrower's caller; the message records how far the
+ * run got.
+ */
+class CancelledError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** Which promotion policy drives the run. */
 enum class PolicyKind : u8
@@ -154,6 +185,30 @@ struct SystemConfig
      * the structured event trace, and final counter values.
      */
     telemetry::TelemetryConfig telemetry{};
+
+    /**
+     * Differential oracle (off by default): run the simple reference
+     * translation model in lockstep with the optimized hot path and
+     * throw OracleError at the first divergence. Result-neutral — a
+     * run with the oracle on produces the identical RunResult (or
+     * throws), which is why specKey() ignores it.
+     */
+    OracleConfig oracle{};
+
+    /** Test-only planted hot-path bug (see HotPathMutation). */
+    HotPathMutation mutation = HotPathMutation::None;
+
+    /**
+     * Cooperative supervision hooks for external watchdogs (runtime
+     * wiring, never part of a spec's identity). `progress`, when set,
+     * receives the running total of simulated accesses after every
+     * scheduler batch; `cancel`, when set and observed true, makes
+     * run() throw CancelledError at the next batch boundary. A lane
+     * generator that blocks without yielding ops cannot be cancelled —
+     * the flag is only polled between batches.
+     */
+    std::atomic<u64> *progress = nullptr;
+    const std::atomic<bool> *cancel = nullptr;
 
     /**
      * Sanity-check the configuration: TLB/cache geometries that the

@@ -15,6 +15,12 @@ configFor(const ExperimentSpec &spec)
     cfg.frag_fraction = spec.frag_fraction;
     cfg.pcc_policy = spec.pcc_policy;
     cfg.telemetry = spec.telemetry;
+    cfg.faults = spec.faults;
+    cfg.check_invariants = spec.check_invariants;
+    if (spec.interval_accesses > 0)
+        cfg.interval_accesses = spec.interval_accesses;
+    cfg.oracle = spec.oracle;
+    cfg.mutation = spec.mutation;
     cfg.seed = spec.workload.seed;
     if (spec.policy == PolicyKind::AllHuge) {
         // The "Max. Perf. with THPs" configuration: unfragmented,
@@ -31,8 +37,18 @@ configFor(const ExperimentSpec &spec)
 RunResult
 runOne(const ExperimentSpec &spec)
 {
+    return runOne(spec, nullptr, nullptr);
+}
+
+RunResult
+runOne(const ExperimentSpec &spec, std::atomic<u64> *progress,
+       const std::atomic<bool> *cancel)
+{
     auto workload = workloads::makeWorkload(spec.workload);
-    System system(configFor(spec));
+    SystemConfig cfg = configFor(spec);
+    cfg.progress = progress;
+    cfg.cancel = cancel;
+    System system(std::move(cfg));
     return system.run(*workload, spec.lanes);
 }
 

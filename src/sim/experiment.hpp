@@ -28,6 +28,21 @@ struct ExperimentSpec
     os::PccPolicy::Params pcc_policy{};
     /** Telemetry collection for this run (off by default). */
     telemetry::TelemetryConfig telemetry{};
+    /** Deterministic fault injection for this run (off by default). */
+    FaultConfig faults{};
+    /** Sweep cross-layer invariants every interval (tests only). */
+    bool check_invariants = false;
+    /** Policy interval override; 0 keeps the scale default. */
+    u64 interval_accesses = 0;
+    /**
+     * Differential oracle for this run. Result-neutral (the run either
+     * produces the identical RunResult or throws OracleError), so it
+     * is deliberately NOT part of specKey() — an oracle-checked run
+     * may serve and be served by non-oracle memo entries.
+     */
+    OracleConfig oracle{};
+    /** Test-only planted hot-path bug (part of the spec identity). */
+    HotPathMutation mutation = HotPathMutation::None;
     /** Final hook to adjust the SystemConfig (PCC size sweeps etc.). */
     std::function<void(SystemConfig &)> tweak;
     /**
@@ -45,6 +60,15 @@ SystemConfig configFor(const ExperimentSpec &spec);
 
 /** Run one experiment to completion. */
 RunResult runOne(const ExperimentSpec &spec);
+
+/**
+ * Run one experiment under cooperative supervision: `progress` (may be
+ * null) receives the simulated-access count as the run advances, and
+ * setting `cancel` makes the run throw CancelledError at the next
+ * batch boundary. Used by the resilient runner's watchdog.
+ */
+RunResult runOne(const ExperimentSpec &spec, std::atomic<u64> *progress,
+                 const std::atomic<bool> *cancel);
 
 /** The paper's utility-curve x-axis: 0,1,2,4,...,64 and ~100 (%). */
 const std::vector<double> &utilityCaps();

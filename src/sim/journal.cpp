@@ -1,0 +1,348 @@
+#include "sim/journal.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace pccsim::sim {
+
+namespace {
+
+u64
+fnv1a(const std::string &data)
+{
+    u64 hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : data) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::string
+toHex(u64 value)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+/**
+ * %-escape a string into a single space-free token. A leading 's'
+ * marker keeps empty strings representable (the token is never empty)
+ * and makes decoding self-describing.
+ */
+std::string
+escapeString(const std::string &in)
+{
+    std::string out = "s";
+    for (unsigned char c : in) {
+        if (c == '%' || c == ' ' || c == '\n' || c == '\r' ||
+            c == '\t') {
+            char buf[4];
+            std::snprintf(buf, sizeof(buf), "%%%02x", c);
+            out += buf;
+        } else {
+            out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+std::optional<std::string>
+unescapeString(const std::string &token)
+{
+    if (token.empty() || token[0] != 's')
+        return std::nullopt;
+    std::string out;
+    for (size_t i = 1; i < token.size(); ++i) {
+        if (token[i] != '%') {
+            out += token[i];
+            continue;
+        }
+        if (i + 2 >= token.size())
+            return std::nullopt;
+        const std::string hex = token.substr(i + 1, 2);
+        char *end = nullptr;
+        const long v = std::strtol(hex.c_str(), &end, 16);
+        if (end != hex.c_str() + 2)
+            return std::nullopt;
+        out += static_cast<char>(v);
+        i += 2;
+    }
+    return out;
+}
+
+/** Sequential token reader with sticky failure. */
+class TokenReader
+{
+  public:
+    explicit TokenReader(const std::string &payload)
+    {
+        std::istringstream is(payload);
+        std::string tok;
+        while (is >> tok)
+            tokens_.push_back(std::move(tok));
+    }
+
+    bool failed() const { return failed_; }
+    bool exhausted() const { return next_ >= tokens_.size(); }
+
+    u64
+    nextU64()
+    {
+        const std::string *tok = take();
+        if (!tok)
+            return 0;
+        char *end = nullptr;
+        const u64 v = std::strtoull(tok->c_str(), &end, 10);
+        if (end != tok->c_str() + tok->size())
+            failed_ = true;
+        return v;
+    }
+
+    double
+    nextDouble()
+    {
+        const std::string *tok = take();
+        if (!tok)
+            return 0.0;
+        char *end = nullptr;
+        // strtod parses the C99 hexfloat form encodeResult emits, so
+        // the double round-trips bit-exactly.
+        const double v = std::strtod(tok->c_str(), &end);
+        if (end != tok->c_str() + tok->size())
+            failed_ = true;
+        return v;
+    }
+
+    std::string
+    nextString()
+    {
+        const std::string *tok = take();
+        if (!tok)
+            return {};
+        auto decoded = unescapeString(*tok);
+        if (!decoded) {
+            failed_ = true;
+            return {};
+        }
+        return *decoded;
+    }
+
+  private:
+    const std::string *
+    take()
+    {
+        if (next_ >= tokens_.size()) {
+            failed_ = true;
+            return nullptr;
+        }
+        return &tokens_[next_++];
+    }
+
+    std::vector<std::string> tokens_;
+    size_t next_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace
+
+bool
+ResultJournal::serializable(const RunResult &result)
+{
+    return result.telemetry == nullptr;
+}
+
+std::string
+ResultJournal::encodeResult(const RunResult &result)
+{
+    std::ostringstream os;
+    os << result.wall_cycles << ' ' << result.total_accesses << ' '
+       << result.os_background_cycles << ' ' << result.compactions
+       << ' ' << result.shootdowns << ' ' << result.intervals;
+    const auto &r = result.resilience;
+    os << ' ' << r.injected_alloc_fails << ' '
+       << r.injected_compaction_fails << ' ' << r.shootdown_storms
+       << ' ' << r.frag_shocks << ' ' << r.shock_blocks_pinned << ' '
+       << r.promote_retries << ' ' << r.promote_retry_successes << ' '
+       << r.reclaim_events << ' ' << r.reclaim_demotions << ' '
+       << r.reclaimed_frames << ' ' << r.invariant_checks << ' '
+       << r.invariant_failures << ' '
+       << escapeString(r.first_invariant_failure);
+    os << ' ' << result.jobs.size();
+    os << std::hexfloat;
+    for (const auto &job : result.jobs) {
+        os << ' ' << escapeString(job.workload) << ' ' << job.pid << ' '
+           << job.wall_cycles << ' ' << job.accesses << ' '
+           << job.tlb_accesses << ' ' << job.l1_hits << ' '
+           << job.l2_hits << ' ' << job.walks << ' '
+           << job.refs_per_walk << ' ' << job.faults << ' '
+           << job.promotions << ' ' << job.promotions_1g << ' '
+           << job.demotions << ' ' << job.footprint_bytes << ' '
+           << job.promoted_bytes << ' ' << job.bloat_pages;
+    }
+    return os.str();
+}
+
+std::optional<RunResult>
+ResultJournal::decodeResult(const std::string &payload)
+{
+    TokenReader in(payload);
+    RunResult result;
+    result.wall_cycles = in.nextU64();
+    result.total_accesses = in.nextU64();
+    result.os_background_cycles = in.nextU64();
+    result.compactions = in.nextU64();
+    result.shootdowns = in.nextU64();
+    result.intervals = in.nextU64();
+    auto &r = result.resilience;
+    r.injected_alloc_fails = in.nextU64();
+    r.injected_compaction_fails = in.nextU64();
+    r.shootdown_storms = in.nextU64();
+    r.frag_shocks = in.nextU64();
+    r.shock_blocks_pinned = in.nextU64();
+    r.promote_retries = in.nextU64();
+    r.promote_retry_successes = in.nextU64();
+    r.reclaim_events = in.nextU64();
+    r.reclaim_demotions = in.nextU64();
+    r.reclaimed_frames = in.nextU64();
+    r.invariant_checks = in.nextU64();
+    r.invariant_failures = in.nextU64();
+    r.first_invariant_failure = in.nextString();
+    const u64 num_jobs = in.nextU64();
+    if (in.failed() || num_jobs > 4096)
+        return std::nullopt;
+    result.jobs.reserve(num_jobs);
+    for (u64 j = 0; j < num_jobs; ++j) {
+        JobResult job;
+        job.workload = in.nextString();
+        job.pid = static_cast<Pid>(in.nextU64());
+        job.wall_cycles = in.nextU64();
+        job.accesses = in.nextU64();
+        job.tlb_accesses = in.nextU64();
+        job.l1_hits = in.nextU64();
+        job.l2_hits = in.nextU64();
+        job.walks = in.nextU64();
+        job.refs_per_walk = in.nextDouble();
+        job.faults = in.nextU64();
+        job.promotions = in.nextU64();
+        job.promotions_1g = in.nextU64();
+        job.demotions = in.nextU64();
+        job.footprint_bytes = in.nextU64();
+        job.promoted_bytes = in.nextU64();
+        job.bloat_pages = in.nextU64();
+        result.jobs.push_back(std::move(job));
+    }
+    if (in.failed() || !in.exhausted())
+        return std::nullopt;
+    return result;
+}
+
+ResultJournal::ResultJournal(std::string path) : path_(std::move(path))
+{
+    std::ifstream existing(path_);
+    if (existing.good()) {
+        std::string header;
+        std::getline(existing, header);
+        if (header != kHeader) {
+            warn("journal '", path_, "': unknown header '", header,
+                 "' (expected '", kHeader,
+                 "'); journal disabled for this run");
+            return;
+        }
+    } else {
+        // Create atomically: a crash between open and header write
+        // must not leave a header-less file a later run would reject.
+        const std::string tmp = path_ + ".tmp";
+        {
+            std::ofstream create(tmp, std::ios::trunc);
+            if (!create.good()) {
+                warn("journal '", path_, "': cannot create '", tmp, "'");
+                return;
+            }
+            create << kHeader << '\n';
+            create.flush();
+            if (!create.good()) {
+                warn("journal '", path_, "': header write failed");
+                return;
+            }
+        }
+        if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+            warn("journal '", path_, "': rename from '", tmp,
+                 "' failed");
+            std::remove(tmp.c_str());
+            return;
+        }
+    }
+    out_.open(path_, std::ios::app);
+    if (!out_.good()) {
+        warn("journal '", path_, "': cannot open for append");
+        return;
+    }
+    ok_ = true;
+}
+
+ResultJournal::LoadStats
+ResultJournal::load(
+    std::map<std::string, std::shared_ptr<const RunResult>> &into)
+{
+    LoadStats stats;
+    if (!ok_)
+        return stats;
+    std::ifstream in(path_);
+    std::string line;
+    std::getline(in, line); // header, validated in the constructor
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream is(line);
+        std::string tag, hash_hex, key_token;
+        if (!(is >> tag >> hash_hex >> key_token) || tag != "R") {
+            ++stats.malformed;
+            continue;
+        }
+        std::string payload;
+        std::getline(is, payload);
+        if (!payload.empty() && payload.front() == ' ')
+            payload.erase(0, 1);
+        const auto key = unescapeString(key_token);
+        if (!key || payload.empty() ||
+            toHex(fnv1a(*key + '\n' + payload)) != hash_hex) {
+            ++stats.malformed;
+            continue;
+        }
+        auto result = decodeResult(payload);
+        if (!result) {
+            ++stats.malformed;
+            continue;
+        }
+        into[*key] =
+            std::make_shared<const RunResult>(std::move(*result));
+        ++stats.loaded;
+    }
+    return stats;
+}
+
+bool
+ResultJournal::append(const std::string &key, const RunResult &result)
+{
+    if (!ok_ || key.empty() || !serializable(result))
+        return false;
+    const std::string payload = encodeResult(result);
+    out_ << "R " << toHex(fnv1a(key + '\n' + payload)) << ' '
+         << escapeString(key) << ' ' << payload << '\n';
+    out_.flush();
+    if (!out_.good()) {
+        warn("journal '", path_, "': append failed; journal disabled");
+        ok_ = false;
+        return false;
+    }
+    return true;
+}
+
+} // namespace pccsim::sim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Crash-consistent on-disk memoization journal for the runner.
+ *
+ * A multi-hour sweep that dies (crash, OOM-kill, SIGKILL) used to lose
+ * every completed simulation because the runner's memo lives in
+ * memory. The journal persists each completed RunResult keyed by its
+ * canonical specKey so a restarted sweep replays instantly from disk.
+ *
+ * Format (line-oriented text, one file per journal):
+ *
+ *     pccsim-journal v1
+ *     R <fnv64-hex> <escaped-key> <payload>
+ *     R ...
+ *
+ * The header line is created atomically (write temp file, rename into
+ * place) so a concurrent reader never sees a header-less journal.
+ * Records are appended and flushed one-by-one as jobs complete — after
+ * a SIGKILL the journal holds every finished job plus at most one
+ * truncated tail line. The loader verifies a 64-bit FNV-1a hash over
+ * `key\npayload` per record and silently skips any malformed/truncated
+ * line (counted, not fatal), so a crashed journal is always readable.
+ *
+ * Versioning: the header names the format version. v1 covers every
+ * RunResult field except the telemetry report (interval series, event
+ * traces and attribution tables are deliberately not round-tripped —
+ * results carrying telemetry are skipped at append and re-simulated on
+ * resume). An unknown version disables the journal with a warning
+ * rather than guessing: stale results silently decoded under changed
+ * semantics would defeat the whole point of a correctness net.
+ */
+
+#pragma once
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sim/results.hpp"
+
+namespace pccsim::sim {
+
+class ResultJournal
+{
+  public:
+    static constexpr const char *kHeader = "pccsim-journal v1";
+
+    /**
+     * Open (creating if absent) the journal at `path`. On a version
+     * mismatch or I/O failure the journal becomes a no-op: ok() turns
+     * false, load() yields nothing, append() refuses.
+     */
+    explicit ResultJournal(std::string path);
+
+    bool ok() const { return ok_; }
+    const std::string &path() const { return path_; }
+
+    struct LoadStats
+    {
+        u64 loaded = 0;    //!< records decoded and handed to the caller
+        u64 malformed = 0; //!< truncated/corrupt lines skipped
+    };
+
+    /** Read every valid record into `into` (later keys overwrite). */
+    LoadStats
+    load(std::map<std::string, std::shared_ptr<const RunResult>> &into);
+
+    /**
+     * Append one completed result; flushed before returning so a crash
+     * right after loses nothing. Returns false (and writes nothing)
+     * for unserializable results (attached telemetry), an empty key,
+     * or a journal that is not ok().
+     */
+    bool append(const std::string &key, const RunResult &result);
+
+    /** Can this result be round-tripped through the v1 format? */
+    static bool serializable(const RunResult &result);
+
+    static std::string encodeResult(const RunResult &result);
+    static std::optional<RunResult>
+    decodeResult(const std::string &payload);
+
+  private:
+    std::string path_;
+    bool ok_ = false;
+    std::ofstream out_;
+};
+
+} // namespace pccsim::sim

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <numeric>
 #include <sstream>
+
+#include "util/log.hpp"
 
 namespace pccsim::sim {
 
@@ -19,6 +22,19 @@ nowNanos()
 }
 
 } // namespace
+
+std::string
+to_string(JobFail fail)
+{
+    switch (fail) {
+      case JobFail::None: return "none";
+      case JobFail::Timeout: return "timeout";
+      case JobFail::Stalled: return "stalled";
+      case JobFail::Diverged: return "diverged";
+      case JobFail::Error: return "error";
+    }
+    return "?";
+}
 
 std::string
 specKey(const ExperimentSpec &spec)
@@ -45,15 +61,52 @@ specKey(const ExperimentSpec &spec)
     os << '|' << t.enabled << t.trace_events << t.attribution << t.audit
        << '|' << t.top_k << '|' << t.max_events << '|'
        << t.attribution_regions << '|' << t.max_audit_records;
+    // Fault schedules, invariant sweeps, interval overrides and planted
+    // mutations all change results; the oracle (result-neutral) does
+    // not and is deliberately absent.
+    const auto &f = spec.faults;
+    os << '|' << f.alloc_fail_base << ',' << f.alloc_fail_huge << ','
+       << f.alloc_fail_1g << ',' << f.compaction_fail << ','
+       << f.compaction_partial << ',' << f.partial_move_limit << ','
+       << f.shootdown_storm << ',' << f.shootdown_storm_cycles << ','
+       << f.shock_fraction << ',' << f.seed_salt;
+    for (u64 shock : f.shock_intervals)
+        os << ',' << shock;
+    os << '|' << spec.check_invariants << '|' << spec.interval_accesses
+       << '|' << static_cast<int>(spec.mutation);
     os << '|' << spec.tweak_key;
     return os.str();
 }
 
-Runner::Runner(u32 jobs)
-    : jobs_(jobs == 0 ? util::ThreadPool::hardwareJobs() : jobs)
+/** Per-guarded-job heartbeat shared between worker and watchdog. */
+struct Runner::Supervision
+{
+    std::atomic<u64> progress{0};    //!< simulated accesses so far
+    std::atomic<bool> cancel{false}; //!< watchdog -> worker
+    std::atomic<u64> started_ns{0};  //!< attempt start; 0 = not running
+    std::atomic<u8> verdict{0};      //!< 0 none, 1 deadline, 2 stall
+    std::atomic<bool> done{false};
+
+    // Watchdog-private scan state (single watchdog thread).
+    u64 last_progress = ~0ull;
+    u64 last_change_ns = 0;
+};
+
+Runner::Runner(u32 jobs) : Runner(RunnerOptions{.jobs = jobs}) {}
+
+Runner::Runner(RunnerOptions options)
+    : jobs_(options.jobs == 0 ? util::ThreadPool::hardwareJobs()
+                              : options.jobs),
+      options_(std::move(options))
 {
     if (jobs_ > 1)
         pool_ = std::make_unique<util::ThreadPool>(jobs_);
+    if (!options_.journal_path.empty()) {
+        journal_ = std::make_unique<ResultJournal>(options_.journal_path);
+        const auto loaded = journal_->load(memo_);
+        stats_.journal_loaded = loaded.loaded;
+        stats_.journal_malformed = loaded.malformed;
+    }
 }
 
 Runner::~Runner() = default;
@@ -72,18 +125,89 @@ Runner::stats() const
     return snapshot;
 }
 
+size_t
+Runner::memoSize() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return memo_.size();
+}
+
 std::shared_ptr<const RunResult>
-Runner::simulate(const ExperimentSpec &spec)
+Runner::simulate(const ExperimentSpec &spec, const std::string &key,
+                 Supervision *supervision)
 {
     const u64 t0 = nowNanos();
-    auto result = std::make_shared<const RunResult>(runOne(spec));
+    auto result = std::make_shared<const RunResult>(
+        runOne(spec, supervision ? &supervision->progress : nullptr,
+               supervision ? &supervision->cancel : nullptr));
     const u64 elapsed = nowNanos() - t0;
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.simulated;
     stats_.total_accesses += result->total_accesses;
     stats_.sim_nanos += elapsed;
     worker_busy_[std::this_thread::get_id()] += elapsed;
+    if (journal_ && !key.empty()) {
+        if (journal_->append(key, *result))
+            ++stats_.journal_appends;
+        else
+            ++stats_.journal_skipped;
+    }
     return result;
+}
+
+JobOutcome
+Runner::runGuarded(const ExperimentSpec &spec, const std::string &key,
+                   Supervision *supervision)
+{
+    JobOutcome outcome;
+    for (u32 attempt = 1;; ++attempt) {
+        outcome.attempts = attempt;
+        if (supervision) {
+            supervision->progress.store(0, std::memory_order_relaxed);
+            supervision->verdict.store(0, std::memory_order_relaxed);
+            supervision->cancel.store(false, std::memory_order_relaxed);
+            // The watchdog anchors its stall window at the later of
+            // started_ns and the last progress change, so bumping the
+            // start resets the window for this attempt.
+            supervision->started_ns.store(nowNanos());
+        }
+        try {
+            outcome.result = simulate(spec, key, supervision);
+            outcome.fail = JobFail::None;
+            outcome.message.clear();
+            break;
+        } catch (const OracleError &e) {
+            outcome.fail = JobFail::Diverged;
+            outcome.message = e.what();
+            break;
+        } catch (const CancelledError &e) {
+            const u8 verdict =
+                supervision ? supervision->verdict.load() : u8{0};
+            outcome.fail =
+                verdict == 2 ? JobFail::Stalled : JobFail::Timeout;
+            outcome.message = e.what();
+            break;
+        } catch (const std::exception &e) {
+            if (attempt > options_.max_retries) {
+                outcome.fail = JobFail::Error;
+                outcome.message = e.what();
+                break;
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.retries;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                options_.retry_backoff_ms << (attempt - 1)));
+        } catch (...) {
+            outcome.fail = JobFail::Error;
+            outcome.message = "unknown exception";
+            break;
+        }
+    }
+    if (supervision)
+        supervision->done.store(true);
+    return outcome;
 }
 
 std::shared_ptr<const RunResult>
@@ -132,12 +256,13 @@ Runner::runMany(const std::vector<ExperimentSpec> &specs)
     if (!to_run.empty()) {
         std::vector<std::shared_ptr<const RunResult>> results;
         if (pool_) {
-            results = pool_->parallelMap(
-                to_run, [&](const size_t &i) { return simulate(specs[i]); });
+            results = pool_->parallelMap(to_run, [&](const size_t &i) {
+                return simulate(specs[i], keys[i], nullptr);
+            });
         } else {
             results.reserve(to_run.size());
             for (size_t i : to_run)
-                results.push_back(simulate(specs[i]));
+                results.push_back(simulate(specs[i], keys[i], nullptr));
         }
         std::lock_guard<std::mutex> lock(mutex_);
         for (size_t n = 0; n < to_run.size(); ++n) {
@@ -156,10 +281,160 @@ Runner::runMany(const std::vector<ExperimentSpec> &specs)
     return out;
 }
 
+std::vector<JobOutcome>
+Runner::runManyGuarded(const std::vector<ExperimentSpec> &specs)
+{
+    const u64 wall_t0 = nowNanos();
+    std::vector<JobOutcome> out(specs.size());
+    std::vector<std::string> keys(specs.size());
+    std::vector<size_t> to_run;
+    std::map<std::string, size_t> batch_owner;
+    std::vector<std::pair<size_t, size_t>> followers;
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.requested += specs.size();
+        for (size_t i = 0; i < specs.size(); ++i) {
+            keys[i] = specKey(specs[i]);
+            if (keys[i].empty()) {
+                to_run.push_back(i);
+                continue;
+            }
+            if (auto it = memo_.find(keys[i]); it != memo_.end()) {
+                out[i].result = it->second;
+                ++stats_.memo_hits;
+                continue;
+            }
+            if (auto it = batch_owner.find(keys[i]);
+                it != batch_owner.end()) {
+                followers.emplace_back(i, it->second);
+                ++stats_.memo_hits;
+                continue;
+            }
+            batch_owner.emplace(keys[i], i);
+            to_run.push_back(i);
+        }
+    }
+
+    const bool watched =
+        options_.deadline_ms > 0 || options_.stall_ms > 0;
+    std::vector<std::unique_ptr<Supervision>> supervisions;
+    if (watched) {
+        supervisions.reserve(to_run.size());
+        for (size_t n = 0; n < to_run.size(); ++n)
+            supervisions.push_back(std::make_unique<Supervision>());
+    }
+
+    std::atomic<bool> watchdog_stop{false};
+    std::thread watchdog;
+    if (watched && !to_run.empty()) {
+        const u64 poll_ms = std::max<u64>(1, options_.watchdog_poll_ms);
+        watchdog = std::thread([this, &supervisions, &watchdog_stop,
+                                poll_ms] {
+            while (!watchdog_stop.load(std::memory_order_relaxed)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(poll_ms));
+                const u64 now = nowNanos();
+                for (auto &sup_ptr : supervisions) {
+                    Supervision &sup = *sup_ptr;
+                    if (sup.done.load(std::memory_order_relaxed))
+                        continue;
+                    const u64 started = sup.started_ns.load();
+                    if (started == 0)
+                        continue; // attempt not running yet
+                    if (options_.deadline_ms > 0 &&
+                        now - started >
+                            options_.deadline_ms * 1'000'000ull) {
+                        sup.verdict.store(1);
+                        sup.cancel.store(true);
+                        continue;
+                    }
+                    const u64 progress =
+                        sup.progress.load(std::memory_order_relaxed);
+                    if (progress != sup.last_progress) {
+                        sup.last_progress = progress;
+                        sup.last_change_ns = now;
+                        continue;
+                    }
+                    const u64 anchor =
+                        std::max(sup.last_change_ns, started);
+                    if (options_.stall_ms > 0 &&
+                        now - anchor >
+                            options_.stall_ms * 1'000'000ull) {
+                        sup.verdict.store(2);
+                        sup.cancel.store(true);
+                    }
+                }
+            }
+        });
+    }
+
+    if (!to_run.empty()) {
+        std::vector<size_t> order(to_run.size());
+        std::iota(order.begin(), order.end(), size_t{0});
+        const auto task = [&](size_t n) {
+            return runGuarded(specs[to_run[n]], keys[to_run[n]],
+                              watched ? supervisions[n].get() : nullptr);
+        };
+        std::vector<JobOutcome> results;
+        if (pool_) {
+            // runGuarded never throws, so the map cannot fail.
+            results = pool_->parallelMap(
+                order, [&](const size_t &n) { return task(n); });
+        } else {
+            results.reserve(order.size());
+            for (size_t n : order)
+                results.push_back(task(n));
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (size_t n = 0; n < to_run.size(); ++n) {
+            const size_t i = to_run[n];
+            out[i] = std::move(results[n]);
+            if (out[i].ok()) {
+                if (!keys[i].empty())
+                    memo_.emplace(keys[i], out[i].result);
+            } else {
+                ++stats_.quarantined;
+            }
+        }
+    }
+
+    if (watchdog.joinable()) {
+        watchdog_stop.store(true);
+        watchdog.join();
+    }
+
+    // Followers inherit their owner's outcome, quarantine included.
+    for (const auto &[follower, owner] : followers)
+        out[follower] = out[owner];
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.wall_nanos += nowNanos() - wall_t0;
+    }
+    return out;
+}
+
 namespace {
 
 std::mutex g_runner_mutex;
 std::unique_ptr<Runner> g_runner;
+std::atomic<u64> g_memo_discards{0};
+
+/** Replace the global runner, accounting a discarded non-empty memo. */
+void
+replaceGlobalLocked(std::unique_ptr<Runner> next)
+{
+    if (g_runner) {
+        const size_t entries = g_runner->memoSize();
+        if (entries > 0) {
+            g_memo_discards.fetch_add(1);
+            warn("runner.memo_discards: reconfiguring the global "
+                 "runner discarded ",
+                 entries, " memoized result(s)");
+        }
+    }
+    g_runner = std::move(next);
+}
 
 } // namespace
 
@@ -176,7 +451,20 @@ void
 Runner::setGlobalJobs(u32 jobs)
 {
     std::lock_guard<std::mutex> lock(g_runner_mutex);
-    g_runner = std::make_unique<Runner>(jobs);
+    replaceGlobalLocked(std::make_unique<Runner>(jobs));
+}
+
+void
+Runner::setGlobalOptions(const RunnerOptions &options)
+{
+    std::lock_guard<std::mutex> lock(g_runner_mutex);
+    replaceGlobalLocked(std::make_unique<Runner>(options));
+}
+
+u64
+Runner::globalMemoDiscards()
+{
+    return g_memo_discards.load();
 }
 
 } // namespace pccsim::sim

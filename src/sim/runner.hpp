@@ -1,6 +1,6 @@
 /**
  * @file
- * Parallel, memoizing experiment runner.
+ * Parallel, memoizing, crash-resilient experiment runner.
  *
  * The bench harnesses reproduce paper figures from many *independent*
  * simulations; the runner executes them across a fixed-size thread
@@ -13,14 +13,34 @@
  *    simulate once (baselines used to be re-run per variant);
  *  - memoization: results are cached across calls under a canonical
  *    spec key, so BaselineCache, geomeanSpeedup and the figure
- *    harnesses all share one simulation per distinct spec.
+ *    harnesses all share one simulation per distinct spec;
+ *  - persistence: with RunnerOptions::journal_path set, completed
+ *    results are appended to a crash-consistent on-disk journal
+ *    (sim/journal.hpp) and preloaded into the memo at construction, so
+ *    a sweep killed mid-run resumes from its last completed job;
+ *  - supervision: runManyGuarded() runs each job under a watchdog
+ *    (wall-clock deadline and/or progress-stall detection via the
+ *    simulated-access heartbeat) and bounded retry-with-backoff,
+ *    quarantining a hung/diverged/failed spec as a JobOutcome instead
+ *    of wedging or aborting the whole batch.
  *
  * Specs whose `tweak` has no `tweak_key` cannot be keyed; they run on
- * every request (still in parallel) and are never cached.
+ * every request (still in parallel) and are never cached or journaled.
+ *
+ * Memo lifetime: the memo (and journal handle) live exactly as long as
+ * the Runner. Replacing the global runner via setGlobalJobs() or
+ * setGlobalOptions() necessarily discards the old instance's memo —
+ * every cached simulation is re-run on next request. This used to
+ * happen silently; it is now counted in the process-wide
+ * `runner.memo_discards` counter (globalMemoDiscards()) and logged
+ * with the number of entries thrown away, so a harness reconfiguring
+ * mid-run can see the cost. Configure parallelism *before* the first
+ * simulation (BenchEnv does) to keep the counter at zero.
  */
 
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -29,28 +49,92 @@
 #include <vector>
 
 #include "sim/experiment.hpp"
+#include "sim/journal.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pccsim::sim {
 
 /**
  * Canonical memoization key of a spec: a serialization of every field
- * that reaches configFor()/makeWorkload(). Returns "" for specs with
- * an unkeyed tweak (not memoizable).
+ * that reaches configFor()/makeWorkload() and can change the result.
+ * OracleConfig is deliberately excluded (result-neutral: an oracle run
+ * either produces the identical result or throws). Returns "" for
+ * specs with an unkeyed tweak (not memoizable).
  */
 std::string specKey(const ExperimentSpec &spec);
+
+/** Construction-time configuration of a Runner. */
+struct RunnerOptions
+{
+    /** Worker count; 0 selects the host concurrency. */
+    u32 jobs = 0;
+
+    /** On-disk result journal; empty = in-memory memo only. */
+    std::string journal_path{};
+
+    /**
+     * Watchdog limits for runManyGuarded() jobs; 0 disables the
+     * respective check. `deadline_ms` bounds one attempt's total wall
+     * time; `stall_ms` bounds the time the simulated-access heartbeat
+     * may stay flat. Note the heartbeat starts only once the workload
+     * is set up — generous stall budgets avoid false positives on
+     * setup-heavy specs (prefer the deadline for hang protection).
+     */
+    u64 deadline_ms = 0;
+    u64 stall_ms = 0;
+
+    /** Watchdog scan period. */
+    u64 watchdog_poll_ms = 20;
+
+    /**
+     * Bounded retry for jobs failing with an ordinary error (e.g. an
+     * injected host fault): attempt 1 + max_retries times, sleeping
+     * retry_backoff_ms << (attempt-1) between tries. Divergences,
+     * timeouts and stalls never retry.
+     */
+    u32 max_retries = 0;
+    u64 retry_backoff_ms = 10;
+};
+
+/** Why a guarded job did not produce a result. */
+enum class JobFail : u8
+{
+    None = 0,  //!< success
+    Timeout,   //!< wall-clock deadline exceeded; run cancelled
+    Stalled,   //!< progress heartbeat flat for stall_ms; cancelled
+    Diverged,  //!< the differential oracle found a divergence
+    Error,     //!< ordinary exception (after exhausting retries)
+};
+
+std::string to_string(JobFail fail);
+
+/** Result-or-quarantine of one guarded job. */
+struct JobOutcome
+{
+    /** The result; null unless fail == None. */
+    std::shared_ptr<const RunResult> result;
+    JobFail fail = JobFail::None;
+    /** Diagnostic (exception text) when quarantined. */
+    std::string message;
+    /** Attempts consumed (0 when served from the memo). */
+    u32 attempts = 0;
+
+    bool ok() const { return fail == JobFail::None && result; }
+};
 
 class Runner
 {
   public:
     /** @param jobs Worker count; 0 selects the host concurrency. */
     explicit Runner(u32 jobs = 0);
+    explicit Runner(RunnerOptions options);
     ~Runner();
 
     Runner(const Runner &) = delete;
     Runner &operator=(const Runner &) = delete;
 
     u32 jobs() const { return jobs_; }
+    const RunnerOptions &options() const { return options_; }
 
     /** Aggregate accounting across every run() / runMany() so far. */
     struct Stats
@@ -69,9 +153,20 @@ class Runner
         u64 wall_nanos = 0; //!< host ns spent blocked in runMany()
         /** Per-worker busy ns (sim_nanos split by thread), busiest first. */
         std::vector<u64> worker_busy_nanos;
+
+        // ---- persistence and supervision ----
+        u64 journal_loaded = 0;    //!< memo entries preloaded from disk
+        u64 journal_malformed = 0; //!< journal lines skipped at load
+        u64 journal_appends = 0;   //!< results persisted this process
+        u64 journal_skipped = 0;   //!< unserializable results not persisted
+        u64 quarantined = 0;       //!< guarded jobs that failed for good
+        u64 retries = 0;           //!< guarded re-attempts taken
     };
 
     Stats stats() const;
+
+    /** Memoized results currently held (journal preload included). */
+    size_t memoSize() const;
 
     /** Run (or recall) one spec. */
     std::shared_ptr<const RunResult> run(const ExperimentSpec &spec);
@@ -80,24 +175,56 @@ class Runner
      * Run a batch. Results arrive in spec order; duplicate keys within
      * the batch simulate once; previously-seen keys are recalled from
      * the memo. With jobs() == 1 the batch runs serially inline —
-     * jobs() > 1 produces bit-identical results.
+     * jobs() > 1 produces bit-identical results. Exceptions propagate
+     * (all failures aggregated per util::ThreadPool::parallelMap); use
+     * runManyGuarded() to contain them per job instead.
      */
     std::vector<std::shared_ptr<const RunResult>>
     runMany(const std::vector<ExperimentSpec> &specs);
 
     /**
+     * Run a batch under supervision: every job is watched by the
+     * deadline/stall watchdog (when configured), retried per
+     * RunnerOptions on ordinary errors, and quarantined — never
+     * thrown — on terminal failure. The batch always completes; a
+     * hung or diverged spec costs its own slot only.
+     */
+    std::vector<JobOutcome>
+    runManyGuarded(const std::vector<ExperimentSpec> &specs);
+
+    /**
      * The process-wide runner used by the bench harnesses. Configure
-     * its parallelism with setGlobalJobs() before first use (BenchEnv
-     * does); reconfiguring later discards the memo.
+     * it with setGlobalJobs()/setGlobalOptions() before first use
+     * (BenchEnv does); reconfiguring later replaces the instance and
+     * discards its memo (counted — see globalMemoDiscards()).
      */
     static Runner &global();
     static void setGlobalJobs(u32 jobs);
+    static void setGlobalOptions(const RunnerOptions &options);
+
+    /**
+     * Process-wide `runner.memo_discards` counter: how many times a
+     * global-runner reconfiguration threw away a non-empty memo.
+     */
+    static u64 globalMemoDiscards();
 
   private:
-    std::shared_ptr<const RunResult> simulate(const ExperimentSpec &spec);
+    struct Supervision;
+
+    /** Run one spec (no memo): timing, stats, journal append. */
+    std::shared_ptr<const RunResult>
+    simulate(const ExperimentSpec &spec, const std::string &key,
+             Supervision *supervision);
+
+    /** simulate() wrapped in retry/quarantine; never throws. */
+    JobOutcome runGuarded(const ExperimentSpec &spec,
+                          const std::string &key,
+                          Supervision *supervision);
 
     u32 jobs_;
+    RunnerOptions options_;
     std::unique_ptr<util::ThreadPool> pool_; //!< created when jobs_ > 1
+    std::unique_ptr<ResultJournal> journal_;
 
     mutable std::mutex mutex_;
     std::map<std::string, std::shared_ptr<const RunResult>> memo_;

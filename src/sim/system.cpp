@@ -136,6 +136,8 @@ SystemConfig::validate() const
 
     if (interval_accesses == 0)
         status.update(Status::error("interval_accesses must be >= 1"));
+    if (oracle.enabled && oracle.sample_every == 0)
+        status.update(Status::error("oracle.sample_every must be >= 1"));
     if (promotion_cap_percent > 100.0) {
         status.update(Status::error(
             "promotion_cap_percent ", promotion_cap_percent,
@@ -244,8 +246,11 @@ System::installShootdownHook()
             core.pcc.shootdown(base, bytes);
             // The mapping (size or frame) changed somewhere; drop the
             // last-translation fast path so the next access re-probes.
-            core.last_page_bytes = 0;
+            if (config_.mutation != HotPathMutation::StaleLtc)
+                core.last_page_bytes = 0;
         }
+        if (oracle_)
+            oracle_->onShootdown(base, bytes);
         // The IPI cost lands on every core running the owning process.
         // Per-4KB invalidations (migration) are batched by the kernel
         // and charged once per compaction, so only charge full
@@ -549,6 +554,11 @@ System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
         const mem::PageSize filled = proc.mappingSizeOf(vaddr);
         core.tlb.fill(vaddr, filled);
         core.noteTranslated(vaddr, filled);
+        if (oracle_) {
+            oracle_->onFault(
+                static_cast<u32>(&core - cores_.data()), proc.pid(),
+                vaddr, filled);
+        }
         cost += core.dcache.access(vaddr);
         return cost;
     }
@@ -560,6 +570,11 @@ System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
     if (config_.last_translation_cache &&
         vaddr - core.last_page_base < core.last_page_bytes) {
         core.tlb.noteRepeatL1Hit();
+        if (oracle_) {
+            oracle_->onLtcAccess(
+                static_cast<u32>(&core - cores_.data()), proc.pid(),
+                vaddr);
+        }
         cost += core.dcache.access(vaddr);
         return cost;
     }
@@ -574,7 +589,10 @@ System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
         const Cycles walk_cost = chargeWalkRefs(
             core, proc, vaddr, walk.memory_refs, walk.size);
         cost += walk_cost;
-        core.tlb.fill(vaddr, size);
+        if (config_.mutation == HotPathMutation::SkipL2Fill)
+            core.tlb.l1Of(size).access(mem::vpnOf(vaddr, size));
+        else
+            core.tlb.fill(vaddr, size);
         if (tel_profiler_ || tel_audit_) {
             // Attribute the walk before observeWalk mutates the PCC:
             // pcc_hit must reflect whether the region was tracked when
@@ -595,6 +613,10 @@ System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
                 tel_audit_->chargeWalk(proc.pid(), v2m, walk_cost);
         }
         core.pcc.observeWalk(vaddr, walk);
+    }
+    if (oracle_) {
+        oracle_->onAccess(static_cast<u32>(&core - cores_.data()),
+                          proc.pid(), vaddr, size, level);
     }
     core.noteTranslated(vaddr, size);
     cost += core.dcache.access(vaddr);
@@ -698,6 +720,11 @@ System::run(std::vector<Job> jobs)
             });
     }
     setupTelemetry(jobs.size());
+    oracle_.reset();
+    if (config_.oracle.enabled) {
+        oracle_ = std::make_unique<DiffChecker>(
+            config_.oracle, config_.tlb, config_.num_cores);
+    }
 
     if (config_.frag_fraction > 0.0) {
         Rng rng(config_.seed ^ 0xf7a6);
@@ -813,6 +840,19 @@ System::run(std::vector<Job> jobs)
                         sampleTelemetryInterval();
                 }
             }
+            // Cooperative supervision: publish progress and honor a
+            // pending cancel once per lane batch (~kBatch accesses) —
+            // cheap enough to leave unconditionally in the loop.
+            if (config_.progress) {
+                config_.progress->store(total_accesses_,
+                                        std::memory_order_relaxed);
+            }
+            if (config_.cancel &&
+                config_.cancel->load(std::memory_order_relaxed)) {
+                throw CancelledError(
+                    "run cancelled after " +
+                    std::to_string(total_accesses_) + " accesses");
+            }
         }
         PCCSIM_ASSERT(progressed || live == 0,
                       "scheduler deadlock: all live lanes parked");
@@ -823,6 +863,16 @@ System::run(std::vector<Job> jobs)
         "simulate", util::HostProfile::nowNanos() - phase_t0);
     if (config_.check_invariants)
         runInvariantChecks(); // final sweep over the end state
+    if (oracle_) {
+        // Counter audit: catches any divergence a sampled compare
+        // skipped (the reference state drifts from the real state at
+        // the first divergence, so the totals disagree).
+        for (u32 c = 0; c < config_.num_cores; ++c) {
+            const auto &t = cores_[c].tlb;
+            oracle_->finish(c, t.accesses(), t.l1Hits(), t.l2Hits(),
+                            t.walks());
+        }
+    }
 
     RunResult result;
     result.total_accesses = total_accesses_;

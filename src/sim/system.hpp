@@ -157,6 +157,8 @@ class System : public os::PolicyContext
     std::unique_ptr<os::Os> os_;
     std::unique_ptr<os::Policy> policy_;
     std::unique_ptr<FaultInjector> injector_;
+    /** Differential reference model (null unless config_.oracle). */
+    std::unique_ptr<DiffChecker> oracle_;
     std::vector<CoreState> cores_;
     std::vector<LaneState> lanes_;
     std::vector<os::Process *> core_process_;

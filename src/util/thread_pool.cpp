@@ -41,6 +41,41 @@ ThreadPool::post(std::function<void()> task)
 }
 
 void
+ThreadPool::rethrowFailures(std::vector<ParallelError::Failure> failures,
+                            size_t total)
+{
+    if (failures.empty())
+        return;
+    std::sort(failures.begin(), failures.end(),
+              [](const ParallelError::Failure &a,
+                 const ParallelError::Failure &b) {
+                  return a.index < b.index;
+              });
+    if (failures.size() == 1)
+        std::rethrow_exception(failures.front().error);
+
+    const auto describe = [](const std::exception_ptr &error) {
+        try {
+            std::rethrow_exception(error);
+        } catch (const std::exception &e) {
+            return std::string(e.what());
+        } catch (...) {
+            return std::string("unknown exception");
+        }
+    };
+    std::ostringstream msg;
+    msg << "parallelMap: " << failures.size() << " of " << total
+        << " tasks failed (indices";
+    constexpr size_t kMaxListed = 16;
+    for (size_t i = 0; i < failures.size() && i < kMaxListed; ++i)
+        msg << ' ' << failures[i].index;
+    if (failures.size() > kMaxListed)
+        msg << " ...";
+    msg << "); first: " << describe(failures.front().error);
+    throw ParallelError(msg.str(), std::move(failures));
+}
+
+void
 ThreadPool::workerLoop()
 {
     for (;;) {

@@ -3,9 +3,12 @@
 #include <map>
 #include <mutex>
 
+#include <sstream>
+
 #include "util/log.hpp"
 #include "workloads/graph_workloads.hpp"
 #include "workloads/suite_workloads.hpp"
+#include "workloads/synthetic.hpp"
 
 namespace pccsim::workloads {
 
@@ -161,11 +164,69 @@ cachedGraph(const WorkloadSpec &spec, bool weighted)
     return shared;
 }
 
+/**
+ * Parse "syn:<pattern>:<footprintMB>:<ops>:<hot_regions>" (fields after
+ * the pattern optional, later fields require earlier ones). Patterns:
+ * uniform | zipf | seq | hot | spin. Used by the fuzz harness to name
+ * fully-parameterized synthetic workloads inside a spec string.
+ */
+WorkloadPtr
+makeSynthetic(const WorkloadSpec &spec)
+{
+    std::istringstream is(spec.name.substr(4));
+    std::string field;
+    SyntheticSpec syn;
+    syn.seed = spec.seed;
+
+    if (!std::getline(is, field, ':'))
+        fatal("synthetic workload '", spec.name, "': missing pattern");
+    if (field == "uniform")
+        syn.pattern = Pattern::Uniform;
+    else if (field == "zipf")
+        syn.pattern = Pattern::Zipf;
+    else if (field == "seq")
+        syn.pattern = Pattern::Sequential;
+    else if (field == "hot")
+        syn.pattern = Pattern::HotRegions;
+    else if (field == "spin")
+        syn.pattern = Pattern::Spin;
+    else
+        fatal("synthetic workload '", spec.name, "': unknown pattern '",
+              field, "' (uniform|zipf|seq|hot|spin)");
+
+    const auto nextU64 = [&](const char *what, u64 &out) {
+        if (!std::getline(is, field, ':'))
+            return false;
+        char *end = nullptr;
+        const u64 v = std::strtoull(field.c_str(), &end, 10);
+        if (end != field.c_str() + field.size() || field.empty())
+            fatal("synthetic workload '", spec.name, "': bad ", what,
+                  " '", field, "'");
+        out = v;
+        return true;
+    };
+    u64 mb = 0;
+    if (nextU64("footprint", mb)) {
+        if (mb == 0)
+            fatal("synthetic workload '", spec.name,
+                  "': footprint must be >= 1 MB");
+        syn.footprint_bytes = mb << 20;
+    }
+    nextU64("ops", syn.ops);
+    nextU64("hot_regions", syn.hot_regions);
+    if (std::getline(is, field, ':'))
+        fatal("synthetic workload '", spec.name, "': trailing field '",
+              field, "'");
+    return std::make_unique<SyntheticWorkload>(syn);
+}
+
 } // namespace
 
 WorkloadPtr
 makeWorkload(const WorkloadSpec &spec)
 {
+    if (spec.name.rfind("syn:", 0) == 0)
+        return makeSynthetic(spec);
     const ScaleParams params = scaleParams(spec.scale);
     if (spec.name == "bfs")
         return std::make_unique<BfsWorkload>(cachedGraph(spec, false));

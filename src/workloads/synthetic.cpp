@@ -13,6 +13,7 @@ SyntheticWorkload::name() const
       case Pattern::Zipf: return "syn-zipf";
       case Pattern::Sequential: return "syn-seq";
       case Pattern::HotRegions: return "syn-hot";
+      case Pattern::Spin: return "syn-spin";
     }
     return "syn";
 }
@@ -80,6 +81,12 @@ SyntheticWorkload::lane(u32 lane, u32 num_lanes)
             }
         }
         break;
+      }
+      case Pattern::Spin: {
+        // Deliberately endless: the run only stops when the runner's
+        // watchdog cancels it (or the process is killed).
+        for (;;)
+            co_yield load(lo);
       }
     }
 }

@@ -20,6 +20,9 @@ enum class Pattern : u8
     Sequential,    //!< streaming at 64B stride
     HotRegions,    //!< uniform random over `hot_regions` 2MB regions,
                    //!< streaming over the rest
+    Spin,          //!< infinite loop over one line; never terminates.
+                   //!< Test-only: exercises the runner's watchdog
+                   //!< (`ops` is ignored).
 };
 
 struct SyntheticSpec

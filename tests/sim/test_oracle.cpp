@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/fuzz.hpp"
+#include "sim/oracle.hpp"
+
+using namespace pccsim;
+using namespace pccsim::sim;
+
+namespace {
+
+ExperimentSpec
+oracleSpec(const std::string &workload, PolicyKind policy,
+           u64 sample_every)
+{
+    ExperimentSpec spec;
+    spec.workload.name = workload;
+    spec.workload.scale = workloads::Scale::Ci;
+    spec.policy = policy;
+    spec.cap_percent = 25.0;
+    spec.oracle.enabled = true;
+    spec.oracle.sample_every = sample_every;
+    return spec;
+}
+
+} // namespace
+
+TEST(Oracle, CleanRunPassesFullLockstep)
+{
+    // Per-access compare against the reference model over a real
+    // workload and the full PCC policy: promotions, shootdowns, LTC.
+    EXPECT_NO_THROW(runOne(oracleSpec("bfs", PolicyKind::Pcc, 1)));
+}
+
+TEST(Oracle, CleanRunPassesEveryPolicy)
+{
+    for (PolicyKind kind :
+         {PolicyKind::Base, PolicyKind::AllHuge, PolicyKind::LinuxThp,
+          PolicyKind::HawkEye, PolicyKind::Pcc}) {
+        EXPECT_NO_THROW(runOne(oracleSpec("dedup", kind, 1)))
+            << "policy " << static_cast<int>(kind);
+    }
+}
+
+TEST(Oracle, SampledCompareStillAuditsCounters)
+{
+    // sample_every > 1 skips per-access compares but the end-of-run
+    // counter audit still runs; a clean run must pass both.
+    EXPECT_NO_THROW(runOne(oracleSpec("bfs", PolicyKind::Pcc, 64)));
+}
+
+TEST(Oracle, IsResultNeutral)
+{
+    auto checked = oracleSpec("pr", PolicyKind::Pcc, 1);
+    auto plain = checked;
+    plain.oracle = OracleConfig{};
+    EXPECT_TRUE(runOne(plain) == runOne(checked));
+}
+
+TEST(Oracle, CatchesSkipL2FillMutation)
+{
+    FuzzSpec spec;
+    spec.pattern = "uniform";
+    spec.footprint_mb = 8;
+    spec.ops = 200'000;
+    spec.seed = 7;
+    spec.policy = PolicyKind::Base;
+    spec.mutation = HotPathMutation::SkipL2Fill;
+
+    auto ex = spec.toExperiment();
+    ex.oracle.enabled = true;
+    ex.oracle.sample_every = 1;
+    try {
+        runOne(ex);
+        FAIL() << "planted miss-path bug went unnoticed";
+    } catch (const OracleError &e) {
+        EXPECT_GT(e.divergence().access_index, 0u);
+        EXPECT_NE(std::string(e.what()).find("mismatch"),
+                  std::string::npos);
+    }
+}
+
+TEST(Oracle, CatchesStaleLtcMutation)
+{
+    // A shootdown that forgets to clear the last-translation cache:
+    // streaming under the PCC policy promotes the region mid-stream,
+    // and the stale fast path then serves a dead 4K translation.
+    FuzzSpec spec;
+    spec.pattern = "seq";
+    spec.footprint_mb = 1;
+    spec.ops = 40'000;
+    spec.seed = 7;
+    spec.policy = PolicyKind::Pcc;
+    spec.interval_accesses = 1'000;
+    spec.mutation = HotPathMutation::StaleLtc;
+
+    auto ex = spec.toExperiment();
+    ex.oracle.enabled = true;
+    ex.oracle.sample_every = 1;
+    EXPECT_THROW(runOne(ex), OracleError);
+}
+
+TEST(Oracle, ShrinksPlantedBugToSmallRepro)
+{
+    // The acceptance bar: a planted hot-path bug must shrink to a
+    // repro with at most 1/8 of the original access count.
+    FuzzSpec planted;
+    planted.pattern = "uniform";
+    planted.footprint_mb = 8;
+    planted.ops = 200'000;
+    planted.seed = 7;
+    planted.policy = PolicyKind::Base;
+    planted.mutation = HotPathMutation::SkipL2Fill;
+
+    const auto failure = checkSpec(planted, 2);
+    ASSERT_TRUE(failure.has_value());
+    EXPECT_EQ(failure->kind, "oracle");
+
+    const FuzzSpec small = shrink(planted, 2);
+    EXPECT_LE(small.ops, planted.ops / 8)
+        << "shrunk repro: " << small.toString();
+    const auto still = checkSpec(small, 2);
+    ASSERT_TRUE(still.has_value());
+    EXPECT_EQ(still->kind, "oracle");
+}
+
+TEST(Fuzz, SpecStringRoundTrips)
+{
+    FuzzSpec spec;
+    spec.pattern = "hot";
+    spec.footprint_mb = 16;
+    spec.ops = 123'456;
+    spec.hot_regions = 3;
+    spec.seed = 0xdeadbeefull;
+    spec.lanes = 4;
+    spec.policy = PolicyKind::HawkEye;
+    spec.cap_percent = 25.0;
+    spec.frag_fraction = 0.3;
+    spec.telemetry = true;
+    spec.check_invariants = true;
+    spec.interval_accesses = 20'000;
+    spec.alloc_fail_huge = 0.2;
+    spec.shootdown_storm = 0.05;
+    spec.shock_period = 4;
+    spec.mutation = HotPathMutation::StaleLtc;
+
+    const auto parsed = FuzzSpec::parse(spec.toString());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(*parsed == spec);
+    EXPECT_EQ(parsed->toString(), spec.toString());
+}
+
+TEST(Fuzz, RejectsMalformedSpecStrings)
+{
+    EXPECT_FALSE(FuzzSpec::parse("").has_value());
+    EXPECT_FALSE(FuzzSpec::parse("fz9 pat=seq").has_value());
+    EXPECT_FALSE(FuzzSpec::parse("fz1 pat=bogus").has_value());
+    EXPECT_FALSE(FuzzSpec::parse("fz1 pat=seq ops=abc").has_value());
+    EXPECT_FALSE(FuzzSpec::parse("fz1 pat=seq unknown=1").has_value());
+    EXPECT_FALSE(FuzzSpec::parse("fz1 pat=seq fp=0").has_value());
+}
+
+TEST(Fuzz, RandomSpecsAreDeterministic)
+{
+    for (u64 i = 0; i < 8; ++i)
+        EXPECT_TRUE(randomSpec(42, i) == randomSpec(42, i)) << i;
+    EXPECT_FALSE(randomSpec(42, 0) == randomSpec(42, 1));
+}
+
+TEST(Fuzz, ShortCleanCampaignFindsNothing)
+{
+    const auto campaign = runCampaign(2026, 3, 2, false);
+    EXPECT_EQ(campaign.iterations, 3u);
+    EXPECT_TRUE(campaign.failures.empty());
+}

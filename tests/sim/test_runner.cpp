@@ -1,3 +1,7 @@
+#include <cstdio>
+#include <fstream>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "sim/runner.hpp"
@@ -191,4 +195,249 @@ TEST(Runner, GlobalRunnerIsConfigurable)
     EXPECT_EQ(Runner::global().jobs(), 3u);
     Runner::setGlobalJobs(1);
     EXPECT_EQ(Runner::global().jobs(), 1u);
+}
+
+namespace {
+
+/** A fresh journal path under the test temp dir. */
+std::string
+journalPath(const std::string &tag)
+{
+    const std::string path = ::testing::TempDir() + "pccsim-journal-" +
+                             tag + "-" +
+                             std::to_string(::getpid()) + ".txt";
+    std::remove(path.c_str());
+    return path;
+}
+
+/** An endless workload: only the watchdog can end it. */
+ExperimentSpec
+spinSpec()
+{
+    ExperimentSpec spec;
+    spec.workload.name = "syn:spin:1:1000:1";
+    spec.policy = PolicyKind::Base;
+    spec.cap_percent = 0.0;
+    return spec;
+}
+
+} // namespace
+
+TEST(SpecKey, DistinguishesResilienceFields)
+{
+    const auto base = ciSpec("bfs", PolicyKind::Pcc);
+    const std::string key = specKey(base);
+
+    auto faults = base;
+    faults.faults.alloc_fail_huge = 0.3;
+    EXPECT_NE(key, specKey(faults));
+
+    auto shocks = base;
+    shocks.faults.shock_intervals = {2, 5};
+    EXPECT_NE(key, specKey(shocks));
+
+    auto invariants = base;
+    invariants.check_invariants = true;
+    EXPECT_NE(key, specKey(invariants));
+
+    auto interval = base;
+    interval.interval_accesses = 12'345;
+    EXPECT_NE(key, specKey(interval));
+
+    auto mutated = base;
+    mutated.mutation = HotPathMutation::SkipL2Fill;
+    EXPECT_NE(key, specKey(mutated));
+
+    // The oracle is result-neutral, so it must NOT split the key: an
+    // oracle-checked run may serve and be served by plain memo hits.
+    auto checked = base;
+    checked.oracle.enabled = true;
+    EXPECT_EQ(key, specKey(checked));
+}
+
+TEST(Runner, JournalPersistsAndResumes)
+{
+    const std::string path = journalPath("resume");
+    const auto specs = ciSuite();
+
+    RunnerOptions options;
+    options.jobs = 2;
+    options.journal_path = path;
+    std::vector<std::shared_ptr<const RunResult>> first;
+    u64 appended = 0;
+    {
+        Runner writer(options);
+        EXPECT_EQ(writer.stats().journal_loaded, 0u);
+        first = writer.runMany(specs);
+        appended = writer.stats().journal_appends;
+        // Every keyed spec persists (none of these carry telemetry).
+        EXPECT_EQ(appended, writer.stats().simulated);
+        EXPECT_GT(appended, 0u);
+    }
+
+    // A new runner — a restarted process, as far as the journal is
+    // concerned — must preload every persisted result and answer the
+    // same batch without simulating anything keyed again.
+    Runner resumed(options);
+    const auto stats_before = resumed.stats();
+    EXPECT_EQ(stats_before.journal_loaded, appended);
+    EXPECT_EQ(stats_before.journal_malformed, 0u);
+    EXPECT_EQ(resumed.memoSize(), static_cast<size_t>(appended));
+
+    const auto second = resumed.runMany(specs);
+    const auto stats_after = resumed.stats();
+    EXPECT_GE(stats_after.memo_hits, appended);
+    EXPECT_EQ(stats_after.simulated, 0u);
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_TRUE(*first[i] == *second[i])
+            << "journal round-trip changed result " << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Runner, JournalToleratesTruncatedTail)
+{
+    // A crash mid-append leaves a partial last line; the loader must
+    // keep every complete record and count the tail as malformed.
+    const std::string path = journalPath("truncated");
+    RunnerOptions options;
+    options.jobs = 1;
+    options.journal_path = path;
+    u64 appended = 0;
+    {
+        Runner writer(options);
+        writer.run(ciSpec("bfs", PolicyKind::Base, 0.0));
+        writer.run(ciSpec("bfs", PolicyKind::Pcc));
+        appended = writer.stats().journal_appends;
+        EXPECT_EQ(appended, 2u);
+    }
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "R deadbeef"; // no newline: torn mid-record
+    }
+
+    Runner resumed(options);
+    EXPECT_EQ(resumed.stats().journal_loaded, appended);
+    EXPECT_EQ(resumed.stats().journal_malformed, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Runner, JournalRejectsCorruptedRecords)
+{
+    const std::string path = journalPath("corrupt");
+    RunnerOptions options;
+    options.jobs = 1;
+    options.journal_path = path;
+    {
+        Runner writer(options);
+        writer.run(ciSpec("bfs", PolicyKind::Base, 0.0));
+    }
+    // Flip payload bytes without updating the hash.
+    std::string contents;
+    {
+        std::ifstream in(path);
+        std::getline(in, contents, '\0');
+    }
+    const auto digit = contents.find_last_of("123456789");
+    ASSERT_NE(digit, std::string::npos);
+    contents[digit] = contents[digit] == '1' ? '2' : '1';
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << contents;
+    }
+
+    Runner resumed(options);
+    EXPECT_EQ(resumed.stats().journal_loaded, 0u);
+    EXPECT_EQ(resumed.stats().journal_malformed, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Runner, GuardedBatchMatchesUnguarded)
+{
+    const auto specs = ciSuite();
+    Runner plain(2);
+    Runner guarded(2);
+    const auto expect = plain.runMany(specs);
+    const auto outcomes = guarded.runManyGuarded(specs);
+    ASSERT_EQ(outcomes.size(), expect.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        ASSERT_TRUE(outcomes[i].ok())
+            << i << ": " << outcomes[i].message;
+        EXPECT_EQ(outcomes[i].fail, JobFail::None);
+        EXPECT_TRUE(*outcomes[i].result == *expect[i]) << i;
+    }
+    EXPECT_EQ(guarded.stats().quarantined, 0u);
+}
+
+TEST(Runner, WatchdogQuarantinesHungJobWhileBatchCompletes)
+{
+    // One endless job must not wedge the batch: the watchdog cancels
+    // it at the deadline and the healthy jobs still finish.
+    // The deadline needs headroom for the *healthy* job: it bounds
+    // every attempt in the batch, not just the hung one.
+    RunnerOptions options;
+    options.jobs = 2;
+    options.deadline_ms = 5'000;
+    options.watchdog_poll_ms = 10;
+    Runner runner(options);
+
+    const std::vector<ExperimentSpec> batch = {
+        spinSpec(), ciSpec("bfs", PolicyKind::Base, 0.0)};
+    const auto outcomes = runner.runManyGuarded(batch);
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_EQ(outcomes[0].fail, JobFail::Timeout)
+        << to_string(outcomes[0].fail);
+    EXPECT_FALSE(outcomes[0].result);
+    EXPECT_FALSE(outcomes[0].message.empty());
+    EXPECT_TRUE(outcomes[1].ok()) << outcomes[1].message;
+    EXPECT_EQ(runner.stats().quarantined, 1u);
+    EXPECT_EQ(to_string(JobFail::Timeout), "timeout");
+}
+
+TEST(Runner, OracleDivergenceIsQuarantinedNotThrown)
+{
+    auto diverging = ciSpec("bfs", PolicyKind::Pcc);
+    diverging.workload.name = "syn:uniform:8:200000:1";
+    diverging.policy = PolicyKind::Base;
+    diverging.mutation = HotPathMutation::SkipL2Fill;
+    diverging.oracle.enabled = true;
+    diverging.oracle.sample_every = 1;
+
+    Runner runner(2);
+    const auto outcomes = runner.runManyGuarded(
+        {diverging, ciSpec("bfs", PolicyKind::Base, 0.0)});
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_EQ(outcomes[0].fail, JobFail::Diverged);
+    EXPECT_NE(outcomes[0].message.find("divergence"),
+              std::string::npos);
+    EXPECT_TRUE(outcomes[1].ok());
+    EXPECT_EQ(runner.stats().quarantined, 1u);
+}
+
+TEST(Runner, MemoServedOutcomesTakeZeroAttempts)
+{
+    Runner runner(1);
+    const auto spec = ciSpec("bfs", PolicyKind::Base, 0.0);
+    const auto first = runner.runManyGuarded({spec});
+    ASSERT_TRUE(first[0].ok());
+    EXPECT_EQ(first[0].attempts, 1u);
+    const auto again = runner.runManyGuarded({spec});
+    ASSERT_TRUE(again[0].ok());
+    EXPECT_EQ(again[0].attempts, 0u); // served from the memo
+    EXPECT_EQ(runner.stats().simulated, 1u);
+}
+
+TEST(Runner, GlobalReconfigurationCountsMemoDiscards)
+{
+    Runner::setGlobalJobs(1);
+    const u64 before = Runner::globalMemoDiscards();
+
+    // Empty memo: replacing the runner discards nothing.
+    Runner::setGlobalJobs(1);
+    EXPECT_EQ(Runner::globalMemoDiscards(), before);
+
+    Runner::global().run(ciSpec("bfs", PolicyKind::Base, 0.0));
+    Runner::setGlobalJobs(1); // discards one memoized result
+    EXPECT_EQ(Runner::globalMemoDiscards(), before + 1);
 }

@@ -86,6 +86,91 @@ TEST(ThreadPool, FirstExceptionPropagates)
                  std::runtime_error);
 }
 
+namespace {
+
+/** Domain error a caller wants to keep catching by type. */
+struct DomainError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+} // namespace
+
+TEST(ThreadPool, SingleFailureRethrowsOriginalType)
+{
+    // One failing task must surface as its own exception type, so
+    // domain handlers (oracle divergences, cancellations) keep
+    // working through parallelMap unchanged.
+    ThreadPool pool(4);
+    std::vector<int> items(32);
+    std::iota(items.begin(), items.end(), 0);
+    EXPECT_THROW(pool.parallelMap(items,
+                                  [](const int &x) {
+                                      if (x == 13)
+                                          throw DomainError("13");
+                                      return x;
+                                  }),
+                 DomainError);
+}
+
+TEST(ThreadPool, AggregatesEveryFailureWithIndices)
+{
+    ThreadPool pool(4);
+    std::vector<int> items(16);
+    std::iota(items.begin(), items.end(), 0);
+    std::atomic<int> calls{0};
+    try {
+        pool.parallelMap(items, [&](const int &x) {
+            calls.fetch_add(1, std::memory_order_relaxed);
+            if (x % 4 == 1)
+                throw DomainError("item " + std::to_string(x));
+            return x;
+        });
+        FAIL() << "expected ParallelError";
+    } catch (const ParallelError &e) {
+        // All tasks ran despite the failures (no early abort).
+        EXPECT_EQ(calls.load(), 16);
+        ASSERT_EQ(e.failures().size(), 4u);
+        // Ordered by item index, each carrying its own exception.
+        const size_t expected[] = {1, 5, 9, 13};
+        for (size_t i = 0; i < 4; ++i) {
+            EXPECT_EQ(e.failures()[i].index, expected[i]);
+            try {
+                std::rethrow_exception(e.failures()[i].error);
+            } catch (const DomainError &inner) {
+                EXPECT_EQ(std::string(inner.what()),
+                          "item " + std::to_string(expected[i]));
+            }
+        }
+        const std::string what = e.what();
+        EXPECT_NE(what.find("4 of 16"), std::string::npos) << what;
+        EXPECT_NE(what.find("item 1"), std::string::npos) << what;
+    }
+}
+
+TEST(ThreadPool, InlineFailureSemanticsMatchPooled)
+{
+    // One worker runs the map inline on the caller; the aggregation
+    // contract must be identical to the pooled path.
+    ThreadPool pool(1);
+    std::vector<int> items{0, 1, 2, 3};
+    std::atomic<int> calls{0};
+    try {
+        pool.parallelMap(items, [&](const int &x) {
+            calls.fetch_add(1, std::memory_order_relaxed);
+            if (x >= 2)
+                throw DomainError(std::to_string(x));
+            return x;
+        });
+        FAIL() << "expected ParallelError";
+    } catch (const ParallelError &e) {
+        EXPECT_EQ(calls.load(), 4);
+        ASSERT_EQ(e.failures().size(), 2u);
+        EXPECT_EQ(e.failures()[0].index, 2u);
+        EXPECT_EQ(e.failures()[1].index, 3u);
+    }
+}
+
 TEST(ThreadPool, EmptyInputYieldsEmptyOutput)
 {
     ThreadPool pool(4);
