@@ -32,6 +32,15 @@
  *                                   debug builds, 64 in release) and
  *                                   abort with a replayable divergence
  *                                   report on mismatch
+ *   --sample=W:F                    SMARTS-style sampled simulation on
+ *                                   every spec: alternate detailed
+ *                                   windows of W accesses with F
+ *                                   fast-forwarded accesses (page
+ *                                   tables/access bits/PCC counters
+ *                                   only). RunResult::sampling then
+ *                                   carries per-window miss-rate and
+ *                                   walk-cycle estimates with 95% CIs.
+ *                                   Incompatible with --oracle.
  *   --resume=FILE                   persist finished results to (and
  *                                   preload the memo from) an on-disk
  *                                   journal, so a killed sweep rerun
@@ -283,6 +292,8 @@ struct BenchEnv
     telemetry::TelemetryConfig telemetry;
     /** Applied to every spec(); enabled by --oracle[=N]. */
     sim::OracleConfig oracle;
+    /** Applied to every spec(); enabled by --sample=W:F. */
+    sim::SystemConfig::SamplingConfig sampling;
 
     static BenchEnv
     parse(int argc, char **argv,
@@ -342,6 +353,28 @@ struct BenchEnv
                 every > 0 ? static_cast<u64>(every)
                           : sim::OracleConfig::defaultSampleEvery();
         }
+        if (opts.has("sample")) {
+            const std::string wf = opts.get("sample");
+            const auto colon = wf.find(':');
+            u64 window = 0, fastforward = 0;
+            if (colon != std::string::npos) {
+                window = std::strtoull(wf.c_str(), nullptr, 10);
+                fastforward = std::strtoull(
+                    wf.c_str() + colon + 1, nullptr, 10);
+            }
+            if (window == 0 || fastforward == 0) {
+                fatal("bad --sample=", wf,
+                      " (expected --sample=W:F with W,F >= 1, e.g. "
+                      "--sample=100000:900000)");
+            }
+            if (env.oracle.enabled) {
+                fatal("--sample cannot be combined with --oracle "
+                      "(the reference model cannot skip fast-forward "
+                      "phases)");
+            }
+            env.sampling.window = window;
+            env.sampling.fastforward = fastforward;
+        }
         // Register the failure latch first: atexit runs in reverse
         // order, so it fires after every export writer below.
         std::atexit(detail::exitNonzeroOnExportFailure);
@@ -373,6 +406,7 @@ struct BenchEnv
         s.policy = policy_kind;
         s.telemetry = telemetry;
         s.oracle = oracle;
+        s.sampling = sampling;
         return s;
     }
 

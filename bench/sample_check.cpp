@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Accuracy gate for SMARTS-style sampled simulation (--sample=W:F):
+ * runs each requested workload twice — exact and sampled — and
+ * asserts the sampled miss-rate estimate lands within tolerance of
+ * the exact run's miss rate. scripts/check.sh runs this as the
+ * `sampling` gate.
+ *
+ * Tolerance: |sampled - exact| <= max(tol_ci * ci95, tol_abs), i.e.
+ * the estimate must sit inside a multiple of its own reported 95%
+ * confidence half-width, with an absolute floor for workloads whose
+ * windows agree so tightly that the interval collapses to ~0. The
+ * floor also absorbs the cold-start bias of the first window, which
+ * the estimator deliberately keeps (dropping it would hide a real
+ * simulator transient from the other gates).
+ *
+ * Extra flags on top of the common bench set:
+ *   --sample=W:F    window geometry (default 20000:80000)
+ *   --tol-ci=K      CI multiple (default 2.0)
+ *   --tol-abs=PCT   absolute floor in miss-%-points (default 0.5)
+ */
+
+#include <cmath>
+
+#include "common.hpp"
+
+using namespace pccsim;
+using namespace pccsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchEnv env = BenchEnv::parse(argc, argv, {"bfs", "mcf"});
+    Options opts(argc, argv);
+    const double tol_ci = opts.getDouble("tol-ci", 2.0);
+    const double tol_abs = opts.getDouble("tol-abs", 0.5);
+    if (!env.sampling.enabled()) {
+        env.sampling.window = 20'000;
+        env.sampling.fastforward = 80'000;
+    }
+
+    // One batch: exact + sampled per app. The runner memo keeps the
+    // exact runs shared with any other harness on the same journal.
+    std::vector<sim::ExperimentSpec> specs;
+    for (const auto &app : env.apps) {
+        sim::ExperimentSpec exact = env.spec(app, sim::PolicyKind::Pcc);
+        exact.sampling = {};
+        specs.push_back(std::move(exact));
+        specs.push_back(env.spec(app, sim::PolicyKind::Pcc));
+    }
+    const auto results = runAll(specs);
+
+    bool ok = true;
+    Table table({"app", "exact_miss", "sampled_miss", "ci95",
+                 "tolerance", "windows", "ff_share", "verdict"});
+    for (size_t a = 0; a < env.apps.size(); ++a) {
+        const sim::RunResult &exact = *results[2 * a];
+        const sim::RunResult &sampled = *results[2 * a + 1];
+        const sim::SamplingStats &stats = sampled.sampling;
+
+        const double exact_miss = exact.job().tlbMissPercent();
+        const double tolerance =
+            std::max(tol_ci * stats.miss_rate_ci95, tol_abs);
+        const double err =
+            std::abs(stats.miss_rate_mean - exact_miss);
+        const bool pass = stats.enabled && stats.windows > 0 &&
+                          err <= tolerance;
+        ok = ok && pass;
+
+        const double ff_share =
+            stats.ff_accesses == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(stats.ff_accesses) /
+                      static_cast<double>(sampled.job().accesses);
+        table.row({env.apps[a], Table::fmt(exact_miss, 3),
+                   Table::fmt(stats.miss_rate_mean, 3),
+                   Table::fmt(stats.miss_rate_ci95, 3),
+                   Table::fmt(tolerance, 3),
+                   std::to_string(stats.windows),
+                   Table::fmt(ff_share, 1), pass ? "PASS" : "FAIL"});
+    }
+    env.emit(table, "Sampled vs exact TLB miss rate (--sample=" +
+                        std::to_string(env.sampling.window) + ":" +
+                        std::to_string(env.sampling.fastforward) +
+                        ")");
+    return ok ? 0 : 1;
+}

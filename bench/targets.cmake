@@ -34,6 +34,9 @@ pcc_fig(abl_pressure)
 # Differential fuzzing driver (not a figure; same plain-binary shape).
 pcc_fig(fuzz_diff)
 
+# Sampled-simulation accuracy gate (scripts/check.sh `sampling`).
+pcc_fig(sample_check)
+
 # Microbenchmarks: google-benchmark.
 function(pcc_micro name)
     add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)

@@ -12,8 +12,12 @@
 #
 # Interpreting the result: "speedup" is serial wall / parallel wall for
 # the whole harness. On a host with 4+ cores the acceptance target is
-# >= 3x; on smaller hosts the parallel run degenerates toward serial
-# (host_jobs in the JSON records what was available).
+# >= 3x. On smaller hosts the parallel run degenerates toward serial
+# timeslicing, so the speedup is not a statement about the runner at
+# all: the JSON records the host's own concurrency ("hardware_jobs"),
+# and when it is below the requested --jobs the speedup field is
+# dropped (null) and "speedup_skipped" says why, so downstream
+# tooling never gates on a number the host could not produce.
 
 set -euo pipefail
 
@@ -60,22 +64,39 @@ with open(os.path.join(tmp, "serial.perf.json")) as f:
 with open(os.path.join(tmp, "parallel.perf.json")) as f:
     parallel_perf = json.load(f)
 
+# What the host actually offers vs what the harness was asked to use;
+# a real speedup can only approach min(jobs, hardware_jobs). Prefer
+# the runner's own probe (it is what sized the worker pool) and fall
+# back to the host view for older perf files.
+hardware_jobs = serial_perf.get("host", {}).get(
+    "hardware_jobs", os.cpu_count() or 1)
+speedup = (
+    round(serial_wall / parallel_wall, 3) if parallel_wall > 0 else None
+)
+speedup_skipped = None
+if hardware_jobs < int(jobs):
+    # Timeslicing, not concurrency: publishing a "speedup" here would
+    # gate on scheduler noise. Keep both walls, drop the ratio.
+    speedup = None
+    speedup_skipped = (
+        f"host offers {hardware_jobs} hardware job(s) but --jobs={jobs}"
+        " was requested; parallel wall reflects timeslicing, not the"
+        " runner"
+    )
+
 report = {
     "benchmark": "fig06_pcc_size",
     "scale": scale,
-    # What the host actually offers vs what the harness was asked to
-    # use; the speedup below can only approach min(jobs, host_jobs).
-    "host_jobs": os.cpu_count() or 1,
+    "hardware_jobs": hardware_jobs,
     "jobs": int(jobs),
     "serial_wall_s": round(serial_wall, 3),
     "parallel_wall_s": round(parallel_wall, 3),
-    "speedup": round(serial_wall / parallel_wall, 3)
-    if parallel_wall > 0
-    else None,
+    "speedup": speedup,
+    "speedup_skipped": speedup_skipped,
     "output_identical": True,  # the diff above gates this script
     # Per-access busy cost (summed over workers) — a per-simulation
     # cost, not a latency; timeslicing inflates it when jobs exceeds
-    # host_jobs.
+    # hardware_jobs.
     "serial_busy_ns_per_access": serial_perf["busy_ns_per_access"],
     "parallel_busy_ns_per_access": parallel_perf["busy_ns_per_access"],
     # Per-access wall cost: the parallel number falls with real

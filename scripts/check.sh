@@ -26,6 +26,9 @@
 #   bench | bench_compare fresh fig06 --format=json output must match
 #                         bench/baselines/ (exact simulation equality,
 #                         tolerant per-access timing)
+#   sampling              sample_check: --sample=W:F miss-rate
+#                         estimates on bfs + mcf must land within
+#                         max(2 x CI95, 0.5 points) of exact runs
 #   fuzz                  50 seeded fuzz_diff iterations (differential
 #                         oracle + serial-vs-parallel) must find zero
 #                         divergences, and both planted hot-path bugs
@@ -180,6 +183,22 @@ run_bench_compare() {
     echo "==> [bench] clean"
 }
 
+run_sampling() {
+    echo "==> [sampling] configuring build-det"
+    cmake -B build-det -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    echo "==> [sampling] building sample_check"
+    cmake --build build-det -j "$(nproc)" --target sample_check \
+        >/dev/null
+    # Two workloads (one graph kernel, one suite model), exact vs
+    # sampled: the estimate must land within max(2 x its own 95% CI,
+    # 0.5 miss-%-points) of the exact run. sample_check exits nonzero
+    # on the first workload outside tolerance.
+    echo "==> [sampling] bfs + mcf, sampled estimate vs exact miss rate"
+    ./build-det/bench/sample_check --scale=ci --apps=bfs,mcf \
+        --sample=20000:80000 --tol-ci=2.0 --tol-abs=0.5
+    echo "==> [sampling] clean"
+}
+
 run_fuzz() {
     echo "==> [fuzz] configuring build-det"
     cmake -B build-det -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
@@ -253,7 +272,7 @@ PYEOF
 gates=("$@")
 if [ ${#gates[@]} -eq 0 ]; then
     gates=(address undefined determinism telemetry attribution bench \
-           fuzz resume)
+           sampling fuzz resume)
 fi
 
 for gate in "${gates[@]}"; do
@@ -273,6 +292,9 @@ for gate in "${gates[@]}"; do
       bench|bench_compare)
          run_bench_compare
          continue ;;
+      sampling)
+         run_sampling
+         continue ;;
       fuzz)
          run_fuzz
          continue ;;
@@ -281,7 +303,7 @@ for gate in "${gates[@]}"; do
          continue ;;
       *) echo "unknown gate '$gate'" \
               "(use address|undefined|thread|determinism|telemetry|" \
-              "attribution|bench|fuzz|resume)" >&2
+              "attribution|bench|sampling|fuzz|resume)" >&2
          exit 2 ;;
     esac
 

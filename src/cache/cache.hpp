@@ -10,6 +10,14 @@
  * Caches are virtually indexed in this model: the simulator tracks
  * pages, not frames, on the hot path, and physical layout does not
  * change any conclusion the paper draws.
+ *
+ * Storage is structure-of-arrays: tags and LRU stamps live in separate
+ * contiguous arrays, so the dominant cost — the per-set tag scan — only
+ * touches tag cache lines (one 64B line covers an 8-way set) and can
+ * optionally run through the SIMD kernel in util/tagscan.hpp. The
+ * hierarchy's miss path uses the fused probe-or-insert access(): one
+ * set scan resolves hit way, first empty way, and LRU victim together,
+ * where the old lookup()-then-insert() pair scanned every set twice.
  */
 
 #pragma once
@@ -17,6 +25,7 @@
 #include <vector>
 
 #include "util/log.hpp"
+#include "util/tagscan.hpp"
 #include "util/types.hpp"
 
 namespace pccsim::cache {
@@ -39,10 +48,21 @@ struct CacheParams
 class Cache
 {
   public:
-    explicit Cache(CacheParams params)
-        : params_(params),
+    /**
+     * @param mru_hint Probe the per-set MRU way before the full scan.
+     *        Pays off where consecutive probes re-touch one line (L1
+     *        sees every access, so streaming code hits its hint
+     *        constantly); inner levels only see L1 *misses*, where the
+     *        hint rarely matches and its data-dependent branch costs a
+     *        mispredict per probe. Results are identical either way —
+     *        the hint path performs the same stamp update the scan
+     *        would.
+     */
+    explicit Cache(CacheParams params, bool mru_hint = true)
+        : params_(params), mru_hint_(mru_hint),
           sets_(params.sets() == 0 ? 1 : params.sets()),
-          lines_(sets_ * params.ways),
+          tags_(sets_ * params.ways, kInvalidTag),
+          stamps_(sets_ * params.ways, 0),
           mru_(sets_, 0)
     {
         PCCSIM_ASSERT(params.line_bytes > 0 && params.ways > 0);
@@ -62,24 +82,58 @@ class Cache
         const u64 tag = addr >> line_shift_;
         PCCSIM_DCHECK(tag != kInvalidTag);
         const u64 set_index = setIndexOf(tag);
-        Line *set = &lines_[set_index * params_.ways];
+        u64 *tags = &tags_[set_index * params_.ways];
+        u64 *stamps = &stamps_[set_index * params_.ways];
         // MRU-way fast check: the timing model's dominant cost is this
         // scan, and most hits land on the last way touched. A stale
         // hint (after eviction) just fails the compare and falls
         // through; the stamp update is the same one the scan performs,
         // so the fast path is bit-identical to the slow one.
         u32 &mru = mru_[set_index];
-        if (set[mru].tag == tag) {
-            set[mru].stamp = ++clock_;
+        if (mru_hint_ && tags[mru] == tag) {
+            stamps[mru] = ++clock_;
             return true;
         }
-        for (u32 w = 0; w < params_.ways; ++w) {
-            if (set[w].tag == tag) {
-                set[w].stamp = ++clock_;
-                mru = w;
-                return true;
-            }
+        const int w = util::findTag(tags, params_.ways, tag);
+        if (w < 0)
+            return false;
+        stamps[w] = ++clock_;
+        mru = static_cast<u32>(w);
+        return true;
+    }
+
+    /**
+     * Fused probe-or-insert: equivalent to `lookup(addr)` followed on
+     * miss by `insert(addr)` — same hit outcome, same victim choice,
+     * same stamp/clock sequence, same MRU hint — in one set scan.
+     * Returns true on hit.
+     */
+    bool
+    access(Addr addr)
+    {
+        const u64 tag = addr >> line_shift_;
+        PCCSIM_DCHECK(tag != kInvalidTag);
+        const u64 set_index = setIndexOf(tag);
+        u64 *tags = &tags_[set_index * params_.ways];
+        u64 *stamps = &stamps_[set_index * params_.ways];
+        u32 &mru = mru_[set_index];
+        if (mru_hint_ && tags[mru] == tag) {
+            stamps[mru] = ++clock_;
+            return true;
         }
+        const auto scan =
+            util::scanSet(tags, stamps, params_.ways, tag);
+        if (scan.hit_way >= 0) {
+            stamps[scan.hit_way] = ++clock_;
+            mru = static_cast<u32>(scan.hit_way);
+            return true;
+        }
+        // Victim: first empty way, else true LRU — both cases are the
+        // earliest-minimum stamp (empties hold stamp 0, filled ways
+        // unique stamps >= 1), so one branch-free scan covers them.
+        tags[scan.victim] = tag;
+        stamps[scan.victim] = ++clock_;
+        mru = scan.victim;
         return false;
     }
 
@@ -89,49 +143,48 @@ class Cache
     {
         const u64 tag = addr >> line_shift_;
         const u64 set_index = setIndexOf(tag);
-        Line *set = &lines_[set_index * params_.ways];
+        u64 *tags = &tags_[set_index * params_.ways];
+        u64 *stamps = &stamps_[set_index * params_.ways];
         u32 victim = 0;
         u64 oldest = ~0ull;
         for (u32 w = 0; w < params_.ways; ++w) {
-            if (set[w].tag == kInvalidTag) {
+            if (tags[w] == kInvalidTag) {
                 victim = w;
                 break;
             }
-            if (set[w].tag == tag)
+            if (tags[w] == tag) {
+                stamps[w] = ++clock_;
                 return;
-            if (set[w].stamp < oldest) {
-                oldest = set[w].stamp;
+            }
+            if (stamps[w] < oldest) {
+                oldest = stamps[w];
                 victim = w;
             }
         }
-        set[victim] = {tag, ++clock_};
+        tags[victim] = tag;
+        stamps[victim] = ++clock_;
         mru_[set_index] = victim;
     }
 
     void
     flushAll()
     {
-        for (auto &line : lines_)
-            line = Line{};
+        for (auto &tag : tags_)
+            tag = kInvalidTag;
+        for (auto &stamp : stamps_)
+            stamp = 0;
     }
 
     const CacheParams &params() const { return params_; }
 
   private:
     /**
-     * 16-byte line: validity is the sentinel tag rather than a bool,
-     * which shrinks the line array by a third (the LLC's array is the
-     * timing model's dominant host-cache footprint). The sentinel is
-     * unreachable as a real tag: tags are addr >> line_shift_, so
-     * ~0 would require an address in the top cache line of the
-     * address space.
+     * Validity is the sentinel tag rather than a bool, which keeps the
+     * hot-path scans pure tag compares. The sentinel is unreachable as
+     * a real tag: tags are addr >> line_shift_, so ~0 would require an
+     * address in the top cache line of the address space.
      */
     static constexpr u64 kInvalidTag = ~0ull;
-    struct Line
-    {
-        u64 tag = kInvalidTag;
-        u64 stamp = 0;
-    };
 
     u64
     setIndexOf(u64 tag) const
@@ -140,9 +193,11 @@ class Cache
     }
 
     CacheParams params_;
+    bool mru_hint_;
     u64 sets_;
-    std::vector<Line> lines_;
-    std::vector<u32> mru_; //!< per-set hint; advisory, may be stale
+    std::vector<u64> tags_;   //!< SoA: tag per way, sentinel = empty
+    std::vector<u64> stamps_; //!< SoA: LRU stamp per way
+    std::vector<u32> mru_;    //!< per-set hint; advisory, may be stale
     u64 clock_ = 0;
     u64 set_mask_ = 0;
     u32 line_shift_ = 0;
@@ -173,35 +228,41 @@ class CacheHierarchy
     CacheHierarchy() : CacheHierarchy(Config{}) {}
 
     explicit CacheHierarchy(Config config)
-        : config_(config), l1_(config.l1), l2_(config.l2), llc_(config.llc)
+        : config_(config), l1_(config.l1),
+          l2_(config.l2, /*mru_hint=*/false),
+          llc_(config.llc, /*mru_hint=*/false)
     {
     }
 
-    /** Look up addr, fill on miss, and return the access latency. */
+    /**
+     * Look up addr, fill on miss, and return the access latency.
+     *
+     * Every level a miss passes through refills on the way down, so
+     * each level's probe is the fused probe-or-insert: the old
+     * lookup-all-levels-then-insert-all-levels shape rescanned every
+     * missing set a second time for its victim. Per-level replacement
+     * state evolves identically (each level still sees exactly one
+     * probe-or-insert per access that reaches it, in the same order);
+     * only the redundant scans are gone.
+     */
     Cycles
     access(Addr addr)
     {
         ++accesses_;
         if (!config_.enabled)
             return config_.latencies.dram;
-        if (l1_.lookup(addr)) {
+        if (l1_.access(addr)) {
             ++l1_hits_;
             return config_.latencies.l1;
         }
-        if (l2_.lookup(addr)) {
+        if (l2_.access(addr)) {
             ++l2_hits_;
-            l1_.insert(addr);
             return config_.latencies.l2;
         }
-        if (llc_.lookup(addr)) {
+        if (llc_.access(addr)) {
             ++llc_hits_;
-            l2_.insert(addr);
-            l1_.insert(addr);
             return config_.latencies.llc;
         }
-        llc_.insert(addr);
-        l2_.insert(addr);
-        l1_.insert(addr);
         ++dram_;
         return config_.latencies.dram;
     }

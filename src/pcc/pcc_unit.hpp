@@ -93,6 +93,27 @@ class PccUnit
     }
 
     /**
+     * Sampled-mode candidate feed: one fast-forwarded access that a
+     * detailed window would (with some probability) have turned into
+     * a walk. No walker runs during fast-forward, so the accessed-bit
+     * state is supplied by the OS-side touched bitmap: `was_accessed`
+     * mirrors walk.pte_was_accessed (the page had been touched before
+     * this access) and the 4K-mapping requirement mirrors
+     * walk.size == Base4K. The 1GB feed is skipped — without a walk
+     * there is no PUD accessed-bit observation to filter on, and the
+     * 1GB PCC's integral over-counts would directly distort Sec.
+     * 3.2.3 promotion decisions.
+     */
+    void
+    observeSampled(Addr vaddr, bool mapped_4k, bool was_accessed)
+    {
+        if (config_.source != CandidateSource::PtwFiltered)
+            return;
+        if (mapped_4k && (was_accessed || !config_.access_bit_filter))
+            pcc2m_.touch(mem::vpnOf(vaddr, mem::PageSize::Huge2M));
+    }
+
+    /**
      * Victim-buffer feed (CandidateSource::L2Victims): one 4KB
      * translation was evicted from the last-level TLB.
      */

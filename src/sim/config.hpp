@@ -199,6 +199,49 @@ struct SystemConfig
     HotPathMutation mutation = HotPathMutation::None;
 
     /**
+     * Scheduling engine selection. The batch engine consumes address
+     * batches emitted by Workload::batchLane() in a tight loop; the
+     * scalar engine pulls one AccessOp per coroutine resume through
+     * the Workload::lane() adapter. Both produce bit-identical
+     * RunResults (the engine-equivalence tests prove it); the scalar
+     * engine is kept as the differential reference, not a fast path.
+     */
+    bool batch_engine = true;
+
+    /**
+     * Ops per batch-buffer refill for single-lane jobs. Multi-lane
+     * runs clamp the buffer to the scheduling quantum so production
+     * bursts stay aligned with lane turns (host-side shared workload
+     * state must interleave exactly as the scalar engine would).
+     */
+    u32 batch_capacity = 4096;
+
+    /**
+     * SMARTS-style sampled simulation (Sec. "sampled simulation" of
+     * the evaluation methodology): alternate detailed windows of
+     * `window` accesses with fast-forward phases of `fastforward`
+     * accesses. Fast-forwarded accesses update page tables, access
+     * bits, and PCC candidate counters only — TLBs, data caches, and
+     * the walker are not touched, so TLB metrics in JobResult come
+     * from detailed windows alone and RunResult::sampling reports
+     * their per-window point estimates with confidence intervals.
+     * Requires the batch engine; incompatible with the oracle (the
+     * reference TLB model would desynchronize across skipped phases).
+     */
+    struct SamplingConfig
+    {
+        u64 window = 0;      //!< W: detailed accesses per window
+        u64 fastforward = 0; //!< F: fast-forwarded accesses between
+
+        bool
+        enabled() const
+        {
+            return window > 0;
+        }
+    };
+    SamplingConfig sampling{};
+
+    /**
      * Cooperative supervision hooks for external watchdogs (runtime
      * wiring, never part of a spec's identity). `progress`, when set,
      * receives the running total of simulated accesses after every

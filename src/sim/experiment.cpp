@@ -21,6 +21,7 @@ configFor(const ExperimentSpec &spec)
         cfg.interval_accesses = spec.interval_accesses;
     cfg.oracle = spec.oracle;
     cfg.mutation = spec.mutation;
+    cfg.sampling = spec.sampling;
     cfg.seed = spec.workload.seed;
     if (spec.policy == PolicyKind::AllHuge) {
         // The "Max. Perf. with THPs" configuration: unfragmented,

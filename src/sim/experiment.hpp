@@ -43,6 +43,13 @@ struct ExperimentSpec
     OracleConfig oracle{};
     /** Test-only planted hot-path bug (part of the spec identity). */
     HotPathMutation mutation = HotPathMutation::None;
+    /**
+     * SMARTS-style sampling for this run. NOT result-neutral — a
+     * sampled run fast-forwards most accesses and reports estimates —
+     * so unlike `oracle` it IS part of specKey(): a sampled result
+     * must never be served from (or into) an exact run's memo entry.
+     */
+    SystemConfig::SamplingConfig sampling{};
     /** Final hook to adjust the SystemConfig (PCC size sweeps etc.). */
     std::function<void(SystemConfig &)> tweak;
     /**

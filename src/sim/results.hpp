@@ -85,6 +85,37 @@ struct ResilienceStats
     bool operator==(const ResilienceStats &) const = default;
 };
 
+/**
+ * Point estimates from a sampled (SMARTS-style) run. Populated only
+ * when SystemConfig::sampling is enabled; every estimate is computed
+ * over *complete* detailed windows (a trailing partial window is
+ * discarded). The first half of each window is detailed warm-up —
+ * simulated but excluded from the estimators — so the TLB/cache state
+ * the fast-forward phase left stale does not bias the measured half.
+ * Confidence intervals are 95% normal-approximation half-widths
+ * (1.96 * stddev / sqrt(windows)); with fewer than two windows the
+ * half-width is reported as 0.
+ */
+struct SamplingStats
+{
+    bool enabled = false;
+    u64 window = 0;            //!< configured W
+    u64 fastforward = 0;       //!< configured F
+    u64 windows = 0;           //!< complete detailed windows measured
+    u64 detailed_accesses = 0; //!< accesses simulated in detail
+    u64 ff_accesses = 0;       //!< accesses fast-forwarded
+
+    /** TLB miss rate (walks / detailed accesses), in percent. */
+    double miss_rate_mean = 0.0;
+    double miss_rate_ci95 = 0.0;
+
+    /** Page-walk cycles per access, over detailed windows. */
+    double walk_cycles_mean = 0.0;
+    double walk_cycles_ci95 = 0.0;
+
+    bool operator==(const SamplingStats &) const = default;
+};
+
 /** Complete result of one System::run(). */
 struct RunResult
 {
@@ -96,6 +127,7 @@ struct RunResult
     u64 shootdowns = 0;
     u64 intervals = 0;
     ResilienceStats resilience{};
+    SamplingStats sampling{};
 
     /**
      * Attached when SystemConfig::telemetry.enabled; null otherwise.
@@ -125,7 +157,8 @@ struct RunResult
             compactions != other.compactions ||
             shootdowns != other.shootdowns ||
             intervals != other.intervals ||
-            !(resilience == other.resilience)) {
+            !(resilience == other.resilience) ||
+            !(sampling == other.sampling)) {
             return false;
         }
         if (!telemetry || !other.telemetry)

@@ -74,6 +74,11 @@ specKey(const ExperimentSpec &spec)
         os << ',' << shock;
     os << '|' << spec.check_invariants << '|' << spec.interval_accesses
        << '|' << static_cast<int>(spec.mutation);
+    // Sampling is NOT result-neutral (estimates vs exact): a sampled
+    // run and an exact run of the same workload must never share a
+    // memo entry, so W:F is part of the identity.
+    os << "|sample=" << spec.sampling.window << ':'
+       << spec.sampling.fastforward;
     os << '|' << spec.tweak_key;
     return os.str();
 }

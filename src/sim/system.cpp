@@ -1,6 +1,7 @@
 #include "sim/system.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/invariants.hpp"
 #include "util/host_profile.hpp"
@@ -47,6 +48,15 @@ isPow2(u64 x)
 {
     return x != 0 && (x & (x - 1)) == 0;
 }
+
+/**
+ * Lane scheduling quantum: ops one lane consumes before the scheduler
+ * rotates to the next runnable lane. Multi-lane batch buffers are
+ * clamped to this size so a lane's production burst covers exactly one
+ * turn — the op interleaving (and thus every shared-state read a
+ * workload makes) is identical to the scalar per-op engine.
+ */
+constexpr u32 kSchedQuantum = 64;
 
 } // namespace
 
@@ -136,6 +146,23 @@ SystemConfig::validate() const
 
     if (interval_accesses == 0)
         status.update(Status::error("interval_accesses must be >= 1"));
+    if (sampling.enabled()) {
+        if (sampling.fastforward == 0) {
+            status.update(Status::error(
+                "sampling.fastforward must be >= 1 when sampling"));
+        }
+        if (!batch_engine) {
+            status.update(Status::error(
+                "sampling requires the batch engine"));
+        }
+        if (oracle.enabled) {
+            status.update(Status::error(
+                "sampling is incompatible with the oracle (the "
+                "reference model cannot skip fast-forward phases)"));
+        }
+    }
+    if (batch_capacity == 0)
+        status.update(Status::error("batch_capacity must be >= 1"));
     if (oracle.enabled && oracle.sample_every == 0)
         status.update(Status::error("oracle.sample_every must be >= 1"));
     if (promotion_cap_percent > 100.0) {
@@ -534,6 +561,16 @@ System::chargeWalkRefs(CoreState &core, const os::Process &proc,
     return cost;
 }
 
+// Ablation switches for profiling builds only (never defined in the
+// shipped CMake config): carve one component out of the hot path so
+// wall-clock deltas attribute cost where gprof's instrumentation bias
+// cannot.
+#ifdef PCCSIM_ABLATE_DCACHE
+#define PCCSIM_DCACHE(core, addr) Cycles{0}
+#else
+#define PCCSIM_DCACHE(core, addr) (core).dcache.access(addr)
+#endif
+
 Cycles
 System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
                  bool write)
@@ -559,7 +596,7 @@ System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
                 static_cast<u32>(&core - cores_.data()), proc.pid(),
                 vaddr, filled);
         }
-        cost += core.dcache.access(vaddr);
+        cost += PCCSIM_DCACHE(core, vaddr);
         return cost;
     }
 
@@ -575,7 +612,7 @@ System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
                 static_cast<u32>(&core - cores_.data()), proc.pid(),
                 vaddr);
         }
-        cost += core.dcache.access(vaddr);
+        cost += PCCSIM_DCACHE(core, vaddr);
         return cost;
     }
 
@@ -589,6 +626,7 @@ System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
         const Cycles walk_cost = chargeWalkRefs(
             core, proc, vaddr, walk.memory_refs, walk.size);
         cost += walk_cost;
+        core.walk_cycles += walk_cost;
         if (config_.mutation == HotPathMutation::SkipL2Fill)
             core.tlb.l1Of(size).access(mem::vpnOf(vaddr, size));
         else
@@ -619,7 +657,7 @@ System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
                           proc.pid(), vaddr, size, level);
     }
     core.noteTranslated(vaddr, size);
-    cost += core.dcache.access(vaddr);
+    cost += PCCSIM_DCACHE(core, vaddr);
     return cost;
 }
 
@@ -647,6 +685,374 @@ System::maybeReleaseBarrier(u32 job)
             lane.at_barrier = false;
         }
     }
+}
+
+void
+System::onInterval(u32 total_lanes)
+{
+    ++intervals_;
+    next_interval_at_ +=
+        config_.interval_accesses * std::max<u32>(1, total_lanes);
+    if (injector_ && injector_->shockDue(intervals_))
+        shock_pins_ += injector_->applyShock(*phys_);
+    policy_->onInterval(*this);
+    if (config_.check_invariants)
+        runInvariantChecks();
+    // Sample after the policy acted so this interval's promotions land
+    // in this interval's row; series length therefore equals
+    // RunResult::intervals.
+    if (tel_sampler_)
+        sampleTelemetryInterval();
+}
+
+void
+System::runScalarLoop(std::vector<Cycles> &job_wall,
+                      std::vector<u32> &job_live, u32 total_lanes)
+{
+    u32 live = static_cast<u32>(lanes_.size());
+    while (live > 0) {
+        bool progressed = false;
+        for (auto &lane : lanes_) {
+            if (lane.done || lane.at_barrier)
+                continue;
+            progressed = true;
+            CoreState &core = cores_[lane.core];
+            os::Process &proc = *core_process_[lane.core];
+            for (u32 b = 0; b < kSchedQuantum; ++b) {
+                if (!lane.scalar_gen.next()) {
+                    lane.done = true;
+                    --live;
+                    --job_live[lane.job];
+                    if (job_live[lane.job] == 0) {
+                        Cycles wall = 0;
+                        for (const auto &l2 : lanes_)
+                            if (l2.job == lane.job)
+                                wall = std::max(wall,
+                                                cores_[l2.core].cycles);
+                        job_wall[lane.job] = wall;
+                    }
+                    maybeReleaseBarrier(lane.job);
+                    break;
+                }
+                const auto &op = lane.scalar_gen.value();
+                if (op.kind == workloads::OpKind::Barrier) {
+                    lane.at_barrier = true;
+                    maybeReleaseBarrier(lane.job);
+                    break;
+                }
+                core.cycles += doAccess(
+                    core, proc, op.addr,
+                    op.kind == workloads::OpKind::Store);
+                ++total_accesses_;
+                if (total_accesses_ >= next_interval_at_)
+                    onInterval(total_lanes);
+            }
+            // Cooperative supervision: publish progress and honor a
+            // pending cancel once per lane turn (~kSchedQuantum
+            // accesses) — cheap enough to leave unconditionally.
+            if (config_.progress) {
+                config_.progress->store(total_accesses_,
+                                        std::memory_order_relaxed);
+            }
+            if (config_.cancel &&
+                config_.cancel->load(std::memory_order_relaxed)) {
+                throw CancelledError(
+                    "run cancelled after " +
+                    std::to_string(total_accesses_) + " accesses");
+            }
+        }
+        PCCSIM_ASSERT(progressed || live == 0,
+                      "scheduler deadlock: all live lanes parked");
+    }
+}
+
+// Flatten the whole consuming path (doAccess, the TLB and cache
+// probes, the fault handler's entry) into the loop: the per-op call
+// overhead is measurable at the ns/access scale this loop targets.
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((flatten))
+#endif
+void
+System::runBatchLoop(std::vector<Cycles> &job_wall,
+                     std::vector<u32> &job_live, u32 total_lanes)
+{
+    const bool sampled = config_.sampling.enabled();
+    // A single lane owns the machine: let it drain whole buffers per
+    // turn. With siblings, rotate on the scalar engine's quantum.
+    const u32 quantum =
+        total_lanes == 1 ? std::max<u32>(1, config_.batch_capacity)
+                         : kSchedQuantum;
+    u32 live = static_cast<u32>(lanes_.size());
+    while (live > 0) {
+        bool progressed = false;
+        for (auto &lane : lanes_) {
+            if (lane.done || lane.at_barrier)
+                continue;
+            progressed = true;
+            CoreState &core = cores_[lane.core];
+            os::Process &proc = *core_process_[lane.core];
+            workloads::AccessBuffer &buf = *lane.buf;
+            u32 b = 0;
+            while (b < quantum) {
+                if (lane.consumed == buf.size()) {
+                    // Buffer drained: take a deferred batch end, or
+                    // refill. Refills happen lazily *here* — at the
+                    // start of the consuming turn, exactly where the
+                    // scalar engine would resume the generator — so
+                    // barrier/EOF discovery and host-side production
+                    // keep the scalar engine's timing.
+                    if (lane.pending_barrier) {
+                        lane.pending_barrier = false;
+                        lane.at_barrier = true;
+                        maybeReleaseBarrier(lane.job);
+                        break;
+                    }
+                    if (lane.pending_eof) {
+                        lane.done = true;
+                        --live;
+                        --job_live[lane.job];
+                        if (job_live[lane.job] == 0) {
+                            Cycles wall = 0;
+                            for (const auto &l2 : lanes_)
+                                if (l2.job == lane.job)
+                                    wall = std::max(wall,
+                                                    cores_[l2.core].cycles);
+                            job_wall[lane.job] = wall;
+                        }
+                        maybeReleaseBarrier(lane.job);
+                        break;
+                    }
+                    buf.clear();
+                    lane.consumed = 0;
+                    if (lane.gen.next()) {
+                        lane.pending_barrier =
+                            lane.gen.value() ==
+                            workloads::BatchEnd::Barrier;
+                        PCCSIM_ASSERT(
+                            !buf.empty() || lane.pending_barrier,
+                            "batchLane yielded an empty Ops batch");
+                    } else {
+                        lane.pending_eof = true;
+                    }
+                    continue;
+                }
+                u32 chunk = std::min(buf.size() - lane.consumed,
+                                     quantum - b);
+                if (sampled) {
+                    chunk = static_cast<u32>(
+                        std::min<u64>(chunk, phase_left_));
+                }
+                const Addr *addrs = buf.addrs() + lane.consumed;
+                const u8 *kinds = buf.kinds() + lane.consumed;
+                if (!sampled ||
+                    sample_phase_ != SamplePhase::FastForward) {
+                    for (u32 i = 0; i < chunk; ++i) {
+                        core.cycles += doAccess(
+                            core, proc, addrs[i],
+                            kinds[i] ==
+                                static_cast<u8>(
+                                    workloads::OpKind::Store));
+                        ++total_accesses_;
+                        if (total_accesses_ >= next_interval_at_)
+                            onInterval(total_lanes);
+                    }
+                    if (sampled)
+                        detailed_total_ += chunk;
+                } else {
+                    for (u32 i = 0; i < chunk; ++i) {
+                        doFastForward(core, proc, addrs[i]);
+                        ++total_accesses_;
+                        if (total_accesses_ >= next_interval_at_)
+                            onInterval(total_lanes);
+                    }
+                    ff_total_ += chunk;
+                }
+                lane.consumed += chunk;
+                b += chunk;
+                if (sampled) {
+                    phase_left_ -= chunk;
+                    if (phase_left_ == 0) {
+                        switch (sample_phase_) {
+                          case SamplePhase::Warming:
+                            beginMeasurement();
+                            break;
+                          case SamplePhase::Measuring:
+                            closeSampleWindow();
+                            break;
+                          case SamplePhase::FastForward:
+                            beginSampleWindow();
+                            break;
+                        }
+                    }
+                }
+            }
+            if (config_.progress) {
+                config_.progress->store(total_accesses_,
+                                        std::memory_order_relaxed);
+            }
+            if (config_.cancel &&
+                config_.cancel->load(std::memory_order_relaxed)) {
+                throw CancelledError(
+                    "run cancelled after " +
+                    std::to_string(total_accesses_) + " accesses");
+            }
+        }
+        PCCSIM_ASSERT(progressed || live == 0,
+                      "scheduler deadlock: all live lanes parked");
+    }
+}
+
+void
+System::doFastForward(CoreState &core, os::Process &proc, Addr vaddr)
+{
+    ++core.accesses;
+    // Accessed-bit state *before* this access, mirroring the
+    // pte_was_accessed observation a real walk would have made.
+    const bool was_touched = proc.touched(vaddr);
+    proc.noteTouched(vaddr);
+    Cycles cost = ff_charge_;
+    if (!proc.faulted(vaddr)) {
+        const bool want_huge = policy_->wantHugeFault(proc, vaddr);
+        cost += os_->handleFault(proc, vaddr, want_huge);
+        ++core.faults;
+        // No TLB fill, no dcache touch: fast-forward keeps the OS
+        // truthful, not the hardware warm.
+    }
+    // Bresenham-thinned PCC feed at the walks-per-access rate of the
+    // last detailed window: integer state, deterministic, and cheap.
+    pcc_rate_acc_ += pcc_rate_num_;
+    if (pcc_rate_acc_ >= pcc_rate_den_) {
+        pcc_rate_acc_ -= pcc_rate_den_;
+        core.pcc.observeSampled(
+            vaddr, proc.mappingSizeOf(vaddr) == mem::PageSize::Base4K,
+            was_touched);
+    }
+    core.cycles += cost;
+}
+
+void
+System::beginSampleWindow()
+{
+    // The measured half is W/2 rounded up, so W = 1 degenerates to a
+    // warm-up-free single measured access instead of an empty window.
+    const u64 w = config_.sampling.window;
+    win_measured_ = (w + 1) / 2;
+    const u64 warm = w - win_measured_;
+    if (warm == 0) {
+        beginMeasurement();
+        return;
+    }
+    sample_phase_ = SamplePhase::Warming;
+    phase_left_ = warm;
+}
+
+void
+System::beginMeasurement()
+{
+    sample_phase_ = SamplePhase::Measuring;
+    phase_left_ = win_measured_;
+    win_start_walks_ = sumWalks();
+    win_start_walk_cycles_ = sumWalkCycles();
+    win_start_tlb_accesses_ = sumTlbAccesses();
+    win_start_cycles_ = sumCycles();
+}
+
+void
+System::closeSampleWindow()
+{
+    const u64 w = win_measured_;
+    const u64 walks = sumWalks() - win_start_walks_;
+    const u64 walk_cycles = sumWalkCycles() - win_start_walk_cycles_;
+    const u64 tlb_accesses =
+        sumTlbAccesses() - win_start_tlb_accesses_;
+    const u64 cycles = sumCycles() - win_start_cycles_;
+    win_miss_rates_.push_back(
+        tlb_accesses == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(walks) /
+                  static_cast<double>(tlb_accesses));
+    win_walk_cycles_.push_back(static_cast<double>(walk_cycles) /
+                               static_cast<double>(w));
+    // Fast-forward charging and PCC thinning both inherit this
+    // window's rates (integer arithmetic keeps runs deterministic).
+    ff_charge_ = cycles / w;
+    pcc_rate_num_ = walks;
+    pcc_rate_den_ = w;
+    pcc_rate_acc_ = 0;
+    sample_phase_ = SamplePhase::FastForward;
+    phase_left_ = config_.sampling.fastforward;
+}
+
+SamplingStats
+System::sampleStats() const
+{
+    SamplingStats s;
+    s.enabled = true;
+    s.window = config_.sampling.window;
+    s.fastforward = config_.sampling.fastforward;
+    s.windows = win_miss_rates_.size();
+    s.detailed_accesses = detailed_total_;
+    s.ff_accesses = ff_total_;
+    const auto meanCi = [](const std::vector<double> &v, double &mean,
+                           double &ci95) {
+        if (v.empty()) {
+            mean = 0.0;
+            ci95 = 0.0;
+            return;
+        }
+        double sum = 0.0;
+        for (double x : v)
+            sum += x;
+        mean = sum / static_cast<double>(v.size());
+        if (v.size() < 2) {
+            ci95 = 0.0;
+            return;
+        }
+        double var = 0.0;
+        for (double x : v)
+            var += (x - mean) * (x - mean);
+        var /= static_cast<double>(v.size() - 1);
+        ci95 = 1.96 * std::sqrt(var / static_cast<double>(v.size()));
+    };
+    meanCi(win_miss_rates_, s.miss_rate_mean, s.miss_rate_ci95);
+    meanCi(win_walk_cycles_, s.walk_cycles_mean, s.walk_cycles_ci95);
+    return s;
+}
+
+u64
+System::sumWalks() const
+{
+    u64 total = 0;
+    for (const auto &core : cores_)
+        total += core.tlb.walks();
+    return total;
+}
+
+u64
+System::sumWalkCycles() const
+{
+    u64 total = 0;
+    for (const auto &core : cores_)
+        total += core.walk_cycles;
+    return total;
+}
+
+u64
+System::sumTlbAccesses() const
+{
+    u64 total = 0;
+    for (const auto &core : cores_)
+        total += core.tlb.accesses();
+    return total;
+}
+
+u64
+System::sumCycles() const
+{
+    u64 total = 0;
+    for (const auto &core : cores_)
+        total += core.cycles;
+    return total;
 }
 
 RunResult
@@ -747,11 +1153,29 @@ System::run(std::vector<Job> jobs)
 
     // ---- lanes and core assignment ----
     lanes_.clear();
+    // Single-lane runs may batch as deep as configured; with multiple
+    // lanes the buffer is clamped to the scheduling quantum so the
+    // host-side production interleaving matches the scalar engine.
+    const u32 buf_capacity =
+        total_lanes == 1 ? std::max<u32>(1, config_.batch_capacity)
+                         : kSchedQuantum;
     u32 core_cursor = 0;
     for (u32 j = 0; j < jobs.size(); ++j) {
         for (u32 l = 0; l < jobs[j].lanes; ++l) {
             LaneState lane;
-            lane.gen = jobs[j].workload->lane(l, jobs[j].lanes);
+            if (config_.batch_engine) {
+                // Allocate the buffer before creating the coroutine:
+                // batchLane() captures a reference to it, and the
+                // heap allocation keeps that reference stable across
+                // lanes_ vector relocations.
+                lane.buf = std::make_unique<workloads::AccessBuffer>(
+                    buf_capacity);
+                lane.gen = jobs[j].workload->batchLane(
+                    l, jobs[j].lanes, *lane.buf);
+            } else {
+                lane.scalar_gen =
+                    jobs[j].workload->lane(l, jobs[j].lanes);
+            }
             lane.core = core_cursor;
             lane.job = j;
             lanes_.push_back(std::move(lane));
@@ -775,6 +1199,17 @@ System::run(std::vector<Job> jobs)
     invariant_failures_ = 0;
     first_invariant_failure_.clear();
 
+    win_miss_rates_.clear();
+    win_walk_cycles_.clear();
+    detailed_total_ = 0;
+    ff_total_ = 0;
+    ff_charge_ = 0;
+    pcc_rate_num_ = 0;
+    pcc_rate_den_ = 1;
+    pcc_rate_acc_ = 0;
+    if (config_.sampling.enabled())
+        beginSampleWindow();
+
     std::vector<Cycles> job_wall(jobs.size(), 0);
     std::vector<u32> job_live(jobs.size(), 0);
     for (const auto &lane : lanes_)
@@ -787,76 +1222,10 @@ System::run(std::vector<Job> jobs)
                                         now - phase_t0);
         phase_t0 = now;
     }
-    constexpr u32 kBatch = 64;
-    u32 live = static_cast<u32>(lanes_.size());
-    while (live > 0) {
-        bool progressed = false;
-        for (auto &lane : lanes_) {
-            if (lane.done || lane.at_barrier)
-                continue;
-            progressed = true;
-            CoreState &core = cores_[lane.core];
-            os::Process &proc = *core_process_[lane.core];
-            for (u32 b = 0; b < kBatch; ++b) {
-                if (!lane.gen.next()) {
-                    lane.done = true;
-                    --live;
-                    --job_live[lane.job];
-                    if (job_live[lane.job] == 0) {
-                        Cycles wall = 0;
-                        for (const auto &l2 : lanes_)
-                            if (l2.job == lane.job)
-                                wall = std::max(wall,
-                                                cores_[l2.core].cycles);
-                        job_wall[lane.job] = wall;
-                    }
-                    maybeReleaseBarrier(lane.job);
-                    break;
-                }
-                const auto &op = lane.gen.value();
-                if (op.kind == workloads::OpKind::Barrier) {
-                    lane.at_barrier = true;
-                    maybeReleaseBarrier(lane.job);
-                    break;
-                }
-                core.cycles += doAccess(
-                    core, proc, op.addr,
-                    op.kind == workloads::OpKind::Store);
-                ++total_accesses_;
-                if (total_accesses_ >= next_interval_at_) {
-                    ++intervals_;
-                    next_interval_at_ +=
-                        config_.interval_accesses *
-                        std::max<u32>(1, total_lanes);
-                    if (injector_ && injector_->shockDue(intervals_))
-                        shock_pins_ += injector_->applyShock(*phys_);
-                    policy_->onInterval(*this);
-                    if (config_.check_invariants)
-                        runInvariantChecks();
-                    // Sample after the policy acted so this interval's
-                    // promotions land in this interval's row; series
-                    // length therefore equals RunResult::intervals.
-                    if (tel_sampler_)
-                        sampleTelemetryInterval();
-                }
-            }
-            // Cooperative supervision: publish progress and honor a
-            // pending cancel once per lane batch (~kBatch accesses) —
-            // cheap enough to leave unconditionally in the loop.
-            if (config_.progress) {
-                config_.progress->store(total_accesses_,
-                                        std::memory_order_relaxed);
-            }
-            if (config_.cancel &&
-                config_.cancel->load(std::memory_order_relaxed)) {
-                throw CancelledError(
-                    "run cancelled after " +
-                    std::to_string(total_accesses_) + " accesses");
-            }
-        }
-        PCCSIM_ASSERT(progressed || live == 0,
-                      "scheduler deadlock: all live lanes parked");
-    }
+    if (config_.batch_engine)
+        runBatchLoop(job_wall, job_live, total_lanes);
+    else
+        runScalarLoop(job_wall, job_live, total_lanes);
 
     // ---- collect results ----
     util::HostProfile::global().add(
@@ -899,6 +1268,9 @@ System::run(std::vector<Job> jobs)
     res.invariant_checks = invariant_checks_;
     res.invariant_failures = invariant_failures_;
     res.first_invariant_failure = first_invariant_failure_;
+
+    if (config_.sampling.enabled())
+        result.sampling = sampleStats();
 
     for (u32 j = 0; j < jobs.size(); ++j) {
         JobResult job_result;

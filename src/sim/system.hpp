@@ -90,6 +90,8 @@ class System : public os::PolicyContext
         pcc::PccUnit pcc;
         cache::CacheHierarchy dcache;
         Cycles cycles = 0;
+        /** Cycles spent in page-table walks (sampling window stats). */
+        Cycles walk_cycles = 0;
         u64 accesses = 0;
         u64 faults = 0;
         Pid pid = 0;
@@ -115,16 +117,83 @@ class System : public os::PolicyContext
 
     struct LaneState
     {
-        Generator<workloads::AccessOp> gen;
+        // ---- batch engine ----
+        /**
+         * The lane's op buffer. Heap-allocated because the batchLane
+         * coroutine captures a reference at creation: LaneState lives
+         * in a vector whose relocations must not move the buffer.
+         */
+        std::unique_ptr<workloads::AccessBuffer> buf;
+        Generator<workloads::BatchEnd> gen;
+        u32 consumed = 0;          //!< ops of buf already simulated
+        /** Drained buffer ends at a barrier not yet taken. */
+        bool pending_barrier = false;
+        /** Generator exhausted; buf holds its residual ops. */
+        bool pending_eof = false;
+
+        // ---- scalar engine (batch_engine = false) ----
+        Generator<workloads::AccessOp> scalar_gen;
+
         CoreId core = 0;
         u32 job = 0;
         bool at_barrier = false;
         bool done = false;
     };
 
+    /**
+     * Scheduling phase of a sampled run. Each detailed window is
+     * split SMARTS-style: a warming half rebuilds the TLB/cache state
+     * the fast-forward phase left stale (detailed simulation, not
+     * measured), then the measured half feeds the estimators. Without
+     * the warm-up every window opens on a cold TLB and the miss-rate
+     * estimate inherits a systematic upward bias.
+     */
+    enum class SamplePhase : u8
+    {
+        Warming = 0,
+        Measuring = 1,
+        FastForward = 2,
+    };
+
     /** Simulate one access on a core; returns its cycle cost. */
     Cycles doAccess(CoreState &core, os::Process &proc, Addr vaddr,
                     bool write);
+
+    /**
+     * Fast-forward one access: page tables, access bits, and (rate-
+     * thinned) PCC candidate counters advance; TLBs, data caches, and
+     * the walker do not. Charges the mean detailed-window cost so job
+     * clocks stay on scale.
+     */
+    void doFastForward(CoreState &core, os::Process &proc, Addr vaddr);
+
+    /** The per-op scheduling loop over Workload::lane() adapters. */
+    void runScalarLoop(std::vector<Cycles> &job_wall,
+                       std::vector<u32> &job_live, u32 total_lanes);
+
+    /** The batch-buffer scheduling loop (with optional sampling). */
+    void runBatchLoop(std::vector<Cycles> &job_wall,
+                      std::vector<u32> &job_live, u32 total_lanes);
+
+    /** Fire the interval machinery (policy, shocks, telemetry). */
+    void onInterval(u32 total_lanes);
+
+    /** Open a detailed window, starting with its warming half. */
+    void beginSampleWindow();
+
+    /** End of warm-up: snapshot the counters the window will delta. */
+    void beginMeasurement();
+
+    /** Close a completed detailed window and start fast-forwarding. */
+    void closeSampleWindow();
+
+    /** Compute RunResult::sampling from the accumulated windows. */
+    SamplingStats sampleStats() const;
+
+    u64 sumWalks() const;
+    u64 sumWalkCycles() const;
+    u64 sumTlbAccesses() const;
+    u64 sumCycles() const;
 
     /** Charge page-table fetches of a walk through the data cache. */
     Cycles chargeWalkRefs(CoreState &core, const os::Process &proc,
@@ -171,6 +240,26 @@ class System : public os::PolicyContext
     u64 invariant_failures_ = 0;
     std::string first_invariant_failure_;
     os::PromotionTrace recorded_;
+
+    // ---- sampling state (meaningful only when config_.sampling) ----
+    SamplePhase sample_phase_ = SamplePhase::Warming;
+    u64 phase_left_ = 0;       //!< accesses remaining in current phase
+    u64 win_measured_ = 0;     //!< measured accesses per window (W -
+                               //!< warm-up; W/2 rounded up)
+    u64 win_start_walks_ = 0;  //!< snapshots at measurement start
+    u64 win_start_walk_cycles_ = 0;
+    u64 win_start_tlb_accesses_ = 0;
+    u64 win_start_cycles_ = 0;
+    std::vector<double> win_miss_rates_; //!< per-window miss rate (%)
+    std::vector<double> win_walk_cycles_; //!< per-window cycles/access
+    u64 detailed_total_ = 0;   //!< accesses simulated in detail
+    u64 ff_total_ = 0;         //!< accesses fast-forwarded
+    Cycles ff_charge_ = 0;     //!< cycles charged per FF access
+    /** Bresenham-thinned PCC touch rate: num/den walks per access,
+        carried from the last completed detailed window. */
+    u64 pcc_rate_num_ = 0;
+    u64 pcc_rate_den_ = 1;
+    u64 pcc_rate_acc_ = 0;
 
     // ---- telemetry (all null/empty unless config_.telemetry.enabled) ----
     std::unique_ptr<telemetry::Registry> tel_registry_;

@@ -5,6 +5,12 @@
  * One instance caches translations of exactly one page size, keyed by the
  * virtual page number at that size. Timing is modelled by the hierarchy;
  * this class only answers hit/miss and maintains replacement state.
+ *
+ * Storage is structure-of-arrays: the VPN tags of a set sit in one
+ * contiguous array and the LRU stamps in another, so the hot-path scans
+ * (lookup, the fused access) touch only tag lines until a decision
+ * needs a stamp, and the tag compare can run through the optional SIMD
+ * kernel (util/tagscan.hpp, PCCSIM_SIMD_TAGSCAN).
  */
 
 #pragma once
@@ -14,6 +20,7 @@
 
 #include "tlb/geometry.hpp"
 #include "util/log.hpp"
+#include "util/tagscan.hpp"
 #include "util/types.hpp"
 
 namespace pccsim::tlb {
@@ -33,7 +40,8 @@ class SetAssocTlb
         : params_(params),
           sets_(params.sets() == 0 ? 1 : params.sets()),
           ways_(params.ways == 0 ? 1 : params.ways),
-          entries_(static_cast<size_t>(sets_) * ways_),
+          vpns_(static_cast<size_t>(sets_) * ways_, kInvalidVpn),
+          stamps_(static_cast<size_t>(sets_) * ways_, 0),
           mru_(sets_, 0)
     {
         PCCSIM_ASSERT(params.entries % params.ways == 0,
@@ -48,24 +56,22 @@ class SetAssocTlb
     lookup(Vpn vpn)
     {
         const u64 set_index = setIndexOf(vpn);
-        Entry *set = &entries_[set_index * ways_];
+        Vpn *tags = &vpns_[set_index * ways_];
         // MRU-way fast check: consecutive accesses overwhelmingly
         // re-touch the way that hit last. The hint is only ever a
         // shortcut — a stale hint fails the compare and falls through
         // to the full scan, so results are identical either way.
         u32 &mru = mru_[set_index];
-        if (set[mru].vpn == vpn) {
-            set[mru].stamp = ++clock_;
+        if (tags[mru] == vpn) {
+            stamps_[set_index * ways_ + mru] = ++clock_;
             return true;
         }
-        for (u32 w = 0; w < ways_; ++w) {
-            if (set[w].vpn == vpn) {
-                set[w].stamp = ++clock_;
-                mru = w;
-                return true;
-            }
-        }
-        return false;
+        const int w = util::findTag(tags, ways_, vpn);
+        if (w < 0)
+            return false;
+        stamps_[set_index * ways_ + w] = ++clock_;
+        mru = static_cast<u32>(w);
+        return true;
     }
 
     /**
@@ -81,40 +87,32 @@ class SetAssocTlb
     {
         PCCSIM_DCHECK(vpn != kInvalidVpn);
         const u64 set_index = setIndexOf(vpn);
-        Entry *set = &entries_[set_index * ways_];
+        Vpn *tags = &vpns_[set_index * ways_];
+        u64 *stamps = &stamps_[set_index * ways_];
         u32 &mru = mru_[set_index];
-        if (set[mru].vpn == vpn) {
-            set[mru].stamp = ++clock_;
+        if (tags[mru] == vpn) {
+            stamps[mru] = ++clock_;
             return {true, std::nullopt};
         }
-        u32 victim = 0;
-        u64 oldest = ~0ull;
-        bool found_empty = false;
-        for (u32 w = 0; w < ways_; ++w) {
-            if (set[w].vpn == kInvalidVpn) {
-                // invalidate() can punch holes mid-set, so keep
-                // scanning for a hit beyond the first empty way.
-                if (!found_empty) {
-                    victim = w;
-                    found_empty = true;
-                }
-                continue;
-            }
-            if (set[w].vpn == vpn) {
-                set[w].stamp = ++clock_;
-                mru = w;
-                return {true, std::nullopt};
-            }
-            if (!found_empty && set[w].stamp < oldest) {
-                oldest = set[w].stamp;
-                victim = w;
-            }
+        // The fused scan covers every way, so hits beyond a mid-set
+        // hole (invalidate() punches them) are still found.
+        const auto scan = util::scanSet(tags, stamps, ways_, vpn);
+        if (scan.hit_way >= 0) {
+            stamps[scan.hit_way] = ++clock_;
+            mru = static_cast<u32>(scan.hit_way);
+            return {true, std::nullopt};
         }
+        // Victim: earliest empty way if any, else true LRU. Both are
+        // the earliest-minimum stamp — invalidation zeroes the stamp
+        // alongside the tag, so holes carry stamp 0 while every valid
+        // way has a unique stamp >= 1.
         const std::optional<Vpn> displaced =
-            found_empty ? std::nullopt
-                        : std::optional<Vpn>(set[victim].vpn);
-        set[victim] = {vpn, ++clock_};
-        mru = victim;
+            tags[scan.victim] == kInvalidVpn
+                ? std::nullopt
+                : std::optional<Vpn>(tags[scan.victim]);
+        tags[scan.victim] = vpn;
+        stamps[scan.victim] = ++clock_;
+        mru = scan.victim;
         return {false, displaced};
     }
 
@@ -122,11 +120,8 @@ class SetAssocTlb
     bool
     contains(Vpn vpn) const
     {
-        const Entry *set = setOf(vpn);
-        for (u32 w = 0; w < ways_; ++w)
-            if (set[w].vpn == vpn)
-                return true;
-        return false;
+        const Vpn *tags = &vpns_[setIndexOf(vpn) * ways_];
+        return util::findTag(tags, ways_, vpn) >= 0;
     }
 
     /**
@@ -138,29 +133,31 @@ class SetAssocTlb
     insert(Vpn vpn)
     {
         PCCSIM_DCHECK(vpn != kInvalidVpn);
-        Entry *set = setOf(vpn);
+        const u64 set_index = setIndexOf(vpn);
+        Vpn *tags = &vpns_[set_index * ways_];
+        u64 *stamps = &stamps_[set_index * ways_];
         u32 victim = 0;
         u64 oldest = ~0ull;
         bool evicting = true;
         for (u32 w = 0; w < ways_; ++w) {
-            if (set[w].vpn == kInvalidVpn) {
+            if (tags[w] == kInvalidVpn) {
                 victim = w;
                 evicting = false;
                 break;
             }
-            if (set[w].vpn == vpn) {
-                set[w].stamp = ++clock_;
+            if (tags[w] == vpn) {
+                stamps[w] = ++clock_;
                 return std::nullopt;
             }
-            if (set[w].stamp < oldest) {
-                oldest = set[w].stamp;
+            if (stamps[w] < oldest) {
+                oldest = stamps[w];
                 victim = w;
             }
         }
         const std::optional<Vpn> displaced =
-            evicting ? std::optional<Vpn>(set[victim].vpn)
-                     : std::nullopt;
-        set[victim] = {vpn, ++clock_};
+            evicting ? std::optional<Vpn>(tags[victim]) : std::nullopt;
+        tags[victim] = vpn;
+        stamps[victim] = ++clock_;
         return displaced;
     }
 
@@ -168,14 +165,16 @@ class SetAssocTlb
     bool
     invalidate(Vpn vpn)
     {
-        Entry *set = setOf(vpn);
-        for (u32 w = 0; w < ways_; ++w) {
-            if (set[w].vpn == vpn) {
-                set[w].vpn = kInvalidVpn;
-                return true;
-            }
-        }
-        return false;
+        const u64 set_index = setIndexOf(vpn);
+        Vpn *tags = &vpns_[set_index * ways_];
+        const int w = util::findTag(tags, ways_, vpn);
+        if (w < 0)
+            return false;
+        tags[w] = kInvalidVpn;
+        // Zero the stamp with the tag: access() relies on holes
+        // ranking below every valid way in its victim scan.
+        stamps_[set_index * ways_ + w] = 0;
+        return true;
     }
 
     /** Drop every entry whose vpn lies in [lo, hi). Returns count. */
@@ -183,9 +182,11 @@ class SetAssocTlb
     invalidateVpnRange(Vpn lo, Vpn hi)
     {
         u64 dropped = 0;
-        for (auto &e : entries_) {
-            if (e.vpn != kInvalidVpn && e.vpn >= lo && e.vpn < hi) {
-                e.vpn = kInvalidVpn;
+        for (size_t i = 0; i < vpns_.size(); ++i) {
+            if (vpns_[i] != kInvalidVpn && vpns_[i] >= lo &&
+                vpns_[i] < hi) {
+                vpns_[i] = kInvalidVpn;
+                stamps_[i] = 0;
                 ++dropped;
             }
         }
@@ -196,8 +197,10 @@ class SetAssocTlb
     void
     flushAll()
     {
-        for (auto &e : entries_)
-            e = Entry{};
+        for (auto &vpn : vpns_)
+            vpn = kInvalidVpn;
+        for (auto &stamp : stamps_)
+            stamp = 0;
     }
 
     /** Currently valid entries (for tests/introspection). */
@@ -205,8 +208,8 @@ class SetAssocTlb
     validCount() const
     {
         u64 n = 0;
-        for (const auto &e : entries_)
-            n += e.vpn != kInvalidVpn ? 1 : 0;
+        for (const auto &vpn : vpns_)
+            n += vpn != kInvalidVpn ? 1 : 0;
         return n;
     }
 
@@ -215,9 +218,9 @@ class SetAssocTlb
     void
     forEachValid(Fn &&fn) const
     {
-        for (const auto &e : entries_)
-            if (e.vpn != kInvalidVpn)
-                fn(e.vpn);
+        for (const auto &vpn : vpns_)
+            if (vpn != kInvalidVpn)
+                fn(vpn);
     }
 
     u32 numEntries() const { return params_.entries; }
@@ -226,35 +229,24 @@ class SetAssocTlb
 
   private:
     /**
-     * 16-byte entry: an empty way holds the sentinel VPN instead of a
-     * separate valid flag, so the hot-path scans are pure VPN
-     * compares. The sentinel is unreachable: VPNs are vaddr >> 12 (or
-     * more), so ~0 would need an address in the top page of the
-     * address space.
+     * An empty way holds the sentinel VPN instead of a separate valid
+     * flag, so the hot-path scans are pure VPN compares. The sentinel
+     * is unreachable: VPNs are vaddr >> 12 (or more), so ~0 would need
+     * an address in the top page of the address space.
      */
     static constexpr Vpn kInvalidVpn = ~Vpn(0);
-    struct Entry
-    {
-        Vpn vpn = kInvalidVpn;
-        u64 stamp = 0;
-    };
 
     u64
     setIndexOf(Vpn vpn) const
     {
         return set_mask_ ? (vpn & set_mask_) : (vpn % sets_);
     }
-    Entry *setOf(Vpn vpn) { return &entries_[setIndexOf(vpn) * ways_]; }
-    const Entry *
-    setOf(Vpn vpn) const
-    {
-        return &entries_[setIndexOf(vpn) * ways_];
-    }
 
     TlbParams params_;
     u32 sets_;
     u32 ways_;
-    std::vector<Entry> entries_;
+    std::vector<Vpn> vpns_;   //!< SoA: VPN tag per way, sentinel = empty
+    std::vector<u64> stamps_; //!< SoA: LRU stamp per way
     /** Per-set hint: the way of the most recent hit/insert. */
     std::vector<u32> mru_;
     u64 set_mask_ = 0;

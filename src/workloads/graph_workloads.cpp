@@ -32,11 +32,13 @@ pickSource(const graph::CsrGraph &g)
 
 } // namespace
 
-Generator<AccessOp>
-GraphWorkloadBase::touchRange(Addr base, u64 bytes, u64 stride)
+Generator<BatchEnd>
+GraphWorkloadBase::touchRange(Addr base, u64 bytes, AccessBuffer &buf,
+                              u64 stride)
 {
     for (u64 off = 0; off < bytes; off += stride)
-        co_yield store(base + off);
+        if (buf.pushStore(base + off))
+            co_yield BatchEnd::Ops;
 }
 
 u64
@@ -68,8 +70,8 @@ BfsWorkload::setup(os::Process &proc)
     footprint_ += n * sizeof(u32) + 2 * n * sizeof(u32);
 }
 
-Generator<AccessOp>
-BfsWorkload::lane(u32 lane, u32 num_lanes)
+Generator<BatchEnd>
+BfsWorkload::batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf)
 {
     PCCSIM_ASSERT(a_parent_ != 0, "setup() must run before lane()");
     const NodeId n = graph_->numNodes();
@@ -85,34 +87,34 @@ BfsWorkload::lane(u32 lane, u32 num_lanes)
     // Init phase: first-touch this lane's slices in address order.
     {
         auto touch_offsets = touchRange(
-            offsetAddr(lo), (u64(hi) - lo + 1) * sizeof(u64));
+            offsetAddr(lo), (u64(hi) - lo + 1) * sizeof(u64), buf);
         while (touch_offsets.next())
             co_yield touch_offsets.value();
         const u64 e_lo = graph_->offsets()[lo];
         const u64 e_hi = graph_->offsets()[hi];
-        auto touch_targets = touchRange(targetAddr(e_lo),
-                                        (e_hi - e_lo) * sizeof(NodeId));
+        auto touch_targets = touchRange(
+            targetAddr(e_lo), (e_hi - e_lo) * sizeof(NodeId), buf);
         while (touch_targets.next())
             co_yield touch_targets.value();
         auto touch_parent = touchRange(
             a_parent_ + u64(lo) * sizeof(u32),
-            (u64(hi) - lo) * sizeof(u32));
+            (u64(hi) - lo) * sizeof(u32), buf);
         while (touch_parent.next())
             co_yield touch_parent.value();
         auto touch_queue = touchRange(
             a_queue_ + u64(lo) * 2 * sizeof(u32),
-            (u64(hi) - lo) * 2 * sizeof(u32));
+            (u64(hi) - lo) * 2 * sizeof(u32), buf);
         while (touch_queue.next())
             co_yield touch_queue.value();
     }
-    co_yield barrier();
+    co_yield BatchEnd::Barrier;
 
     if (lane == 0) {
         const NodeId src = pickSource(*graph_);
         parent_[src] = src;
         frontier_.assign(1, src);
     }
-    co_yield barrier();
+    co_yield BatchEnd::Barrier;
 
     const Addr q_cur = a_queue_;
     const Addr q_next = a_queue_ + u64(n) * sizeof(u32);
@@ -121,26 +123,33 @@ BfsWorkload::lane(u32 lane, u32 num_lanes)
     while (!frontier_.empty()) {
         u64 appended = 0;
         for (u64 i = lane; i < frontier_.size(); i += num_lanes) {
-            co_yield load(q_cur + i * sizeof(u32));
+            if (buf.pushLoad(q_cur + i * sizeof(u32)))
+                co_yield BatchEnd::Ops;
             const NodeId u = frontier_[i];
-            co_yield load(offsetAddr(u));
+            if (buf.pushLoad(offsetAddr(u)))
+                co_yield BatchEnd::Ops;
             const u64 e_begin = graph_->offsets()[u];
             const u64 e_end = graph_->offsets()[u + 1];
             for (u64 j = e_begin; j < e_end; ++j) {
-                co_yield load(targetAddr(j));
+                if (buf.pushLoad(targetAddr(j)))
+                    co_yield BatchEnd::Ops;
                 const NodeId v = graph_->targets()[j];
-                co_yield load(a_parent_ + u64(v) * sizeof(u32));
+                if (buf.pushLoad(a_parent_ + u64(v) * sizeof(u32)))
+                    co_yield BatchEnd::Ops;
                 if (parent_[v] == kInf) {
                     parent_[v] = u;
-                    co_yield store(a_parent_ + u64(v) * sizeof(u32));
+                    if (buf.pushStore(a_parent_ + u64(v) * sizeof(u32)))
+                        co_yield BatchEnd::Ops;
                     next_[lane].push_back(v);
-                    co_yield store(q_next + lane * lane_seg +
-                                   (appended++ % (u64(n) / num_lanes)) *
-                                       sizeof(u32));
+                    if (buf.pushStore(
+                            q_next + lane * lane_seg +
+                            (appended++ % (u64(n) / num_lanes)) *
+                                sizeof(u32)))
+                        co_yield BatchEnd::Ops;
                 }
             }
         }
-        co_yield barrier();
+        co_yield BatchEnd::Barrier;
         if (lane == 0) {
             frontier_.clear();
             for (auto &chunk : next_) {
@@ -149,7 +158,7 @@ BfsWorkload::lane(u32 lane, u32 num_lanes)
                 chunk.clear();
             }
         }
-        co_yield barrier();
+        co_yield BatchEnd::Barrier;
     }
 }
 
@@ -165,8 +174,8 @@ SsspWorkload::setup(os::Process &proc)
     footprint_ += n * sizeof(u32);
 }
 
-Generator<AccessOp>
-SsspWorkload::lane(u32 lane, u32 num_lanes)
+Generator<BatchEnd>
+SsspWorkload::batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf)
 {
     PCCSIM_ASSERT(a_dist_ != 0, "setup() must run before lane()");
     const NodeId n = graph_->numNodes();
@@ -182,24 +191,25 @@ SsspWorkload::lane(u32 lane, u32 num_lanes)
     // Init: touch offsets, targets, weights, dist.
     {
         auto t1 = touchRange(offsetAddr(lo),
-                             (u64(hi) - lo + 1) * sizeof(u64));
+                             (u64(hi) - lo + 1) * sizeof(u64), buf);
         while (t1.next())
             co_yield t1.value();
         const u64 e_lo = graph_->offsets()[lo];
         const u64 e_hi = graph_->offsets()[hi];
         auto t2 = touchRange(targetAddr(e_lo),
-                             (e_hi - e_lo) * sizeof(NodeId));
+                             (e_hi - e_lo) * sizeof(NodeId), buf);
         while (t2.next())
             co_yield t2.value();
-        auto t3 = touchRange(weightAddr(e_lo), (e_hi - e_lo) * sizeof(u32));
+        auto t3 = touchRange(weightAddr(e_lo),
+                             (e_hi - e_lo) * sizeof(u32), buf);
         while (t3.next())
             co_yield t3.value();
         auto t4 = touchRange(a_dist_ + u64(lo) * sizeof(u32),
-                             (u64(hi) - lo) * sizeof(u32));
+                             (u64(hi) - lo) * sizeof(u32), buf);
         while (t4.next())
             co_yield t4.value();
     }
-    co_yield barrier();
+    co_yield BatchEnd::Barrier;
 
     if (lane == 0) {
         const NodeId src = pickSource(*graph_);
@@ -207,7 +217,7 @@ SsspWorkload::lane(u32 lane, u32 num_lanes)
         buckets_.assign(1, {src});
         current_bucket_ = 0;
     }
-    co_yield barrier();
+    co_yield BatchEnd::Barrier;
 
     auto relax = [&](NodeId v, u32 cand) -> bool {
         if (cand < dist_[v]) {
@@ -225,23 +235,29 @@ SsspWorkload::lane(u32 lane, u32 num_lanes)
         auto &bucket = buckets_[current_bucket_];
         for (u64 i = lane; i < bucket.size(); i += num_lanes) {
             const NodeId u = bucket[i];
-            co_yield load(a_dist_ + u64(u) * sizeof(u32));
+            if (buf.pushLoad(a_dist_ + u64(u) * sizeof(u32)))
+                co_yield BatchEnd::Ops;
             if (dist_[u] / delta_ != current_bucket_)
                 continue; // stale entry, superseded by a better path
-            co_yield load(offsetAddr(u));
+            if (buf.pushLoad(offsetAddr(u)))
+                co_yield BatchEnd::Ops;
             const u64 e_begin = graph_->offsets()[u];
             const u64 e_end = graph_->offsets()[u + 1];
             for (u64 j = e_begin; j < e_end; ++j) {
-                co_yield load(targetAddr(j));
-                co_yield load(weightAddr(j));
+                if (buf.pushLoad(targetAddr(j)))
+                    co_yield BatchEnd::Ops;
+                if (buf.pushLoad(weightAddr(j)))
+                    co_yield BatchEnd::Ops;
                 const NodeId v = graph_->targets()[j];
                 const u32 w = graph_->weights()[j];
-                co_yield load(a_dist_ + u64(v) * sizeof(u32));
+                if (buf.pushLoad(a_dist_ + u64(v) * sizeof(u32)))
+                    co_yield BatchEnd::Ops;
                 if (relax(v, dist_[u] + w))
-                    co_yield store(a_dist_ + u64(v) * sizeof(u32));
+                    if (buf.pushStore(a_dist_ + u64(v) * sizeof(u32)))
+                        co_yield BatchEnd::Ops;
             }
         }
-        co_yield barrier();
+        co_yield BatchEnd::Barrier;
         if (lane == 0) {
             buckets_[current_bucket_].clear();
             for (auto &chunk : next_) {
@@ -261,7 +277,7 @@ SsspWorkload::lane(u32 lane, u32 num_lanes)
                 ++current_bucket_;
             }
         }
-        co_yield barrier();
+        co_yield BatchEnd::Barrier;
     }
 }
 
@@ -277,8 +293,8 @@ PageRankWorkload::setup(os::Process &proc)
     footprint_ += 2 * n * sizeof(double);
 }
 
-Generator<AccessOp>
-PageRankWorkload::lane(u32 lane, u32 num_lanes)
+Generator<BatchEnd>
+PageRankWorkload::batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf)
 {
     PCCSIM_ASSERT(a_contrib_ != 0, "setup() must run before lane()");
     const NodeId n = graph_->numNodes();
@@ -292,51 +308,57 @@ PageRankWorkload::lane(u32 lane, u32 num_lanes)
 
     {
         auto t1 = touchRange(offsetAddr(lo),
-                             (u64(hi) - lo + 1) * sizeof(u64));
+                             (u64(hi) - lo + 1) * sizeof(u64), buf);
         while (t1.next())
             co_yield t1.value();
         const u64 e_lo = graph_->offsets()[lo];
         const u64 e_hi = graph_->offsets()[hi];
         auto t2 = touchRange(targetAddr(e_lo),
-                             (e_hi - e_lo) * sizeof(NodeId));
+                             (e_hi - e_lo) * sizeof(NodeId), buf);
         while (t2.next())
             co_yield t2.value();
         auto t3 = touchRange(a_contrib_ + u64(lo) * sizeof(double),
-                             (u64(hi) - lo) * sizeof(double));
+                             (u64(hi) - lo) * sizeof(double), buf);
         while (t3.next())
             co_yield t3.value();
         auto t4 = touchRange(a_rank_ + u64(lo) * sizeof(double),
-                             (u64(hi) - lo) * sizeof(double));
+                             (u64(hi) - lo) * sizeof(double), buf);
         while (t4.next())
             co_yield t4.value();
     }
-    co_yield barrier();
+    co_yield BatchEnd::Barrier;
 
     for (u32 iter = 0; iter < iterations_; ++iter) {
         // Pull phase: gather neighbor contributions (irregular reads).
         for (NodeId v = lo; v < hi; ++v) {
-            co_yield load(offsetAddr(v));
+            if (buf.pushLoad(offsetAddr(v)))
+                co_yield BatchEnd::Ops;
             double sum = 0.0;
             const u64 e_begin = graph_->offsets()[v];
             const u64 e_end = graph_->offsets()[v + 1];
             for (u64 j = e_begin; j < e_end; ++j) {
-                co_yield load(targetAddr(j));
+                if (buf.pushLoad(targetAddr(j)))
+                    co_yield BatchEnd::Ops;
                 const NodeId u = graph_->targets()[j];
-                co_yield load(a_contrib_ + u64(u) * sizeof(double));
+                if (buf.pushLoad(a_contrib_ + u64(u) * sizeof(double)))
+                    co_yield BatchEnd::Ops;
                 sum += contrib_[u];
             }
             rank_[v] = (1.0 - kDamping) / n + kDamping * sum;
-            co_yield store(a_rank_ + u64(v) * sizeof(double));
+            if (buf.pushStore(a_rank_ + u64(v) * sizeof(double)))
+                co_yield BatchEnd::Ops;
         }
-        co_yield barrier();
+        co_yield BatchEnd::Barrier;
         // Contribution refresh: streaming pass over this lane's slice.
         for (NodeId v = lo; v < hi; ++v) {
-            co_yield load(a_rank_ + u64(v) * sizeof(double));
+            if (buf.pushLoad(a_rank_ + u64(v) * sizeof(double)))
+                co_yield BatchEnd::Ops;
             const u32 deg = std::max<u32>(1, graph_->degree(v));
             contrib_[v] = rank_[v] / deg;
-            co_yield store(a_contrib_ + u64(v) * sizeof(double));
+            if (buf.pushStore(a_contrib_ + u64(v) * sizeof(double)))
+                co_yield BatchEnd::Ops;
         }
-        co_yield barrier();
+        co_yield BatchEnd::Barrier;
     }
 }
 

@@ -33,8 +33,13 @@ class GraphWorkloadBase : public Workload
     u32 maxLanes() const override { return 16; }
 
   protected:
-    /** Sequentially touch [base, base+bytes) with stores (init phase). */
-    static Generator<AccessOp> touchRange(Addr base, u64 bytes,
+    /**
+     * Sequentially touch [base, base+bytes) with stores (init phase),
+     * pushed into buf. Callers forward its yields:
+     * `while (t.next()) co_yield t.value();`.
+     */
+    static Generator<BatchEnd> touchRange(Addr base, u64 bytes,
+                                          AccessBuffer &buf,
                                           u64 stride = 64);
 
     /** This lane's contiguous vertex range under num_lanes lanes. */
@@ -90,7 +95,8 @@ class BfsWorkload : public GraphWorkloadBase
 
     std::string name() const override { return "bfs"; }
     void setup(os::Process &proc) override;
-    Generator<AccessOp> lane(u32 lane, u32 num_lanes) override;
+    Generator<BatchEnd>
+    batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf) override;
 
   private:
     Addr a_parent_ = 0;  //!< u32 per node — the irregular HUB array
@@ -113,7 +119,8 @@ class SsspWorkload : public GraphWorkloadBase
 
     std::string name() const override { return "sssp"; }
     void setup(os::Process &proc) override;
-    Generator<AccessOp> lane(u32 lane, u32 num_lanes) override;
+    Generator<BatchEnd>
+    batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf) override;
 
   private:
     u32 delta_;
@@ -137,7 +144,8 @@ class PageRankWorkload : public GraphWorkloadBase
 
     std::string name() const override { return "pr"; }
     void setup(os::Process &proc) override;
-    Generator<AccessOp> lane(u32 lane, u32 num_lanes) override;
+    Generator<BatchEnd>
+    batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf) override;
 
   private:
     u32 iterations_;

@@ -4,11 +4,13 @@
 
 namespace pccsim::workloads {
 
-Generator<AccessOp>
-SuiteWorkloadBase::touchRange(Addr base, u64 bytes, u64 stride)
+Generator<BatchEnd>
+SuiteWorkloadBase::touchRange(Addr base, u64 bytes, AccessBuffer &buf,
+                              u64 stride)
 {
     for (u64 off = 0; off < bytes; off += stride)
-        co_yield store(base + off);
+        if (buf.pushStore(base + off))
+            co_yield BatchEnd::Ops;
 }
 
 // -------------------------------------------------------------- canneal
@@ -22,15 +24,16 @@ CannealWorkload::setup(os::Process &proc)
     footprint_ = num_elements_ * kElementBytes;
 }
 
-Generator<AccessOp>
-CannealWorkload::lane(u32 lane, u32 num_lanes)
+Generator<BatchEnd>
+CannealWorkload::batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf)
 {
     PCCSIM_ASSERT(lane == 0 && num_lanes == 1,
                   "canneal model is single-threaded");
-    auto init = touchRange(a_elements_, num_elements_ * kElementBytes);
+    auto init = touchRange(a_elements_, num_elements_ * kElementBytes,
+                           buf);
     while (init.next())
         co_yield init.value();
-    co_yield barrier();
+    co_yield BatchEnd::Barrier;
 
     Rng rng(seed_);
     for (u64 op = 0; op < ops_; ++op) {
@@ -38,17 +41,23 @@ CannealWorkload::lane(u32 lane, u32 num_lanes)
         // each one's neighbor elements, then swap (two stores).
         const u64 a = rng.below(num_elements_);
         const u64 b = rng.below(num_elements_);
-        co_yield load(a_elements_ + a * kElementBytes);
-        co_yield load(a_elements_ + b * kElementBytes);
+        if (buf.pushLoad(a_elements_ + a * kElementBytes))
+            co_yield BatchEnd::Ops;
+        if (buf.pushLoad(a_elements_ + b * kElementBytes))
+            co_yield BatchEnd::Ops;
         for (unsigned i = 0; i < kNeighbors; ++i) {
             const u64 na = mix64(a * kNeighbors + i) % num_elements_;
             const u64 nb = mix64(b * kNeighbors + i + 0x9e37ull) %
                            num_elements_;
-            co_yield load(a_elements_ + na * kElementBytes);
-            co_yield load(a_elements_ + nb * kElementBytes);
+            if (buf.pushLoad(a_elements_ + na * kElementBytes))
+                co_yield BatchEnd::Ops;
+            if (buf.pushLoad(a_elements_ + nb * kElementBytes))
+                co_yield BatchEnd::Ops;
         }
-        co_yield store(a_elements_ + a * kElementBytes);
-        co_yield store(a_elements_ + b * kElementBytes);
+        if (buf.pushStore(a_elements_ + a * kElementBytes))
+            co_yield BatchEnd::Ops;
+        if (buf.pushStore(a_elements_ + b * kElementBytes))
+            co_yield BatchEnd::Ops;
     }
 }
 
@@ -66,17 +75,18 @@ OmnetppWorkload::setup(os::Process &proc)
     footprint_ = num_modules_ * kModuleBytes + event_ring_bytes_;
 }
 
-Generator<AccessOp>
-OmnetppWorkload::lane(u32 lane, u32 num_lanes)
+Generator<BatchEnd>
+OmnetppWorkload::batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf)
 {
     PCCSIM_ASSERT(lane == 0 && num_lanes == 1);
-    auto init1 = touchRange(a_modules_, num_modules_ * kModuleBytes);
+    auto init1 = touchRange(a_modules_, num_modules_ * kModuleBytes,
+                            buf);
     while (init1.next())
         co_yield init1.value();
-    auto init2 = touchRange(a_events_, event_ring_bytes_);
+    auto init2 = touchRange(a_events_, event_ring_bytes_, buf);
     while (init2.next())
         co_yield init2.value();
-    co_yield barrier();
+    co_yield BatchEnd::Barrier;
 
     Rng rng(seed_);
     ZipfSampler zipf(num_modules_, 0.7);
@@ -84,14 +94,19 @@ OmnetppWorkload::lane(u32 lane, u32 num_lanes)
     for (u64 op = 0; op < ops_; ++op) {
         // Pop an event (sequential ring), dispatch to a Zipf-popular
         // module (3 accesses to its state), push a follow-up event.
-        co_yield load(a_events_ + ring_pos);
+        if (buf.pushLoad(a_events_ + ring_pos))
+            co_yield BatchEnd::Ops;
         const u64 m = zipf.sample(rng);
         const Addr mod = a_modules_ + m * kModuleBytes;
-        co_yield load(mod);
-        co_yield load(mod + 64);
-        co_yield store(mod + 128);
+        if (buf.pushLoad(mod))
+            co_yield BatchEnd::Ops;
+        if (buf.pushLoad(mod + 64))
+            co_yield BatchEnd::Ops;
+        if (buf.pushStore(mod + 128))
+            co_yield BatchEnd::Ops;
         ring_pos = (ring_pos + 64) % event_ring_bytes_;
-        co_yield store(a_events_ + ring_pos);
+        if (buf.pushStore(a_events_ + ring_pos))
+            co_yield BatchEnd::Ops;
     }
 }
 
@@ -105,14 +120,14 @@ XalancWorkload::setup(os::Process &proc)
     footprint_ = num_nodes_ * kNodeBytes;
 }
 
-Generator<AccessOp>
-XalancWorkload::lane(u32 lane, u32 num_lanes)
+Generator<BatchEnd>
+XalancWorkload::batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf)
 {
     PCCSIM_ASSERT(lane == 0 && num_lanes == 1);
-    auto init = touchRange(a_nodes_, num_nodes_ * kNodeBytes);
+    auto init = touchRange(a_nodes_, num_nodes_ * kNodeBytes, buf);
     while (init.next())
         co_yield init.value();
-    co_yield barrier();
+    co_yield BatchEnd::Barrier;
 
     Rng rng(seed_);
     ZipfSampler zipf(num_nodes_, 0.6);
@@ -122,7 +137,8 @@ XalancWorkload::lane(u32 lane, u32 num_lanes)
         // is a deterministic hash of the current node (a fixed tree).
         u64 node = zipf.sample(rng);
         for (unsigned d = 0; d < kChaseDepth; ++d) {
-            co_yield load(a_nodes_ + node * kNodeBytes);
+            if (buf.pushLoad(a_nodes_ + node * kNodeBytes))
+                co_yield BatchEnd::Ops;
             node = mix64(node * kChaseDepth + d) % num_nodes_;
         }
     }
@@ -140,17 +156,17 @@ DedupWorkload::setup(os::Process &proc)
     footprint_ = input_bytes_ + hash_bytes_;
 }
 
-Generator<AccessOp>
-DedupWorkload::lane(u32 lane, u32 num_lanes)
+Generator<BatchEnd>
+DedupWorkload::batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf)
 {
     PCCSIM_ASSERT(lane == 0 && num_lanes == 1);
-    auto init1 = touchRange(a_input_, input_bytes_);
+    auto init1 = touchRange(a_input_, input_bytes_, buf);
     while (init1.next())
         co_yield init1.value();
-    auto init2 = touchRange(a_hash_, hash_bytes_);
+    auto init2 = touchRange(a_hash_, hash_bytes_, buf);
     while (init2.next())
         co_yield init2.value();
-    co_yield barrier();
+    co_yield BatchEnd::Barrier;
 
     Rng rng(seed_);
     u64 pos = 0;
@@ -162,12 +178,15 @@ DedupWorkload::lane(u32 lane, u32 num_lanes)
     for (u64 op = 0; op < ops_; ++op) {
         // Chunking: stream the input; every 8th chunk consults the
         // hash table.
-        co_yield load(a_input_ + pos);
+        if (buf.pushLoad(a_input_ + pos))
+            co_yield BatchEnd::Ops;
         pos = (pos + 64) % input_bytes_;
         if ((op & 7) == 0) {
             const u64 bucket = zipf.sample(rng);
-            co_yield load(a_hash_ + bucket * 64);
-            co_yield store(a_hash_ + bucket * 64);
+            if (buf.pushLoad(a_hash_ + bucket * 64))
+                co_yield BatchEnd::Ops;
+            if (buf.pushStore(a_hash_ + bucket * 64))
+                co_yield BatchEnd::Ops;
         }
     }
 }
@@ -184,17 +203,17 @@ McfWorkload::setup(os::Process &proc)
     footprint_ = arc_bytes_ + node_bytes_;
 }
 
-Generator<AccessOp>
-McfWorkload::lane(u32 lane, u32 num_lanes)
+Generator<BatchEnd>
+McfWorkload::batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf)
 {
     PCCSIM_ASSERT(lane == 0 && num_lanes == 1);
-    auto init1 = touchRange(a_arcs_, arc_bytes_);
+    auto init1 = touchRange(a_arcs_, arc_bytes_, buf);
     while (init1.next())
         co_yield init1.value();
-    auto init2 = touchRange(a_nodes_, node_bytes_);
+    auto init2 = touchRange(a_nodes_, node_bytes_, buf);
     while (init2.next())
         co_yield init2.value();
-    co_yield barrier();
+    co_yield BatchEnd::Barrier;
 
     Rng rng(seed_);
     const u64 arcs = arc_bytes_ / kArcBytes;
@@ -207,10 +226,13 @@ McfWorkload::lane(u32 lane, u32 num_lanes)
     for (u64 op = 0; op < ops_; ++op) {
         // Pricing sweep: sequential arc scan; ~1 in 16 arcs touches
         // the endpoints' node records.
-        co_yield load(a_arcs_ + arc * kArcBytes);
+        if (buf.pushLoad(a_arcs_ + arc * kArcBytes))
+            co_yield BatchEnd::Ops;
         if ((op & 15) == 0) {
-            co_yield load(a_nodes_ + zipf.sample(rng) * 64);
-            co_yield store(a_nodes_ + zipf.sample(rng) * 64);
+            if (buf.pushLoad(a_nodes_ + zipf.sample(rng) * 64))
+                co_yield BatchEnd::Ops;
+            if (buf.pushStore(a_nodes_ + zipf.sample(rng) * 64))
+                co_yield BatchEnd::Ops;
         }
         arc = (arc + 1) % arcs;
     }

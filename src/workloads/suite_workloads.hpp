@@ -33,7 +33,9 @@ class SuiteWorkloadBase : public Workload
     u64 footprintBytes() const override { return footprint_; }
 
   protected:
-    static Generator<AccessOp> touchRange(Addr base, u64 bytes,
+    /** Init-phase first-touch; yields forwarded by the caller. */
+    static Generator<BatchEnd> touchRange(Addr base, u64 bytes,
+                                          AccessBuffer &buf,
                                           u64 stride = 64);
 
     u64 target_footprint_;
@@ -54,7 +56,8 @@ class CannealWorkload : public SuiteWorkloadBase
     using SuiteWorkloadBase::SuiteWorkloadBase;
     std::string name() const override { return "canneal"; }
     void setup(os::Process &proc) override;
-    Generator<AccessOp> lane(u32 lane, u32 num_lanes) override;
+    Generator<BatchEnd>
+    batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf) override;
 
   private:
     Addr a_elements_ = 0;
@@ -73,7 +76,8 @@ class OmnetppWorkload : public SuiteWorkloadBase
     using SuiteWorkloadBase::SuiteWorkloadBase;
     std::string name() const override { return "omnetpp"; }
     void setup(os::Process &proc) override;
-    Generator<AccessOp> lane(u32 lane, u32 num_lanes) override;
+    Generator<BatchEnd>
+    batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf) override;
 
   private:
     Addr a_modules_ = 0;
@@ -93,7 +97,8 @@ class XalancWorkload : public SuiteWorkloadBase
     using SuiteWorkloadBase::SuiteWorkloadBase;
     std::string name() const override { return "xalancbmk"; }
     void setup(os::Process &proc) override;
-    Generator<AccessOp> lane(u32 lane, u32 num_lanes) override;
+    Generator<BatchEnd>
+    batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf) override;
 
   private:
     Addr a_nodes_ = 0;
@@ -113,7 +118,8 @@ class DedupWorkload : public SuiteWorkloadBase
     using SuiteWorkloadBase::SuiteWorkloadBase;
     std::string name() const override { return "dedup"; }
     void setup(os::Process &proc) override;
-    Generator<AccessOp> lane(u32 lane, u32 num_lanes) override;
+    Generator<BatchEnd>
+    batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf) override;
 
   private:
     Addr a_input_ = 0;
@@ -133,7 +139,8 @@ class McfWorkload : public SuiteWorkloadBase
     using SuiteWorkloadBase::SuiteWorkloadBase;
     std::string name() const override { return "mcf"; }
     void setup(os::Process &proc) override;
-    Generator<AccessOp> lane(u32 lane, u32 num_lanes) override;
+    Generator<BatchEnd>
+    batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf) override;
 
   private:
     Addr a_arcs_ = 0;

@@ -24,8 +24,8 @@ SyntheticWorkload::setup(os::Process &proc)
     base_ = proc.mmap(spec_.footprint_bytes, name());
 }
 
-Generator<AccessOp>
-SyntheticWorkload::lane(u32 lane, u32 num_lanes)
+Generator<BatchEnd>
+SyntheticWorkload::batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf)
 {
     PCCSIM_ASSERT(base_ != 0, "setup() must run before lane()");
     const u64 slice = spec_.footprint_bytes / num_lanes;
@@ -33,8 +33,9 @@ SyntheticWorkload::lane(u32 lane, u32 num_lanes)
 
     // Init: first-touch this lane's slice.
     for (u64 off = 0; off < slice; off += mem::kBytes4K)
-        co_yield store(lo + off);
-    co_yield barrier();
+        if (buf.pushStore(lo + off))
+            co_yield BatchEnd::Ops;
+    co_yield BatchEnd::Barrier;
 
     Rng rng(spec_.seed + lane * 0x9e3779b9ull);
     const u64 ops = spec_.ops / num_lanes;
@@ -42,7 +43,8 @@ SyntheticWorkload::lane(u32 lane, u32 num_lanes)
     switch (spec_.pattern) {
       case Pattern::Uniform: {
         for (u64 i = 0; i < ops; ++i)
-            co_yield load(lo + (rng.below(slice) & ~7ull));
+            if (buf.pushLoad(lo + (rng.below(slice) & ~7ull)))
+                co_yield BatchEnd::Ops;
         break;
       }
       case Pattern::Zipf: {
@@ -52,14 +54,16 @@ SyntheticWorkload::lane(u32 lane, u32 num_lanes)
             // Popularity is scattered across the slice so hot lines do
             // not cluster into a few pages.
             const u64 line = mix64(zipf.sample(rng)) % lines;
-            co_yield load(lo + line * 64);
+            if (buf.pushLoad(lo + line * 64))
+                co_yield BatchEnd::Ops;
         }
         break;
       }
       case Pattern::Sequential: {
         u64 pos = 0;
         for (u64 i = 0; i < ops; ++i) {
-            co_yield load(lo + pos);
+            if (buf.pushLoad(lo + pos))
+                co_yield BatchEnd::Ops;
             pos = (pos + 64) % slice;
         }
         break;
@@ -74,9 +78,11 @@ SyntheticWorkload::lane(u32 lane, u32 num_lanes)
                 // Uniform random within a uniformly chosen hot region.
                 const u64 r = rng.below(hot);
                 const u64 off = rng.below(mem::kBytes2M) & ~7ull;
-                co_yield load(lo + (r << mem::kShift2M) + off);
+                if (buf.pushLoad(lo + (r << mem::kShift2M) + off))
+                    co_yield BatchEnd::Ops;
             } else {
-                co_yield load(lo + cold_pos);
+                if (buf.pushLoad(lo + cold_pos))
+                    co_yield BatchEnd::Ops;
                 cold_pos = (cold_pos + 64) % slice;
             }
         }
@@ -86,7 +92,8 @@ SyntheticWorkload::lane(u32 lane, u32 num_lanes)
         // Deliberately endless: the run only stops when the runner's
         // watchdog cancels it (or the process is killed).
         for (;;)
-            co_yield load(lo);
+            if (buf.pushLoad(lo))
+                co_yield BatchEnd::Ops;
       }
     }
 }

@@ -43,7 +43,8 @@ class SyntheticWorkload : public Workload
     std::string name() const override;
     void setup(os::Process &proc) override;
     u64 footprintBytes() const override { return spec_.footprint_bytes; }
-    Generator<AccessOp> lane(u32 lane, u32 num_lanes) override;
+    Generator<BatchEnd>
+    batchLane(u32 lane, u32 num_lanes, AccessBuffer &buf) override;
     u32 maxLanes() const override { return 16; }
 
     const SyntheticSpec &spec() const { return spec_; }

@@ -87,6 +87,33 @@ TEST(SpecKey, DistinguishesEveryRunShapingField)
     EXPECT_NE(key, specKey(keyed));
 }
 
+TEST(SpecKey, SampledAndExactRunsNeverShareAMemoEntry)
+{
+    // A sampled run reports estimates, not exact results, so serving
+    // it from (or into) an exact run's memo entry would be silent
+    // corruption. The sampling geometry is part of the key.
+    const auto exact = ciSpec("bfs", PolicyKind::Pcc);
+    auto sampled = exact;
+    sampled.sampling.window = 10'000;
+    sampled.sampling.fastforward = 40'000;
+    EXPECT_NE(specKey(exact), specKey(sampled));
+
+    // Different geometries are different estimators too.
+    auto wider = sampled;
+    wider.sampling.fastforward = 90'000;
+    EXPECT_NE(specKey(sampled), specKey(wider));
+
+    // End to end: one runner, both specs in one batch — the sampled
+    // run must not be a memo hit off the exact one (or vice versa),
+    // and the results must differ in kind.
+    Runner runner(1);
+    const auto results = runner.runMany({exact, sampled});
+    EXPECT_EQ(runner.stats().memo_hits, 0u);
+    EXPECT_FALSE(results[0]->sampling.enabled);
+    EXPECT_TRUE(results[1]->sampling.enabled);
+    EXPECT_GT(results[1]->sampling.ff_accesses, 0u);
+}
+
 TEST(SpecKey, UnkeyedTweakIsNotMemoizable)
 {
     auto spec = ciSpec("bfs", PolicyKind::Pcc);
