@@ -118,6 +118,62 @@ caseStudy(const BenchEnv &env, const std::string &a,
                 static_cast<unsigned long long>(ideal.thps_b));
 }
 
+/**
+ * Companion section: the same process pair, but *time-sharing one
+ * core* in tenant mode, flush-on-switch vs ASID-tagged TLBs. The
+ * two-core case studies above never context-switch; this is where the
+ * switch-mode choice shows up. Expected shape: ASID rows strictly
+ * below flush rows in walks and wall cycles, equal in accesses.
+ */
+void
+switchModeStudy(const BenchEnv &env, const std::string &a,
+                const std::string &b)
+{
+    auto runMode = [&](tenant::SwitchMode mode) {
+        auto make = [&](const std::string &name, u64 seed) {
+            workloads::WorkloadSpec spec;
+            spec.name = name;
+            spec.scale = env.scale;
+            spec.seed = seed;
+            return workloads::makeWorkload(spec);
+        };
+        auto wa = make(a, env.seed);
+        auto wb = make(b, env.seed + 1);
+        sim::SystemConfig cfg = sim::SystemConfig::forScale(env.scale);
+        cfg.num_cores = 1;
+        cfg.tenant.cores = 1;
+        cfg.tenant.switch_mode = mode;
+        cfg.tenant.quantum_ops = 1024;
+        cfg.policy = sim::PolicyKind::Pcc;
+        cfg.telemetry.enabled = true;
+        cfg.seed = env.seed;
+        sim::System system(cfg);
+        return system.run(
+            {sim::System::Job{wa.get(), 1}, sim::System::Job{wb.get(), 1}});
+    };
+    const auto flush = runMode(tenant::SwitchMode::Flush);
+    const auto asid = runMode(tenant::SwitchMode::Asid);
+
+    Table table({"switch", a + " walks", b + " walks", "miss %",
+                 "wall Mcyc"});
+    auto addRow = [&](const char *label, const sim::RunResult &r) {
+        u64 walks = 0, tlb = 0;
+        for (const auto &job : r.jobs) {
+            walks += job.walks;
+            tlb += job.tlb_accesses;
+        }
+        table.row({label, std::to_string(r.jobs[0].walks),
+                   std::to_string(r.jobs[1].walks),
+                   Table::fmt(percent(walks, tlb), 2),
+                   Table::fmt(static_cast<double>(r.wall_cycles) / 1e6,
+                              1)});
+    };
+    addRow("flush", flush);
+    addRow("asid", asid);
+    env.emit(table, "Fig. 9c: " + a + " + " + b +
+                        " time-sharing one core (flush vs ASID)");
+}
+
 } // namespace
 
 int
@@ -128,5 +184,6 @@ main(int argc, char **argv)
               "Fig. 9a: TLB-sensitive (pr) + insensitive (mcf)");
     caseStudy(env, "pr", "sssp",
               "Fig. 9b: two TLB-sensitive applications (pr + sssp)");
+    switchModeStudy(env, "pr", "mcf");
     return 0;
 }

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Multi-tenant node sweep (the tenant-subsystem companion to Fig. 9):
+ * N single-threaded tenants time-share one core under the contention
+ * scheduler, and the sweep crosses tenant count x fragmentation x
+ * huge-page budget arbiter, with flush-on-switch vs ASID-tagged TLBs
+ * side by side. Per point it reports wall cycles, total walks, TLB
+ * miss rate, context switches, promotions, compaction runs (how the
+ * node pays for fragmentation), arbiter budget rejections, and the
+ * counterfactual regret those rejections cost.
+ *
+ * Shape targets: ASID tagging strictly reduces walks and wall time at
+ * every point (the refill storm after each quantum disappears);
+ * "static" keeps promotions near-equal across tenants while "greedy"
+ * follows raw demand; budget rejections and regret appear only when an
+ * arbiter other than greedy constrains a tenant below its demand.
+ *
+ * Extra flags beyond the common set (bench/common.hpp):
+ *   --tenants=2,4        tenant counts to sweep
+ *   --frag=0,0.9         fragmentation fractions to sweep (the
+ *                        paper's stress level; mild fragmentation is
+ *                        invisible while unpinned huge frames remain)
+ *   --arbiter=greedy,static,propshare   arbiters to sweep
+ *   --switch=flush,asid  context-switch modes to sweep
+ *   --quantum=1024       scheduler quantum in ops
+ *   --budget=1           promotions allowed per interval
+ *                        (regions_to_promote; deliberately tight so
+ *                        the arbiters have something to arbitrate —
+ *                        0 restores the footprint-scaled auto budget)
+ *   --selfcheck          run the subsystem's acceptance checks
+ *                        (1-tenant bit-identity vs the legacy path,
+ *                        multi-tenant determinism, ASID < flush) and
+ *                        exit nonzero on the first violation
+ */
+
+#include <memory>
+
+#include "common.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/registry.hpp"
+
+using namespace pccsim;
+using namespace pccsim::bench;
+
+namespace {
+
+struct Point
+{
+    u32 tenants;
+    double frag;
+    std::string arbiter;
+    tenant::SwitchMode mode;
+};
+
+struct SweepOptions
+{
+    std::vector<u32> tenants{2, 4};
+    std::vector<double> frags{0.0, 0.9};
+    std::vector<std::string> arbiters{"greedy", "static", "propshare"};
+    std::vector<tenant::SwitchMode> modes{tenant::SwitchMode::Flush,
+                                          tenant::SwitchMode::Asid};
+    u32 quantum = 1024;
+    u32 budget = 1;
+};
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        out.push_back(item);
+    return out;
+}
+
+sim::SystemConfig
+tenantConfig(const BenchEnv &env, const SweepOptions &sweep,
+             const std::string &arbiter, tenant::SwitchMode mode,
+             double frag)
+{
+    sim::SystemConfig cfg = sim::SystemConfig::forScale(env.scale);
+    cfg.num_cores = 1;
+    cfg.tenant.cores = 1;
+    cfg.tenant.switch_mode = mode;
+    cfg.tenant.quantum_ops = sweep.quantum;
+    cfg.policy = env.policy.value_or(sim::PolicyKind::Pcc);
+    cfg.pcc_policy.arbiter = arbiter;
+    cfg.pcc_policy.regions_to_promote = sweep.budget;
+    cfg.frag_fraction = frag;
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.audit = true;
+    cfg.seed = env.seed;
+    return cfg;
+}
+
+/** Build the tenants' workloads: apps round-robin, per-tenant seeds. */
+std::vector<std::unique_ptr<workloads::Workload>>
+tenantWorkloads(const BenchEnv &env, u32 tenants)
+{
+    std::vector<std::unique_ptr<workloads::Workload>> ws;
+    ws.reserve(tenants);
+    for (u32 t = 0; t < tenants; ++t) {
+        workloads::WorkloadSpec spec;
+        spec.name = env.apps[t % env.apps.size()];
+        spec.scale = env.scale;
+        spec.seed = env.seed + t;
+        ws.push_back(workloads::makeWorkload(spec));
+    }
+    return ws;
+}
+
+sim::RunResult
+runPoint(const BenchEnv &env, const SweepOptions &sweep, const Point &p)
+{
+    auto ws = tenantWorkloads(env, p.tenants);
+    sim::System system(
+        tenantConfig(env, sweep, p.arbiter, p.mode, p.frag));
+    std::vector<sim::System::Job> jobs;
+    jobs.reserve(ws.size());
+    for (auto &w : ws)
+        jobs.push_back({w.get(), 1});
+    return system.run(std::move(jobs));
+}
+
+u64
+totalWalks(const sim::RunResult &r)
+{
+    u64 walks = 0;
+    for (const auto &job : r.jobs)
+        walks += job.walks;
+    return walks;
+}
+
+double
+missPercent(const sim::RunResult &r)
+{
+    u64 walks = 0, tlb = 0;
+    for (const auto &job : r.jobs) {
+        walks += job.walks;
+        tlb += job.tlb_accesses;
+    }
+    return percent(walks, tlb);
+}
+
+u64
+totalPromotions(const sim::RunResult &r)
+{
+    u64 promos = 0;
+    for (const auto &job : r.jobs)
+        promos += job.promotions;
+    return promos;
+}
+
+u64
+counterOf(const sim::RunResult &r, const std::string &name)
+{
+    if (!r.telemetry)
+        return 0;
+    for (const auto &[key, value] : r.telemetry->counters) {
+        if (key == name)
+            return value;
+    }
+    return 0;
+}
+
+u64
+budgetSkips(const sim::RunResult &r)
+{
+    if (!r.telemetry)
+        return 0;
+    for (const auto &[key, count] : r.telemetry->audit.reason_counts) {
+        if (key == "skip:tenant-budget")
+            return count;
+    }
+    return 0;
+}
+
+void
+sweepTable(const BenchEnv &env, const SweepOptions &sweep)
+{
+    std::vector<Point> points;
+    for (u32 tenants : sweep.tenants) {
+        for (double frag : sweep.frags) {
+            for (const auto &arbiter : sweep.arbiters) {
+                for (tenant::SwitchMode mode : sweep.modes)
+                    points.push_back({tenants, frag, arbiter, mode});
+            }
+        }
+    }
+
+    // Multi-job runs are not expressible as ExperimentSpecs (same
+    // reason as fig09), so fan out directly on a worker pool;
+    // parallelMap keeps input order, so output is --jobs-invariant.
+    util::ThreadPool pool(env.jobs);
+    const auto runs = pool.parallelMap(points, [&](const Point &p) {
+        return runPoint(env, sweep, p);
+    });
+
+    Table table({"tenants", "frag", "arbiter", "switch", "wall Mcyc",
+                 "walks", "miss %", "switches", "THPs", "compactions",
+                 "budget skips", "regret Mcyc"});
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const auto &r = runs[i];
+        table.row({std::to_string(points[i].tenants),
+                   Table::fmt(points[i].frag, 2), points[i].arbiter,
+                   tenant::to_string(points[i].mode),
+                   Table::fmt(static_cast<double>(r.wall_cycles) / 1e6,
+                              1),
+                   std::to_string(totalWalks(r)),
+                   Table::fmt(missPercent(r), 2),
+                   std::to_string(counterOf(r, "tenant_switches")),
+                   std::to_string(totalPromotions(r)),
+                   std::to_string(counterOf(r, "compactions")),
+                   std::to_string(budgetSkips(r)),
+                   Table::fmt(static_cast<double>(sim::regretCycles(r)) /
+                                  1e6,
+                              2)});
+    }
+    env.emit(table,
+             "Fig. 10: multi-tenant node (tenants x fragmentation x "
+             "arbiter, flush vs ASID)");
+}
+
+// ---------------------------------------------------------- selfcheck
+
+bool
+checkOneTenantIdentity(const BenchEnv &env, const SweepOptions &sweep)
+{
+    // A 1-tenant tenant-mode run must be stat-for-stat identical
+    // (telemetry content included) to the legacy single-process path.
+    auto makeOne = [&] {
+        workloads::WorkloadSpec spec;
+        spec.name = env.apps.front();
+        spec.scale = env.scale;
+        spec.seed = env.seed;
+        return workloads::makeWorkload(spec);
+    };
+    sim::SystemConfig legacy_cfg = sim::SystemConfig::forScale(env.scale);
+    legacy_cfg.num_cores = 1;
+    legacy_cfg.policy = env.policy.value_or(sim::PolicyKind::Pcc);
+    legacy_cfg.pcc_policy.regions_to_promote = sweep.budget;
+    legacy_cfg.telemetry.enabled = true;
+    legacy_cfg.telemetry.audit = true;
+    legacy_cfg.seed = env.seed;
+
+    auto legacy_w = makeOne();
+    sim::System legacy_sys(legacy_cfg);
+    const auto legacy = legacy_sys.run(*legacy_w);
+
+    auto tenant_w = makeOne();
+    sim::System tenant_sys(tenantConfig(
+        env, sweep, /*arbiter=*/"", tenant::SwitchMode::Asid, 0.0));
+    const auto tenanted = tenant_sys.run(*tenant_w);
+
+    if (!(legacy == tenanted)) {
+        std::printf("selfcheck FAILED: 1-tenant ASID run diverged from "
+                    "the legacy path (wall %llu vs %llu, walks %llu vs "
+                    "%llu)\n",
+                    static_cast<unsigned long long>(legacy.wall_cycles),
+                    static_cast<unsigned long long>(tenanted.wall_cycles),
+                    static_cast<unsigned long long>(totalWalks(legacy)),
+                    static_cast<unsigned long long>(totalWalks(tenanted)));
+        return false;
+    }
+    std::printf("selfcheck: 1-tenant ASID run identical to legacy path\n");
+    return true;
+}
+
+bool
+checkDeterminism(const BenchEnv &env, const SweepOptions &sweep)
+{
+    const Point p{2, 0.0, "static", tenant::SwitchMode::Asid};
+    const auto r1 = runPoint(env, sweep, p);
+    const auto r2 = runPoint(env, sweep, p);
+    if (!(r1 == r2)) {
+        std::printf("selfcheck FAILED: repeated 2-tenant run is not "
+                    "deterministic\n");
+        return false;
+    }
+    std::printf("selfcheck: multi-tenant runs deterministic\n");
+    return true;
+}
+
+bool
+checkAsidBeatsFlush(const BenchEnv &env, const SweepOptions &sweep)
+{
+    const auto flush = runPoint(
+        env, sweep, {2, 0.0, "greedy", tenant::SwitchMode::Flush});
+    const auto asid = runPoint(
+        env, sweep, {2, 0.0, "greedy", tenant::SwitchMode::Asid});
+    if (totalWalks(asid) >= totalWalks(flush)) {
+        std::printf("selfcheck FAILED: ASID walks (%llu) not below "
+                    "flush-on-switch walks (%llu)\n",
+                    static_cast<unsigned long long>(totalWalks(asid)),
+                    static_cast<unsigned long long>(totalWalks(flush)));
+        return false;
+    }
+    std::printf("selfcheck: ASID tagging beats flush-on-switch "
+                "(%llu vs %llu walks)\n",
+                static_cast<unsigned long long>(totalWalks(asid)),
+                static_cast<unsigned long long>(totalWalks(flush)));
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchEnv env = BenchEnv::parse(argc, argv, {"pr", "mcf"});
+    Options opts(argc, argv);
+
+    SweepOptions sweep;
+    sweep.quantum = static_cast<u32>(opts.getInt("quantum", 1024));
+    sweep.budget = static_cast<u32>(opts.getInt("budget", 1));
+    if (opts.has("tenants")) {
+        sweep.tenants.clear();
+        for (const auto &t : splitList(opts.get("tenants")))
+            sweep.tenants.push_back(
+                static_cast<u32>(std::strtoul(t.c_str(), nullptr, 10)));
+    }
+    if (opts.has("frag")) {
+        sweep.frags.clear();
+        for (const auto &f : splitList(opts.get("frag")))
+            sweep.frags.push_back(std::strtod(f.c_str(), nullptr));
+    }
+    if (opts.has("arbiter"))
+        sweep.arbiters = splitList(opts.get("arbiter"));
+    if (opts.has("switch")) {
+        sweep.modes.clear();
+        for (const auto &m : splitList(opts.get("switch"))) {
+            const auto mode = tenant::parseSwitchMode(m);
+            if (!mode)
+                fatal("unknown --switch=", m, " (use flush or asid)");
+            sweep.modes.push_back(*mode);
+        }
+    }
+    for (const auto &arbiter : sweep.arbiters) {
+        if (!tenant::makeArbiter(arbiter)) {
+            fatal("unknown --arbiter=", arbiter,
+                  " (use greedy, static, or propshare)");
+        }
+    }
+
+    if (opts.getBool("selfcheck")) {
+        bool ok = checkOneTenantIdentity(env, sweep);
+        ok = checkDeterminism(env, sweep) && ok;
+        ok = checkAsidBeatsFlush(env, sweep) && ok;
+        return ok ? 0 : 1;
+    }
+
+    sweepTable(env, sweep);
+    return 0;
+}

@@ -22,6 +22,7 @@ pcc_fig(fig06_pcc_size)
 pcc_fig(fig07_fragmentation)
 pcc_fig(fig08_multithread)
 pcc_fig(fig09_multiprocess)
+pcc_fig(fig10_multitenant)
 pcc_fig(tab_workloads)
 pcc_fig(tab_overheads)
 pcc_fig(abl_replacement)

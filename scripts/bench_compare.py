@@ -104,7 +104,7 @@ def main():
                         help="baseline files (default: all committed)")
     args = parser.parse_args()
 
-    paths = ([pathlib.Path(p) for p in args.baselines]
+    paths = ([pathlib.Path(p).resolve() for p in args.baselines]
              or sorted(BASELINE_DIR.glob("*.json")))
     if not paths:
         sys.exit(f"bench_compare: no baselines under {BASELINE_DIR}")

@@ -37,6 +37,11 @@
 #                         --resume must complete byte-identical to an
 #                         uninterrupted run, serving the journaled
 #                         jobs from the memo instead of re-simulating
+#   tenant                fig10_multitenant --selfcheck (1-tenant ASID
+#                         run bit-identical to the legacy path,
+#                         multi-tenant determinism, ASID < flush
+#                         walks), then a reduced sweep must emit
+#                         byte-identical CSV at --jobs=1 and --jobs=4
 #
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
 # build-tsan/; determinism, telemetry, attribution and bench use
@@ -175,9 +180,9 @@ PYEOF
 run_bench_compare() {
     echo "==> [bench] configuring build-det"
     cmake -B build-det -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-    echo "==> [bench] building fig06_pcc_size"
+    echo "==> [bench] building fig06_pcc_size + fig10_multitenant"
     cmake --build build-det -j "$(nproc)" --target fig06_pcc_size \
-        >/dev/null
+        --target fig10_multitenant >/dev/null
     echo "==> [bench] comparing against bench/baselines/"
     python3 scripts/bench_compare.py --build=build-det
     echo "==> [bench] clean"
@@ -269,10 +274,35 @@ PYEOF
     echo "==> [resume] clean"
 }
 
+run_tenant() {
+    echo "==> [tenant] configuring build-det"
+    cmake -B build-det -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    echo "==> [tenant] building fig10_multitenant"
+    cmake --build build-det -j "$(nproc)" --target fig10_multitenant \
+        >/dev/null
+    echo "==> [tenant] selfcheck (1-tenant identity, determinism, ASID < flush)"
+    ./build-det/bench/fig10_multitenant --scale=ci --selfcheck
+    echo "==> [tenant] reduced sweep --jobs=4 vs --jobs=1 CSV diff"
+    local tmp
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' RETURN
+    local sweep_args=(--scale=ci --csv --tenants=2 --frag=0,0.9
+                      --arbiter=static,propshare)
+    ./build-det/bench/fig10_multitenant "${sweep_args[@]}" --jobs=1 \
+        > "$tmp/serial.csv"
+    ./build-det/bench/fig10_multitenant "${sweep_args[@]}" --jobs=4 \
+        > "$tmp/parallel.csv"
+    if ! diff -u "$tmp/serial.csv" "$tmp/parallel.csv"; then
+        echo "tenant gate FAILED: parallel output diverged" >&2
+        return 1
+    fi
+    echo "==> [tenant] clean (selfcheck passed, byte-identical output)"
+}
+
 gates=("$@")
 if [ ${#gates[@]} -eq 0 ]; then
     gates=(address undefined determinism telemetry attribution bench \
-           sampling fuzz resume)
+           sampling fuzz resume tenant)
 fi
 
 for gate in "${gates[@]}"; do
@@ -301,9 +331,12 @@ for gate in "${gates[@]}"; do
       resume)
          run_resume
          continue ;;
+      tenant)
+         run_tenant
+         continue ;;
       *) echo "unknown gate '$gate'" \
               "(use address|undefined|thread|determinism|telemetry|" \
-              "attribution|bench|sampling|fuzz|resume)" >&2
+              "attribution|bench|sampling|fuzz|resume|tenant)" >&2
          exit 2 ;;
     esac
 

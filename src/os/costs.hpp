@@ -45,6 +45,15 @@ struct OsCosts
     Cycles scan_per_page = 4;
 
     /**
+     * One context switch on a multi-tenant core: CR3 write, pipeline
+     * drain, and scheduler bookkeeping. Charged identically in flush
+     * and ASID switch modes — the modes differ in the TLB state a
+     * switch destroys, and keeping the direct charge equal attributes
+     * the entire measured delta to the refill misses the flush causes.
+     */
+    Cycles context_switch = 400;
+
+    /**
      * Direct-reclaim entry on a failed base-page allocation: scanning
      * for cold huge pages and demoting them runs synchronously in the
      * faulting task, as Linux's direct reclaim does.

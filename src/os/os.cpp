@@ -49,7 +49,12 @@ Os::handleFault(Process &proc, Addr vaddr, bool want_huge)
     const bool region_untouched = proc.faultedInRegion(vaddr) == 0 &&
         proc.regionStateOf(vaddr) == RegionState::Unbacked;
 
+    // MADV_NOHUGEPAGE is enforced here in the mechanism, not just in
+    // the policies: even a policy whose wantHugeFault() ignores hints
+    // (all-huge) must fall back to base pages for an opted-out region,
+    // exactly as the kernel's fault path does.
     if (want_huge && region_untouched &&
+        proc.hintOf(region_base) != HugeHint::NoHuge &&
         region_base + mem::kBytes2M <= proc.heapEnd() &&
         capAllows(mem::kBytes2M)) {
         if (auto pfn = phys_.allocHuge(
@@ -197,6 +202,13 @@ Os::promoteRegion(Process &proc, Addr region_base, bool allow_compaction,
         result.status = PromoteStatus::NotEligible;
         return audited(result);
     }
+    // MADV_NOHUGEPAGE regions must never be promoted, whichever policy
+    // asks and whatever the memory pressure — a mechanism guarantee,
+    // like the kernel's VM_NOHUGEPAGE check in khugepaged.
+    if (proc.hintOf(region_base) == HugeHint::NoHuge) {
+        result.status = PromoteStatus::NotEligible;
+        return audited(result);
+    }
     const RegionState state = proc.regionStateOf(region_base);
     if (state == RegionState::Huge2M || state == RegionState::Huge1G) {
         result.status = PromoteStatus::AlreadyHuge;
@@ -276,12 +288,18 @@ Os::promoteRegion1G(Process &proc, Addr region_base,
         result.status = PromoteStatus::NotEligible;
         return audited(result);
     }
-    // The range must be touched somewhere and not already 1GB.
+    // The range must be touched somewhere, not already 1GB, and free
+    // of MADV_NOHUGEPAGE constituents — collapsing an opted-out 2MB
+    // region into a gigabyte page would promote it by the back door.
     bool touched = false;
     for (u64 r = 0; r < mem::k2MPer1G; ++r) {
         const Addr base = region_base + r * mem::kBytes2M;
         if (proc.regionStateOf(base) == RegionState::Huge1G) {
             result.status = PromoteStatus::AlreadyHuge;
+            return audited(result);
+        }
+        if (proc.hintOf(base) == HugeHint::NoHuge) {
+            result.status = PromoteStatus::NotEligible;
             return audited(result);
         }
         touched |= proc.faultedInRegion(base) > 0;

@@ -47,6 +47,22 @@ autoPromoteRegions(PolicyContext &ctx, u32 configured)
     return static_cast<u32>(std::max<u64>(1, total));
 }
 
+/**
+ * Which process owns `base`, by address-range containment. Tenant
+ * address spaces are disjoint, so at most one process matches; the
+ * fallback covers candidates that left every address space (they are
+ * skipped as OutsideVma downstream, with the fallback pid on the
+ * audit record — the pre-multi-tenant attribution).
+ */
+Pid
+ownerPidOf(Os &os, Addr base, Pid fallback)
+{
+    for (Pid p = 0; p < os.numProcesses(); ++p)
+        if (os.process(p).contains(base))
+            return p;
+    return fallback;
+}
+
 } // namespace
 
 // ---------------------------------------------------------------- Linux
@@ -215,16 +231,25 @@ HawkEyePolicy::onInterval(PolicyContext &ctx)
 std::vector<PccPolicy::RankedCandidate>
 PccPolicy::rank(PolicyContext &ctx) const
 {
+    Os &os = ctx.os();
     const u32 cores = ctx.numCores();
     std::vector<std::vector<pcc::Candidate>> snaps(cores);
     for (CoreId c = 0; c < cores; ++c)
         snaps[c] = ctx.pccUnit(c).pcc2m().snapshot();
 
+    const auto make = [&](CoreId c,
+                          const pcc::Candidate &cand) -> RankedCandidate {
+        const Addr base = cand.region << mem::kShift2M;
+        return {c,
+                ownerPidOf(os, base, ctx.processOnCore(c).pid()),
+                cand};
+    };
+
     std::vector<RankedCandidate> out;
     if (params_.order == PromotionOrder::HighestFrequency) {
         for (CoreId c = 0; c < cores; ++c)
             for (const auto &cand : snaps[c])
-                out.push_back({c, cand});
+                out.push_back(make(c, cand));
         std::stable_sort(out.begin(), out.end(),
                          [](const RankedCandidate &a,
                             const RankedCandidate &b) {
@@ -242,7 +267,7 @@ PccPolicy::rank(PolicyContext &ctx) const
                 const CoreId c = static_cast<CoreId>(
                     (i + rr_offset_) % cores);
                 if (r < snaps[c].size())
-                    out.push_back({c, snaps[c][r]});
+                    out.push_back(make(c, snaps[c][r]));
             }
         }
     }
@@ -252,10 +277,9 @@ PccPolicy::rank(PolicyContext &ctx) const
     if (!params_.bias_pids.empty()) {
         std::stable_partition(
             out.begin(), out.end(), [&](const RankedCandidate &rc) {
-                const Pid pid = ctx.processOnCore(rc.core).pid();
                 return std::find(params_.bias_pids.begin(),
                                  params_.bias_pids.end(),
-                                 pid) != params_.bias_pids.end();
+                                 rc.pid) != params_.bias_pids.end();
             });
     }
     return out;
@@ -297,11 +321,14 @@ PccPolicy::onInterval(PolicyContext &ctx)
     if (params_.promote_1g) {
         for (CoreId c = 0; c < ctx.numCores(); ++c) {
             pcc::PccUnit &unit = ctx.pccUnit(c);
-            Process &proc = ctx.processOnCore(c);
             const auto snap = unit.pcc1g().snapshot();
             for (size_t r = 0; r < snap.size(); ++r) {
                 const auto &cand = snap[r];
                 const Addr base = cand.region << mem::kShift1G;
+                // Owner by address, not by core: on a shared core the
+                // PCC holds candidates from every tenant that ran there.
+                Process &proc = os.process(
+                    ownerPidOf(os, base, ctx.processOnCore(c).pid()));
                 if (!unit.prefer1G(cand.region, params_.ratio_1g)) {
                     // The PUD-level walk signal does not dominate the
                     // constituent 2MB counters: 2MB promotion suffices.
@@ -337,10 +364,35 @@ PccPolicy::onInterval(PolicyContext &ctx)
     ++rr_offset_;
 
     const u32 budget = autoPromoteRegions(ctx, params_.regions_to_promote);
+
+    // Multi-tenant arbitration: split the interval budget into per-pid
+    // allowances. Empty arbiter = legacy single-tenant behavior (and
+    // "greedy" grants everyone the full budget, so it is identical).
+    std::vector<u32> allow;
+    std::vector<u32> used;
+    if (!params_.arbiter.empty()) {
+        if (!arbiter_) {
+            arbiter_ = tenant::makeArbiter(params_.arbiter);
+            PCCSIM_ASSERT(arbiter_ != nullptr,
+                          "unknown tenant arbiter name");
+        }
+        std::vector<tenant::TenantDemand> demand(os.numProcesses());
+        for (Pid p = 0; p < os.numProcesses(); ++p)
+            demand[p].pid = p;
+        for (const auto &rc : ranked) {
+            demand[rc.pid].candidates += 1;
+            demand[rc.pid].weight += rc.candidate.frequency;
+        }
+        allow = arbiter_->allocate(budget, demand, rr_offset_);
+        PCCSIM_ASSERT(allow.size() == demand.size(),
+                      "arbiter allowance size mismatch");
+        used.assign(allow.size(), 0);
+    }
+
     u32 promoted = 0;
     for (size_t r = 0; r < ranked.size(); ++r) {
         const auto &rc = ranked[r];
-        Process &proc = ctx.processOnCore(rc.core);
+        Process &proc = os.process(rc.pid);
         const Addr base = rc.candidate.region << mem::kShift2M;
         const auto skip = [&](telemetry::AuditReason reason) {
             if (audit) {
@@ -356,6 +408,12 @@ PccPolicy::onInterval(PolicyContext &ctx)
             if (!audit)
                 break;
             skip(telemetry::AuditReason::IntervalBudget);
+            continue;
+        }
+        if (!allow.empty() && used[rc.pid] >= allow[rc.pid]) {
+            // The tenant spent its arbiter allowance; others may still
+            // promote, so keep scanning instead of breaking.
+            skip(telemetry::AuditReason::TenantBudget);
             continue;
         }
         if (rc.candidate.frequency < params_.min_frequency) {
@@ -387,6 +445,8 @@ PccPolicy::onInterval(PolicyContext &ctx)
         }
         if (result.status == PromoteStatus::Ok) {
             ++promoted;
+            if (!used.empty())
+                ++used[rc.pid];
             promoted_fifo_[proc.pid()].push_back(base);
             ctx.chargeCore(rc.core, result.app_cycles);
         } else if (result.status == PromoteStatus::CapReached ||
@@ -405,7 +465,7 @@ PccPolicy::onInterval(PolicyContext &ctx)
                     const auto &rc2 = ranked[r2];
                     audit->record(
                         telemetry::AuditAction::Skip, reason,
-                        ctx.processOnCore(rc2.core).pid(),
+                        rc2.pid,
                         rc2.candidate.region << mem::kShift2M,
                         static_cast<u32>(r2), rc2.candidate.frequency);
                 }

@@ -17,10 +17,13 @@
 #pragma once
 
 #include <deque>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "os/policy.hpp"
 #include "os/trace.hpp"
+#include "tenant/arbiter.hpp"
 
 namespace pccsim::os {
 
@@ -190,6 +193,14 @@ class PccPolicy : public Policy
          */
         bool promote_1g = false;
         u64 ratio_1g = 512;
+        /**
+         * Multi-tenant budget arbiter (tenant/arbiter.hpp): "greedy",
+         * "static", or "propshare". Empty (the default) keeps the
+         * single-tenant behavior — the global budget alone bounds
+         * promotions. "greedy" is behaviorally identical to empty; it
+         * exists so sweeps can name the legacy contender explicitly.
+         */
+        std::string arbiter;
     };
 
     PccPolicy() = default;
@@ -205,6 +216,15 @@ class PccPolicy : public Policy
     struct RankedCandidate
     {
         CoreId core;
+        /**
+         * Owning process, resolved from the candidate's *address*
+         * (which process's heap contains it), not from the core it was
+         * observed on — on a multi-tenant shared core the PCC holds
+         * candidates of every tenant that ran there. Falls back to the
+         * core's current process for candidates no process contains
+         * (the OutsideVma skip path).
+         */
+        Pid pid = 0;
         pcc::Candidate candidate;
     };
 
@@ -216,6 +236,8 @@ class PccPolicy : public Policy
     Params params_;
     std::vector<std::deque<Addr>> promoted_fifo_;
     u64 rr_offset_ = 0;
+    /** Lazily built from params_.arbiter (null = legacy behavior). */
+    std::unique_ptr<tenant::Arbiter> arbiter_;
 };
 
 /**

@@ -21,6 +21,7 @@
 #include "sim/fault_injector.hpp"
 #include "sim/oracle.hpp"
 #include "telemetry/report.hpp"
+#include "tenant/tenant.hpp"
 #include "tlb/geometry.hpp"
 #include "util/status.hpp"
 #include "workloads/registry.hpp"
@@ -240,6 +241,18 @@ struct SystemConfig
         }
     };
     SamplingConfig sampling{};
+
+    /**
+     * Multi-tenant node mode (tenant/tenant.hpp): when
+     * tenant.enabled(), the N jobs of a run are tenants time-sharing
+     * `tenant.cores` cores under the contention scheduler instead of
+     * each owning a core. Tenant i runs as pid i with its pid doubling
+     * as the TLB ASID (switch_mode selects ASID tagging vs the
+     * flush-on-switch baseline). Requires the batch engine;
+     * incompatible with sampling and the oracle (both reason about one
+     * uninterrupted stream per core).
+     */
+    tenant::TenantConfig tenant{};
 
     /**
      * Cooperative supervision hooks for external watchdogs (runtime

@@ -194,6 +194,30 @@ SystemConfig::validate() const
         status.update(
             Status::error("telemetry.max_audit_records must be >= 1"));
     }
+    if (tenant.enabled()) {
+        if (!batch_engine) {
+            status.update(Status::error(
+                "tenant mode requires the batch engine"));
+        }
+        if (sampling.enabled()) {
+            status.update(Status::error(
+                "tenant mode is incompatible with sampling"));
+        }
+        if (oracle.enabled) {
+            status.update(Status::error(
+                "tenant mode is incompatible with the oracle (the "
+                "reference model has no ASID/switch notion)"));
+        }
+        if (tenant.cores > num_cores) {
+            status.update(Status::error(
+                "tenant.cores (", tenant.cores, ") exceeds num_cores (",
+                num_cores, ")"));
+        }
+        if (tenant.quantum_ops == 0) {
+            status.update(
+                Status::error("tenant.quantum_ops must be >= 1"));
+        }
+    }
 
     return status;
 }
@@ -267,8 +291,16 @@ System::installShootdownHook()
 {
     os_->setShootdownHook([this](Pid pid, Addr base, u64 bytes) -> Cycles {
         ++shootdowns_;
+        // Under ASID switching the owner's entries are tagged with its
+        // pid; the invalidation must target that tag or it would miss
+        // them entirely. Flush mode (and legacy runs) tag everything 0.
+        const Asid asid =
+            (tsched_ &&
+             config_.tenant.switch_mode == tenant::SwitchMode::Asid)
+                ? static_cast<Asid>(pid)
+                : 0;
         for (auto &core : cores_) {
-            core.tlb.shootdown(base, bytes);
+            core.tlb.shootdown(base, bytes, asid);
             core.walker.shootdown(base, bytes);
             core.pcc.shootdown(base, bytes);
             // The mapping (size or frame) changed somewhere; drop the
@@ -333,7 +365,11 @@ System::installReclaimRanker()
         const Vpn v1g = mem::vpnOf(base, mem::PageSize::Huge1G);
         u64 score = 0;
         for (u32 c = 0; c < config_.num_cores; ++c) {
-            if (!core_process_[c] || core_process_[c]->pid() != pid)
+            // Tenant mode: the owner may be scheduled out right now,
+            // but any shared core it ran on still holds its candidates
+            // (addresses are globally disjoint, so no false matches).
+            if (!tsched_ &&
+                (!core_process_[c] || core_process_[c]->pid() != pid))
                 continue;
             const auto &unit = cores_[c].pcc;
             if (auto f = unit.pcc2m().frequencyOf(v2m))
@@ -426,6 +462,31 @@ System::setupTelemetry(size_t num_jobs)
             return wall;
         });
     }
+    // Per-tenant fairness/starvation telemetry. Only registered for
+    // genuinely multi-tenant runs: a 1-tenant tenant-mode run must
+    // produce the byte-identical telemetry report of the legacy
+    // single-process path.
+    if (config_.tenant.enabled() && num_jobs > 1) {
+        reg.probe("tenant_switches",
+                  [this] { return tsched_ ? tsched_->switches() : 0; });
+        for (size_t j = 0; j < num_jobs; ++j) {
+            const std::string prefix = "tenant" + std::to_string(j);
+            reg.probe(prefix + "_switches", [this, j] {
+                return tsched_ ? tsched_->switchesOf(
+                                     static_cast<TenantId>(j))
+                               : 0;
+            });
+            reg.probe(prefix + "_ops", [this, j] {
+                return tsched_
+                           ? tsched_->opsOf(static_cast<TenantId>(j))
+                           : 0;
+            });
+            reg.probe(prefix + "_walks",
+                      [this, j] { return job_tally_[j].walks; });
+            reg.probe(prefix + "_faults",
+                      [this, j] { return job_tally_[j].faults; });
+        }
+    }
     tel_churn_counter_ = reg.counter("pcc_topk_churn");
 
     tel_sampler_ = std::make_unique<telemetry::IntervalSampler>(reg);
@@ -440,6 +501,16 @@ System::setupTelemetry(size_t num_jobs)
     for (size_t j = 0; j < num_jobs; ++j) {
         tel_sampler_->track("job" + std::to_string(j) + "_cycles",
                             SampleKind::Gauge);
+    }
+    if (config_.tenant.enabled() && num_jobs > 1) {
+        tel_sampler_->track("tenant_switches", SampleKind::Cumulative);
+        for (size_t j = 0; j < num_jobs; ++j) {
+            const std::string prefix = "tenant" + std::to_string(j);
+            tel_sampler_->track(prefix + "_ops",
+                                SampleKind::Cumulative);
+            tel_sampler_->track(prefix + "_walks",
+                                SampleKind::Cumulative);
+        }
     }
 
     if (config_.telemetry.trace_events) {
@@ -688,6 +759,37 @@ System::maybeReleaseBarrier(u32 job)
 }
 
 void
+System::tenantClaim(const LaneState &lane)
+{
+    os::Process *proc = job_process_[lane.job];
+    if (!tsched_->claim(lane.core, lane.job))
+        return; // tenant already current: no switch, no cost
+
+    CoreState &core = cores_[lane.core];
+    // Charged identically in both switch modes, so a flush-vs-ASID
+    // comparison isolates the refill misses — the quantity Fig. 10
+    // reports — rather than folding in direct switch overhead.
+    core.cycles += config_.costs.context_switch;
+    if (config_.tenant.switch_mode == tenant::SwitchMode::Flush) {
+        // Non-PCID CR3 write: the whole TLB hierarchy and the page-walk
+        // caches are lost (the paper's multiprogrammed baseline).
+        core.tlb.flushAll();
+        core.walker.flushAll();
+    } else {
+        // PCID hardware: entries of both tenants coexist, tagged; the
+        // switch just retags subsequent lookups and fills.
+        core.tlb.setCurrentAsid(static_cast<Asid>(proc->pid()));
+    }
+    // The last-translation cache holds the *departing* tenant's page:
+    // never valid for the incoming tenant (disjoint address spaces),
+    // and possibly evicted from L1 by the time the owner returns.
+    core.last_page_bytes = 0;
+    core_process_[lane.core] = proc;
+    core.pid = proc->pid();
+    core.job = lane.job;
+}
+
+void
 System::onInterval(u32 total_lanes)
 {
     ++intervals_;
@@ -778,10 +880,12 @@ System::runBatchLoop(std::vector<Cycles> &job_wall,
 {
     const bool sampled = config_.sampling.enabled();
     // A single lane owns the machine: let it drain whole buffers per
-    // turn. With siblings, rotate on the scalar engine's quantum.
+    // turn. With siblings, rotate on the scalar engine's quantum —
+    // or, in tenant mode, on the configured scheduling quantum.
     const u32 quantum =
         total_lanes == 1 ? std::max<u32>(1, config_.batch_capacity)
-                         : kSchedQuantum;
+        : tsched_       ? std::max<u32>(1, config_.tenant.quantum_ops)
+                        : kSchedQuantum;
     u32 live = static_cast<u32>(lanes_.size());
     while (live > 0) {
         bool progressed = false;
@@ -789,9 +893,24 @@ System::runBatchLoop(std::vector<Cycles> &job_wall,
             if (lane.done || lane.at_barrier)
                 continue;
             progressed = true;
+            if (tsched_)
+                tenantClaim(lane);
             CoreState &core = cores_[lane.core];
             os::Process &proc = *core_process_[lane.core];
             workloads::AccessBuffer &buf = *lane.buf;
+            // Tenant mode: snapshot the shared core's counters so this
+            // turn's deltas can be banked against the job that ran.
+            u64 t_acc = 0, t_tlb = 0, t_l1 = 0, t_l2 = 0, t_walks = 0,
+                t_faults = 0, t_refs = 0;
+            if (tsched_) {
+                t_acc = core.accesses;
+                t_tlb = core.tlb.accesses();
+                t_l1 = core.tlb.l1Hits();
+                t_l2 = core.tlb.l2Hits();
+                t_walks = core.tlb.walks();
+                t_faults = core.faults;
+                t_refs = core.walker.totalRefs();
+            }
             u32 b = 0;
             while (b < quantum) {
                 if (lane.consumed == buf.size()) {
@@ -885,6 +1004,17 @@ System::runBatchLoop(std::vector<Cycles> &job_wall,
                         }
                     }
                 }
+            }
+            if (tsched_) {
+                JobTally &tally = job_tally_[lane.job];
+                tally.accesses += core.accesses - t_acc;
+                tally.tlb_accesses += core.tlb.accesses() - t_tlb;
+                tally.l1_hits += core.tlb.l1Hits() - t_l1;
+                tally.l2_hits += core.tlb.l2Hits() - t_l2;
+                tally.walks += core.tlb.walks() - t_walks;
+                tally.faults += core.faults - t_faults;
+                tally.walker_refs += core.walker.totalRefs() - t_refs;
+                tsched_->noteOps(lane.job, core.accesses - t_acc);
             }
             if (config_.progress) {
                 config_.progress->store(total_accesses_,
@@ -1065,8 +1195,18 @@ System::run(std::vector<Job> jobs)
     u32 total_lanes = 0;
     for (const auto &job : jobs)
         total_lanes += job.lanes;
-    PCCSIM_ASSERT(total_lanes <= config_.num_cores,
-                  "more lanes than cores");
+    const bool tenant_mode = config_.tenant.enabled();
+    if (tenant_mode) {
+        // Tenants are single-lane streams time-sharing tenant.cores
+        // cores; the whole point is more tenants than cores.
+        for (const auto &job : jobs) {
+            PCCSIM_ASSERT(job.lanes == 1,
+                          "tenant mode runs single-lane jobs");
+        }
+    } else {
+        PCCSIM_ASSERT(total_lanes <= config_.num_cores,
+                      "more lanes than cores");
+    }
 
     // ---- set up processes and workloads ----
     u64 total_footprint = 0;
@@ -1155,9 +1295,11 @@ System::run(std::vector<Job> jobs)
     lanes_.clear();
     // Single-lane runs may batch as deep as configured; with multiple
     // lanes the buffer is clamped to the scheduling quantum so the
-    // host-side production interleaving matches the scalar engine.
+    // host-side production interleaving matches the scalar engine (in
+    // tenant mode, the configured tenant quantum).
     const u32 buf_capacity =
         total_lanes == 1 ? std::max<u32>(1, config_.batch_capacity)
+        : tenant_mode    ? std::max<u32>(1, config_.tenant.quantum_ops)
                          : kSchedQuantum;
     u32 core_cursor = 0;
     for (u32 j = 0; j < jobs.size(); ++j) {
@@ -1176,18 +1318,52 @@ System::run(std::vector<Job> jobs)
                 lane.scalar_gen =
                     jobs[j].workload->lane(l, jobs[j].lanes);
             }
-            lane.core = core_cursor;
+            // Tenant mode: jobs are single-lane, tenants j map onto
+            // shared cores round-robin (tenant j -> core j % cores).
+            const u32 core =
+                tenant_mode ? j % config_.tenant.cores : core_cursor;
+            lane.core = core;
             lane.job = j;
             lanes_.push_back(std::move(lane));
-            cores_[core_cursor].pid = procs[j]->pid();
-            cores_[core_cursor].job = j;
-            cores_[core_cursor].lane = l;
-            core_process_[core_cursor] = procs[j];
+            if (!tenant_mode || j < config_.tenant.cores) {
+                // First tenant landing on each shared core becomes its
+                // boot-time current process; later tenants take over
+                // via tenantClaim (a counted, costed switch).
+                cores_[core].pid = procs[j]->pid();
+                cores_[core].job = j;
+                cores_[core].lane = l;
+                core_process_[core] = procs[j];
+            }
             ++core_cursor;
         }
     }
-    for (u32 c = core_cursor; c < config_.num_cores; ++c)
+    const u32 used_cores =
+        tenant_mode
+            ? std::min<u32>(config_.tenant.cores,
+                            static_cast<u32>(jobs.size()))
+            : core_cursor;
+    for (u32 c = used_cores; c < config_.num_cores; ++c)
         core_process_[c] = procs.empty() ? nullptr : procs[0];
+
+    job_process_ = procs;
+    job_tally_.assign(jobs.size(), JobTally{});
+    tsched_.reset();
+    if (tenant_mode) {
+        tsched_ = std::make_unique<tenant::Scheduler>(
+            config_.tenant, static_cast<u32>(jobs.size()));
+        for (u32 c = 0; c < used_cores; ++c) {
+            // Seed the boot-time occupant (claim-free, like the lane
+            // assignment above) and, under ASID switching, tag the
+            // core's TLB with its pid-derived ASID. Tenant 0 keeps
+            // ASID 0, so a 1-tenant ASID run produces exactly the raw
+            // (untagged) TLB keys of the single-process path.
+            tsched_->seed(c, c);
+            if (config_.tenant.switch_mode == tenant::SwitchMode::Asid) {
+                cores_[c].tlb.setCurrentAsid(
+                    static_cast<Asid>(procs[c]->pid()));
+            }
+        }
+    }
 
     total_accesses_ = 0;
     next_interval_at_ =
@@ -1278,17 +1454,30 @@ System::run(std::vector<Job> jobs)
         job_result.pid = procs[j]->pid();
         job_result.wall_cycles = job_wall[j];
         u64 refs = 0;
-        for (const auto &lane : lanes_) {
-            if (lane.job != j)
-                continue;
-            const CoreState &core = cores_[lane.core];
-            job_result.accesses += core.accesses;
-            job_result.tlb_accesses += core.tlb.accesses();
-            job_result.l1_hits += core.tlb.l1Hits();
-            job_result.l2_hits += core.tlb.l2Hits();
-            job_result.walks += core.tlb.walks();
-            job_result.faults += core.faults;
-            refs += core.walker.totalRefs();
+        if (tsched_) {
+            // Shared cores: the per-turn tallies are the only per-job
+            // attribution of the hardware counters.
+            const JobTally &tally = job_tally_[j];
+            job_result.accesses = tally.accesses;
+            job_result.tlb_accesses = tally.tlb_accesses;
+            job_result.l1_hits = tally.l1_hits;
+            job_result.l2_hits = tally.l2_hits;
+            job_result.walks = tally.walks;
+            job_result.faults = tally.faults;
+            refs = tally.walker_refs;
+        } else {
+            for (const auto &lane : lanes_) {
+                if (lane.job != j)
+                    continue;
+                const CoreState &core = cores_[lane.core];
+                job_result.accesses += core.accesses;
+                job_result.tlb_accesses += core.tlb.accesses();
+                job_result.l1_hits += core.tlb.l1Hits();
+                job_result.l2_hits += core.tlb.l2Hits();
+                job_result.walks += core.tlb.walks();
+                job_result.faults += core.faults;
+                refs += core.walker.totalRefs();
+            }
         }
         job_result.refs_per_walk =
             job_result.walks == 0

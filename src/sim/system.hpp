@@ -32,6 +32,7 @@
 #include "telemetry/registry.hpp"
 #include "telemetry/series.hpp"
 #include "telemetry/trace.hpp"
+#include "tenant/scheduler.hpp"
 #include "tlb/hierarchy.hpp"
 #include "workloads/workload.hpp"
 
@@ -141,6 +142,26 @@ class System : public os::PolicyContext
     };
 
     /**
+     * Per-job hardware counters in tenant mode. Cores are shared, so
+     * the cumulative per-core counters mix tenants; instead each lane
+     * turn snapshots its core's counters before and after and banks
+     * the delta against the job that ran. In a 1-tenant run the core
+     * is never shared and the tallies equal the per-core totals, which
+     * is what keeps tenant-mode results bit-identical to the legacy
+     * single-process path.
+     */
+    struct JobTally
+    {
+        u64 accesses = 0;
+        u64 tlb_accesses = 0;
+        u64 l1_hits = 0;
+        u64 l2_hits = 0;
+        u64 walks = 0;
+        u64 faults = 0;
+        u64 walker_refs = 0;
+    };
+
+    /**
      * Scheduling phase of a sampled run. Each detailed window is
      * split SMARTS-style: a warming half rebuilds the TLB/cache state
      * the fast-forward phase left stale (detailed simulation, not
@@ -202,6 +223,15 @@ class System : public os::PolicyContext
     /** Release a job's barrier if every live lane reached it. */
     void maybeReleaseBarrier(u32 job);
 
+    /**
+     * Tenant mode: make `lane`'s tenant current on its core before the
+     * lane's turn. On an actual switch (another tenant held the core)
+     * charges the context-switch cost, performs the switch-mode action
+     * (flush vs ASID retag), and drops the last-translation cache —
+     * the departing tenant's page, never valid for the incoming one.
+     */
+    void tenantClaim(const LaneState &lane);
+
     void installShootdownHook();
     void installFaultInjection();
     void installReclaimRanker();
@@ -231,6 +261,10 @@ class System : public os::PolicyContext
     std::vector<CoreState> cores_;
     std::vector<LaneState> lanes_;
     std::vector<os::Process *> core_process_;
+    /** Tenant mode only (null otherwise): the contention scheduler. */
+    std::unique_ptr<tenant::Scheduler> tsched_;
+    std::vector<os::Process *> job_process_; //!< job -> its process
+    std::vector<JobTally> job_tally_;        //!< tenant-mode job stats
     u64 total_accesses_ = 0;
     u64 next_interval_at_ = 0;
     u64 intervals_ = 0;

@@ -49,6 +49,7 @@ regrettable(AuditReason reason)
       case AuditReason::NoHugeFrameTransient:
       case AuditReason::BelowMinFrequency:
       case AuditReason::IntervalBudget:
+      case AuditReason::TenantBudget:
         return true;
       default:
         return false;
@@ -89,6 +90,7 @@ to_string(AuditReason reason)
       case AuditReason::IntervalBudget: return "interval-budget";
       case AuditReason::Not1GPreferred: return "not-1g-preferred";
       case AuditReason::PressureReclaim: return "pressure-reclaim";
+      case AuditReason::TenantBudget: return "tenant-budget";
     }
     return "?";
 }
@@ -229,6 +231,12 @@ PromotionAuditLog::report() const
                       return a.pid < b.pid;
                   return a.base < b.base;
               });
+
+    // Per-tenant rollup (tenant i = pid i); std::map keys sort it.
+    std::map<Pid, u64> by_pid;
+    for (const RegretRow &row : out.regret)
+        by_pid[row.pid] += row.cycles;
+    out.regret_by_pid.assign(by_pid.begin(), by_pid.end());
     return out;
 }
 
@@ -272,6 +280,10 @@ AuditReport::toJson() const
         r.set("open", row.open);
         rows.push(std::move(r));
     }
+    Json by_pid = Json::object();
+    for (const auto &[pid, cycles] : regret_by_pid)
+        by_pid.set(std::to_string(pid), cycles);
+    regret_doc.set("by_pid", std::move(by_pid));
     regret_doc.set("regions", std::move(rows));
     doc.set("regret", std::move(regret_doc));
     return doc;

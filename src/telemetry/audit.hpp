@@ -57,6 +57,7 @@ enum class AuditReason : u8
     IntervalBudget,       //!< per-interval promotion budget exhausted
     Not1GPreferred,       //!< PUD-level signal failed the 1GB ratio test
     PressureReclaim,      //!< demoted to relieve memory pressure
+    TenantBudget,         //!< the tenant's arbiter allowance exhausted
 };
 
 std::string to_string(AuditAction action);
@@ -98,6 +99,13 @@ struct AuditReport
     std::vector<RegretRow> regret;
     u64 regret_total_cycles = 0;
     u64 regret_marks_dropped = 0; //!< regions beyond the regret table
+    /**
+     * Regret cycles aggregated per pid (= per tenant), sorted by pid.
+     * In a multi-tenant run this is the price each tenant paid for the
+     * arbiter's decisions; the fairness report compares it against the
+     * tenant's promotion share.
+     */
+    std::vector<std::pair<Pid, u64>> regret_by_pid;
 
     bool operator==(const AuditReport &) const = default;
 

@@ -1,0 +1,119 @@
+#include "tenant/arbiter.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pccsim::tenant {
+
+namespace {
+
+/** Legacy behavior: every tenant may use the whole global budget. */
+class GreedyGlobalArbiter final : public Arbiter
+{
+  public:
+    std::string name() const override { return "greedy"; }
+
+    std::vector<u32>
+    allocate(u32 budget, const std::vector<TenantDemand> &demand,
+             u64 /*interval*/) const override
+    {
+        return std::vector<u32>(demand.size(), budget);
+    }
+};
+
+/** Equal split; the remainder rotates with the interval index. */
+class StaticSplitArbiter final : public Arbiter
+{
+  public:
+    std::string name() const override { return "static"; }
+
+    std::vector<u32>
+    allocate(u32 budget, const std::vector<TenantDemand> &demand,
+             u64 interval) const override
+    {
+        const u32 n = static_cast<u32>(demand.size());
+        if (n == 0)
+            return {};
+        std::vector<u32> out(n, budget / n);
+        const u32 rem = budget % n;
+        for (u32 i = 0; i < rem; ++i)
+            out[(interval + i) % n] += 1;
+        return out;
+    }
+};
+
+/**
+ * Allowances proportional to walk demand, largest-remainder rounding.
+ * Ties rotate with the interval index; an interval with zero total
+ * weight (idle PCCs) degenerates to the static equal split.
+ */
+class PropShareArbiter final : public Arbiter
+{
+  public:
+    std::string name() const override { return "propshare"; }
+
+    std::vector<u32>
+    allocate(u32 budget, const std::vector<TenantDemand> &demand,
+             u64 interval) const override
+    {
+        const u32 n = static_cast<u32>(demand.size());
+        if (n == 0)
+            return {};
+        u64 total = 0;
+        for (const auto &d : demand)
+            total += d.weight;
+        if (total == 0)
+            return StaticSplitArbiter{}.allocate(budget, demand, interval);
+
+        std::vector<u32> out(n, 0);
+        // Integer quota per tenant, then hand the leftover slots to
+        // the largest fractional remainders (exact integer arithmetic:
+        // remainder_i = weight_i * budget mod total).
+        u32 assigned = 0;
+        std::vector<u64> rem(n, 0);
+        for (u32 i = 0; i < n; ++i) {
+            const u64 exact = demand[i].weight * budget;
+            out[i] = static_cast<u32>(exact / total);
+            rem[i] = exact % total;
+            assigned += out[i];
+        }
+        std::vector<u32> order(n);
+        std::iota(order.begin(), order.end(), 0u);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](u32 a, u32 b) {
+                             if (rem[a] != rem[b])
+                                 return rem[a] > rem[b];
+                             // Deterministic tie rotation.
+                             return (a + interval) % n < (b + interval) % n;
+                         });
+        for (u32 i = 0; assigned < budget && i < n; ++i) {
+            if (rem[order[i]] == 0)
+                break; // exact quotas already; leftover stays unassigned
+            out[order[i]] += 1;
+            ++assigned;
+        }
+        return out;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Arbiter>
+makeArbiter(std::string_view name)
+{
+    if (name == "greedy" || name == "greedy-global")
+        return std::make_unique<GreedyGlobalArbiter>();
+    if (name == "static" || name == "static-split")
+        return std::make_unique<StaticSplitArbiter>();
+    if (name == "propshare" || name == "proportional")
+        return std::make_unique<PropShareArbiter>();
+    return nullptr;
+}
+
+std::vector<std::string>
+arbiterNames()
+{
+    return {"greedy", "static", "propshare"};
+}
+
+} // namespace pccsim::tenant

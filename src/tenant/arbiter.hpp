@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Huge-page budget arbiters: how one node-wide per-interval promotion
+ * budget is split across tenants contending for it.
+ *
+ * The PCC policy computes a global budget each interval (the paper's
+ * regions_to_promote) and, in multi-tenant runs, asks the configured
+ * arbiter for a per-tenant allowance before walking its ranked
+ * candidate list. A candidate whose tenant has exhausted its allowance
+ * is skipped with a TenantBudget audit record — the per-tenant regret
+ * machinery then prices exactly what each arbitration decision cost
+ * each tenant in walk cycles.
+ *
+ * Three contenders (selectable by name through the policy registry):
+ *
+ *  - "greedy":    no per-tenant limit; the globally hottest candidates
+ *                 win regardless of owner. This is the single-tenant
+ *                 policy's behavior extended verbatim — maximum node
+ *                 throughput, no fairness guarantee.
+ *  - "static":    equal fixed split, remainder rotated across tenants
+ *                 by interval index so no tenant is permanently
+ *                 favored by integer division.
+ *  - "propshare": allowances proportional to each tenant's observed
+ *                 walk demand (sum of its candidates' PCC counters),
+ *                 largest-remainder rounding. Tenants that generate
+ *                 the walks get the pages — proportional fairness.
+ *
+ * Arbiters are pure functions of their inputs (no clocks, no RNG), so
+ * serial and --jobs=N sweeps stay bit-identical.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pccsim::tenant {
+
+/** One tenant's demand, aggregated from its ranked PCC candidates. */
+struct TenantDemand
+{
+    Pid pid = 0;
+    u64 candidates = 0; //!< distinct ranked candidates this interval
+    u64 weight = 0;     //!< sum of candidate PCC counters (walk demand)
+};
+
+class Arbiter
+{
+  public:
+    virtual ~Arbiter() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Split `budget` promotion slots across `demand`. Returns one
+     * allowance per demand entry, index-aligned. Allowances may sum
+     * to more than `budget` (greedy returns budget for everyone); the
+     * global budget is enforced separately by the policy — allowances
+     * only bound each tenant's share of it.
+     *
+     * @param interval The policy interval index, for deterministic
+     *        rotation of remainders.
+     */
+    virtual std::vector<u32> allocate(u32 budget,
+                                      const std::vector<TenantDemand> &demand,
+                                      u64 interval) const = 0;
+};
+
+/**
+ * Look up an arbiter by name ("greedy", "static", "propshare").
+ * Returns nullptr for unknown names so callers can report the typo.
+ */
+std::unique_ptr<Arbiter> makeArbiter(std::string_view name);
+
+/** Canonical names accepted by makeArbiter, for --help text. */
+std::vector<std::string> arbiterNames();
+
+} // namespace pccsim::tenant

@@ -1,0 +1,72 @@
+#include "tenant/scheduler.hpp"
+
+#include "util/log.hpp"
+
+namespace pccsim::tenant {
+
+std::string
+to_string(SwitchMode mode)
+{
+    switch (mode) {
+      case SwitchMode::Flush: return "flush";
+      case SwitchMode::Asid: return "asid";
+    }
+    return "?";
+}
+
+std::optional<SwitchMode>
+parseSwitchMode(std::string_view name)
+{
+    if (name == "flush")
+        return SwitchMode::Flush;
+    if (name == "asid" || name == "pcid")
+        return SwitchMode::Asid;
+    return std::nullopt;
+}
+
+Scheduler::Scheduler(const TenantConfig &config, u32 tenants)
+    : config_(config),
+      current_(config.cores, 0),
+      ops_(tenants, 0),
+      tenant_switches_(tenants, 0)
+{
+    PCCSIM_ASSERT(config.enabled(),
+                  "Scheduler built with tenant mode disabled");
+    PCCSIM_ASSERT(tenants >= 1);
+}
+
+void
+Scheduler::seed(CoreId core, TenantId tenant)
+{
+    current_.at(core) = tenant;
+}
+
+bool
+Scheduler::claim(CoreId core, TenantId tenant)
+{
+    TenantId &cur = current_.at(core);
+    if (cur == tenant)
+        return false;
+    cur = tenant;
+    ++switches_;
+    ++tenant_switches_.at(tenant);
+    return true;
+}
+
+void
+Scheduler::noteOps(TenantId tenant, u64 ops)
+{
+    ops_.at(tenant) += ops;
+    total_ops_ += ops;
+}
+
+double
+Scheduler::occupancyShareOf(TenantId tenant) const
+{
+    if (total_ops_ == 0)
+        return 0.0;
+    return static_cast<double>(ops_.at(tenant)) /
+           static_cast<double>(total_ops_);
+}
+
+} // namespace pccsim::tenant

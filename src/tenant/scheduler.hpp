@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The tenant contention scheduler: decides when a lane turn on a
+ * shared core constitutes a context switch, and accumulates the
+ * per-tenant occupancy accounting the fairness telemetry reports.
+ *
+ * The scheduler does not pick the rotation order itself — the engine's
+ * deterministic round-robin lane loop does (reused from the multi-lane
+ * engine) — it owns the *consequences* of that order: which tenant
+ * currently holds each core, how many switches each tenant suffered,
+ * and how many ops each tenant has run. Keeping this state here rather
+ * than inside the System gives the arbiter and the telemetry probes
+ * one queryable source of truth.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "tenant/tenant.hpp"
+
+namespace pccsim::tenant {
+
+class Scheduler
+{
+  public:
+    /**
+     * @param config Tenant-mode knobs (must be enabled()).
+     * @param tenants Number of tenants (jobs) being interleaved.
+     */
+    Scheduler(const TenantConfig &config, u32 tenants);
+
+    /**
+     * Pre-load `tenant` onto `core` without counting a switch — the
+     * state a real node boots into (some process is always current).
+     * Called once per core during run setup.
+     */
+    void seed(CoreId core, TenantId tenant);
+
+    /**
+     * A lane of `tenant` is about to run a turn on `core`. Returns
+     * true when this requires a context switch (the core currently
+     * holds a different tenant); the switch is recorded against the
+     * incoming tenant.
+     */
+    bool claim(CoreId core, TenantId tenant);
+
+    /** Account `ops` simulated ops to `tenant`'s occupancy. */
+    void noteOps(TenantId tenant, u64 ops);
+
+    /** Scheduler quantum in ops (from the config). */
+    u32 quantum() const { return config_.quantum_ops; }
+
+    const TenantConfig &config() const { return config_; }
+
+    u32 tenants() const { return static_cast<u32>(ops_.size()); }
+
+    /** Tenant currently loaded on `core`. */
+    TenantId currentOn(CoreId core) const { return current_.at(core); }
+
+    u64 switches() const { return switches_; }
+    u64 switchesOf(TenantId tenant) const { return tenant_switches_.at(tenant); }
+    u64 opsOf(TenantId tenant) const { return ops_.at(tenant); }
+
+    /**
+     * Tenant share of all scheduled ops, in [0, 1]. The fairness
+     * telemetry compares this against the tenant's promotion share: a
+     * tenant whose promotion share sits far below its occupancy share
+     * is being starved by the arbiter.
+     */
+    double occupancyShareOf(TenantId tenant) const;
+
+  private:
+    TenantConfig config_;
+    std::vector<TenantId> current_;      //!< per shared core
+    std::vector<u64> ops_;               //!< per tenant
+    std::vector<u64> tenant_switches_;   //!< per tenant
+    u64 switches_ = 0;
+    u64 total_ops_ = 0;
+};
+
+} // namespace pccsim::tenant

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Multi-tenant node configuration: how N per-tenant workload streams
+ * share the simulated cores, and what a context switch costs in TLB
+ * state.
+ *
+ * Tenants map 1:1 onto processes (tenant i runs as pid i) and, in ASID
+ * mode, onto hardware ASIDs (asid i = pid i), so every identifier
+ * space lines up and per-tenant attribution can always go through the
+ * pid. The tenant machinery is off by default (`cores == 0`); every
+ * existing single-process and one-lane-per-core multiprocess path is
+ * untouched then.
+ */
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace pccsim::tenant {
+
+/** What a context switch does to the TLB hierarchy. */
+enum class SwitchMode : u8
+{
+    /**
+     * Baseline: a CR3 write without PCID flushes every TLB level and
+     * the page-walk caches — the pre-PCID x86 behavior, and the
+     * reason the multi-tenant question needs ASID tagging at all.
+     */
+    Flush = 0,
+    /**
+     * ASID/PCID tagging: the CR3 write only changes the current ASID;
+     * entries of descheduled tenants stay resident and are hit again
+     * when their tenant is rescheduled.
+     */
+    Asid = 1,
+};
+
+std::string to_string(SwitchMode mode);
+
+/** Parses "flush" / "asid"; nullopt for anything else. */
+std::optional<SwitchMode> parseSwitchMode(std::string_view name);
+
+/** Tenant-mode knobs inside SystemConfig. */
+struct TenantConfig
+{
+    /**
+     * Number of physical cores the tenant lanes share, round-robin.
+     * 0 disables tenant mode entirely (the default): each lane then
+     * owns its own core as before. With cores >= 1, lanes of all jobs
+     * are interleaved on cores [0, cores) and a lane turn whose job
+     * differs from the core's currently-loaded process pays a context
+     * switch.
+     */
+    u32 cores = 0;
+
+    SwitchMode switch_mode = SwitchMode::Asid;
+
+    /**
+     * Ops one tenant runs per scheduler turn before the next tenant's
+     * lane is given the core. Matches the engine's multi-lane rotation
+     * quantum by default; larger quanta amortize switch costs at the
+     * price of latency fairness.
+     */
+    u32 quantum_ops = 64;
+
+    bool enabled() const { return cores > 0; }
+};
+
+} // namespace pccsim::tenant

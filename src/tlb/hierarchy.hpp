@@ -6,6 +6,15 @@
  * second-level TLB holding 4KB and 2MB translations. A memory access whose
  * translation misses everywhere triggers a hardware page-table walk — the
  * event stream the promotion candidate cache consumes.
+ *
+ * Multi-tenant nodes tag every entry with the current ASID (x86 PCID):
+ * the tag is folded into the high bits of the SetAssocTlb key, so
+ * translations of different address spaces coexist and a context switch
+ * is a setCurrentAsid() call (CR3 write with the PCID-preserve bit)
+ * instead of a flushAll(). ASID 0 produces today's raw keys bit for
+ * bit, so single-tenant runs are unchanged. Set indexing uses the
+ * untagged VPN bits exactly as real ASID-tagged TLBs index by VPN and
+ * tag-match on the ASID.
  */
 
 #pragma once
@@ -29,6 +38,15 @@ enum class HitLevel : u8
 class TlbHierarchy
 {
   public:
+    /**
+     * Bit position of the ASID tag within a SetAssocTlb key. VPNs are
+     * at most vaddr >> 12 of a 48-bit canonical address (< 2^36), and
+     * the unified-L2 key shifts the VPN by another 2 bits (< 2^38), so
+     * the low 48 bits always hold the untagged key and the tag can
+     * never collide with kInvalidVpn (~0, which needs all low bits set).
+     */
+    static constexpr unsigned kAsidShift = 48;
+
     explicit TlbHierarchy(const TlbGeometry &geometry = TlbGeometry{})
         : geometry_(geometry),
           l1_4k_(geometry.l1_4k),
@@ -51,7 +69,7 @@ class TlbHierarchy
     HitLevel
     access(Addr vaddr, mem::PageSize size)
     {
-        const Vpn vpn = mem::vpnOf(vaddr, size);
+        const Vpn vpn = mem::vpnOf(vaddr, size) | asid_tag_;
         ++accesses_;
         if (l1Of(size).lookup(vpn)) {
             ++l1_hits_;
@@ -78,13 +96,14 @@ class TlbHierarchy
     void
     fill(Addr vaddr, mem::PageSize size)
     {
-        const Vpn vpn = mem::vpnOf(vaddr, size);
+        const Vpn vpn = mem::vpnOf(vaddr, size) | asid_tag_;
         l1Of(size).access(vpn);
         if (l2Holds(size)) {
             if (auto victim = l2_.access(l2Key(vpn, size)).displaced;
                 victim && l2_victim_) {
-                l2_victim_(*victim >> 2,
-                           static_cast<mem::PageSize>(*victim & 3));
+                const Vpn raw = *victim & kKeyMask;
+                l2_victim_(raw >> 2,
+                           static_cast<mem::PageSize>(raw & 3));
             }
         }
     }
@@ -106,21 +125,28 @@ class TlbHierarchy
     }
 
     /**
-     * TLB shootdown for [base, base + bytes): drop all cached
-     * translations of every page size overlapping the range.
+     * TLB shootdown for [base, base + bytes) of the address space
+     * `asid`: drop all cached translations of every page size
+     * overlapping the range. The owning ASID must be supplied because
+     * shootdowns target a process that need not be the one currently
+     * loaded on this core (promotion IPIs broadcast to every core
+     * caching the mapping).
      */
     u64
-    shootdown(Addr base, u64 bytes)
+    shootdown(Addr base, u64 bytes, Asid asid = 0)
     {
+        const u64 tag = static_cast<u64>(asid) << kAsidShift;
         u64 dropped = 0;
         dropped += dropRange(l1_4k_, base, bytes, mem::PageSize::Base4K,
-                             false);
+                             false, tag);
         dropped += dropRange(l1_2m_, base, bytes, mem::PageSize::Huge2M,
-                             false);
+                             false, tag);
         dropped += dropRange(l1_1g_, base, bytes, mem::PageSize::Huge1G,
-                             false);
-        dropped += dropRange(l2_, base, bytes, mem::PageSize::Base4K, true);
-        dropped += dropRange(l2_, base, bytes, mem::PageSize::Huge2M, true);
+                             false, tag);
+        dropped += dropRange(l2_, base, bytes, mem::PageSize::Base4K,
+                             true, tag);
+        dropped += dropRange(l2_, base, bytes, mem::PageSize::Huge2M,
+                             true, tag);
         ++shootdowns_;
         return dropped;
     }
@@ -134,6 +160,37 @@ class TlbHierarchy
         l1_1g_.flushAll();
         l2_.flushAll();
     }
+
+    /**
+     * Drop every entry of one address space, keeping the rest (x86
+     * INVPCID type 1). Used when an ASID is retired or recycled; a
+     * plain context switch in ASID mode flushes nothing.
+     */
+    u64
+    flushAsid(Asid asid)
+    {
+        const u64 tag = static_cast<u64>(asid) << kAsidShift;
+        u64 dropped = 0;
+        dropped += l1_4k_.flushMatching(tag, ~kKeyMask);
+        dropped += l1_2m_.flushMatching(tag, ~kKeyMask);
+        dropped += l1_1g_.flushMatching(tag, ~kKeyMask);
+        dropped += l2_.flushMatching(tag, ~kKeyMask);
+        return dropped;
+    }
+
+    /**
+     * Context-switch to address space `asid`. Subsequent accesses and
+     * fills tag their keys with it; entries of other ASIDs stay
+     * resident and become reachable again when their ASID is loaded.
+     */
+    void
+    setCurrentAsid(Asid asid)
+    {
+        asid_ = asid;
+        asid_tag_ = static_cast<u64>(asid) << kAsidShift;
+    }
+
+    Asid currentAsid() const { return asid_; }
 
     u64 accesses() const { return accesses_; }
     u64 l1Hits() const { return l1_hits_; }
@@ -151,20 +208,38 @@ class TlbHierarchy
     }
 
     /**
-     * Visit every resident translation as (vpn, size). Entries can be
-     * duplicated across levels; callers that care should de-duplicate.
-     * Used by the cross-layer invariant checker to prove no stale
-     * translation survives a promotion/demotion shootdown.
+     * Visit every resident translation of the *current* ASID as
+     * (vpn, size), tags stripped. Entries can be duplicated across
+     * levels; callers that care should de-duplicate. Used by the
+     * cross-layer invariant checker to prove no stale translation
+     * survives a promotion/demotion shootdown — other tenants' entries
+     * are invisible here because the checker compares against the
+     * currently-loaded process.
      */
     template <typename Fn>
     void
     forEachResident(Fn &&fn) const
     {
-        l1_4k_.forEachValid([&](Vpn v) { fn(v, mem::PageSize::Base4K); });
-        l1_2m_.forEachValid([&](Vpn v) { fn(v, mem::PageSize::Huge2M); });
-        l1_1g_.forEachValid([&](Vpn v) { fn(v, mem::PageSize::Huge1G); });
+        const auto mine = [this](Vpn key) {
+            return (key & ~kKeyMask) == asid_tag_;
+        };
+        l1_4k_.forEachValid([&](Vpn v) {
+            if (mine(v))
+                fn(v & kKeyMask, mem::PageSize::Base4K);
+        });
+        l1_2m_.forEachValid([&](Vpn v) {
+            if (mine(v))
+                fn(v & kKeyMask, mem::PageSize::Huge2M);
+        });
+        l1_1g_.forEachValid([&](Vpn v) {
+            if (mine(v))
+                fn(v & kKeyMask, mem::PageSize::Huge1G);
+        });
         l2_.forEachValid([&](Vpn key) {
-            fn(key >> 2, static_cast<mem::PageSize>(key & 3));
+            if (mine(key)) {
+                const Vpn raw = key & kKeyMask;
+                fn(raw >> 2, static_cast<mem::PageSize>(raw & 3));
+            }
         });
     }
 
@@ -181,6 +256,9 @@ class TlbHierarchy
     SetAssocTlb &l2() { return l2_; }
 
   private:
+    /** Low 48 bits: the untagged key; high 16 bits: the ASID tag. */
+    static constexpr u64 kKeyMask = (u64(1) << kAsidShift) - 1;
+
     bool
     l2Holds(mem::PageSize size) const
     {
@@ -189,19 +267,26 @@ class TlbHierarchy
         return true;
     }
 
-    /** Unified-L2 key: size code in the low bits keeps classes distinct. */
+    /**
+     * Unified-L2 key: size code in the low bits keeps classes
+     * distinct. The input vpn may carry the ASID tag in its high
+     * bits; the shift moves it out of the low-48 key field, so
+     * re-extract and re-apply it above the shifted key.
+     */
     static Vpn
     l2Key(Vpn vpn, mem::PageSize size)
     {
-        return (vpn << 2) | static_cast<Vpn>(size);
+        const Vpn tag = vpn & ~kKeyMask;
+        const Vpn raw = vpn & kKeyMask;
+        return tag | (raw << 2) | static_cast<Vpn>(size);
     }
 
     u64
     dropRange(SetAssocTlb &structure, Addr base, u64 bytes,
-              mem::PageSize size, bool keyed)
+              mem::PageSize size, bool keyed, u64 tag)
     {
-        const Vpn lo = mem::vpnOf(base, size);
-        const Vpn hi = mem::vpnOf(base + bytes - 1, size) + 1;
+        const Vpn lo = mem::vpnOf(base, size) | tag;
+        const Vpn hi = (mem::vpnOf(base + bytes - 1, size) + 1) | tag;
         if (keyed)
             return structure.invalidateVpnRange(l2Key(lo, size),
                                                 l2Key(hi, size));
@@ -214,6 +299,9 @@ class TlbHierarchy
     SetAssocTlb l1_1g_;
     SetAssocTlb l2_;
     L2VictimHook l2_victim_;
+
+    Asid asid_ = 0;
+    u64 asid_tag_ = 0;
 
     u64 accesses_ = 0;
     u64 l1_hits_ = 0;

@@ -193,7 +193,16 @@ class SetAssocTlb
         return dropped;
     }
 
-    /** Invalidate everything. */
+    /**
+     * Invalidate everything. Stamps are zeroed with the tags — the
+     * branchless victim scan (util::scanSet / util::findVictim) ranks
+     * holes by their zero stamp, so a flush that left stale stamps
+     * behind would make later insertions evict valid entries while
+     * empty ways exist. The MRU hints are reset for the same hygiene
+     * (a stale hint is only ever a failed compare, but pointing it at
+     * way 0 keeps post-flush behavior independent of pre-flush
+     * history).
+     */
     void
     flushAll()
     {
@@ -201,6 +210,28 @@ class SetAssocTlb
             vpn = kInvalidVpn;
         for (auto &stamp : stamps_)
             stamp = 0;
+        for (auto &mru : mru_)
+            mru = 0;
+    }
+
+    /**
+     * Drop every entry whose key matches `tag` under `mask` — the
+     * targeted flush behind TlbHierarchy::flushAsid() (x86 INVPCID
+     * type 1: invalidate one PCID's entries, keep the rest). Returns
+     * the number of entries dropped.
+     */
+    u64
+    flushMatching(u64 tag, u64 mask)
+    {
+        u64 dropped = 0;
+        for (size_t i = 0; i < vpns_.size(); ++i) {
+            if (vpns_[i] != kInvalidVpn && (vpns_[i] & mask) == tag) {
+                vpns_[i] = kInvalidVpn;
+                stamps_[i] = 0;
+                ++dropped;
+            }
+        }
+        return dropped;
     }
 
     /** Currently valid entries (for tests/introspection). */

@@ -24,6 +24,21 @@ using Cycles = std::uint64_t;
 /** Simulated process identifier. */
 using Pid = std::uint32_t;
 
+/**
+ * Tenant identifier on a multi-tenant node. Tenants map 1:1 onto
+ * simulated processes (tenant i runs as pid i), so the two identifier
+ * spaces coincide; the distinct type documents which role a value
+ * plays at an interface.
+ */
+using TenantId = std::uint32_t;
+
+/**
+ * Address-space identifier tagged into TLB entries (x86 PCID / Arm
+ * ASID). 12 bits on real x86 hardware; 16 bits here so a pid can be
+ * used as its process's ASID directly at any simulated tenant count.
+ */
+using Asid = std::uint16_t;
+
 /** Core (hardware thread) identifier. */
 using CoreId = std::uint32_t;
 

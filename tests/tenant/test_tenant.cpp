@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the tenant subsystem: budget arbiters (allocation
+ * invariants, determinism, rotation fairness) and the contention
+ * scheduler's switch/occupancy accounting.
+ */
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "tenant/arbiter.hpp"
+#include "tenant/scheduler.hpp"
+#include "tenant/tenant.hpp"
+
+using namespace pccsim;
+using namespace pccsim::tenant;
+
+namespace {
+
+std::vector<TenantDemand>
+demandOf(std::initializer_list<u64> weights)
+{
+    std::vector<TenantDemand> out;
+    Pid pid = 0;
+    for (u64 w : weights) {
+        TenantDemand d;
+        d.pid = pid++;
+        d.candidates = w > 0 ? 1 : 0;
+        d.weight = w;
+        out.push_back(d);
+    }
+    return out;
+}
+
+u64
+sum(const std::vector<u32> &v)
+{
+    return std::accumulate(v.begin(), v.end(), u64{0});
+}
+
+} // namespace
+
+// ------------------------------------------------------------ arbiters
+
+TEST(Arbiter, RegistryKnowsThreeContenders)
+{
+    EXPECT_GE(arbiterNames().size(), 3u);
+    for (const auto &name : arbiterNames()) {
+        const auto arbiter = makeArbiter(name);
+        ASSERT_NE(arbiter, nullptr) << name;
+        EXPECT_EQ(arbiter->name(), name);
+    }
+    EXPECT_EQ(makeArbiter("no-such-arbiter"), nullptr);
+    // Aliases resolve to the canonical implementations.
+    EXPECT_EQ(makeArbiter("greedy-global")->name(), "greedy");
+    EXPECT_EQ(makeArbiter("static-split")->name(), "static");
+    EXPECT_EQ(makeArbiter("proportional")->name(), "propshare");
+}
+
+TEST(Arbiter, GreedyGrantsEveryoneTheFullBudget)
+{
+    const auto arbiter = makeArbiter("greedy");
+    const auto allow = arbiter->allocate(7, demandOf({10, 0, 3}), 5);
+    EXPECT_EQ(allow, (std::vector<u32>{7, 7, 7}));
+}
+
+TEST(Arbiter, StaticSplitsEquallyAndRotatesTheRemainder)
+{
+    const auto arbiter = makeArbiter("static");
+    // 8 slots over 3 tenants: 2 each + 2 rotating extras.
+    const auto a0 = arbiter->allocate(8, demandOf({1, 1, 1}), 0);
+    EXPECT_EQ(sum(a0), 8u);
+    EXPECT_EQ(a0, (std::vector<u32>{3, 3, 2}));
+    const auto a1 = arbiter->allocate(8, demandOf({1, 1, 1}), 1);
+    EXPECT_EQ(a1, (std::vector<u32>{2, 3, 3}));
+    const auto a2 = arbiter->allocate(8, demandOf({1, 1, 1}), 2);
+    EXPECT_EQ(a2, (std::vector<u32>{3, 2, 3}));
+    // Over a full rotation every tenant receives the same total.
+    u64 t0 = a0[0] + a1[0] + a2[0];
+    u64 t1 = a0[1] + a1[1] + a2[1];
+    u64 t2 = a0[2] + a1[2] + a2[2];
+    EXPECT_EQ(t0, t1);
+    EXPECT_EQ(t1, t2);
+}
+
+TEST(Arbiter, PropShareFollowsWalkDemand)
+{
+    const auto arbiter = makeArbiter("propshare");
+    // Weights 60/30/10 over 10 slots: exact 6/3/1 split.
+    const auto allow =
+        arbiter->allocate(10, demandOf({60, 30, 10}), 0);
+    EXPECT_EQ(allow, (std::vector<u32>{6, 3, 1}));
+}
+
+TEST(Arbiter, PropShareLargestRemainderNeverOverOrUnderAllocates)
+{
+    const auto arbiter = makeArbiter("propshare");
+    for (u64 interval = 0; interval < 5; ++interval) {
+        const auto allow =
+            arbiter->allocate(7, demandOf({5, 3, 1, 1}), interval);
+        EXPECT_EQ(sum(allow), 7u) << "interval " << interval;
+    }
+}
+
+TEST(Arbiter, PropShareZeroWeightFallsBackToStaticSplit)
+{
+    const auto prop = makeArbiter("propshare");
+    const auto stat = makeArbiter("static");
+    const auto demand = demandOf({0, 0, 0});
+    for (u64 interval = 0; interval < 3; ++interval) {
+        EXPECT_EQ(prop->allocate(9, demand, interval),
+                  stat->allocate(9, demand, interval));
+    }
+}
+
+TEST(Arbiter, AllocationIsDeterministic)
+{
+    for (const auto &name : arbiterNames()) {
+        const auto arbiter = makeArbiter(name);
+        const auto demand = demandOf({17, 0, 4, 9});
+        EXPECT_EQ(arbiter->allocate(11, demand, 3),
+                  arbiter->allocate(11, demand, 3))
+            << name;
+    }
+}
+
+// ----------------------------------------------------------- scheduler
+
+TEST(TenantScheduler, SeedDoesNotCountASwitch)
+{
+    TenantConfig config;
+    config.cores = 1;
+    Scheduler sched(config, 2);
+    sched.seed(0, 0);
+    EXPECT_EQ(sched.switches(), 0u);
+    EXPECT_EQ(sched.currentOn(0), 0u);
+    // Re-claiming the seeded tenant is free too.
+    EXPECT_FALSE(sched.claim(0, 0));
+    EXPECT_EQ(sched.switches(), 0u);
+}
+
+TEST(TenantScheduler, ClaimCountsSwitchesAgainstTheIncomingTenant)
+{
+    TenantConfig config;
+    config.cores = 1;
+    Scheduler sched(config, 2);
+    sched.seed(0, 0);
+    EXPECT_TRUE(sched.claim(0, 1));  // 0 -> 1: switch, charged to 1
+    EXPECT_FALSE(sched.claim(0, 1)); // still 1
+    EXPECT_TRUE(sched.claim(0, 0));  // 1 -> 0: switch, charged to 0
+    EXPECT_EQ(sched.switches(), 2u);
+    EXPECT_EQ(sched.switchesOf(0), 1u);
+    EXPECT_EQ(sched.switchesOf(1), 1u);
+    EXPECT_EQ(sched.currentOn(0), 0u);
+}
+
+TEST(TenantScheduler, OccupancySharesSumToOne)
+{
+    TenantConfig config;
+    config.cores = 2;
+    Scheduler sched(config, 3);
+    sched.noteOps(0, 600);
+    sched.noteOps(1, 300);
+    sched.noteOps(2, 100);
+    EXPECT_DOUBLE_EQ(sched.occupancyShareOf(0), 0.6);
+    EXPECT_DOUBLE_EQ(sched.occupancyShareOf(1), 0.3);
+    EXPECT_DOUBLE_EQ(sched.occupancyShareOf(2), 0.1);
+    EXPECT_EQ(sched.opsOf(0), 600u);
+}
+
+// --------------------------------------------------------- switch mode
+
+TEST(SwitchMode, ParseAndPrintRoundTrip)
+{
+    EXPECT_EQ(parseSwitchMode("flush"), SwitchMode::Flush);
+    EXPECT_EQ(parseSwitchMode("asid"), SwitchMode::Asid);
+    EXPECT_EQ(parseSwitchMode("pcid"), SwitchMode::Asid);
+    EXPECT_EQ(parseSwitchMode("bogus"), std::nullopt);
+    EXPECT_EQ(to_string(SwitchMode::Flush), "flush");
+    EXPECT_EQ(to_string(SwitchMode::Asid), "asid");
+}

@@ -168,3 +168,81 @@ TEST(Hierarchy, CapacityMissesEmergeAtScale)
     }
     EXPECT_GT(tlb.missRate(), 0.5);
 }
+
+// ------------------------------------------------------------- ASIDs
+
+TEST(HierarchyAsid, DefaultAsidZeroKeysMatchLegacyBehavior)
+{
+    // ASID 0 is the boot/default address space: a hierarchy that never
+    // calls setCurrentAsid() behaves exactly as before tagging existed.
+    TlbHierarchy tlb;
+    EXPECT_EQ(tlb.currentAsid(), 0u);
+    EXPECT_EQ(tlb.access(kBase, PageSize::Base4K), HitLevel::Miss);
+    tlb.fill(kBase, PageSize::Base4K);
+    EXPECT_EQ(tlb.access(kBase, PageSize::Base4K), HitLevel::L1);
+    // Explicitly selecting ASID 0 changes nothing.
+    tlb.setCurrentAsid(0);
+    EXPECT_EQ(tlb.access(kBase, PageSize::Base4K), HitLevel::L1);
+}
+
+TEST(HierarchyAsid, EntriesOfDifferentAsidsCoexist)
+{
+    TlbHierarchy tlb;
+    tlb.fill(kBase, PageSize::Base4K); // ASID 0
+    tlb.setCurrentAsid(7);
+    // Same VPN, different address space: must miss, then coexist.
+    EXPECT_EQ(tlb.access(kBase, PageSize::Base4K), HitLevel::Miss);
+    tlb.fill(kBase, PageSize::Base4K);
+    EXPECT_EQ(tlb.access(kBase, PageSize::Base4K), HitLevel::L1);
+    // Switching back is not a flush: ASID 0's entry is still resident.
+    tlb.setCurrentAsid(0);
+    EXPECT_EQ(tlb.access(kBase, PageSize::Base4K), HitLevel::L1);
+    tlb.setCurrentAsid(7);
+    EXPECT_EQ(tlb.access(kBase, PageSize::Base4K), HitLevel::L1);
+}
+
+TEST(HierarchyAsid, ShootdownTargetsOneAddressSpace)
+{
+    TlbHierarchy tlb;
+    tlb.fill(kBase, PageSize::Base4K); // ASID 0
+    tlb.setCurrentAsid(3);
+    tlb.fill(kBase, PageSize::Base4K); // ASID 3, same VPN
+    // Shoot down the page in ASID 3 only.
+    EXPECT_GT(tlb.shootdown(kBase, 4096, 3), 0u);
+    EXPECT_EQ(tlb.access(kBase, PageSize::Base4K), HitLevel::Miss);
+    // ASID 0's identical VPN survived.
+    tlb.setCurrentAsid(0);
+    EXPECT_EQ(tlb.access(kBase, PageSize::Base4K), HitLevel::L1);
+}
+
+TEST(HierarchyAsid, FlushAsidDropsExactlyThatSpace)
+{
+    TlbHierarchy tlb;
+    tlb.fill(kBase, PageSize::Base4K);               // ASID 0
+    tlb.fill(kBase + (2ull << 20), PageSize::Huge2M); // ASID 0
+    tlb.setCurrentAsid(5);
+    tlb.fill(kBase, PageSize::Base4K);               // ASID 5
+    EXPECT_GT(tlb.flushAsid(5), 0u);
+    EXPECT_EQ(tlb.access(kBase, PageSize::Base4K), HitLevel::Miss);
+    tlb.setCurrentAsid(0);
+    EXPECT_EQ(tlb.access(kBase, PageSize::Base4K), HitLevel::L1);
+    EXPECT_EQ(tlb.access(kBase + (2ull << 20), PageSize::Huge2M),
+              HitLevel::L1);
+}
+
+TEST(HierarchyAsid, ForEachResidentSeesOnlyTheCurrentSpace)
+{
+    TlbHierarchy tlb;
+    tlb.fill(kBase, PageSize::Base4K); // ASID 0
+    tlb.setCurrentAsid(9);
+    tlb.fill(kBase + 4096, PageSize::Base4K); // ASID 9
+    // Current space: only the ASID-9 entry, tag stripped.
+    u64 count = 0;
+    tlb.forEachResident([&](Vpn vpn, PageSize size) {
+        ++count;
+        EXPECT_EQ(vpn, mem::vpnOf(kBase + 4096, PageSize::Base4K));
+        EXPECT_EQ(size, PageSize::Base4K);
+        EXPECT_LT(vpn, Vpn(1) << TlbHierarchy::kAsidShift);
+    });
+    EXPECT_GE(count, 1u); // L1 (and possibly L2) copies
+}

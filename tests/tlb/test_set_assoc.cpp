@@ -204,3 +204,44 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<u32, u32>{1024, 8},
                       std::pair<u32, u32>{4, 4},
                       std::pair<u32, u32>{8, 8}));
+
+TEST(SetAssocTlb, FlushAllResetsReplacementState)
+{
+    // Regression: flushAll() must zero the recency stamps and the MRU
+    // hints along with the valid bits. A flush that leaves stale
+    // stamps breaks the zeroed-stamp hole contract — post-flush
+    // inserts would report phantom displaced victims from ways the
+    // victim scan should see as free.
+    SetAssocTlb tlb({8, 2}); // 4 sets, 2 ways; set 0 holds {0,4,8,...}
+    for (Vpn v : {0u, 4u, 8u, 12u})
+        (void)tlb.access(v); // heat up stamps and MRU hints
+    tlb.flushAll();
+    EXPECT_EQ(tlb.validCount(), 0u);
+    // Refilling the flushed set must land in holes: no victims.
+    const auto first = tlb.access(0);
+    EXPECT_FALSE(first.hit);
+    EXPECT_EQ(first.displaced, std::nullopt);
+    const auto second = tlb.access(4);
+    EXPECT_FALSE(second.hit);
+    EXPECT_EQ(second.displaced, std::nullopt);
+    EXPECT_EQ(tlb.validCount(), 2u);
+    // Only now is the set full again and a third insert evicts.
+    const auto third = tlb.access(8);
+    ASSERT_TRUE(third.displaced.has_value());
+    EXPECT_EQ(*third.displaced, 0u);
+}
+
+TEST(SetAssocTlb, FlushMatchingDropsOnlyTheTaggedClass)
+{
+    // flushMatching(tag, mask) underlies per-ASID invalidation: keys
+    // whose masked bits equal the tag go, everything else stays.
+    SetAssocTlb tlb({16, 4});
+    const Vpn kTag = Vpn(1) << 48;
+    tlb.insert(5);
+    tlb.insert(kTag | 5);
+    tlb.insert(kTag | 9);
+    EXPECT_EQ(tlb.flushMatching(kTag, ~(kTag - 1)), 2u);
+    EXPECT_TRUE(tlb.contains(5));
+    EXPECT_FALSE(tlb.contains(kTag | 5));
+    EXPECT_FALSE(tlb.contains(kTag | 9));
+}
