@@ -12,8 +12,17 @@
  *   --jobs=N                        parallel simulations (0 = host
  *                                   concurrency, the default)
  *   --perf=FILE                     write runner accounting as JSON
- *   --policy=pcc                    policy override where the harness
- *                                   honors one (parsePolicyKind names)
+ *   --policy=SELECTOR               policy override where the harness
+ *                                   honors one. Any policy-registry
+ *                                   selector works: bare keys (pcc,
+ *                                   trident), parameterized forms
+ *                                   (pcc:promote=8,order=rr), and
+ *                                   aliases. --policy=list prints the
+ *                                   registry and exits.
+ *   --hw=SELECTOR                   translation-hardware backend
+ *                                   applied to every spec (e.g.
+ *                                   victima-reach:mult=8). --hw=list
+ *                                   prints the registry and exits.
  *   --telemetry=FILE                collect per-interval series and
  *                                   write them (with final counters)
  *                                   as JSON at exit
@@ -286,8 +295,14 @@ struct BenchEnv
     bool csv = false;
     telemetry::Format format = telemetry::Format::Text;
     u32 jobs = 1; //!< resolved worker count of the global runner
-    /** --policy override for harnesses that honor one. */
+    /** --policy override for harnesses that honor one (bare legacy
+     *  keys land here; parameterized/contender selectors land in
+     *  policy_str — see policySelector()). */
     std::optional<sim::PolicyKind> policy;
+    /** --policy registry selector when it is not a bare legacy key. */
+    std::string policy_str;
+    /** --hw translation-hardware backend selector ("" = baseline). */
+    std::string hw;
     /** Applied to every spec(); enabled by --telemetry/--trace. */
     telemetry::TelemetryConfig telemetry;
     /** Applied to every spec(); enabled by --oracle[=N]. */
@@ -318,15 +333,29 @@ struct BenchEnv
         } else {
             env.apps = std::move(default_apps);
         }
+        // --policy=list / --hw=list enumerate the registries and exit.
+        if (sim::handleListFlags(opts.get("policy"), opts.get("hw")))
+            std::exit(0);
         if (opts.has("policy")) {
             const std::string name = opts.get("policy");
-            const auto parsed = sim::parsePolicyKind(name);
-            if (!parsed) {
-                fatal("unknown --policy=", name,
-                      " (try base-4k, all-huge, linux-thp, hawkeye, "
-                      "pcc, or trace-replay)");
-            }
-            env.policy = *parsed;
+            sim::ExperimentSpec probe;
+            const util::Status status =
+                sim::applyPolicySelector(probe, name);
+            if (!status.ok())
+                fatal(status.toString());
+            if (probe.policy_str.empty())
+                env.policy = probe.policy;
+            else
+                env.policy_str = probe.policy_str;
+        }
+        if (opts.has("hw")) {
+            env.hw = opts.get("hw");
+            sim::SystemConfig probe = sim::SystemConfig::forScale(
+                workloads::Scale::Ci);
+            probe.hw = env.hw;
+            const util::Status status = probe.validate();
+            if (!status.ok())
+                fatal(status.toString());
         }
         // 0 (the default) selects host concurrency inside the runner.
         // An explicit larger count is honored (the determinism gates
@@ -396,6 +425,22 @@ struct BenchEnv
         return env;
     }
 
+    /**
+     * The --policy override as a registry selector; empty when the
+     * user passed none. Harnesses that honor the override apply it
+     * with sim::applyPolicySelector so contender selectors (trident,
+     * ubpf:..., pcc:promote=8) work everywhere a bare kind does.
+     */
+    std::string
+    policySelector() const
+    {
+        if (!policy_str.empty())
+            return policy_str;
+        if (policy)
+            return sim::to_string(*policy);
+        return {};
+    }
+
     sim::ExperimentSpec
     spec(const std::string &app, sim::PolicyKind policy_kind) const
     {
@@ -404,6 +449,7 @@ struct BenchEnv
         s.workload.scale = scale;
         s.workload.seed = seed;
         s.policy = policy_kind;
+        s.hw = hw;
         s.telemetry = telemetry;
         s.oracle = oracle;
         s.sampling = sampling;

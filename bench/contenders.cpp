@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Contender scoreboard: run every sweepable policy in the plugin
+ * registry — the six legacy policies plus registry-only contenders
+ * (trident, ubpf) — and every translation-hardware backend on one
+ * workload, with the promotion audit enabled, and rank them by
+ * counterfactual regret.
+ *
+ * This is the registry's end-to-end exercise: every contender is
+ * selected purely through its registry string (no PolicyKind switch
+ * anywhere in this file), each gets its own per-policy metric table
+ * (identical headers, which the CSV emitter dedupes into one loadable
+ * block), and the final scoreboard mirrors fig10's regret ranking.
+ *
+ * Usage: contenders [--scale=ci] [--apps=bfs] [--frag=0.5] [--cap=8]
+ *                   [--jobs=N] [--format=text|csv|json]
+ */
+
+#include "common.hpp"
+
+#include "os/policy_registry.hpp"
+#include "tlb/hw_registry.hpp"
+
+using namespace pccsim;
+using namespace pccsim::bench;
+
+namespace {
+
+struct Contender
+{
+    std::string label;    //!< scoreboard row name
+    std::string selector; //!< policy-registry selector
+    std::string hw;       //!< hw-registry selector ("" = baseline)
+};
+
+/**
+ * Every sweepable registry policy on baseline hardware, then the PCC
+ * policy once per non-default hardware backend — the hardware axis is
+ * orthogonal to the policy axis, so one well-understood policy is
+ * enough to expose each backend's effect.
+ */
+std::vector<Contender>
+contenders()
+{
+    std::vector<Contender> out;
+    for (const auto &entry : os::PolicyRegistry::instance().entries()) {
+        if (!entry.sweepable)
+            continue;
+        out.push_back({entry.key, entry.key, ""});
+    }
+    for (const auto &entry : tlb::HwRegistry::instance().entries()) {
+        if (entry.key == "default")
+            continue;
+        out.push_back({"pcc+" + entry.key, "pcc", entry.key});
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchEnv env = BenchEnv::parse(argc, argv, {"bfs"});
+    Options opts(argc, argv);
+    const double frag = opts.getDouble("frag", 0.5);
+    const double cap = opts.getDouble("cap", 8.0);
+    const std::string app = env.apps.front();
+
+    const auto list = contenders();
+
+    // One batch: baseline first, then every contender.
+    std::vector<sim::ExperimentSpec> specs;
+    sim::ExperimentSpec base = env.spec(app, sim::PolicyKind::Base);
+    base.cap_percent = 0.0;
+    specs.push_back(base);
+    for (const auto &c : list) {
+        sim::ExperimentSpec s = env.spec(app, sim::PolicyKind::Base);
+        if (const auto status =
+                sim::applyPolicySelector(s, c.selector);
+            !status.ok()) {
+            fatal(status.toString());
+        }
+        s.hw = c.hw;
+        s.frag_fraction = frag;
+        s.cap_percent = cap;
+        s.telemetry.enabled = true;
+        s.telemetry.audit = true;
+        specs.push_back(std::move(s));
+    }
+    const auto results = runAll(specs);
+    const sim::RunResult &base_run = *results.front();
+
+    // Per-contender tables: identical headers on purpose — the CSV
+    // emitter collapses them into one contiguous block.
+    const std::vector<std::string> header = {
+        "contender", "speedup", "tlb miss %", "ptw %", "promos",
+        "1g promos", "huge %", "regret cycles"};
+    struct Row
+    {
+        std::string label;
+        double speedup;
+        u64 regret;
+    };
+    std::vector<Row> board;
+    for (size_t i = 0; i < list.size(); ++i) {
+        const sim::RunResult &run = *results[i + 1];
+        const auto &job = run.job();
+        const u64 regret = sim::regretCycles(run);
+        const double speedup = sim::speedup(base_run, run);
+        Table table(header);
+        table.row({list[i].label, Table::fmt(speedup, 3),
+                   Table::fmt(job.tlbMissPercent(), 2),
+                   Table::fmt(job.ptwPercent(), 2),
+                   std::to_string(job.promotions),
+                   std::to_string(job.promotions_1g),
+                   Table::fmt(job.hugeCoveragePercent(), 1),
+                   std::to_string(regret)});
+        env.emit(table, "contender: " + list[i].label);
+        board.push_back({list[i].label, speedup, regret});
+    }
+
+    // Scoreboard: regret ascending (less regret = better selection),
+    // speedup descending as the tiebreak.
+    std::stable_sort(board.begin(), board.end(),
+                     [](const Row &a, const Row &b) {
+                         if (a.regret != b.regret)
+                             return a.regret < b.regret;
+                         return a.speedup > b.speedup;
+                     });
+    Table scoreboard({"rank", "contender", "speedup", "regret cycles"});
+    for (size_t i = 0; i < board.size(); ++i) {
+        scoreboard.row({std::to_string(i + 1), board[i].label,
+                        Table::fmt(board[i].speedup, 3),
+                        std::to_string(board[i].regret)});
+    }
+    env.emit(scoreboard, "contender scoreboard (regret ranking)");
+    return 0;
+}

@@ -84,7 +84,15 @@ tenantConfig(const BenchEnv &env, const SweepOptions &sweep,
     cfg.tenant.cores = 1;
     cfg.tenant.switch_mode = mode;
     cfg.tenant.quantum_ops = sweep.quantum;
-    cfg.policy = env.policy.value_or(sim::PolicyKind::Pcc);
+    cfg.policy = sim::PolicyKind::Pcc;
+    // Registry selectors (trident, ubpf:prog=topk, pcc:promote=8, ...)
+    // flow straight into the tenant sweep: the regret scoreboard ranks
+    // whatever contender --policy selects.
+    if (const std::string sel = env.policySelector(); !sel.empty()) {
+        if (const auto st = sim::applyPolicySelector(cfg, sel); !st.ok())
+            fatal(st.toString());
+    }
+    cfg.hw = env.hw;
     cfg.pcc_policy.arbiter = arbiter;
     cfg.pcc_policy.regions_to_promote = sweep.budget;
     cfg.frag_fraction = frag;
@@ -238,7 +246,14 @@ checkOneTenantIdentity(const BenchEnv &env, const SweepOptions &sweep)
     };
     sim::SystemConfig legacy_cfg = sim::SystemConfig::forScale(env.scale);
     legacy_cfg.num_cores = 1;
-    legacy_cfg.policy = env.policy.value_or(sim::PolicyKind::Pcc);
+    legacy_cfg.policy = sim::PolicyKind::Pcc;
+    if (const std::string sel = env.policySelector(); !sel.empty()) {
+        if (const auto st = sim::applyPolicySelector(legacy_cfg, sel);
+            !st.ok()) {
+            fatal(st.toString());
+        }
+    }
+    legacy_cfg.hw = env.hw;
     legacy_cfg.pcc_policy.regions_to_promote = sweep.budget;
     legacy_cfg.telemetry.enabled = true;
     legacy_cfg.telemetry.audit = true;

@@ -32,6 +32,9 @@ pcc_fig(abl_gb_pcc)
 pcc_fig(abl_victim)
 pcc_fig(abl_pressure)
 
+# Registry contender scoreboard (scripts/check.sh `registry` gate).
+pcc_fig(contenders)
+
 # Differential fuzzing driver (not a figure; same plain-binary shape).
 pcc_fig(fuzz_diff)
 

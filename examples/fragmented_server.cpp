@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "sim/experiment.hpp"
 #include "sim/system.hpp"
 #include "telemetry/emitter.hpp"
 #include "util/options.hpp"
@@ -52,6 +53,8 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    if (sim::handleListFlags(opts.get("policy"), opts.get("hw")))
+        return 0;
     const auto scale = workloads::scaleFromString(opts.get("scale", "ci"));
     const double frag = opts.getDouble("frag", 0.9);
     const u64 seed = static_cast<u64>(opts.getInt("seed", 42));

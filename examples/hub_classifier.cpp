@@ -19,6 +19,7 @@
 #include "pcc/pcc_unit.hpp"
 #include "pt/walker.hpp"
 #include "sim/config.hpp"
+#include "sim/experiment.hpp"
 #include "telemetry/emitter.hpp"
 #include "tlb/hierarchy.hpp"
 #include "util/options.hpp"
@@ -31,6 +32,8 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    if (sim::handleListFlags(opts.get("policy"), opts.get("hw")))
+        return 0;
     workloads::WorkloadSpec wspec;
     wspec.name = opts.get("workload", "bfs");
     wspec.scale = workloads::scaleFromString(opts.get("scale", "ci"));

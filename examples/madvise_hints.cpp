@@ -27,6 +27,8 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    if (sim::handleListFlags(opts.get("policy"), opts.get("hw")))
+        return 0;
     workloads::WorkloadSpec wspec;
     wspec.name = opts.get("workload", "pr");
     wspec.scale = workloads::scaleFromString(opts.get("scale", "ci"));

@@ -9,6 +9,10 @@
  *   policy_explorer --workload=sssp --scale=small --frag=0.5 --cap=4
  *   policy_explorer --workload=canneal --lanes=4
  *   policy_explorer --policy=pcc            # just one policy
+ *   policy_explorer --policy=trident        # any registry selector,
+ *   policy_explorer --policy=pcc:promote=8  # parameters included
+ *   policy_explorer --policy=list           # enumerate the registry
+ *   policy_explorer --hw=victima-reach      # hardware backend
  *   policy_explorer --format=json           # machine-readable output
  */
 
@@ -26,6 +30,8 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    if (sim::handleListFlags(opts.get("policy"), opts.get("hw")))
+        return 0;
     sim::ExperimentSpec spec;
     spec.workload.name = opts.get("workload", "bfs");
     spec.workload.scale =
@@ -35,23 +41,15 @@ main(int argc, char **argv)
     spec.lanes = static_cast<u32>(opts.getInt("lanes", 1));
     spec.frag_fraction = opts.getDouble("frag", 0.0);
     spec.cap_percent = opts.getDouble("cap", -1.0);
+    spec.hw = opts.get("hw", "");
 
-    // --policy=NAME narrows the sweep to one policy (canonical
-    // to_string names plus the usual aliases).
-    std::vector<sim::PolicyKind> policies = {
-        sim::PolicyKind::Base, sim::PolicyKind::LinuxThp,
-        sim::PolicyKind::HawkEye, sim::PolicyKind::Pcc,
-        sim::PolicyKind::AllHuge};
-    if (opts.has("policy")) {
-        const std::string name = opts.get("policy");
-        const auto parsed = sim::parsePolicyKind(name);
-        if (!parsed) {
-            fatal("unknown --policy=", name,
-                  " (try base-4k, all-huge, linux-thp, hawkeye, pcc, "
-                  "or trace-replay)");
-        }
-        policies = {*parsed};
-    }
+    // --policy=SELECTOR narrows the sweep to one policy: any registry
+    // selector works (bare keys, aliases, parameterized forms such as
+    // pcc:promote=8, and contenders like trident or ubpf:prog=topk).
+    std::vector<std::string> policies = {"base-4k", "linux-thp",
+                                         "hawkeye", "pcc", "all-huge"};
+    if (opts.has("policy"))
+        policies = {opts.get("policy")};
 
     sim::ExperimentSpec base_spec = spec;
     base_spec.policy = sim::PolicyKind::Base;
@@ -62,12 +60,16 @@ main(int argc, char **argv)
     Table table({"policy", "speedup", "tlb miss %", "ptw %",
                  "refs/walk", "promos", "huge %", "bloat pages",
                  "compactions"});
-    for (auto policy : policies) {
+    for (const auto &policy : policies) {
         sim::ExperimentSpec run_spec = spec;
-        run_spec.policy = policy;
+        if (const auto status =
+                sim::applyPolicySelector(run_spec, policy);
+            !status.ok()) {
+            fatal(status.toString());
+        }
         const auto run = sim::runOne(run_spec);
         const auto &job = run.job();
-        table.row({sim::to_string(policy),
+        table.row({sim::policyNameOf(run_spec),
                    Table::fmt(sim::speedup(base, run), 3),
                    Table::fmt(job.tlbMissPercent(), 2),
                    Table::fmt(job.ptwPercent(), 2),

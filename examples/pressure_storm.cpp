@@ -17,6 +17,7 @@
 
 #include <cstdio>
 
+#include "sim/experiment.hpp"
 #include "sim/system.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -44,6 +45,8 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    if (sim::handleListFlags(opts.get("policy"), opts.get("hw")))
+        return 0;
     const auto scale = workloads::scaleFromString(opts.get("scale", "ci"));
     const u64 seed = static_cast<u64>(opts.getInt("seed", 1));
 

@@ -81,6 +81,8 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    if (sim::handleListFlags(opts.get("policy"), opts.get("hw")))
+        return 0;
     const auto scale =
         workloads::scaleFromString(opts.get("scale", "ci"));
     const double frag = opts.getDouble("frag", 0.5);

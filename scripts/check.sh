@@ -26,6 +26,13 @@
 #   bench | bench_compare fresh fig06 --format=json output must match
 #                         bench/baselines/ (exact simulation equality,
 #                         tolerant per-access timing)
+#   registry              policy/hw plugin registries: --policy=list /
+#                         --hw=list enumerate every key, the contenders
+#                         scoreboard (every sweepable policy + hw
+#                         backend) emits byte-identical CSV at --jobs=1
+#                         and --jobs=4, parameterized selectors run end
+#                         to end, and unknown keys are rejected with a
+#                         did-you-mean suggestion
 #   sampling              sample_check: --sample=W:F miss-rate
 #                         estimates on bfs + mcf must land within
 #                         max(2 x CI95, 0.5 points) of exact runs
@@ -180,12 +187,74 @@ PYEOF
 run_bench_compare() {
     echo "==> [bench] configuring build-det"
     cmake -B build-det -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-    echo "==> [bench] building fig06_pcc_size + fig10_multitenant"
+    echo "==> [bench] building fig06_pcc_size + fig10_multitenant + contenders"
     cmake --build build-det -j "$(nproc)" --target fig06_pcc_size \
-        --target fig10_multitenant >/dev/null
+        --target fig10_multitenant --target contenders >/dev/null
     echo "==> [bench] comparing against bench/baselines/"
     python3 scripts/bench_compare.py --build=build-det
     echo "==> [bench] clean"
+}
+
+run_registry() {
+    echo "==> [registry] configuring build-det"
+    cmake -B build-det -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    echo "==> [registry] building contenders + policy_explorer"
+    cmake --build build-det -j "$(nproc)" --target contenders \
+        --target policy_explorer >/dev/null
+    local tmp
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' RETURN
+    echo "==> [registry] --policy=list / --hw=list enumerate and exit 0"
+    ./build-det/bench/contenders --policy=list > "$tmp/policies.txt"
+    ./build-det/bench/contenders --hw=list > "$tmp/hw.txt"
+    for key in base-4k all-huge linux-thp hawkeye pcc trace-replay \
+               trident ubpf; do
+        if ! grep -Eq "^[[:space:]]*$key " "$tmp/policies.txt"; then
+            echo "registry gate FAILED: '$key' missing from" \
+                 "--policy=list" >&2
+            return 1
+        fi
+    done
+    if ! grep -Eq "^[[:space:]]*victima-reach " "$tmp/hw.txt"; then
+        echo "registry gate FAILED: 'victima-reach' missing from" \
+             "--hw=list" >&2
+        return 1
+    fi
+    echo "==> [registry] every contender, serial vs --jobs=4 CSV diff"
+    ./build-det/bench/contenders --scale=ci --csv --jobs=1 \
+        > "$tmp/serial.csv"
+    ./build-det/bench/contenders --scale=ci --csv --jobs=4 \
+        > "$tmp/parallel.csv"
+    if ! diff -u "$tmp/serial.csv" "$tmp/parallel.csv"; then
+        echo "registry gate FAILED: parallel output diverged" >&2
+        return 1
+    fi
+    echo "==> [registry] parameterized selectors run end to end"
+    for sel in trident "pcc:promote=8,order=rr" "ubpf:prog=topk" \
+               "victima-reach:mult=4"; do
+        case "$sel" in
+          victima*) flag="--hw=$sel" ;;
+          *)        flag="--policy=$sel" ;;
+        esac
+        if ! ./build-det/examples/policy_explorer --scale=ci \
+            "$flag" > /dev/null; then
+            echo "registry gate FAILED: policy_explorer $flag" \
+                 "exited nonzero" >&2
+            return 1
+        fi
+    done
+    echo "==> [registry] unknown key rejection (did-you-mean)"
+    if ./build-det/bench/contenders --policy=tridnet \
+        > /dev/null 2> "$tmp/err.txt"; then
+        echo "registry gate FAILED: unknown policy accepted" >&2
+        return 1
+    fi
+    if ! grep -qi "trident" "$tmp/err.txt"; then
+        echo "registry gate FAILED: no did-you-mean suggestion" >&2
+        cat "$tmp/err.txt" >&2
+        return 1
+    fi
+    echo "==> [registry] clean"
 }
 
 run_sampling() {
@@ -302,7 +371,7 @@ run_tenant() {
 gates=("$@")
 if [ ${#gates[@]} -eq 0 ]; then
     gates=(address undefined determinism telemetry attribution bench \
-           sampling fuzz resume tenant)
+           registry sampling fuzz resume tenant)
 fi
 
 for gate in "${gates[@]}"; do
@@ -322,6 +391,9 @@ for gate in "${gates[@]}"; do
       bench|bench_compare)
          run_bench_compare
          continue ;;
+      registry)
+         run_registry
+         continue ;;
       sampling)
          run_sampling
          continue ;;
@@ -336,7 +408,7 @@ for gate in "${gates[@]}"; do
          continue ;;
       *) echo "unknown gate '$gate'" \
               "(use address|undefined|thread|determinism|telemetry|" \
-              "attribution|bench|sampling|fuzz|resume|tenant)" >&2
+              "attribution|bench|registry|sampling|fuzz|resume|tenant)" >&2
          exit 2 ;;
     esac
 

@@ -264,9 +264,78 @@ PhysicalMemory::compactOneBlock()
     if (best == num_blocks_)
         return std::nullopt;
     compact_cursor_ = (best + 1) % num_blocks_;
+    return compactBlock(best, kNoGig, moves_allowed);
+}
 
+std::optional<PhysicalMemory::CompactionResult>
+PhysicalMemory::compactOneBlockIn(u64 gig)
+{
+    u32 moves_allowed = kUnlimitedMoves;
+    if (compaction_gate_) {
+        moves_allowed = compaction_gate_();
+        if (moves_allowed == 0) {
+            ++stats_.counter("injected_compaction_fail");
+            return std::nullopt;
+        }
+    }
+
+    // Cheapest movable occupied block within the gigabyte group.
+    const u64 first = gig * k2MPer1G;
+    const u64 last = std::min(first + k2MPer1G, num_blocks_);
+    u64 best = num_blocks_;
+    u32 best_resident = ~0u;
+    for (u64 b = first; b < last; ++b) {
+        const auto &info = blocks_[b];
+        if (info.unmovable != 0 || info.huge || info.resident == 0)
+            continue;
+        if (info.resident < best_resident) {
+            best = b;
+            best_resident = info.resident;
+        }
+    }
+    if (best == num_blocks_)
+        return std::nullopt;
+    return compactBlock(best, gig, moves_allowed);
+}
+
+std::optional<u64>
+PhysicalMemory::bestGigCandidate() const
+{
+    const u64 num_gigs = num_blocks_ / k2MPer1G;
+    std::optional<u64> best;
+    u64 best_resident = ~u64(0);
+    for (u64 g = 0; g < num_gigs; ++g) {
+        u64 resident = 0;
+        bool blocked = false;
+        for (u64 b = g * k2MPer1G; b < (g + 1) * k2MPer1G; ++b) {
+            const auto &info = blocks_[b];
+            if (info.unmovable != 0 || info.huge) {
+                blocked = true;
+                break;
+            }
+            resident += info.resident;
+        }
+        if (blocked || resident == 0)
+            continue;
+        if (resident < best_resident) {
+            best = g;
+            best_resident = resident;
+        }
+    }
+    return best;
+}
+
+u64
+PhysicalMemory::gigFramesAvailable() const
+{
+    return buddy_.allocatableChunks(kOrder1G);
+}
+
+std::optional<PhysicalMemory::CompactionResult>
+PhysicalMemory::compactBlock(u64 block, u64 avoid_gig, u32 moves_allowed)
+{
     // Collect the resident movable frames of the chosen block.
-    const Pfn head = best << kOrder2M;
+    const Pfn head = block << kOrder2M;
     std::vector<Pfn> residents;
     for (u64 i = 0; i < kPagesPer2M; ++i) {
         if (use_[head + i] == FrameUse::AppBase ||
@@ -274,7 +343,7 @@ PhysicalMemory::compactOneBlock()
             residents.push_back(head + i);
         }
     }
-    PCCSIM_ASSERT(residents.size() == blocks_[best].resident);
+    PCCSIM_ASSERT(residents.size() == blocks_[block].resident);
 
     if (buddy_.freeFrames() < residents.size() + kPagesPer2M)
         return std::nullopt; // not enough headroom elsewhere
@@ -314,7 +383,10 @@ PhysicalMemory::compactOneBlock()
         while (true) {
             to = buddy_.allocate(0);
             if (!to) break;
-            if (blockOf(*to) != best) break;
+            if (blockOf(*to) != block &&
+                (avoid_gig == kNoGig || gigOf(*to) != avoid_gig)) {
+                break;
+            }
             parked.push_back(*to);
         }
         if (!to) {

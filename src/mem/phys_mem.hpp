@@ -114,8 +114,9 @@ class PhysicalMemory
 
     /**
      * Allocate one 1GB-aligned frame (order 18). Requires a pristine
-     * gigabyte of physical memory; there is no gigabyte-scale
-     * compaction (the paper's Sec. 3.2.3 is a design extension).
+     * gigabyte of physical memory; callers that may compact first
+     * (Trident-style promotion) use bestGigCandidate() plus
+     * compactOneBlockIn() to vacate a gigabyte group, then retry.
      */
     std::optional<Pfn> allocHuge1G(Pid pid, Vpn first_vpn4k);
 
@@ -159,6 +160,28 @@ class PhysicalMemory
      */
     std::optional<CompactionResult> compactOneBlock();
 
+    /**
+     * Gigabyte-targeted compaction: free up one 2MB block *inside* the
+     * given gigabyte group, relocating its movable pages to frames
+     * outside that gigabyte (destinations landing anywhere in the
+     * group are parked and released, so progress toward an order-18
+     * chunk is monotonic). Returns nullopt when the group holds no
+     * movable occupied block — either it is already vacant or the
+     * remaining residents are pinned/huge.
+     */
+    std::optional<CompactionResult> compactOneBlockIn(u64 gig);
+
+    /**
+     * The gigabyte group cheapest to vacate: no pinned or huge frames
+     * anywhere in its 512 blocks and the fewest movable residents.
+     * Groups with zero residents are skipped (allocHuge1G already
+     * succeeds there). nullopt when every group is disqualified.
+     */
+    std::optional<u64> bestGigCandidate() const;
+
+    /** Order-18 chunks allocatable right now without compaction. */
+    u64 gigFramesAvailable() const;
+
     /** Order-9 chunks allocatable right now without compaction. */
     u64 hugeFramesAvailable() const;
 
@@ -184,6 +207,19 @@ class PhysicalMemory
     };
 
     u64 blockOf(Pfn pfn) const { return pfn >> kOrder2M; }
+    u64 gigOf(Pfn pfn) const { return pfn >> kOrder1G; }
+
+    /** Sentinel for compactBlock: no gigabyte group to avoid. */
+    static constexpr u64 kNoGig = ~u64(0);
+
+    /**
+     * Shared compaction body: relocate every movable resident of
+     * `block`. Destinations inside `block` are always parked; when
+     * avoid_gig != kNoGig, destinations anywhere inside that gigabyte
+     * group are parked too.
+     */
+    std::optional<CompactionResult> compactBlock(u64 block, u64 avoid_gig,
+                                                 u32 moves_allowed);
 
     /** True when the gate vetoes an allocation of the given order. */
     bool gateDenies(unsigned order);

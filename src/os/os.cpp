@@ -270,16 +270,21 @@ Os::promoteRegion(Process &proc, Addr region_base, bool allow_compaction,
 
 PromoteResult
 Os::promoteRegion1G(Process &proc, Addr region_base,
-                    PromoteAttempt attempt)
+                    PromoteAttempt attempt, bool allow_compaction)
 {
     PromoteResult result;
     region_base = mem::pageBase(region_base, mem::PageSize::Huge1G);
     const auto audited = [&](PromoteResult r) {
         if (audit_) {
-            audit_->record(telemetry::AuditAction::Promote1G,
-                           auditReasonFor(r.status), proc.pid(),
-                           region_base, attempt.rank, attempt.counter,
-                           r.app_cycles);
+            // A gigabyte allocation failure gets its own reason code:
+            // it is a fragmentation statement about order-18 chunks,
+            // not the 2MB-frame exhaustion NoHugeFrame describes.
+            telemetry::AuditReason reason = auditReasonFor(r.status);
+            if (reason == telemetry::AuditReason::NoHugeFrame)
+                reason = telemetry::AuditReason::No1GFrame;
+            audit_->record(telemetry::AuditAction::Promote1G, reason,
+                           proc.pid(), region_base, attempt.rank,
+                           attempt.counter, r.app_cycles);
         }
         return r;
     };
@@ -315,10 +320,39 @@ Os::promoteRegion1G(Process &proc, Addr region_base,
 
     const Vpn first_vpn = mem::vpnOf(region_base, mem::PageSize::Base4K);
     auto huge_pfn = phys_.allocHuge1G(proc.pid(), first_vpn);
+    if (!huge_pfn && allow_compaction) {
+        // Gigabyte-targeted compaction: pick the group cheapest to
+        // vacate and migrate its movable pages out block by block.
+        // Each round liberates one 2MB block inside the group; the
+        // group is won when compactOneBlockIn finds nothing left to
+        // move and the order-18 allocation succeeds. Bounded by the
+        // group size so a pathological gate cannot spin forever.
+        if (const auto gig = phys_.bestGigCandidate()) {
+            for (u64 round = 0; round <= mem::k2MPer1G; ++round) {
+                const auto compaction = phys_.compactOneBlockIn(*gig);
+                chargeBackground(params_.costs.compaction_attempt);
+                ++result.compaction_runs;
+                if (!compaction)
+                    break;
+                result.compacted = true;
+                chargeBackground(compaction->moves.size() *
+                                 params_.costs.copy_page);
+                applyMoves(compaction->moves);
+                if (tracer_) {
+                    tracer_->record(telemetry::EventKind::Compaction,
+                                    proc.pid(), region_base,
+                                    mem::kBytes1G,
+                                    compaction->moves.size());
+                }
+            }
+            huge_pfn = phys_.allocHuge1G(proc.pid(), first_vpn);
+            if (huge_pfn)
+                ++stats_.counter("promotion1g_compacted");
+        }
+    }
     if (!huge_pfn && phys_.transientFailuresPossible()) {
         // Injected transient failures deserve the same bounded
-        // backoff-and-retry as 2MB promotion (no gigabyte compaction
-        // exists, so a direct retry is all we can do).
+        // backoff-and-retry as 2MB promotion.
         for (u32 retry = 1; retry <= params_.promote_retries && !huge_pfn;
              ++retry) {
             chargeBackground(params_.retry_backoff << (retry - 1));

@@ -170,10 +170,13 @@ class Os
      * Promote a 1GB-aligned range into one 1GB page (Sec. 3.2.3
      * extension). Constituent 4KB and 2MB mappings are collectively
      * collapsed, exactly as the paper describes for mixed regions.
-     * Requires a free order-18 frame (no gigabyte compaction).
+     * @param allow_compaction When no order-18 frame is free, vacate
+     *        the cheapest gigabyte group block-by-block (Trident-style
+     *        1GB defragmentation) before giving up.
      */
     PromoteResult promoteRegion1G(Process &proc, Addr region_base,
-                                  PromoteAttempt attempt = {});
+                                  PromoteAttempt attempt = {},
+                                  bool allow_compaction = false);
 
     /** Split a 1GB page into 512 2MB pages (in place). */
     Cycles demoteRegion1G(Process &proc, Addr region_base);

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 
+#include "os/policy_registry.hpp"
+#include "sim/config.hpp"
 #include "util/log.hpp"
+
+PCCSIM_DEFINE_LINK_ANCHOR(builtin_policies)
 
 namespace pccsim::os {
 
@@ -503,5 +507,144 @@ TraceReplayPolicy::onInterval(PolicyContext &ctx)
         }
     }
 }
+
+// ------------------------------------------------- registry entries
+//
+// Each factory starts from the SystemConfig's policy params (so a bare
+// key builds exactly what the legacy PolicyKind switch built — the
+// bit-identity shim depends on it) and layers selector params on top.
+
+namespace {
+
+std::unique_ptr<Policy>
+makePcc(const util::ParamMap &pm, const sim::SystemConfig &cfg,
+        util::Status &status)
+{
+    PccPolicy::Params p = cfg.pcc_policy;
+    p.regions_to_promote = static_cast<u32>(
+        pm.getU64("promote", p.regions_to_promote));
+    if (pm.has("order")) {
+        const std::string order = pm.get("order");
+        if (order == "freq") {
+            p.order = PromotionOrder::HighestFrequency;
+        } else if (order == "rr") {
+            p.order = PromotionOrder::RoundRobin;
+        } else {
+            status.update(util::Status::error(
+                "pcc order must be freq or rr, got '", order, "'"));
+            return nullptr;
+        }
+    }
+    p.min_frequency = pm.getU64("minfreq", p.min_frequency);
+    p.allow_compaction = pm.getBool("compact", p.allow_compaction);
+    p.demote_on_pressure = pm.getBool("demote", p.demote_on_pressure);
+    p.promote_1g = pm.getBool("1g", p.promote_1g);
+    p.ratio_1g = pm.getU64("ratio1g", p.ratio_1g);
+    p.arbiter = pm.get("arbiter", p.arbiter);
+    return std::make_unique<PccPolicy>(p);
+}
+
+std::unique_ptr<Policy>
+makeLinuxThp(const util::ParamMap &pm, const sim::SystemConfig &cfg,
+             util::Status &)
+{
+    LinuxThpPolicy::Params p = cfg.linux_thp;
+    p.scan_pages_per_interval = static_cast<u32>(
+        pm.getU64("scan", p.scan_pages_per_interval));
+    p.min_faulted_pages = static_cast<u32>(
+        pm.getU64("minfault", p.min_faulted_pages));
+    p.fault_time_huge = pm.getBool("faulthuge", p.fault_time_huge);
+    p.khugepaged_compaction =
+        pm.getBool("khuge", p.khugepaged_compaction);
+    p.respect_madvise = pm.getBool("madvise", p.respect_madvise);
+    return std::make_unique<LinuxThpPolicy>(p);
+}
+
+std::unique_ptr<Policy>
+makeHawkEye(const util::ParamMap &pm, const sim::SystemConfig &cfg,
+            util::Status &)
+{
+    HawkEyePolicy::Params p = cfg.hawkeye;
+    p.scan_pages_per_interval = static_cast<u32>(
+        pm.getU64("scan", p.scan_pages_per_interval));
+    p.regions_per_interval = static_cast<u32>(
+        pm.getU64("promote", p.regions_per_interval));
+    p.compaction = pm.getBool("compact", p.compaction);
+    return std::make_unique<HawkEyePolicy>(p);
+}
+
+const PolicyRegistrar reg_base{{
+    "base-4k",
+    "4KB pages only (the baseline of every figure)",
+    "",
+    [](const util::ParamMap &, const sim::SystemConfig &,
+       util::Status &) -> std::unique_ptr<Policy> {
+        return std::make_unique<BasePagesPolicy>();
+    },
+    /*legacy_kind=*/0,
+    {"base", "4k"},
+}};
+
+const PolicyRegistrar reg_all_huge{{
+    "all-huge",
+    "every fault allocates huge (the unfragmented THP ideal)",
+    "",
+    [](const util::ParamMap &, const sim::SystemConfig &,
+       util::Status &) -> std::unique_ptr<Policy> {
+        return std::make_unique<AllHugePolicy>();
+    },
+    /*legacy_kind=*/1,
+    {"huge"},
+}};
+
+const PolicyRegistrar reg_linux_thp{{
+    "linux-thp",
+    "greedy fault-time THP plus khugepaged background collapse",
+    "scan=N,minfault=N,faulthuge=B,khuge=B,madvise=B",
+    makeLinuxThp,
+    /*legacy_kind=*/2,
+    {"thp"},
+}};
+
+const PolicyRegistrar reg_hawkeye{{
+    "hawkeye",
+    "access-coverage bucketing under a khugepaged-equal scan budget",
+    "scan=N,promote=N,compact=B",
+    makeHawkEye,
+    /*legacy_kind=*/3,
+    {},
+}};
+
+const PolicyRegistrar reg_pcc{{
+    "pcc",
+    "hardware PCC candidate ranking with per-interval promotion",
+    "promote=N,order=freq|rr,minfreq=N,compact=B,demote=B,1g=B,"
+    "ratio1g=N,arbiter=NAME",
+    makePcc,
+    /*legacy_kind=*/4,
+    /*aliases=*/{},
+    /*sweepable=*/true,
+    // `pcc:1g=1` needs the 1GB PCC in hardware; enum-path callers set
+    // cfg.pcc.enable_1g themselves, selector users should not have to.
+    [](const util::ParamMap &pm, sim::SystemConfig &cfg) {
+        if (pm.getBool("1g", cfg.pcc_policy.promote_1g))
+            cfg.pcc.enable_1g = true;
+    },
+}};
+
+const PolicyRegistrar reg_trace_replay{{
+    "trace-replay",
+    "replay a recorded promotion trace from the config",
+    "",
+    [](const util::ParamMap &, const sim::SystemConfig &cfg,
+       util::Status &) -> std::unique_ptr<Policy> {
+        return std::make_unique<TraceReplayPolicy>(cfg.replay_trace);
+    },
+    /*legacy_kind=*/5,
+    {},
+    /*sweepable=*/false,
+}};
+
+} // namespace
 
 } // namespace pccsim::os

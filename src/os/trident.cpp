@@ -1,0 +1,260 @@
+#include "os/trident.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "os/policy_registry.hpp"
+#include "sim/config.hpp"
+
+PCCSIM_DEFINE_LINK_ANCHOR(trident_policy)
+
+namespace pccsim::os {
+
+namespace {
+
+Pid
+ownerPidOf(Os &os, Addr base, Pid fallback)
+{
+    for (Pid p = 0; p < os.numProcesses(); ++p)
+        if (os.process(p).contains(base))
+            return p;
+    return fallback;
+}
+
+u32
+autoPromoteRegions(PolicyContext &ctx, u32 configured)
+{
+    if (configured != 0)
+        return configured;
+    u64 total = 0;
+    for (CoreId c = 0; c < ctx.numCores(); ++c)
+        total += ctx.pccUnit(c).pcc2m().capacity();
+    return static_cast<u32>(std::max<u64>(1, total));
+}
+
+void
+chargeProcessCores(PolicyContext &ctx, Pid pid, Cycles cycles)
+{
+    for (CoreId c = 0; c < ctx.numCores(); ++c)
+        if (ctx.processOnCore(c).pid() == pid)
+            ctx.chargeCore(c, cycles);
+}
+
+} // namespace
+
+void
+TridentPolicy::onInterval(PolicyContext &ctx)
+{
+    // 1GB first: a gigabyte promotion supersedes 2MB work inside its
+    // range, and its targeted compaction wants frames the 2MB pass
+    // would otherwise consume.
+    promote1G(ctx);
+    if (params_.cold_1g_intervals > 0)
+        demoteCold1G(ctx);
+    promote2M(ctx);
+}
+
+void
+TridentPolicy::promote1G(PolicyContext &ctx)
+{
+    Os &os = ctx.os();
+    telemetry::PromotionAuditLog *audit = ctx.audit();
+    u32 promoted = 0;
+    for (CoreId c = 0; c < ctx.numCores(); ++c) {
+        pcc::PccUnit &unit = ctx.pccUnit(c);
+        const auto snap = unit.pcc1g().snapshot();
+        for (size_t r = 0; r < snap.size(); ++r) {
+            const auto &cand = snap[r];
+            const Addr base = cand.region << mem::kShift1G;
+            const Pid pid =
+                ownerPidOf(os, base, ctx.processOnCore(c).pid());
+            // Freshness bookkeeping feeds cold demotion: any
+            // appearance in a 1GB PCC counts, promoted or not.
+            last_seen_1g_[{pid, base}] = ctx.intervalIndex();
+
+            Process &proc = os.process(pid);
+            if (!unit.prefer1G(cand.region, params_.ratio_1g)) {
+                if (audit) {
+                    audit->record(telemetry::AuditAction::Skip,
+                                  telemetry::AuditReason::Not1GPreferred,
+                                  pid, base, static_cast<u32>(r),
+                                  cand.frequency);
+                }
+                continue;
+            }
+            if (!proc.contains(base)) {
+                if (audit) {
+                    audit->record(telemetry::AuditAction::Skip,
+                                  telemetry::AuditReason::OutsideVma,
+                                  pid, base, static_cast<u32>(r),
+                                  cand.frequency);
+                }
+                continue;
+            }
+            if (promoted >= params_.max_1g_per_interval) {
+                if (audit) {
+                    audit->record(telemetry::AuditAction::Skip,
+                                  telemetry::AuditReason::IntervalBudget,
+                                  pid, base, static_cast<u32>(r),
+                                  cand.frequency);
+                }
+                continue;
+            }
+            const auto result = os.promoteRegion1G(
+                proc, base, {static_cast<u32>(r), cand.frequency},
+                params_.allow_compaction);
+            if (result.status == PromoteStatus::Ok) {
+                ++promoted;
+                ctx.chargeCore(c, result.app_cycles);
+            }
+        }
+    }
+}
+
+void
+TridentPolicy::demoteCold1G(PolicyContext &ctx)
+{
+    Os &os = ctx.os();
+    const u64 now = ctx.intervalIndex();
+    for (Pid pid = 0; pid < os.numProcesses(); ++pid) {
+        Process &proc = os.process(pid);
+        // Collect first, demote after: demotion rewrites the region
+        // table the scan is iterating.
+        std::vector<Addr> cold;
+        for (u64 i = 0; i < proc.numRegions(); ++i) {
+            const Addr base = proc.regionBase(i);
+            if ((base & (mem::kBytes1G - 1)) != 0)
+                continue; // only the head region speaks for the page
+            if (proc.regionStateOf(base) != RegionState::Huge1G)
+                continue;
+            const auto it = last_seen_1g_.find({pid, base});
+            const u64 seen = it == last_seen_1g_.end() ? 0 : it->second;
+            if (now - seen >= params_.cold_1g_intervals)
+                cold.push_back(base);
+        }
+        for (const Addr base : cold) {
+            const Cycles cycles = os.demoteRegion1G(proc, base);
+            chargeProcessCores(ctx, pid, cycles);
+            last_seen_1g_.erase({pid, base});
+        }
+    }
+}
+
+void
+TridentPolicy::promote2M(PolicyContext &ctx)
+{
+    Os &os = ctx.os();
+    telemetry::PromotionAuditLog *audit = ctx.audit();
+
+    struct Ranked
+    {
+        CoreId core;
+        Pid pid;
+        pcc::Candidate candidate;
+    };
+    std::vector<Ranked> ranked;
+    for (CoreId c = 0; c < ctx.numCores(); ++c) {
+        for (const auto &cand : ctx.pccUnit(c).pcc2m().snapshot()) {
+            const Addr base = cand.region << mem::kShift2M;
+            ranked.push_back(
+                {c, ownerPidOf(os, base, ctx.processOnCore(c).pid()),
+                 cand});
+        }
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const Ranked &a, const Ranked &b) {
+                         return a.candidate.frequency >
+                                b.candidate.frequency;
+                     });
+
+    const u32 budget =
+        autoPromoteRegions(ctx, params_.regions_to_promote);
+    u32 promoted = 0;
+    for (size_t r = 0; r < ranked.size(); ++r) {
+        const auto &rc = ranked[r];
+        Process &proc = os.process(rc.pid);
+        const Addr base = rc.candidate.region << mem::kShift2M;
+        const auto skip = [&](telemetry::AuditReason reason) {
+            if (audit) {
+                audit->record(telemetry::AuditAction::Skip, reason,
+                              rc.pid, base, static_cast<u32>(r),
+                              rc.candidate.frequency);
+            }
+        };
+        if (promoted >= budget) {
+            if (!audit)
+                break;
+            skip(telemetry::AuditReason::IntervalBudget);
+            continue;
+        }
+        if (!proc.contains(base)) {
+            skip(telemetry::AuditReason::OutsideVma);
+            continue;
+        }
+        if (proc.regionStateOf(base) != RegionState::Base4K) {
+            skip(telemetry::AuditReason::RegionNotBase);
+            continue;
+        }
+        const auto result = os.promoteRegion(
+            proc, base, params_.allow_compaction,
+            {static_cast<u32>(r), rc.candidate.frequency});
+        if (result.status == PromoteStatus::Ok) {
+            ++promoted;
+            ctx.chargeCore(rc.core, result.app_cycles);
+        } else if (result.status == PromoteStatus::CapReached ||
+                   result.status == PromoteStatus::NoHugeFrame) {
+            if (audit) {
+                const auto reason =
+                    result.status == PromoteStatus::CapReached
+                        ? telemetry::AuditReason::CapReached
+                        : (os.phys().transientFailuresPossible()
+                               ? telemetry::AuditReason::
+                                     NoHugeFrameTransient
+                               : telemetry::AuditReason::NoHugeFrame);
+                for (size_t r2 = r + 1; r2 < ranked.size(); ++r2) {
+                    audit->record(
+                        telemetry::AuditAction::Skip, reason,
+                        ranked[r2].pid,
+                        ranked[r2].candidate.region << mem::kShift2M,
+                        static_cast<u32>(r2),
+                        ranked[r2].candidate.frequency);
+                }
+            }
+            break;
+        }
+    }
+}
+
+namespace {
+
+const PolicyRegistrar reg_trident{{
+    "trident",
+    "three-page-size promotion: PCC-ranked 2MB + eager compacted 1GB",
+    "promote=N,ratio1g=N,max1g=N,cold=N,faulthuge=B,compact=B",
+    [](const util::ParamMap &pm, const sim::SystemConfig &,
+       util::Status &) -> std::unique_ptr<Policy> {
+        TridentPolicy::Params p;
+        p.regions_to_promote =
+            static_cast<u32>(pm.getU64("promote", p.regions_to_promote));
+        p.ratio_1g = pm.getU64("ratio1g", p.ratio_1g);
+        p.max_1g_per_interval =
+            static_cast<u32>(pm.getU64("max1g", p.max_1g_per_interval));
+        p.cold_1g_intervals =
+            static_cast<u32>(pm.getU64("cold", p.cold_1g_intervals));
+        p.fault_time_huge = pm.getBool("faulthuge", p.fault_time_huge);
+        p.allow_compaction = pm.getBool("compact", p.allow_compaction);
+        return std::make_unique<TridentPolicy>(p);
+    },
+    /*legacy_kind=*/-1,
+    /*aliases=*/{},
+    /*sweepable=*/true,
+    // Trident's 1GB pass reads the 1GB PCC rollup: the hardware must
+    // be configured before the cores are built.
+    [](const util::ParamMap &, sim::SystemConfig &cfg) {
+        cfg.pcc.enable_1g = true;
+    },
+}};
+
+} // namespace
+
+} // namespace pccsim::os

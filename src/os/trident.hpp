@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Trident-style three-page-size promotion policy (`--policy=trident`).
+ *
+ * Trident (MICRO'21) manages 4KB, 2MB, and 1GB pages together: greedy
+ * fault-time 2MB allocation (like Linux THP), aggressive periodic
+ * collapse into 2MB, opportunistic promotion of the hottest ranges
+ * into 1GB pages backed by targeted defragmentation, and demotion of
+ * 1GB pages that have gone cold. This port drives all three sizes from
+ * the PCC evidence instead of page-table scans — the 2MB pass is
+ * PCC-ranked like PccPolicy, and the 1GB pass consumes the 1GB PCC
+ * rollup with a much lower preference ratio than the paper's
+ * conservative 512x, since Trident's thesis is that 1GB pages are
+ * usually worth it once contiguity can be manufactured.
+ */
+
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "os/policy.hpp"
+
+namespace pccsim::os {
+
+class TridentPolicy : public Policy
+{
+  public:
+    struct Params
+    {
+        /** 2MB promotions per interval; 0 = PCC-capacity auto. */
+        u32 regions_to_promote = 0;
+        /** 1GB preference ratio (prefer1G); far below PCC's 512. */
+        u64 ratio_1g = 64;
+        /** 1GB promotions allowed per interval (defrag is costly). */
+        u32 max_1g_per_interval = 1;
+        /** Demote 1GB pages absent from the 1GB PCC for this many
+         *  consecutive intervals (0 disables cold demotion). */
+        u32 cold_1g_intervals = 4;
+        bool fault_time_huge = true;
+        bool allow_compaction = true;
+    };
+
+    TridentPolicy() = default;
+    explicit TridentPolicy(Params params) : params_(params) {}
+
+    std::string name() const override { return "trident"; }
+
+    bool
+    wantHugeFault(const Process &proc, Addr vaddr) override
+    {
+        return params_.fault_time_huge &&
+               proc.hintOf(vaddr) != HugeHint::NoHuge;
+    }
+
+    void onInterval(PolicyContext &ctx) override;
+
+  private:
+    void promote1G(PolicyContext &ctx);
+    void demoteCold1G(PolicyContext &ctx);
+    void promote2M(PolicyContext &ctx);
+
+    Params params_;
+    /** Last interval each (pid, 1GB base) appeared in any 1GB PCC. */
+    std::map<std::pair<Pid, Addr>, u64> last_seen_1g_;
+};
+
+} // namespace pccsim::os

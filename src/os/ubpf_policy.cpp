@@ -1,0 +1,238 @@
+#include "os/ubpf_policy.hpp"
+
+#include <algorithm>
+
+#include "os/policy_registry.hpp"
+#include "sim/config.hpp"
+#include "util/log.hpp"
+
+PCCSIM_DEFINE_LINK_ANCHOR(ubpf_policy)
+
+namespace pccsim::os {
+
+namespace {
+
+Pid
+ownerPidOf(Os &os, Addr base, Pid fallback)
+{
+    for (Pid p = 0; p < os.numProcesses(); ++p)
+        if (os.process(p).contains(base))
+            return p;
+    return fallback;
+}
+
+u32
+autoPromoteRegions(PolicyContext &ctx, u32 configured)
+{
+    if (configured != 0)
+        return configured;
+    u64 total = 0;
+    for (CoreId c = 0; c < ctx.numCores(); ++c)
+        total += ctx.pccUnit(c).pcc2m().capacity();
+    return static_cast<u32>(std::max<u64>(1, total));
+}
+
+} // namespace
+
+UserProgram
+findUserProgram(const std::string &name)
+{
+    if (name == "topk") {
+        // Kernel-grade behavior expressed through the sandbox: walk
+        // the ranked list in order, request until the budget is spent.
+        return [](const UserPolicyView &view, UserActionSink &sink) {
+            const u64 n = view.numCandidates();
+            u32 asked = 0;
+            for (u64 i = 0; i < n; ++i) {
+                if (asked >= view.promotionBudget())
+                    break;
+                if (!view.candidate(i))
+                    break;
+                sink.promote(static_cast<u32>(i));
+                ++asked;
+            }
+        };
+    }
+    if (name == "lowfirst") {
+        // Adversarial tenant: spend the budget on the *coldest* ranked
+        // candidates. Every hot region it leaves behind shows up as
+        // regret in the fig10 scoreboard.
+        return [](const UserPolicyView &view, UserActionSink &sink) {
+            const u64 n = view.numCandidates();
+            u32 asked = 0;
+            for (u64 i = n; i > 0; --i) {
+                if (asked >= view.promotionBudget())
+                    break;
+                if (!view.candidate(i - 1))
+                    break;
+                sink.promote(static_cast<u32>(i - 1));
+                ++asked;
+            }
+        };
+    }
+    return nullptr;
+}
+
+UbpfPolicy::UbpfPolicy(Params params) : params_(std::move(params))
+{
+    program_ = findUserProgram(params_.prog);
+    PCCSIM_ASSERT(program_ != nullptr,
+                  "unknown ubpf program (factory validates)");
+}
+
+void
+UbpfPolicy::onInterval(PolicyContext &ctx)
+{
+    if (disabled_)
+        return;
+    Os &os = ctx.os();
+    telemetry::PromotionAuditLog *audit = ctx.audit();
+
+    // Kernel side: assemble the evidence — merged ranked candidates
+    // across every core's 2MB PCC, hottest first.
+    struct Tagged
+    {
+        CoreId core;
+        UserCandidate cand;
+    };
+    std::vector<Tagged> merged;
+    for (CoreId c = 0; c < ctx.numCores(); ++c) {
+        for (const auto &cand : ctx.pccUnit(c).pcc2m().snapshot()) {
+            const Addr base = cand.region << mem::kShift2M;
+            merged.push_back(
+                {c,
+                 {0, ownerPidOf(os, base, ctx.processOnCore(c).pid()),
+                  base, cand.frequency}});
+        }
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Tagged &a, const Tagged &b) {
+                         return a.cand.frequency > b.cand.frequency;
+                     });
+    std::vector<UserCandidate> candidates;
+    candidates.reserve(merged.size());
+    for (size_t r = 0; r < merged.size(); ++r) {
+        merged[r].cand.rank = static_cast<u32>(r);
+        candidates.push_back(merged[r].cand);
+    }
+
+    const u32 budget =
+        autoPromoteRegions(ctx, params_.regions_to_promote);
+    const u64 free_2m = os.phys().hugeFramesAvailable();
+
+    // Sandboxed run(s). The determinism guard replays the program on
+    // an identical view; helper charges accrue per run, so both runs
+    // see the same budget horizon.
+    const auto runOnce = [&](std::vector<u32> &out) -> bool {
+        u64 helper_calls = 0;
+        const UserPolicyView view(ctx.intervalIndex(), budget,
+                                  candidates, free_2m, &helper_calls,
+                                  params_.helper_budget);
+        UserActionSink sink(view);
+        program_(view, sink);
+        out = sink.requests();
+        return helper_calls <= params_.helper_budget;
+    };
+
+    std::vector<u32> requests;
+    if (!runOnce(requests)) {
+        warn("ubpf program '", params_.prog,
+             "' exhausted its helper budget (", params_.helper_budget,
+             "); disabling for the rest of the run");
+        disabled_ = true;
+        return;
+    }
+    if (params_.verify) {
+        std::vector<u32> replay;
+        if (!runOnce(replay) || replay != requests) {
+            warn("ubpf program '", params_.prog,
+                 "' failed the determinism replay; disabling for the "
+                 "rest of the run");
+            disabled_ = true;
+            return;
+        }
+    }
+
+    // Kernel side again: validate and execute the requests.
+    u32 promoted = 0;
+    for (const u32 rank : requests) {
+        if (rank >= candidates.size()) {
+            if (audit) {
+                audit->record(telemetry::AuditAction::Skip,
+                              telemetry::AuditReason::SandboxRejected,
+                              0, 0, rank, 0);
+            }
+            continue;
+        }
+        const UserCandidate &cand = candidates[rank];
+        Process &proc = os.process(cand.pid);
+        if (promoted >= budget) {
+            if (audit) {
+                audit->record(telemetry::AuditAction::Skip,
+                              telemetry::AuditReason::SandboxRejected,
+                              cand.pid, cand.base, rank,
+                              cand.frequency);
+            }
+            continue;
+        }
+        if (!proc.contains(cand.base)) {
+            if (audit) {
+                audit->record(telemetry::AuditAction::Skip,
+                              telemetry::AuditReason::OutsideVma,
+                              cand.pid, cand.base, rank,
+                              cand.frequency);
+            }
+            continue;
+        }
+        if (proc.regionStateOf(cand.base) != RegionState::Base4K) {
+            if (audit) {
+                audit->record(telemetry::AuditAction::Skip,
+                              telemetry::AuditReason::RegionNotBase,
+                              cand.pid, cand.base, rank,
+                              cand.frequency);
+            }
+            continue;
+        }
+        const auto result =
+            os.promoteRegion(proc, cand.base, params_.allow_compaction,
+                             {rank, cand.frequency});
+        if (result.status == PromoteStatus::Ok) {
+            ++promoted;
+            ctx.chargeCore(merged[rank].core, result.app_cycles);
+        } else if (result.status == PromoteStatus::CapReached ||
+                   result.status == PromoteStatus::NoHugeFrame) {
+            break;
+        }
+    }
+}
+
+namespace {
+
+const PolicyRegistrar reg_ubpf{{
+    "ubpf",
+    "sandboxed userspace policy fed PCC evidence (eBPF-mm style)",
+    "prog=topk|lowfirst,helpers=N,verify=B,promote=N,compact=B",
+    [](const util::ParamMap &pm, const sim::SystemConfig &,
+       util::Status &status) -> std::unique_ptr<Policy> {
+        UbpfPolicy::Params p;
+        p.prog = pm.get("prog", p.prog);
+        if (!findUserProgram(p.prog)) {
+            status.update(util::Status::error(
+                "unknown ubpf program '", p.prog,
+                "' (built-ins: topk, lowfirst)"));
+            return nullptr;
+        }
+        p.helper_budget = pm.getU64("helpers", p.helper_budget);
+        p.verify = pm.getBool("verify", p.verify);
+        p.regions_to_promote =
+            static_cast<u32>(pm.getU64("promote", p.regions_to_promote));
+        p.allow_compaction = pm.getBool("compact", p.allow_compaction);
+        return std::make_unique<UbpfPolicy>(p);
+    },
+    /*legacy_kind=*/-1,
+    {},
+}};
+
+} // namespace
+
+} // namespace pccsim::os

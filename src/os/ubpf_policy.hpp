@@ -1,0 +1,165 @@
+/**
+ * @file
+ * eBPF-mm-style userspace promotion policy (`--policy=ubpf:prog=...`).
+ *
+ * Models the eBPF-for-memory-management proposal (PAPERS.md): the
+ * kernel exposes its promotion evidence — the interval's merged,
+ * ranked PCC candidate list plus allocator state — to a sandboxed
+ * user-supplied program, which answers with promotion requests. The
+ * kernel stays in charge of mechanism and safety:
+ *
+ *  - View-only input: the program sees a read-only UserPolicyView; it
+ *    cannot touch OS or hardware state directly.
+ *  - Helper budget: every view accessor and emitted action counts
+ *    against a per-interval helper budget (the eBPF verifier's
+ *    instruction bound, collapsed to run time). Exhausting it
+ *    terminates the program for the interval.
+ *  - Determinism guard: each interval the program runs twice over the
+ *    same view; if the two action lists differ, the program is
+ *    disabled for the rest of the run (a nondeterministic policy would
+ *    break the simulator's reproducibility contract).
+ *  - Action validation: requests outside the candidate list, outside
+ *    any VMA, or beyond the promotion budget are rejected and audited
+ *    as SandboxRejected rather than executed.
+ *
+ * Programs are named and built in (this is a simulator, not a JIT):
+ * `prog=topk` reproduces kernel-grade behavior through the sandbox,
+ * `prog=lowfirst` deliberately promotes the coldest candidates first —
+ * a worst-case tenant for the regret scoreboard.
+ */
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "os/policy.hpp"
+
+namespace pccsim::os {
+
+/** One ranked candidate as shown to the user program. */
+struct UserCandidate
+{
+    u32 rank = 0;
+    Pid pid = 0;
+    Addr base = 0;     //!< 2MB region base
+    u64 frequency = 0; //!< PCC counter evidence
+};
+
+/** Read-only evidence a user program decides from. */
+class UserPolicyView
+{
+  public:
+    UserPolicyView(u64 interval, u32 budget,
+                   const std::vector<UserCandidate> &candidates,
+                   u64 free_frames_2m, u64 *helper_calls,
+                   u64 helper_budget)
+        : interval_(interval), budget_(budget), candidates_(candidates),
+          free_frames_2m_(free_frames_2m), helper_calls_(helper_calls),
+          helper_budget_(helper_budget)
+    {
+    }
+
+    /** False once the helper budget is exhausted. */
+    bool
+    charge(u64 calls = 1) const
+    {
+        *helper_calls_ += calls;
+        return *helper_calls_ <= helper_budget_;
+    }
+
+    u64 interval() const { return interval_; }
+    u32 promotionBudget() const { return budget_; }
+
+    u64
+    numCandidates() const
+    {
+        charge();
+        return candidates_.size();
+    }
+
+    /** Null when out of range (or out of helper budget). */
+    const UserCandidate *
+    candidate(u64 index) const
+    {
+        if (!charge() || index >= candidates_.size())
+            return nullptr;
+        return &candidates_[index];
+    }
+
+    u64
+    freeHugeFrames() const
+    {
+        charge();
+        return free_frames_2m_;
+    }
+
+  private:
+    u64 interval_;
+    u32 budget_;
+    const std::vector<UserCandidate> &candidates_;
+    u64 free_frames_2m_;
+    u64 *helper_calls_;
+    u64 helper_budget_;
+};
+
+/** Action sink: the only way a user program affects the system. */
+class UserActionSink
+{
+  public:
+    explicit UserActionSink(const UserPolicyView &view) : view_(view) {}
+
+    /** Request promotion of the candidate at `rank`. */
+    void
+    promote(u32 rank)
+    {
+        if (!view_.charge())
+            return;
+        requests_.push_back(rank);
+    }
+
+    const std::vector<u32> &requests() const { return requests_; }
+
+  private:
+    const UserPolicyView &view_;
+    std::vector<u32> requests_;
+};
+
+/** A named, built-in user program. */
+using UserProgram =
+    std::function<void(const UserPolicyView &, UserActionSink &)>;
+
+/** Look up a built-in program ("topk", "lowfirst"); null if unknown. */
+UserProgram findUserProgram(const std::string &name);
+
+class UbpfPolicy : public Policy
+{
+  public:
+    struct Params
+    {
+        std::string prog = "topk";
+        /** Helper-call budget per interval run. */
+        u64 helper_budget = 4096;
+        /** Run twice per interval and compare (determinism guard). */
+        bool verify = true;
+        /** 2MB promotions per interval; 0 = PCC-capacity auto. */
+        u32 regions_to_promote = 0;
+        bool allow_compaction = true;
+    };
+
+    explicit UbpfPolicy(Params params);
+
+    std::string name() const override { return "ubpf"; }
+
+    void onInterval(PolicyContext &ctx) override;
+
+    /** True once the sandbox disabled the program (tests). */
+    bool disabled() const { return disabled_; }
+
+  private:
+    Params params_;
+    UserProgram program_;
+    bool disabled_ = false;
+};
+
+} // namespace pccsim::os

@@ -157,6 +157,24 @@ struct SystemConfig
     u64 interval_accesses = 1'000'000;
 
     PolicyKind policy = PolicyKind::Base;
+
+    /**
+     * Registry policy selector (`key` or `key:params`, e.g.
+     * "trident:ratio1g=32"). When non-empty it overrides `policy`: the
+     * System resolves it through os::PolicyRegistry. Bare legacy keys
+     * are canonicalized back onto the enum by applyPolicySelector(),
+     * so this field stays empty — and every spec key, memo entry, and
+     * baseline unchanged — for the six built-in policies.
+     */
+    std::string policy_str;
+
+    /**
+     * Translation-hardware backend selector, resolved through
+     * tlb::HwRegistry and applied to this config before the cores are
+     * built. Empty (and the registered "default" key) = identity.
+     */
+    std::string hw;
+
     os::PccPolicy::Params pcc_policy{};
     os::HawkEyePolicy::Params hawkeye{};
     os::LinuxThpPolicy::Params linux_thp{};
@@ -318,5 +336,25 @@ struct SystemConfig
         return cfg;
     }
 };
+
+/**
+ * Point a config at the policy a selector names. Bare legacy keys
+ * ("pcc", "thp", ...) canonicalize onto the PolicyKind enum with
+ * policy_str left empty — bit-identical spec keys and results — while
+ * parameterized or registry-only selectors land in policy_str. Unknown
+ * keys and malformed params return an error with a nearest-key
+ * suggestion.
+ */
+util::Status applyPolicySelector(SystemConfig &cfg,
+                                 std::string_view selector);
+
+/** Display name of the config's policy (selector or enum name). */
+std::string policyNameOf(const SystemConfig &cfg);
+
+/** Human-readable listing of registered policies (--policy=list). */
+std::string policyListText();
+
+/** Human-readable listing of registered hw backends (--hw=list). */
+std::string hwListText();
 
 } // namespace pccsim::sim

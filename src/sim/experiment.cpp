@@ -1,5 +1,7 @@
 #include "sim/experiment.hpp"
 
+#include <cstdio>
+
 #include "sim/runner.hpp"
 #include "util/stats.hpp"
 
@@ -11,6 +13,8 @@ configFor(const ExperimentSpec &spec)
     SystemConfig cfg = SystemConfig::forScale(spec.workload.scale);
     cfg.num_cores = std::max<u32>(1, spec.lanes);
     cfg.policy = spec.policy;
+    cfg.policy_str = spec.policy_str;
+    cfg.hw = spec.hw;
     cfg.promotion_cap_percent = spec.cap_percent;
     cfg.frag_fraction = spec.frag_fraction;
     cfg.pcc_policy = spec.pcc_policy;
@@ -33,6 +37,43 @@ configFor(const ExperimentSpec &spec)
     if (spec.tweak)
         spec.tweak(cfg);
     return cfg;
+}
+
+util::Status
+applyPolicySelector(ExperimentSpec &spec, std::string_view selector)
+{
+    SystemConfig cfg;
+    cfg.policy = spec.policy;
+    cfg.policy_str = spec.policy_str;
+    util::Status status = applyPolicySelector(cfg, selector);
+    if (status.ok()) {
+        spec.policy = cfg.policy;
+        spec.policy_str = cfg.policy_str;
+    }
+    return status;
+}
+
+std::string
+policyNameOf(const ExperimentSpec &spec)
+{
+    return spec.policy_str.empty() ? to_string(spec.policy)
+                                   : spec.policy_str;
+}
+
+bool
+handleListFlags(const std::string &policy_value,
+                const std::string &hw_value)
+{
+    bool listed = false;
+    if (policy_value == "list") {
+        std::fputs(policyListText().c_str(), stdout);
+        listed = true;
+    }
+    if (hw_value == "list") {
+        std::fputs(hwListText().c_str(), stdout);
+        listed = true;
+    }
+    return listed;
 }
 
 RunResult

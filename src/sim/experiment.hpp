@@ -23,6 +23,15 @@ struct ExperimentSpec
     workloads::WorkloadSpec workload{};
     u32 lanes = 1;
     PolicyKind policy = PolicyKind::Base;
+    /**
+     * Registry policy selector; overrides `policy` when non-empty.
+     * Prefer applyPolicySelector() over assigning directly — it
+     * canonicalizes bare legacy keys onto the enum so those specs keep
+     * their pre-registry memo keys.
+     */
+    std::string policy_str;
+    /** Translation-hardware backend selector ("" = baseline). */
+    std::string hw;
     double cap_percent = -1.0; //!< promotion budget; < 0 = unlimited
     double frag_fraction = 0.0;
     os::PccPolicy::Params pcc_policy{};
@@ -64,6 +73,26 @@ struct ExperimentSpec
 
 /** Build the SystemConfig an ExperimentSpec implies. */
 SystemConfig configFor(const ExperimentSpec &spec);
+
+/**
+ * Spec-level twin of applyPolicySelector(SystemConfig&, ...): bare
+ * legacy keys land on spec.policy (keeping the legacy spec key),
+ * everything else on spec.policy_str.
+ */
+util::Status applyPolicySelector(ExperimentSpec &spec,
+                                 std::string_view selector);
+
+/** Display name of the spec's policy (selector or enum name). */
+std::string policyNameOf(const ExperimentSpec &spec);
+
+/**
+ * Shared CLI hook for `--policy=list` / `--hw=list`: when either value
+ * is "list", print the corresponding registry listing (keys,
+ * descriptions, param grammars) to stdout and return true — the caller
+ * should then exit 0.
+ */
+bool handleListFlags(const std::string &policy_value,
+                     const std::string &hw_value);
 
 /** Run one experiment to completion. */
 RunResult runOne(const ExperimentSpec &spec);

@@ -80,6 +80,15 @@ specKey(const ExperimentSpec &spec)
     os << "|sample=" << spec.sampling.window << ':'
        << spec.sampling.fastforward;
     os << '|' << spec.tweak_key;
+    // Registry selectors: appended ONLY when set, so every legacy spec
+    // keeps the exact key it had before the registry existed (bare
+    // legacy names canonicalize onto the enum and leave these empty).
+    // The distinct `policy=`/`hw=` markers keep `pcc:promote=8` from
+    // ever colliding with a tweak_key or another selector variant.
+    if (!spec.policy_str.empty())
+        os << "|policy=" << spec.policy_str;
+    if (!spec.hw.empty())
+        os << "|hw=" << spec.hw;
     return os.str();
 }
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "os/policy_registry.hpp"
 #include "sim/invariants.hpp"
+#include "tlb/hw_registry.hpp"
 #include "util/host_profile.hpp"
 #include "util/log.hpp"
 
@@ -26,19 +28,84 @@ to_string(PolicyKind kind)
 std::optional<PolicyKind>
 parsePolicyKind(std::string_view name)
 {
-    if (name == "base-4k" || name == "base" || name == "4k")
-        return PolicyKind::Base;
-    if (name == "all-huge" || name == "huge")
-        return PolicyKind::AllHuge;
-    if (name == "linux-thp" || name == "thp")
-        return PolicyKind::LinuxThp;
-    if (name == "hawkeye")
-        return PolicyKind::HawkEye;
-    if (name == "pcc")
-        return PolicyKind::Pcc;
-    if (name == "trace-replay")
-        return PolicyKind::TraceReplay;
+    // Compatibility shim: the accepted names and aliases now live in
+    // the policy registry, keyed back onto the enum via legacy_kind.
+    // Registry-only contenders (trident, ubpf, ...) have no enum value
+    // and correctly fall out as nullopt here; select those through
+    // applyPolicySelector().
+    const os::PolicyRegistry::Entry *entry =
+        os::PolicyRegistry::instance().find(name);
+    if (entry && entry->legacy_kind >= 0)
+        return static_cast<PolicyKind>(entry->legacy_kind);
     return std::nullopt;
+}
+
+util::Status
+applyPolicySelector(SystemConfig &cfg, std::string_view selector)
+{
+    const os::PolicyRegistry &reg = os::PolicyRegistry::instance();
+    const util::Selector sel = util::Selector::parse(selector);
+    const os::PolicyRegistry::Entry *entry = reg.find(sel.key);
+    if (!entry)
+        return reg.unknownKeyError(sel.key);
+    if (sel.params.empty() && entry->legacy_kind >= 0) {
+        // Bare legacy keys canonicalize onto the enum: spec keys, memo
+        // entries, and baselines stay bit-identical to pre-registry
+        // builds.
+        cfg.policy = static_cast<PolicyKind>(entry->legacy_kind);
+        cfg.policy_str.clear();
+        return {};
+    }
+    if (util::Status status = reg.validateSelector(selector);
+        !status.ok())
+        return status;
+    cfg.policy_str = std::string(selector);
+    return {};
+}
+
+std::string
+policyNameOf(const SystemConfig &cfg)
+{
+    return cfg.policy_str.empty() ? to_string(cfg.policy)
+                                  : cfg.policy_str;
+}
+
+namespace {
+
+template <typename Entries>
+std::string
+listText(const Entries &entries)
+{
+    std::string out;
+    for (const auto &entry : entries) {
+        out += "  ";
+        out += entry.key;
+        const size_t pad =
+            entry.key.size() < 14 ? 14 - entry.key.size() : 1;
+        out.append(pad, ' ');
+        out += entry.description;
+        if (!entry.grammar.empty()) {
+            out += "  [";
+            out += entry.grammar;
+            out += "]";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+policyListText()
+{
+    return listText(os::PolicyRegistry::instance().entries());
+}
+
+std::string
+hwListText()
+{
+    return listText(tlb::HwRegistry::instance().entries());
 }
 
 namespace {
@@ -68,6 +135,17 @@ SystemConfig::validate() const
 
     if (num_cores < 1)
         status.update(Status::error("num_cores must be >= 1"));
+
+    // Registry selectors fail here — with a nearest-key suggestion —
+    // instead of silently falling back to a default policy/hardware.
+    if (!policy_str.empty()) {
+        status.update(os::PolicyRegistry::instance().validateSelector(
+            policy_str));
+    }
+    if (!hw.empty()) {
+        status.update(
+            tlb::HwRegistry::instance().validateSelector(hw));
+    }
 
     const auto checkTlb = [&status](const char *label,
                                     const tlb::TlbParams &p) {
@@ -224,6 +302,26 @@ SystemConfig::validate() const
 
 System::System(SystemConfig config) : config_(std::move(config))
 {
+    // Config transforms must land before any core hardware is built:
+    // the hw backend reshapes TLB/cache geometry, and a policy's
+    // prepare hook may enable the 1GB PCC.
+    if (!config_.hw.empty()) {
+        if (util::Status status =
+                tlb::HwRegistry::instance().apply(config_.hw, config_);
+            !status.ok()) {
+            fatal("hw backend '", config_.hw,
+                  "': ", status.toString());
+        }
+    }
+    if (!config_.policy_str.empty()) {
+        if (util::Status status =
+                os::PolicyRegistry::instance().prepare(
+                    config_.policy_str, config_);
+            !status.ok()) {
+            fatal("policy '", config_.policy_str,
+                  "': ", status.toString());
+        }
+    }
     PCCSIM_ASSERT(config_.num_cores >= 1);
     cores_.reserve(config_.num_cores);
     for (u32 c = 0; c < config_.num_cores; ++c)
@@ -249,22 +347,19 @@ System::~System() = default;
 std::unique_ptr<os::Policy>
 System::makePolicy()
 {
-    switch (config_.policy) {
-      case PolicyKind::Base:
-        return std::make_unique<os::BasePagesPolicy>();
-      case PolicyKind::AllHuge:
-        return std::make_unique<os::AllHugePolicy>();
-      case PolicyKind::LinuxThp:
-        return std::make_unique<os::LinuxThpPolicy>(config_.linux_thp);
-      case PolicyKind::HawkEye:
-        return std::make_unique<os::HawkEyePolicy>(config_.hawkeye);
-      case PolicyKind::Pcc:
-        return std::make_unique<os::PccPolicy>(config_.pcc_policy);
-      case PolicyKind::TraceReplay:
-        return std::make_unique<os::TraceReplayPolicy>(
-            config_.replay_trace);
-    }
-    panic("unhandled policy kind");
+    // Enum and selector both resolve through the registry; a bare
+    // legacy key's factory builds from the config's policy params,
+    // exactly what the old PolicyKind switch constructed.
+    const std::string selector = config_.policy_str.empty()
+                                     ? to_string(config_.policy)
+                                     : config_.policy_str;
+    util::Status status;
+    std::unique_ptr<os::Policy> policy =
+        os::PolicyRegistry::instance().make(selector, config_, status);
+    if (!status.ok())
+        fatal("policy '", selector, "': ", status.toString());
+    PCCSIM_ASSERT(policy != nullptr);
+    return policy;
 }
 
 os::Process &

@@ -50,6 +50,7 @@ regrettable(AuditReason reason)
       case AuditReason::BelowMinFrequency:
       case AuditReason::IntervalBudget:
       case AuditReason::TenantBudget:
+      case AuditReason::No1GFrame:
         return true;
       default:
         return false;
@@ -91,6 +92,8 @@ to_string(AuditReason reason)
       case AuditReason::Not1GPreferred: return "not-1g-preferred";
       case AuditReason::PressureReclaim: return "pressure-reclaim";
       case AuditReason::TenantBudget: return "tenant-budget";
+      case AuditReason::No1GFrame: return "no-1g-frame";
+      case AuditReason::SandboxRejected: return "sandbox-rejected";
     }
     return "?";
 }
@@ -182,6 +185,8 @@ PromotionAuditLog::record(AuditAction action, AuditReason reason,
       case AuditAction::Promote1G:
         if (reason == AuditReason::Ok)
             closeRegret(pid, base, mem::kBytes1G);
+        else if (regrettable(reason))
+            markRegret(pid, base);
         break;
       default:
         break;

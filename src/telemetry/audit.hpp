@@ -58,6 +58,8 @@ enum class AuditReason : u8
     Not1GPreferred,       //!< PUD-level signal failed the 1GB ratio test
     PressureReclaim,      //!< demoted to relieve memory pressure
     TenantBudget,         //!< the tenant's arbiter allowance exhausted
+    No1GFrame,            //!< no gigabyte frame, even after compaction
+    SandboxRejected,      //!< userspace policy action vetoed/limited
 };
 
 std::string to_string(AuditAction action);

@@ -43,10 +43,22 @@ Emitter::table(const std::string &title, const Table &table)
         std::fprintf(out_, "## %s\n\n%s\n", title.c_str(),
                      table.str().c_str());
         return;
-      case Format::Csv:
-        std::fprintf(out_, "## %s\n\n%s\n", title.c_str(),
-                     table.csv().c_str());
+      case Format::Csv: {
+        // Multi-policy sweeps emit one structurally-identical table per
+        // contender; repeating the header row in every block makes the
+        // concatenated CSV awkward to load. Suppress a header identical
+        // to the immediately preceding table's (a different header
+        // resets the memo, so heterogeneous sections stay self-typed).
+        std::string csv = table.csv();
+        const size_t eol = csv.find('\n');
+        const std::string header =
+            eol == std::string::npos ? csv : csv.substr(0, eol);
+        if (header == last_csv_header_ && eol != std::string::npos)
+            csv.erase(0, eol + 1);
+        last_csv_header_ = header;
+        std::fprintf(out_, "## %s\n\n%s\n", title.c_str(), csv.c_str());
         return;
+      }
       case Format::Json: {
         Json section = Json::object();
         section.set("title", title);

@@ -77,6 +77,7 @@ class Emitter
     Format format_;
     std::FILE *out_;
     Json sections_ = Json::array();
+    std::string last_csv_header_; //!< dedupe across consecutive tables
     bool closed_ = false;
 };
 

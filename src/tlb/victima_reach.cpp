@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Victima-flavored extra-reach translation backend (`--hw=victima-reach`).
+ *
+ * Victima (MICRO'23) repurposes L2 data-cache capacity to hold TLB
+ * entries, multiplying translation reach without new SRAM. This
+ * backend models the steady-state effect as a config transform: the
+ * unified L2 TLB grows by a power-of-two multiplier, an L2 TLB hit
+ * gets slightly slower (the entry now lives in cache-speed storage),
+ * and the L2 data cache pays for the borrowed capacity by losing ways
+ * — 16 bytes of way storage per extra TLB entry. Whether PCC-style
+ * careful promotion still pays off once reach is huge is exactly the
+ * question this contender exists to ask.
+ */
+
+#include "sim/config.hpp"
+#include "tlb/hw_registry.hpp"
+#include "util/link_anchor.hpp"
+
+PCCSIM_DEFINE_LINK_ANCHOR(victima_reach)
+
+namespace pccsim::tlb {
+namespace {
+
+constexpr u64 kBytesPerTlbEntry = 16; // tag + PTE payload
+
+util::Status
+applyVictimaReach(const util::ParamMap &params, sim::SystemConfig &cfg)
+{
+    const u64 mult = params.getU64("mult", 8);
+    const u64 extra_latency = params.getU64("latency", 4);
+    const bool hold_1g = params.getBool("1g", true);
+
+    if (mult < 2 || (mult & (mult - 1)) != 0) {
+        return util::Status::error(
+            "victima-reach mult must be a power of two >= 2, got ",
+            mult);
+    }
+
+    const u32 base_entries = cfg.tlb.l2.entries;
+    const u64 extra_entries =
+        static_cast<u64>(base_entries) * (mult - 1);
+
+    // The borrowed reach is paid for in L2 data-cache ways: round the
+    // borrowed bytes up to whole ways and shrink the cache by that
+    // many, keeping at least one way so the cache stays functional.
+    cache::CacheParams &l2d = cfg.cache.l2;
+    const u64 way_bytes =
+        l2d.size_bytes / (l2d.ways == 0 ? 1 : l2d.ways);
+    if (way_bytes == 0)
+        return util::Status::error("victima-reach needs a real L2 cache");
+    const u64 borrowed_bytes = extra_entries * kBytesPerTlbEntry;
+    u32 steal_ways = static_cast<u32>(
+        (borrowed_bytes + way_bytes - 1) / way_bytes);
+    if (steal_ways >= l2d.ways) {
+        return util::Status::error(
+            "victima-reach mult=", mult, " would borrow ", steal_ways,
+            " of ", l2d.ways, " L2 cache ways; lower mult");
+    }
+    l2d.ways -= steal_ways;
+    l2d.size_bytes -= static_cast<u64>(steal_ways) * way_bytes;
+
+    // Grow the unified L2 TLB in place: same associativity, mult x the
+    // sets, so the set-index math stays power-of-two.
+    cfg.tlb.l2.entries = static_cast<u32>(base_entries * mult);
+    cfg.tlb.l2_holds_1g = hold_1g;
+    cfg.timing.l2_tlb_hit += extra_latency;
+    return {};
+}
+
+const HwRegistrar reg{{
+    "victima-reach",
+    "Victima-style L2 TLB reach multiplier paid for in L2 cache ways",
+    "mult=POW2,latency=CYCLES,1g=BOOL",
+    applyVictimaReach,
+}};
+
+} // namespace
+} // namespace pccsim::tlb

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Linker anchors that keep self-registering translation units alive
+ * through static-archive linking.
+ *
+ * Every component here builds into a static library, and a linker only
+ * pulls in an archive member that something already linked refers to.
+ * A TU whose only job is running a static registrar has no such
+ * reference, so it would be silently dropped — and with it the policy
+ * or hardware backend it registers. The fix is a named pair: the
+ * registrar TU defines an anchor symbol, and the registry's own TU
+ * (always linked, because selection resolves through it) references
+ * the anchor, forcing the archive member in.
+ */
+
+#pragma once
+
+/** Emit the symbol an archive-member reference can hang onto. */
+#define PCCSIM_DEFINE_LINK_ANCHOR(name)                                \
+    extern "C" int pccsim_link_anchor_##name;                          \
+    int pccsim_link_anchor_##name = 0;
+
+/**
+ * Reference a registrar TU's anchor so the linker keeps it. The
+ * reference must survive compilation to become a relocation — an
+ * ordinary unused internal-linkage constant would be discarded before
+ * the linker ever saw it — hence [[gnu::used]].
+ */
+#define PCCSIM_REFERENCE_LINK_ANCHOR(name)                             \
+    extern "C" int pccsim_link_anchor_##name;                          \
+    namespace {                                                        \
+    [[gnu::used]] [[maybe_unused]] int *const                          \
+        pccsim_link_anchor_ref_##name = &pccsim_link_anchor_##name;    \
+    }

@@ -152,3 +152,76 @@ TEST(PhysMem, AccountingCounters)
     EXPECT_EQ(pm.stats().get("alloc_base"), 1u);
     EXPECT_EQ(pm.stats().get("alloc_huge"), 1u);
 }
+
+// ------------------------------------------- gigabyte-group compaction
+
+TEST(PhysMem, GigTargetedCompactionLiberatesAGigabyte)
+{
+    PhysicalMemory pm(2 * kBytes1G);
+    // Occupy one whole gig so the next 4KB page lands in the other —
+    // gig indices come from the returned pfns (the buddy's placement
+    // order is an implementation detail).
+    auto big = pm.allocHuge1G(1, 0);
+    ASSERT_TRUE(big);
+    auto page = pm.allocBase(1, 42);
+    ASSERT_TRUE(page);
+    const u64 target = *page >> kOrder1G;
+    ASSERT_NE(target, *big >> kOrder1G);
+    pm.freeHuge1G(*big);
+    // One gig is free again; the other is blocked by the lone resident.
+    EXPECT_EQ(pm.gigFramesAvailable(), 1u);
+
+    const auto cand = pm.bestGigCandidate();
+    ASSERT_TRUE(cand.has_value());
+    EXPECT_EQ(*cand, target);
+
+    const auto result = pm.compactOneBlockIn(*cand);
+    ASSERT_TRUE(result.has_value());
+    ASSERT_EQ(result->moves.size(), 1u);
+    EXPECT_EQ(result->moves[0].from, *page);
+    // The destination must not land back inside the target gig: the
+    // resident moved to the other gig, so the available count stays 1
+    // (the pollution relocated) — but the *target* gig is now
+    // allocatable, which is the point of targeting.
+    EXPECT_NE(result->moves[0].to >> kOrder1G, target);
+    EXPECT_EQ(pm.gigFramesAvailable(), 1u);
+    const auto regained = pm.allocHuge1G(1, 0);
+    ASSERT_TRUE(regained.has_value());
+    EXPECT_EQ(*regained >> kOrder1G, target);
+}
+
+TEST(PhysMem, BestGigCandidatePrefersCheapestGroup)
+{
+    PhysicalMemory pm(2 * kBytes1G);
+    // Shape residency exactly: fill all of memory with 4KB pages,
+    // then free everything except three residents in one gig and a
+    // lone resident in the other.
+    std::vector<Pfn> all;
+    while (auto pfn = pm.allocBase(2, all.size()))
+        all.push_back(*pfn);
+    const u64 frames_per_gig = u64(1) << kOrder1G;
+    const auto keep = [&](Pfn pfn) {
+        const u64 off = pfn % frames_per_gig;
+        const u64 gig = pfn >> kOrder1G;
+        if (gig == 0)
+            return off == 5 || off == 600 || off == 7000;
+        return off == 3;
+    };
+    for (Pfn pfn : all) {
+        if (!keep(pfn))
+            pm.freeBase(pfn);
+    }
+    const auto cand = pm.bestGigCandidate();
+    ASSERT_TRUE(cand.has_value());
+    EXPECT_EQ(*cand, 1u); // one move beats three
+}
+
+TEST(PhysMem, BestGigCandidateSkipsHugeAndEmptyGroups)
+{
+    PhysicalMemory pm(2 * kBytes1G);
+    // One gig holds an (immovable) application huge page, the other
+    // is entirely free: neither is a compaction candidate.
+    auto huge = pm.allocHuge(3, 0);
+    ASSERT_TRUE(huge);
+    EXPECT_FALSE(pm.bestGigCandidate().has_value());
+}

@@ -139,3 +139,27 @@ TEST(Os1GCap, GigabytePromotionRespectsBudget)
     EXPECT_EQ(os_model.promoteRegion1G(proc, heap).status,
               PromoteStatus::CapReached);
 }
+
+TEST_F(Fixture1G, TargetedCompactionRecoversAGigabyteFrame)
+{
+    faultOnePagePerRegion(4);
+    // Scatter movable filler into every free block: no order-18 (or
+    // order-9) chunk survives, but everything is compactable.
+    Rng rng(5);
+    phys.scramble(rng);
+    ASSERT_EQ(phys.gigFramesAvailable(), 0u);
+
+    // Without compaction the promotion fails on fragmentation...
+    EXPECT_EQ(os_model.promoteRegion1G(proc, heap).status,
+              PromoteStatus::NoHugeFrame);
+
+    // ...with it, the OS vacates the cheapest gigabyte group
+    // block-by-block and the promotion lands.
+    const auto result =
+        os_model.promoteRegion1G(proc, heap, {}, /*allow_compaction=*/true);
+    ASSERT_EQ(result.status, PromoteStatus::Ok);
+    EXPECT_TRUE(result.compacted);
+    EXPECT_GT(result.compaction_runs, 0u);
+    EXPECT_EQ(proc.regionStateOf(heap), RegionState::Huge1G);
+    EXPECT_EQ(proc.pageTable().lookup(heap).size, PageSize::Huge1G);
+}
