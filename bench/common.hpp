@@ -34,6 +34,14 @@
  *   --audit=FILE                    write the promotion audit trail
  *                                   (decision log, reason histogram,
  *                                   counterfactual regret) as JSON
+ *   --histograms[=FILE]             collect tail-latency histograms
+ *                                   (per-access translation / walk /
+ *                                   fault-stall cycles, per core and
+ *                                   per tenant) plus worst-K
+ *                                   exemplars; prints quantile and
+ *                                   exemplar sections after the
+ *                                   figures and, with =FILE, writes
+ *                                   the full tail report as JSON
  *   --oracle[=N]                    run every spec under the
  *                                   differential oracle (sim/oracle.hpp):
  *                                   compare against the reference model
@@ -140,6 +148,14 @@ auditPath()
     return path;
 }
 
+/** --histograms destination ("" = summary sections only). */
+inline std::string &
+histogramsPath()
+{
+    static std::string path;
+    return path;
+}
+
 /** Sticky failure flag: export errors flip the process exit code. */
 inline bool &
 exportFailed()
@@ -184,8 +200,16 @@ outputFormat()
 inline std::shared_ptr<const telemetry::TelemetryReport> &
 exportReport()
 {
-    static std::shared_ptr<const telemetry::TelemetryReport> report;
-    return report;
+    // Leaked on purpose. This static is first touched mid-run (by
+    // noteResult), which would schedule its destructor *before* the
+    // atexit export hooks registered back at parse() time — the hooks
+    // would then read a freed report whenever nothing else (e.g. the
+    // global runner's memo) still holds a reference, as with fig10's
+    // raw-System sweeps. An immortal pointer keeps exit-time reads
+    // valid; the OS reclaims it anyway.
+    static auto *report =
+        new std::shared_ptr<const telemetry::TelemetryReport>();
+    return *report;
 }
 
 inline void
@@ -218,6 +242,18 @@ writePerfReport()
     doc.set("busy_ns_per_access", per_access(stats.sim_nanos));
     doc.set("batch_wall_ns", stats.wall_nanos);
     doc.set("wall_ns_per_access", per_access(stats.wall_nanos));
+    // Per-run tail of the same busy cost: the mean above hides the
+    // one pathological simulation of a sweep. The _ns_per_access
+    // suffix opts these into bench_compare's regression gate.
+    const telemetry::LatencyHistogram &tail =
+        stats.run_busy_ns_per_access;
+    doc.set("p50_busy_ns_per_access",
+            static_cast<double>(tail.quantile(0.50)));
+    doc.set("p99_busy_ns_per_access",
+            static_cast<double>(tail.quantile(0.99)));
+    doc.set("max_busy_ns_per_access",
+            static_cast<double>(tail.maxValue()));
+    doc.set("tail_runs", tail.count());
 
     telemetry::Json resilience = telemetry::Json::object();
     resilience.set("journal_loaded", stats.journal_loaded);
@@ -263,6 +299,10 @@ writeTelemetryExports()
     }
     if (!auditPath().empty())
         writeExport(auditPath(), report->audit.toJson().dump(2) + "\n");
+    if (!histogramsPath().empty()) {
+        writeExport(histogramsPath(),
+                    report->tail.toJson().dump(2) + "\n");
+    }
 }
 
 /** Remember the first telemetry report seen for the exit exports. */
@@ -285,6 +325,58 @@ emitter()
 {
     static telemetry::Emitter emitter(detail::outputFormat());
     return emitter;
+}
+
+/**
+ * Tail-latency sections of the exporting run (--histograms): the
+ * quantile summary and the worst-K translation exemplars. Harness
+ * mains call this after their figure tables (explicitly, not via
+ * atexit: the shared emitter's JSON sink must still be open). No-op
+ * unless a run collected histograms.
+ */
+inline void
+emitTailSummary()
+{
+    const auto &report = detail::exportReport();
+    if (!report || !report->tail.enabled)
+        return;
+    const telemetry::TailReport &tail = report->tail;
+    emitter().table("tail latency (cycles per access)",
+                    telemetry::tailQuantileTable(tail));
+    emitter().table("worst-" + std::to_string(tail.exemplar_k) +
+                        " translation exemplars",
+                    telemetry::tailExemplarTable(tail.worst_translation));
+}
+
+/**
+ * Truncation/coverage footer: every bounded telemetry buffer's drop
+ * counters and the attribution table's untracked share, so a truncated
+ * report is never silently mistaken for a complete one. Harness mains
+ * call this last; no-op unless the run collected telemetry.
+ */
+inline void
+emitTelemetryFooter()
+{
+    const auto &report = detail::exportReport();
+    if (!report)
+        return;
+    telemetry::Json footer = telemetry::Json::object();
+    footer.set("trace_events", static_cast<u64>(report->events.size()));
+    footer.set("trace_events_dropped", report->events_dropped);
+    footer.set("audit_records",
+               static_cast<u64>(report->audit.records.size()));
+    footer.set("audit_records_dropped", report->audit.records_dropped);
+    footer.set("audit_regret_marks_dropped",
+               report->audit.regret_marks_dropped);
+    const telemetry::AttributionReport &attr = report->attribution;
+    footer.set("attribution_tracked_regions",
+               static_cast<u64>(attr.regions.size()));
+    footer.set("attribution_untracked_walk_cycles",
+               attr.untracked_walk_cycles);
+    footer.set("attribution_untracked_share_pct",
+               percent(attr.untracked_walk_cycles,
+                       attr.total_walk_cycles));
+    emitter().object("telemetry: coverage & truncation", footer);
 }
 
 struct BenchEnv
@@ -412,14 +504,17 @@ struct BenchEnv
             std::atexit(detail::writePerfReport);
         }
         if (opts.has("telemetry") || opts.has("trace") ||
-            opts.has("attribution") || opts.has("audit")) {
+            opts.has("attribution") || opts.has("audit") ||
+            opts.has("histograms")) {
             detail::telemetryPath() = opts.get("telemetry", "");
             detail::tracePath() = opts.get("trace", "");
             detail::attributionPath() = opts.get("attribution", "");
             detail::auditPath() = opts.get("audit", "");
+            detail::histogramsPath() = opts.get("histograms", "");
             env.telemetry.enabled = true;
             env.telemetry.attribution = opts.has("attribution");
             env.telemetry.audit = opts.has("audit");
+            env.telemetry.histograms = opts.has("histograms");
             std::atexit(detail::writeTelemetryExports);
         }
         return env;

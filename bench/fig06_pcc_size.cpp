@@ -118,5 +118,7 @@ main(int argc, char **argv)
         }
         env.emit(syn, "Fig. 6 (controlled): 256 hot regions");
     }
+    emitTailSummary();
+    emitTelemetryFooter();
     return 0;
 }

@@ -75,5 +75,7 @@ main(int argc, char **argv)
                     "  (paper: 1.15x @90%%)\n\n",
                     geomean(pcc_vs_linux), geomean(pcc_vs_hawk));
     }
+    emitTailSummary();
+    emitTelemetryFooter();
     return 0;
 }

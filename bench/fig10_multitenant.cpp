@@ -98,6 +98,10 @@ tenantConfig(const BenchEnv &env, const SweepOptions &sweep,
     cfg.frag_fraction = frag;
     cfg.telemetry.enabled = true;
     cfg.telemetry.audit = true;
+    // --histograms rides along: the sweep's first run then feeds the
+    // tail summary and gives --trace exports per-tenant pid lanes.
+    cfg.telemetry.histograms = env.telemetry.histograms;
+    cfg.telemetry.exemplar_k = env.telemetry.exemplar_k;
     cfg.seed = env.seed;
     return cfg;
 }
@@ -210,6 +214,10 @@ sweepTable(const BenchEnv &env, const SweepOptions &sweep)
                  "budget skips", "regret Mcyc"});
     for (size_t i = 0; i < runs.size(); ++i) {
         const auto &r = runs[i];
+        // Raw-System sweeps bypass runAll, so feed the exit exports
+        // (--trace/--telemetry/--histograms) here; input order makes
+        // "first report" --jobs-invariant.
+        bench::detail::noteResult(r);
         table.row({std::to_string(points[i].tenants),
                    Table::fmt(points[i].frag, 2), points[i].arbiter,
                    tenant::to_string(points[i].mode),
@@ -366,5 +374,7 @@ main(int argc, char **argv)
     }
 
     sweepTable(env, sweep);
+    emitTailSummary();
+    emitTelemetryFooter();
     return 0;
 }

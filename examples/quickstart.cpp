@@ -8,6 +8,7 @@
  *                   [--jobs=N] [--format=text|csv|json]
  *                   [--telemetry=series.json] [--trace=trace.json]
  *                   [--attribution[=FILE]] [--audit[=FILE]]
+ *                   [--histograms[=FILE]]
  *
  * --telemetry/--trace collect interval time-series and a structured
  * event trace from the PCC run and write them as JSON (the trace loads
@@ -15,8 +16,12 @@
  * walk-cost attribution (top regions, CDF, HUB concentration) and
  * --audit the promotion decision log with counterfactual regret — each
  * prints a summary section and optionally exports the full JSON when
- * given a =FILE value. The four simulations run through the parallel
- * runner; output is byte-identical for any --jobs value.
+ * given a =FILE value. --histograms adds tail-latency histograms
+ * (translation / walk / fault-stall cycles per access) with worst-K
+ * exemplars that name the HUB region behind each tail access — pair
+ * it with --audit to see the promotion decision in the same row. The
+ * four simulations run through the parallel runner; output is
+ * byte-identical for any --jobs value.
  */
 
 #include <algorithm>
@@ -91,8 +96,10 @@ main(int argc, char **argv)
     const std::string trace_path = opts.get("trace", "");
     const bool want_attribution = opts.has("attribution");
     const bool want_audit = opts.has("audit");
+    const bool want_histograms = opts.has("histograms");
     const std::string attribution_path = opts.get("attribution", "");
     const std::string audit_path = opts.get("audit", "");
+    const std::string histograms_path = opts.get("histograms", "");
 
     // Default to one worker: the quickstart is the determinism demo
     // (--jobs=4 must reproduce --jobs=1 byte for byte), so parallelism
@@ -119,9 +126,10 @@ main(int argc, char **argv)
     // an export destination or an analysis section was requested.
     pcc.telemetry.enabled = !telemetry_path.empty() ||
                             !trace_path.empty() || want_attribution ||
-                            want_audit;
+                            want_audit || want_histograms;
     pcc.telemetry.attribution = want_attribution;
     pcc.telemetry.audit = want_audit;
+    pcc.telemetry.histograms = want_histograms;
 
     sim::ExperimentSpec ideal = spec;
     ideal.policy = sim::PolicyKind::AllHuge;
@@ -219,6 +227,24 @@ main(int argc, char **argv)
             exports_ok &=
                 exportJson(audit_path, audit.toJson(), "audit");
         }
+        if (want_histograms) {
+            const auto &tail = tel.tail;
+            emitter.table("tail latency: cycles per access (pcc run)",
+                          telemetry::tailQuantileTable(tail));
+            emitter.table(
+                "worst-" + std::to_string(tail.exemplar_k) +
+                    " translation exemplars (pcc run)",
+                telemetry::tailExemplarTable(tail.worst_translation));
+            // The walk reservoir is the HUB view: the regions whose
+            // page walks cost the most, with (under --audit) the
+            // promotion decision that explains each one.
+            emitter.table(
+                "worst-" + std::to_string(tail.exemplar_k) +
+                    " page-walk exemplars (pcc run)",
+                telemetry::tailExemplarTable(tail.worst_walk));
+            exports_ok &= exportJson(histograms_path, tail.toJson(),
+                                     "tail histograms");
+        }
         if (!telemetry_path.empty()) {
             exports_ok &= exportJson(telemetry_path, tel.seriesJson(),
                                      "telemetry series");
@@ -227,6 +253,17 @@ main(int argc, char **argv)
             exports_ok &= exportJson(trace_path, tel.traceJson(),
                                      "Chrome trace");
         }
+        // Truncation footer: drop counters of every bounded telemetry
+        // buffer, so a truncated report is never silently complete.
+        telemetry::Json footer = telemetry::Json::object();
+        footer.set("trace_events_dropped", tel.events_dropped);
+        footer.set("audit_records_dropped", tel.audit.records_dropped);
+        footer.set("audit_regret_marks_dropped",
+                   tel.audit.regret_marks_dropped);
+        footer.set("attribution_untracked_share_pct",
+                   percent(tel.attribution.untracked_walk_cycles,
+                           tel.attribution.total_walk_cycles));
+        emitter.object("telemetry: coverage & truncation", footer);
     }
     return exports_ok ? 0 : 1;
 }

@@ -2,8 +2,9 @@
 # Wall-clock benchmark of the parallel experiment runner: times
 # fig06_pcc_size serially (--jobs=1) and in parallel (--jobs=N),
 # verifies the outputs are byte-identical, and writes BENCH_runner.json
-# with the wall times, the speedup, and the serial per-access cost from
-# the runner's own --perf accounting.
+# with the wall times, the speedup, and the serial per-access cost —
+# mean AND p99 across the batch's simulations — from the runner's own
+# --perf accounting.
 #
 # Usage:
 #   scripts/bench_wall.sh                 # --scale=small, N = nproc
@@ -99,6 +100,13 @@ report = {
     # hardware_jobs.
     "serial_busy_ns_per_access": serial_perf["busy_ns_per_access"],
     "parallel_busy_ns_per_access": parallel_perf["busy_ns_per_access"],
+    # Tail of the same distribution: p99 across the batch's individual
+    # simulations. A mean that holds while the p99 regresses means one
+    # configuration got slower while the rest hid it.
+    "serial_p99_busy_ns_per_access": serial_perf.get(
+        "p99_busy_ns_per_access"),
+    "parallel_p99_busy_ns_per_access": parallel_perf.get(
+        "p99_busy_ns_per_access"),
     # Per-access wall cost: the parallel number falls with real
     # concurrency (this is the runner's throughput win, not a per-sim
     # slowdown when it does not).

@@ -49,6 +49,15 @@
 #                         multi-tenant determinism, ASID < flush
 #                         walks), then a reduced sweep must emit
 #                         byte-identical CSV at --jobs=1 and --jobs=4
+#   histograms            tail-latency telemetry: --histograms must be
+#                         metrics-neutral (plain output is a byte
+#                         prefix of the histogram run), byte-identical
+#                         between --jobs=1 and --jobs=4 (stdout + tail
+#                         JSON), the tail JSON must validate (quantile
+#                         ordering, per-core counts summing to the
+#                         total, sorted bounded exemplars), and the
+#                         fig06 --perf p99 must stay within the
+#                         bench/baselines/ tolerance
 #
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
 # build-tsan/; determinism, telemetry, attribution and bench use
@@ -368,10 +377,112 @@ run_tenant() {
     echo "==> [tenant] clean (selfcheck passed, byte-identical output)"
 }
 
+run_histograms() {
+    echo "==> [histograms] configuring build-det"
+    cmake -B build-det -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    echo "==> [histograms] building fig06_pcc_size"
+    cmake --build build-det -j "$(nproc)" --target fig06_pcc_size \
+        >/dev/null
+    local tmp
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' RETURN
+
+    echo "==> [histograms] neutrality: --histograms must not disturb the tables"
+    ./build-det/bench/fig06_pcc_size --scale=ci --csv --jobs=1 \
+        > "$tmp/plain.csv"
+    ./build-det/bench/fig06_pcc_size --scale=ci --csv --jobs=1 \
+        --histograms="$tmp/tail1.json" > "$tmp/hist1.csv"
+    # The histogram run may only *append* sections: the plain output
+    # must be a byte-for-byte prefix of it.
+    if ! head -n "$(wc -l < "$tmp/plain.csv")" "$tmp/hist1.csv" \
+            | diff -u - "$tmp/plain.csv"; then
+        echo "histograms gate FAILED: --histograms changed the figure" \
+             "tables" >&2
+        return 1
+    fi
+    if cmp -s "$tmp/plain.csv" "$tmp/hist1.csv"; then
+        echo "histograms gate FAILED: --histograms emitted no tail" \
+             "sections" >&2
+        return 1
+    fi
+
+    echo "==> [histograms] determinism: --jobs=4 vs --jobs=1 (stdout + JSON)"
+    ./build-det/bench/fig06_pcc_size --scale=ci --csv --jobs=4 \
+        --histograms="$tmp/tail4.json" > "$tmp/hist4.csv"
+    if ! diff -u "$tmp/hist1.csv" "$tmp/hist4.csv"; then
+        echo "histograms gate FAILED: parallel stdout diverged" >&2
+        return 1
+    fi
+    if ! diff -u "$tmp/tail1.json" "$tmp/tail4.json"; then
+        echo "histograms gate FAILED: parallel tail JSON diverged" >&2
+        return 1
+    fi
+
+    echo "==> [histograms] validating tail JSON shape"
+    python3 - "$tmp" <<'PYEOF'
+import json, sys
+
+tail = json.load(open(sys.argv[1] + "/tail1.json"))
+for key in ("enabled", "exemplar_k", "total", "per_core", "per_job",
+            "exemplars"):
+    assert key in tail, f"tail.json missing {key!r}"
+assert tail["enabled"] is True
+
+total = tail["total"]["translation"]
+assert total["count"] > 0, "no accesses recorded"
+for hist in (total, tail["total"]["walk"]):
+    if hist["count"] == 0:
+        continue
+    # Quantiles are bucket lower bounds, so p50 may sit just below the
+    # exact min, but the series must be monotone and capped by max.
+    assert hist["p50"] <= hist["p90"] <= hist["p99"] <= hist["p999"] \
+        <= hist["max"], f"quantiles out of order: {hist}"
+    assert hist["min"] <= hist["max"]
+    assert sum(n for _, n in hist["buckets"]) == hist["count"]
+
+per_core = sum(c["translation"]["count"] for c in tail["per_core"])
+assert per_core == total["count"], \
+    f"per-core counts {per_core} != total {total['count']}"
+per_job = sum(j["translation"]["count"] for j in tail["per_job"])
+assert per_job == total["count"], \
+    f"per-job counts {per_job} != total {total['count']}"
+
+k = tail["exemplar_k"]
+for name, worst in tail["exemplars"].items():
+    assert len(worst) <= k, f"{name}: {len(worst)} exemplars > K={k}"
+    cycles = [e["cycles"] for e in worst]
+    for e in worst:
+        for key in ("ts", "core", "pid", "region", "cycles",
+                    "walk_cycles", "stall_cycles", "outcome",
+                    "shootdowns", "audit"):
+            assert key in e, f"{name} exemplar missing {key!r}"
+worst = tail["exemplars"]["translation"]
+metrics = [e["cycles"] for e in worst]
+assert metrics == sorted(metrics, reverse=True), \
+    "translation exemplars not sorted worst-first"
+print(f"tail JSON validates: {total['count']} accesses,"
+      f" p99={total['p99']} cycles,"
+      f" {len(worst)} worst exemplars")
+PYEOF
+
+    echo "==> [histograms] p99 regression gate vs bench/baselines/"
+    python3 - <<'PYEOF'
+import json
+base = json.load(open("bench/baselines/fig06_ci.json"))
+perf = base.get("perf", {})
+assert "p99_busy_ns_per_access" in perf, \
+    "fig06_ci.json baseline is missing p99_busy_ns_per_access"
+print(f"baseline p99 = {perf['p99_busy_ns_per_access']} ns/access")
+PYEOF
+    python3 scripts/bench_compare.py --build=build-det \
+        bench/baselines/fig06_ci.json
+    echo "==> [histograms] clean"
+}
+
 gates=("$@")
 if [ ${#gates[@]} -eq 0 ]; then
     gates=(address undefined determinism telemetry attribution bench \
-           registry sampling fuzz resume tenant)
+           registry sampling fuzz resume tenant histograms)
 fi
 
 for gate in "${gates[@]}"; do
@@ -406,9 +517,13 @@ for gate in "${gates[@]}"; do
       tenant)
          run_tenant
          continue ;;
+      histograms)
+         run_histograms
+         continue ;;
       *) echo "unknown gate '$gate'" \
               "(use address|undefined|thread|determinism|telemetry|" \
-              "attribution|bench|registry|sampling|fuzz|resume|tenant)" >&2
+              "attribution|bench|registry|sampling|fuzz|resume|tenant|" \
+              "histograms)" >&2
          exit 2 ;;
     esac
 

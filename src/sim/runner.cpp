@@ -61,6 +61,10 @@ specKey(const ExperimentSpec &spec)
     os << '|' << t.enabled << t.trace_events << t.attribution << t.audit
        << '|' << t.top_k << '|' << t.max_events << '|'
        << t.attribution_regions << '|' << t.max_audit_records;
+    // Appended ONLY when enabled so every pre-histogram spec keeps the
+    // exact key it had (journals and memos stay valid).
+    if (t.histograms)
+        os << "|hist=" << t.exemplar_k;
     // Fault schedules, invariant sweeps, interval overrides and planted
     // mutations all change results; the oracle (result-neutral) does
     // not and is deliberately absent.
@@ -159,6 +163,10 @@ Runner::simulate(const ExperimentSpec &spec, const std::string &key,
     ++stats_.simulated;
     stats_.total_accesses += result->total_accesses;
     stats_.sim_nanos += elapsed;
+    if (result->total_accesses > 0) {
+        stats_.run_busy_ns_per_access.record(elapsed /
+                                             result->total_accesses);
+    }
     worker_busy_[std::this_thread::get_id()] += elapsed;
     if (journal_ && !key.empty()) {
         if (journal_->append(key, *result))

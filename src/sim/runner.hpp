@@ -50,6 +50,7 @@
 
 #include "sim/experiment.hpp"
 #include "sim/journal.hpp"
+#include "telemetry/tail.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pccsim::sim {
@@ -153,6 +154,14 @@ class Runner
         u64 wall_nanos = 0; //!< host ns spent blocked in runMany()
         /** Per-worker busy ns (sim_nanos split by thread), busiest first. */
         std::vector<u64> worker_busy_nanos;
+        /**
+         * Distribution of per-simulation busy ns/access across the
+         * runs this process executed (memo hits excluded — they cost
+         * nothing). The mean hides the one pathological run of a
+         * sweep; --perf publishes this histogram's p50/p99/max and
+         * bench_compare gates them like the mean.
+         */
+        telemetry::LatencyHistogram run_busy_ns_per_access;
 
         // ---- persistence and supervision ----
         u64 journal_loaded = 0;    //!< memo entries preloaded from disk

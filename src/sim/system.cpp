@@ -272,6 +272,11 @@ SystemConfig::validate() const
         status.update(
             Status::error("telemetry.max_audit_records must be >= 1"));
     }
+    if (telemetry.enabled && telemetry.histograms &&
+        telemetry.exemplar_k == 0) {
+        status.update(Status::error(
+            "telemetry.exemplar_k must be >= 1 when histograms are on"));
+    }
     if (tenant.enabled()) {
         if (!batch_engine) {
             status.update(Status::error(
@@ -488,6 +493,12 @@ System::setupTelemetry(size_t num_jobs)
         core.pcc.pcc2m().setEvictionHook({});
     tel_churn_ = telemetry::TopKChurnTracker{};
     tel_churn_counter_ = telemetry::Registry::Handle{};
+    tel_tail_.reset();
+    tel_tail_p50_ = telemetry::Registry::Handle{};
+    tel_tail_p90_ = telemetry::Registry::Handle{};
+    tel_tail_p99_ = telemetry::Registry::Handle{};
+    tel_tail_p999_ = telemetry::Registry::Handle{};
+    tel_tail_max_ = telemetry::Registry::Handle{};
     if (!config_.telemetry.enabled)
         return;
 
@@ -583,6 +594,19 @@ System::setupTelemetry(size_t num_jobs)
         }
     }
     tel_churn_counter_ = reg.counter("pcc_topk_churn");
+    if (config_.telemetry.histograms) {
+        tel_tail_ = std::make_unique<telemetry::TailRecorder>(
+            config_.num_cores, static_cast<u32>(num_jobs),
+            config_.telemetry.exemplar_k);
+        // Windowed translation-latency quantiles: computed over the
+        // just-closed interval window and published as gauges, so the
+        // series read "p99 this interval", not "p99 so far".
+        tel_tail_p50_ = reg.counter("tail_p50_cycles");
+        tel_tail_p90_ = reg.counter("tail_p90_cycles");
+        tel_tail_p99_ = reg.counter("tail_p99_cycles");
+        tel_tail_p999_ = reg.counter("tail_p999_cycles");
+        tel_tail_max_ = reg.counter("tail_max_cycles");
+    }
 
     tel_sampler_ = std::make_unique<telemetry::IntervalSampler>(reg);
     using telemetry::SampleKind;
@@ -605,6 +629,13 @@ System::setupTelemetry(size_t num_jobs)
                                 SampleKind::Cumulative);
             tel_sampler_->track(prefix + "_walks",
                                 SampleKind::Cumulative);
+        }
+    }
+    if (tel_tail_) {
+        for (const char *name :
+             {"tail_p50_cycles", "tail_p90_cycles", "tail_p99_cycles",
+              "tail_p999_cycles", "tail_max_cycles"}) {
+            tel_sampler_->track(name, SampleKind::Gauge);
         }
     }
 
@@ -651,6 +682,17 @@ System::sampleTelemetryInterval()
         merged.insert(merged.end(), top.begin(), top.end());
     }
     tel_churn_counter_ += tel_churn_.update(std::move(merged));
+    if (tel_tail_) {
+        // Quantiles of the interval window just ending; the window
+        // then resets so each sample is an independent slice of time.
+        const telemetry::LatencyHistogram &window = tel_tail_->window();
+        tel_tail_p50_.set(window.quantile(0.50));
+        tel_tail_p90_.set(window.quantile(0.90));
+        tel_tail_p99_.set(window.quantile(0.99));
+        tel_tail_p999_.set(window.quantile(0.999));
+        tel_tail_max_.set(window.maxValue());
+        tel_tail_->resetWindow();
+    }
     tel_sampler_->sample();
     if (tel_tracer_) {
         tel_tracer_->record(telemetry::EventKind::Interval, 0, 0, 0,
@@ -751,7 +793,9 @@ System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
 
     if (!proc.faulted(vaddr)) {
         const bool want_huge = policy_->wantHugeFault(proc, vaddr);
-        cost += os_->handleFault(proc, vaddr, want_huge);
+        const Cycles fault_cost =
+            os_->handleFault(proc, vaddr, want_huge);
+        cost += fault_cost;
         ++core.faults;
         // The fault handler's walk loaded the translation.
         const mem::PageSize filled = proc.mappingSizeOf(vaddr);
@@ -763,6 +807,10 @@ System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
                 vaddr, filled);
         }
         cost += PCCSIM_DCACHE(core, vaddr);
+        if (tel_tail_) {
+            recordTail(core, proc, vaddr, telemetry::TailOutcome::Fault,
+                       cost, 0, fault_cost);
+        }
         return cost;
     }
 
@@ -779,17 +827,22 @@ System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
                 vaddr);
         }
         cost += PCCSIM_DCACHE(core, vaddr);
+        if (tel_tail_) {
+            recordTail(core, proc, vaddr, telemetry::TailOutcome::L1,
+                       cost, 0, 0);
+        }
         return cost;
     }
 
     const mem::PageSize size = proc.mappingSizeOf(vaddr);
     const tlb::HitLevel level = core.tlb.access(vaddr, size);
+    Cycles walk_cost = 0;
     if (level == tlb::HitLevel::L2) {
         cost += config_.timing.l2_tlb_hit;
     } else if (level == tlb::HitLevel::Miss) {
         const auto walk = core.walker.walk(proc.pageTable(), vaddr);
         PCCSIM_DCHECK(walk.present, "walk missed a faulted page");
-        const Cycles walk_cost = chargeWalkRefs(
+        walk_cost = chargeWalkRefs(
             core, proc, vaddr, walk.memory_refs, walk.size);
         cost += walk_cost;
         core.walk_cycles += walk_cost;
@@ -824,7 +877,26 @@ System::doAccess(CoreState &core, os::Process &proc, Addr vaddr,
     }
     core.noteTranslated(vaddr, size);
     cost += PCCSIM_DCACHE(core, vaddr);
+    if (tel_tail_) {
+        const telemetry::TailOutcome outcome =
+            level == tlb::HitLevel::Miss ? telemetry::TailOutcome::Walk
+            : level == tlb::HitLevel::L2 ? telemetry::TailOutcome::L2
+                                         : telemetry::TailOutcome::L1;
+        recordTail(core, proc, vaddr, outcome, cost, walk_cost, 0);
+    }
     return cost;
+}
+
+void
+System::recordTail(const CoreState &core, const os::Process &proc,
+                   Addr vaddr, telemetry::TailOutcome outcome,
+                   Cycles cost, Cycles walk_cost, Cycles stall_cost)
+{
+    tel_tail_->record(static_cast<u32>(&core - cores_.data()), core.job,
+                      proc.pid(), total_accesses_,
+                      mem::pageBase(vaddr, mem::PageSize::Huge2M),
+                      outcome, cost, walk_cost, stall_cost, shootdowns_,
+                      core.faults);
 }
 
 void
@@ -1603,6 +1675,12 @@ System::run(std::vector<Job> jobs)
             report->attribution = tel_profiler_->report();
         if (tel_audit_)
             report->audit = tel_audit_->report();
+        if (tel_tail_) {
+            report->tail = tel_tail_->report();
+            // Link every worst-K exemplar to the latest promotion
+            // decision about its region (no-op without --audit).
+            telemetry::annotateExemplars(report->tail, report->audit);
+        }
         result.telemetry = std::move(report);
     }
     return result;

@@ -31,6 +31,7 @@
 #include "telemetry/audit.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/series.hpp"
+#include "telemetry/tail.hpp"
 #include "telemetry/trace.hpp"
 #include "tenant/scheduler.hpp"
 #include "tlb/hierarchy.hpp"
@@ -246,6 +247,15 @@ class System : public os::PolicyContext
     /** Take one interval sample (churn, series, interval marker). */
     void sampleTelemetryInterval();
 
+    /**
+     * Record one detailed access into the tail recorder (call sites
+     * guard on tel_tail_). Fast-forwarded accesses are never recorded:
+     * they carry a synthetic mean charge, not a latency.
+     */
+    void recordTail(const CoreState &core, const os::Process &proc,
+                    Addr vaddr, telemetry::TailOutcome outcome,
+                    Cycles cost, Cycles walk_cost, Cycles stall_cost);
+
     /** One invariant sweep across all layers (config_.check_invariants). */
     void runInvariantChecks();
 
@@ -303,6 +313,14 @@ class System : public os::PolicyContext
     std::unique_ptr<telemetry::PromotionAuditLog> tel_audit_;
     telemetry::TopKChurnTracker tel_churn_;
     telemetry::Registry::Handle tel_churn_counter_;
+    /** Tail histograms + exemplars (telemetry.histograms only). */
+    std::unique_ptr<telemetry::TailRecorder> tel_tail_;
+    /** Windowed quantile counters fed to the interval sampler. */
+    telemetry::Registry::Handle tel_tail_p50_;
+    telemetry::Registry::Handle tel_tail_p90_;
+    telemetry::Registry::Handle tel_tail_p99_;
+    telemetry::Registry::Handle tel_tail_p999_;
+    telemetry::Registry::Handle tel_tail_max_;
 };
 
 std::string to_string(PolicyKind kind);

@@ -29,6 +29,24 @@ Json::push(Json value)
     return *this;
 }
 
+Json *
+Json::find(const std::string &key)
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (auto &[k, v] : members_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    return const_cast<Json *>(this)->find(key);
+}
+
 std::string
 Json::escape(const std::string &raw)
 {

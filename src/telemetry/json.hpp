@@ -68,6 +68,13 @@ class Json
     /** Append an element to an array. */
     Json &push(Json value);
 
+    /** Member of an object by key; nullptr when absent / not an
+     *  object. Mutable access lets builders augment a sub-document
+     *  another layer produced (e.g. appending counter tracks to a
+     *  finished Chrome trace). */
+    Json *find(const std::string &key);
+    const Json *find(const std::string &key) const;
+
     size_t
     size() const
     {

@@ -1,5 +1,7 @@
 #include "telemetry/report.hpp"
 
+#include <algorithm>
+
 namespace pccsim::telemetry {
 
 Json
@@ -18,7 +20,66 @@ TelemetryReport::seriesJson() const
 Json
 TelemetryReport::traceJson() const
 {
-    return EventTracer::chromeTrace(events, events_dropped);
+    Json doc = EventTracer::chromeTrace(events, events_dropped);
+    Json *list = doc.find("traceEvents");
+    if (!list)
+        return doc;
+
+    // Name every pid lane: the trace viewer then shows "tenant-pid-7"
+    // instead of a bare process number. Metadata events carry the same
+    // key set the shape gate requires of ordinary events.
+    std::vector<Pid> pids;
+    for (const Event &event : events)
+        pids.push_back(event.pid);
+    std::sort(pids.begin(), pids.end());
+    pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+    for (Pid pid : pids) {
+        Json args = Json::object();
+        args.set("name", pid == 0 ? std::string("sim")
+                                  : "tenant-pid-" + std::to_string(pid));
+        Json meta = Json::object();
+        meta.set("name", "process_name");
+        meta.set("cat", "__metadata");
+        meta.set("ph", "M");
+        meta.set("ts", u64{0});
+        meta.set("pid", static_cast<u64>(pid));
+        meta.set("tid", u64{0});
+        meta.set("args", std::move(args));
+        list->push(std::move(meta));
+    }
+
+    // Counter tracks, clocked at the interval markers: the windowed
+    // p99 translation latency (histograms runs) and the shootdowns
+    // that landed in each interval. The viewer renders these as
+    // stacked-area lanes, so "promotion lands -> tail collapses" is
+    // scrubbably visible next to the promotion events themselves.
+    std::vector<u64> marks;
+    for (const Event &event : events)
+        if (event.kind == EventKind::Interval)
+            marks.push_back(event.ts);
+    const auto track = [&](const char *name, const char *field,
+                           const Series *values) {
+        if (!values)
+            return;
+        const size_t n = std::min(values->values.size(), marks.size());
+        for (size_t i = 0; i < n; ++i) {
+            Json args = Json::object();
+            args.set(field, values->values[i]);
+            Json counter = Json::object();
+            counter.set("name", name);
+            counter.set("cat", "counter");
+            counter.set("ph", "C");
+            counter.set("ts", marks[i]);
+            counter.set("pid", u64{0});
+            counter.set("tid", u64{0});
+            counter.set("args", std::move(args));
+            list->push(std::move(counter));
+        }
+    };
+    track("p99_translation_cycles", "cycles",
+          series.find("tail_p99_cycles"));
+    track("pending_shootdowns", "count", series.find("shootdowns"));
+    return doc;
 }
 
 } // namespace pccsim::telemetry

@@ -21,6 +21,7 @@
 #include "telemetry/attribution.hpp"
 #include "telemetry/audit.hpp"
 #include "telemetry/series.hpp"
+#include "telemetry/tail.hpp"
 #include "telemetry/trace.hpp"
 
 namespace pccsim::telemetry {
@@ -44,6 +45,10 @@ struct TelemetryConfig
     bool audit = false;
     /** Audit-log memory bound (decisions beyond it are counted). */
     u64 max_audit_records = 262'144;
+    /** Tail-latency histograms + worst-K exemplars (tail.hpp). */
+    bool histograms = false;
+    /** Exemplars kept per tail reservoir when histograms are on. */
+    u32 exemplar_k = 8;
 
     bool operator==(const TelemetryConfig &) const = default;
 };
@@ -63,6 +68,8 @@ struct TelemetryReport
     AttributionReport attribution;
     /** Promotion decision log + regret (empty unless enabled). */
     AuditReport audit;
+    /** Tail histograms + exemplars (disabled unless histograms). */
+    TailReport tail;
 
     bool operator==(const TelemetryReport &) const = default;
 

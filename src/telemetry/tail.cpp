@@ -1,0 +1,278 @@
+#include "telemetry/tail.hpp"
+
+#include <cstdio>
+
+#include "telemetry/audit.hpp"
+
+namespace pccsim::telemetry {
+
+namespace {
+
+std::string
+hexAddr(Addr addr)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+Json
+sliceJson(const TailSlice &slice)
+{
+    Json doc = Json::object();
+    doc.set("translation", slice.translation.toJson());
+    doc.set("walk", slice.walk.toJson());
+    doc.set("stall", slice.stall.toJson());
+    return doc;
+}
+
+Json
+exemplarsJson(const std::vector<Exemplar> &exemplars)
+{
+    Json list = Json::array();
+    for (const auto &exemplar : exemplars)
+        list.push(exemplar.toJson());
+    return list;
+}
+
+} // namespace
+
+std::string
+to_string(TailOutcome outcome)
+{
+    switch (outcome) {
+      case TailOutcome::Fault: return "fault";
+      case TailOutcome::L1: return "l1";
+      case TailOutcome::L2: return "l2";
+      case TailOutcome::Walk: return "walk";
+    }
+    return "?";
+}
+
+Json
+LatencyHistogram::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("count", count_);
+    doc.set("sum", sum_);
+    doc.set("min", minValue());
+    doc.set("max", maxValue());
+    doc.set("mean", mean());
+    doc.set("p50", quantile(0.50));
+    doc.set("p90", quantile(0.90));
+    doc.set("p99", quantile(0.99));
+    doc.set("p999", quantile(0.999));
+    Json buckets = Json::array();
+    for (u32 i = 0; i < kBuckets; ++i) {
+        if (counts_[i] == 0)
+            continue;
+        Json bucket = Json::array();
+        bucket.push(bucketLow(i));
+        bucket.push(counts_[i]);
+        buckets.push(std::move(bucket));
+    }
+    doc.set("buckets", std::move(buckets));
+    return doc;
+}
+
+Json
+Exemplar::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("ts", ts);
+    doc.set("core", static_cast<u64>(core));
+    doc.set("job", static_cast<u64>(job));
+    doc.set("pid", static_cast<u64>(pid));
+    doc.set("region", hexAddr(region));
+    doc.set("cycles", cycles);
+    doc.set("walk_cycles", walk_cycles);
+    doc.set("stall_cycles", stall_cycles);
+    doc.set("outcome", to_string(outcome));
+    doc.set("shootdowns", shootdowns);
+    doc.set("core_faults", core_faults);
+    doc.set("audit", audit);
+    return doc;
+}
+
+void
+ExemplarReservoir::offer(const Exemplar &exemplar, u64 metric)
+{
+    if (k_ == 0)
+        return;
+    if (worst_.size() >= k_) {
+        // Ties keep the incumbent: the earliest arrival wins, which is
+        // deterministic because within one run arrival order is the
+        // lane schedule, itself deterministic.
+        if (metric <= metrics_.back())
+            return;
+        metrics_.pop_back();
+        worst_.pop_back();
+    }
+    // Insert after any equal metrics so equals stay in arrival order.
+    size_t pos = 0;
+    while (pos < metrics_.size() && metrics_[pos] >= metric)
+        ++pos;
+    metrics_.insert(metrics_.begin() + static_cast<i64>(pos), metric);
+    worst_.insert(worst_.begin() + static_cast<i64>(pos), exemplar);
+}
+
+TailRecorder::TailRecorder(u32 cores, u32 jobs, u32 exemplar_k)
+    : exemplar_k_(exemplar_k), per_core_(cores), per_job_(jobs),
+      job_pids_(jobs, 0), worst_translation_(exemplar_k),
+      worst_walk_(exemplar_k), worst_stall_(exemplar_k)
+{
+}
+
+void
+TailRecorder::record(u32 core, u32 job, Pid pid, u64 ts, Addr region,
+                     TailOutcome outcome, Cycles cycles,
+                     Cycles walk_cycles, Cycles stall_cycles,
+                     u64 shootdowns, u64 core_faults)
+{
+    total_.translation.record(cycles);
+    per_core_[core].translation.record(cycles);
+    per_job_[job].translation.record(cycles);
+    window_.record(cycles);
+    job_pids_[job] = pid;
+    if (walk_cycles > 0) {
+        total_.walk.record(walk_cycles);
+        per_core_[core].walk.record(walk_cycles);
+        per_job_[job].walk.record(walk_cycles);
+    }
+    if (stall_cycles > 0) {
+        total_.stall.record(stall_cycles);
+        per_core_[core].stall.record(stall_cycles);
+        per_job_[job].stall.record(stall_cycles);
+    }
+
+    const Exemplar exemplar{ts,     core,         job,
+                            pid,    region,       cycles,
+                            walk_cycles, stall_cycles, outcome,
+                            shootdowns,  core_faults,  {}};
+    worst_translation_.offer(exemplar, cycles);
+    if (walk_cycles > 0)
+        worst_walk_.offer(exemplar, walk_cycles);
+    if (stall_cycles > 0)
+        worst_stall_.offer(exemplar, stall_cycles);
+}
+
+TailReport
+TailRecorder::report() const
+{
+    TailReport report;
+    report.enabled = true;
+    report.exemplar_k = exemplar_k_;
+    report.total = total_;
+    report.per_core = per_core_;
+    report.per_job = per_job_;
+    report.job_pids = job_pids_;
+    report.worst_translation = worst_translation_.worst();
+    report.worst_walk = worst_walk_.worst();
+    report.worst_stall = worst_stall_.worst();
+    return report;
+}
+
+Json
+TailReport::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("enabled", enabled);
+    doc.set("exemplar_k", static_cast<u64>(exemplar_k));
+    doc.set("total", sliceJson(total));
+    Json cores = Json::array();
+    for (const auto &slice : per_core)
+        cores.push(sliceJson(slice));
+    doc.set("per_core", std::move(cores));
+    Json jobs = Json::array();
+    for (size_t j = 0; j < per_job.size(); ++j) {
+        Json slice = sliceJson(per_job[j]);
+        slice.set("pid",
+                  static_cast<u64>(j < job_pids.size() ? job_pids[j]
+                                                       : 0));
+        jobs.push(std::move(slice));
+    }
+    doc.set("per_job", std::move(jobs));
+    Json exemplars = Json::object();
+    exemplars.set("translation", exemplarsJson(worst_translation));
+    exemplars.set("walk", exemplarsJson(worst_walk));
+    exemplars.set("stall", exemplarsJson(worst_stall));
+    doc.set("exemplars", std::move(exemplars));
+    return doc;
+}
+
+void
+annotateExemplars(TailReport &tail, const AuditReport &audit)
+{
+    if (audit.records.empty())
+        return;
+    const auto annotate = [&audit](Exemplar &exemplar) {
+        // Records are in simulated-time order; scan backwards for the
+        // latest decision about this region at or before the access.
+        for (size_t i = audit.records.size(); i-- > 0;) {
+            const AuditRecord &rec = audit.records[i];
+            if (rec.pid != exemplar.pid || rec.base != exemplar.region)
+                continue;
+            if (rec.ts > exemplar.ts)
+                continue;
+            exemplar.audit = to_string(rec.action) + ":" +
+                             to_string(rec.reason) + "@" +
+                             std::to_string(rec.ts);
+            return;
+        }
+    };
+    for (auto *list :
+         {&tail.worst_translation, &tail.worst_walk, &tail.worst_stall})
+        for (Exemplar &exemplar : *list)
+            annotate(exemplar);
+}
+
+Table
+tailQuantileTable(const TailReport &tail)
+{
+    Table table({"metric", "count", "mean", "p50", "p90", "p99",
+                 "p99.9", "max"});
+    const auto row = [&table](const std::string &label,
+                              const LatencyHistogram &h) {
+        table.row({label, std::to_string(h.count()),
+                   Table::fmt(h.mean(), 1),
+                   std::to_string(h.quantile(0.50)),
+                   std::to_string(h.quantile(0.90)),
+                   std::to_string(h.quantile(0.99)),
+                   std::to_string(h.quantile(0.999)),
+                   std::to_string(h.maxValue())});
+    };
+    row("translation", tail.total.translation);
+    row("walk", tail.total.walk);
+    row("fault_stall", tail.total.stall);
+    if (tail.per_job.size() > 1) {
+        for (size_t j = 0; j < tail.per_job.size(); ++j) {
+            row("translation[pid " +
+                    std::to_string(j < tail.job_pids.size()
+                                       ? tail.job_pids[j]
+                                       : 0) +
+                    "]",
+                tail.per_job[j].translation);
+        }
+    }
+    return table;
+}
+
+Table
+tailExemplarTable(const std::vector<Exemplar> &exemplars)
+{
+    Table table({"ts", "core", "pid", "region", "cycles", "walk",
+                 "stall", "outcome", "shootdowns", "audit"});
+    for (const Exemplar &e : exemplars) {
+        table.row({std::to_string(e.ts), std::to_string(e.core),
+                   std::to_string(e.pid), hexAddr(e.region),
+                   std::to_string(e.cycles),
+                   std::to_string(e.walk_cycles),
+                   std::to_string(e.stall_cycles), to_string(e.outcome),
+                   std::to_string(e.shootdowns),
+                   e.audit.empty() ? "-" : e.audit});
+    }
+    return table;
+}
+
+} // namespace pccsim::telemetry

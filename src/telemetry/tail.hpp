@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Tail-latency telemetry: deterministic log-linear (HDR-style)
+ * histograms, worst-K exemplar reservoirs, and the per-run tail report
+ * attached to TelemetryReport.
+ *
+ * The paper's headline numbers are means, but its core claim — a few
+ * HUB regions dominate walk overhead — is a statement about the
+ * *distribution* of translation latency: promoting the right regions
+ * should collapse the tail, not merely shift the average. This module
+ * makes that visible:
+ *
+ *  - LatencyHistogram: fixed-memory log-linear buckets (16 linear
+ *    sub-buckets per power-of-two octave, <= 6.25% relative bucket
+ *    width). Recording is two array increments; merging is element-
+ *    wise addition, so merges commute and associate and a histogram's
+ *    content depends only on the multiset of recorded values — never
+ *    on arrival order or worker count. That is what keeps --jobs=N
+ *    reports byte-identical to serial ones.
+ *  - ExemplarReservoir: the worst-K accesses per metric with full
+ *    context (2MB region, tenant, TLB outcome, walk cycles, in-flight
+ *    shootdown/fault counts, and — filled in at report time — the
+ *    region's latest promotion-audit decision), OpenMetrics-exemplar
+ *    style: every tail bucket links back to a concrete HUB region and
+ *    the decision that did or didn't fix it.
+ *  - TailRecorder: the per-run collector the System drives from its
+ *    access hot path (gated by TelemetryConfig::histograms; off means
+ *    the recorder is never constructed and metrics are bit-identical).
+ *
+ * Three metrics are recorded per access: total translation+access
+ * cycles (every access), page-walk cycles (TLB-hierarchy misses), and
+ * fault/promotion stall cycles (minor faults, whose handler charges
+ * any synchronous promotion work). Each is sliced per core and per
+ * job (= tenant), with the global histogram being the merge of the
+ * per-core slices.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "util/table.hpp"
+#include "util/types.hpp"
+
+namespace pccsim::telemetry {
+
+struct AuditReport;
+
+/**
+ * Fixed-memory log-linear histogram of u64 values (cycles, ns).
+ *
+ * Bucket layout: values below 16 are exact; above, each power-of-two
+ * octave [2^e, 2^(e+1)) splits into 16 linear sub-buckets, so a
+ * bucket's width is at most 1/16 of its lower bound. quantile()
+ * returns the lower bound of the bucket containing the requested rank
+ * — within one bucket (<= 6.25% relative error) of the exact
+ * order statistic, and bit-exact across merge orders.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr u32 kSubBucketBits = 4;
+    static constexpr u32 kSubBuckets = 1u << kSubBucketBits;
+    /** 16 exact buckets + 16 per octave for exponents 4..63. */
+    static constexpr u32 kBuckets =
+        kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;
+
+    /** Bucket index of `value` (log-linear; exact below 16). */
+    static constexpr u32
+    indexOf(u64 value)
+    {
+        if (value < kSubBuckets)
+            return static_cast<u32>(value);
+        const u32 exp = 63 - static_cast<u32>(std::countl_zero(value));
+        const u32 sub = static_cast<u32>(
+            (value >> (exp - kSubBucketBits)) & (kSubBuckets - 1));
+        return (exp - kSubBucketBits + 1) * kSubBuckets + sub;
+    }
+
+    /** Smallest value landing in bucket `index`. */
+    static constexpr u64
+    bucketLow(u32 index)
+    {
+        if (index < kSubBuckets)
+            return index;
+        const u32 octave = index / kSubBuckets - 1;
+        const u64 sub = index % kSubBuckets;
+        return (static_cast<u64>(kSubBuckets) + sub) << octave;
+    }
+
+    void
+    record(u64 value, u64 weight = 1)
+    {
+        counts_[indexOf(value)] += weight;
+        count_ += weight;
+        sum_ += value * weight;
+        min_ = count_ == weight ? value : std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+
+    /** Element-wise addition: commutative, associative, lossless. */
+    void
+    merge(const LatencyHistogram &other)
+    {
+        if (other.count_ == 0)
+            return;
+        for (u32 i = 0; i < kBuckets; ++i)
+            counts_[i] += other.counts_[i];
+        min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+        count_ += other.count_;
+        sum_ += other.sum_;
+    }
+
+    void
+    reset()
+    {
+        counts_.fill(0);
+        count_ = sum_ = max_ = 0;
+        min_ = 0;
+    }
+
+    u64 count() const { return count_; }
+    u64 sum() const { return sum_; }
+    u64 minValue() const { return count_ == 0 ? 0 : min_; }
+    u64 maxValue() const { return max_; }
+
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(sum_) /
+                                 static_cast<double>(count_);
+    }
+
+    /**
+     * Lower bound of the bucket holding the rank-ceil(q*count)
+     * smallest value (the same rank convention as an exact sorted
+     * reference, so both land in the same bucket).
+     */
+    u64
+    quantile(double q) const
+    {
+        if (count_ == 0)
+            return 0;
+        const double scaled = q * static_cast<double>(count_);
+        u64 rank = static_cast<u64>(scaled);
+        if (static_cast<double>(rank) < scaled)
+            ++rank; // ceil
+        rank = std::clamp<u64>(rank, 1, count_);
+        u64 cum = 0;
+        for (u32 i = 0; i < kBuckets; ++i) {
+            cum += counts_[i];
+            if (cum >= rank)
+                return bucketLow(i);
+        }
+        return bucketLow(kBuckets - 1); // unreachable
+    }
+
+    bool operator==(const LatencyHistogram &) const = default;
+
+    /** {count,sum,min,max,mean,p50,...,buckets:[[low,n],...]}. */
+    Json toJson() const;
+
+  private:
+    std::array<u64, kBuckets> counts_{};
+    u64 count_ = 0;
+    u64 sum_ = 0;
+    u64 min_ = 0;
+    u64 max_ = 0;
+};
+
+/** How the access resolved its translation. */
+enum class TailOutcome : u8
+{
+    Fault = 0, //!< minor fault (first touch); stall cycles charged
+    L1,        //!< L1 TLB hit (includes the last-translation cache)
+    L2,        //!< L2 TLB hit
+    Walk,      //!< full page-table walk
+};
+
+std::string to_string(TailOutcome outcome);
+
+/**
+ * One worst-K access with enough context to act on: which 2MB region
+ * of which tenant, how the TLB hierarchy resolved it, what was in
+ * flight, and (annotated at report time) what the promotion audit
+ * last decided about that region.
+ */
+struct Exemplar
+{
+    u64 ts = 0;   //!< simulated clock (total accesses) at record time
+    u32 core = 0;
+    u32 job = 0;  //!< job index (= tenant in multi-tenant runs)
+    Pid pid = 0;
+    Addr region = 0; //!< 2MB-aligned vaddr of the access
+    Cycles cycles = 0;       //!< full translation+access cost
+    Cycles walk_cycles = 0;  //!< page-walk portion (0 on TLB hits)
+    Cycles stall_cycles = 0; //!< fault/promotion stall portion
+    TailOutcome outcome = TailOutcome::L1;
+    u64 shootdowns = 0;  //!< TLB shootdowns issued so far (in flight)
+    u64 core_faults = 0; //!< faults this core had taken so far
+    /** "action:reason@ts" of the region's latest audit decision
+     *  (annotateExemplars; empty without --audit or when the region
+     *  never reached a decision). */
+    std::string audit;
+
+    bool operator==(const Exemplar &) const = default;
+
+    Json toJson() const;
+};
+
+/**
+ * Deterministic worst-K reservoir ordered by a caller-chosen metric
+ * value: keeps the K largest, breaking ties in favor of the earliest
+ * arrival (so identical simulated streams keep identical exemplars
+ * regardless of worker count — arrival order within one run is the
+ * deterministic lane schedule).
+ */
+class ExemplarReservoir
+{
+  public:
+    explicit ExemplarReservoir(u32 k = 0) : k_(k) {}
+
+    void offer(const Exemplar &exemplar, u64 metric);
+
+    /** Sorted worst-first (metric desc, earlier arrival on ties). */
+    const std::vector<Exemplar> &worst() const { return worst_; }
+
+  private:
+    u32 k_;
+    std::vector<u64> metrics_; //!< parallel to worst_
+    std::vector<Exemplar> worst_;
+};
+
+/** The three per-slice histograms (one slice = core, job, or total). */
+struct TailSlice
+{
+    LatencyHistogram translation; //!< full access cost, every access
+    LatencyHistogram walk;        //!< walk cycles of TLB misses
+    LatencyHistogram stall;       //!< fault/promotion stall cycles
+
+    bool operator==(const TailSlice &) const = default;
+};
+
+/** End-of-run tail report (attached to TelemetryReport::tail). */
+struct TailReport
+{
+    bool enabled = false;
+    u32 exemplar_k = 0;
+    TailSlice total;
+    std::vector<TailSlice> per_core; //!< index = core id
+    std::vector<TailSlice> per_job;  //!< index = job (tenant)
+    std::vector<Pid> job_pids;       //!< pid of each job slice
+    std::vector<Exemplar> worst_translation;
+    std::vector<Exemplar> worst_walk;
+    std::vector<Exemplar> worst_stall;
+
+    bool operator==(const TailReport &) const = default;
+
+    Json toJson() const;
+};
+
+/**
+ * Per-run collector. The System calls record() from its access paths
+ * (only when TelemetryConfig::histograms is set) and drains window()
+ * at each interval boundary for the windowed quantile series.
+ */
+class TailRecorder
+{
+  public:
+    TailRecorder(u32 cores, u32 jobs, u32 exemplar_k);
+
+    void record(u32 core, u32 job, Pid pid, u64 ts, Addr region,
+                TailOutcome outcome, Cycles cycles, Cycles walk_cycles,
+                Cycles stall_cycles, u64 shootdowns, u64 core_faults);
+
+    /** Translation histogram of the current interval window. */
+    const LatencyHistogram &window() const { return window_; }
+    void resetWindow() { window_.reset(); }
+
+    TailReport report() const;
+
+  private:
+    u32 exemplar_k_;
+    TailSlice total_;
+    std::vector<TailSlice> per_core_;
+    std::vector<TailSlice> per_job_;
+    std::vector<Pid> job_pids_;
+    LatencyHistogram window_;
+    ExemplarReservoir worst_translation_;
+    ExemplarReservoir worst_walk_;
+    ExemplarReservoir worst_stall_;
+};
+
+/**
+ * Fill each exemplar's `audit` field with the region's latest audit
+ * decision at or before the exemplar's timestamp ("action:reason@ts"),
+ * so a tail access links to the promotion decision that explains it.
+ * No-op on an empty audit report.
+ */
+void annotateExemplars(TailReport &tail, const AuditReport &audit);
+
+/** Quantile summary table (metric x count/mean/p50/.../max) rows:
+ *  the three total metrics plus per-tenant translation rows when the
+ *  run had more than one job. */
+Table tailQuantileTable(const TailReport &tail);
+
+/** Worst-K exemplar rows of one reservoir, worst first. */
+Table tailExemplarTable(const std::vector<Exemplar> &exemplars);
+
+} // namespace pccsim::telemetry
